@@ -1,0 +1,46 @@
+"""Ablation — how the Δ threshold θ changes SimChar and detection coverage.
+
+DESIGN.md calls out θ = 4 as the paper's empirically chosen operating point
+(validated by the Figure 9 human study).  This ablation rebuilds SimChar at
+θ ∈ {0, 2, 4, 6} over a fixed repertoire and reports the database size and
+Latin-letter coverage at each setting: the database grows monotonically
+with θ, and θ = 4 sits before the steep growth into false-positive
+territory (θ ≥ 5 pairs were judged "distinct" by the human study).
+"""
+
+from bench_util import print_table
+
+from repro.homoglyph.simchar import SimCharBuilder
+
+_BLOCKS = ("Basic Latin", "Latin-1 Supplement", "Latin Extended-A",
+           "Greek and Coptic", "Cyrillic", "Armenian")
+
+
+def test_ablation_delta_threshold(benchmark, font):
+    thresholds = (0, 2, 4, 6)
+
+    def build_all():
+        results = {}
+        for threshold in thresholds:
+            builder = SimCharBuilder(font, threshold=threshold,
+                                     repertoire_blocks=_BLOCKS, limit_per_block=300)
+            results[threshold] = builder.build()
+        return results
+
+    results = benchmark.pedantic(build_all, rounds=1, iterations=1)
+
+    rows = []
+    for threshold in thresholds:
+        db = results[threshold].database
+        rows.append((threshold, db.character_count, db.pair_count,
+                     db.latin_homoglyph_total()))
+    print_table("Ablation: SimChar size vs threshold θ",
+                rows, headers=("θ", "# characters", "# pairs", "Latin homoglyphs"))
+
+    pair_counts = [results[t].database.pair_count for t in thresholds]
+    assert pair_counts == sorted(pair_counts)
+    # θ=0 (pixel-identical only) already finds the cross-script clones.
+    assert results[0].database.are_homoglyphs("o", "о")
+    # θ=4 adds the accented variants that θ=0 misses.
+    assert results[4].database.are_homoglyphs("e", "é")
+    assert not results[0].database.are_homoglyphs("e", "é")

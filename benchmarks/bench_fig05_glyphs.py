@@ -1,0 +1,45 @@
+"""Figure 5 — example glyph images of homoglyph pairs.
+
+The paper shows Unifont bitmaps for pairs such as (ყ U+10E7, y), (ɓ U+0253,
+b), (а U+0430, a), (里 U+91CC, 圼 U+573C), Hangul syllables, and the Oriya
+pair (ଲ U+0B32, ଳ U+0B33).  The bench renders the same pairs with the
+available font, prints their ASCII-art bitmaps and Δ values, and checks the
+pairs stay within the homoglyph threshold.
+"""
+
+from bench_util import print_table
+
+PAIRS = [
+    (0x10E7, ord("y")),
+    (0x0253, ord("b")),
+    (0x0430, ord("a")),
+    (0x91CC, 0x573C),
+    (0xBFC8, 0xBF58),
+    (0x0B32, 0x0B33),
+]
+
+
+def test_fig05_example_glyphs(benchmark, font):
+    def render_all():
+        return {
+            (first, second): (font.render(first), font.render(second))
+            for first, second in PAIRS
+        }
+
+    rendered = benchmark(render_all)
+
+    rows = []
+    for (first, second), (glyph_a, glyph_b) in rendered.items():
+        rows.append((f"U+{first:04X} {chr(first)}", f"U+{second:04X} {chr(second)}",
+                     glyph_a.delta(glyph_b), glyph_a.pixel_count, glyph_b.pixel_count))
+    print_table("Figure 5: example homoglyph pairs (Δ and ink)",
+                rows, headers=("char A", "char B", "Δ", "ink A", "ink B"))
+
+    # Show one rendered pair as ASCII art (the visual the figure conveys).
+    glyph_a, glyph_b = rendered[(0x0430, ord("a"))]
+    print("\nU+0430 CYRILLIC SMALL LETTER A rendered bitmap:")
+    print(glyph_a.to_ascii_art())
+
+    for (first, second), (glyph_a, glyph_b) in rendered.items():
+        assert glyph_a.delta(glyph_b) <= 4, (hex(first), hex(second))
+        assert glyph_a.pixel_count >= 10 and glyph_b.pixel_count >= 10

@@ -1,0 +1,40 @@
+"""Figure 6 — the letter 'e' and candidate homoglyphs at Δ = 0 … 6.
+
+The paper illustrates how the candidate set changes with the threshold:
+at Δ ≤ 4 the candidates are still perceived as confusing, from Δ = 5 they
+start to look distinct.  The bench lists the candidates of 'e' per exact Δ
+and checks the counts are non-decreasing as the threshold loosens.
+"""
+
+from bench_util import print_table
+
+
+def test_fig06_e_candidates_by_delta(benchmark, simchar_builder):
+    by_delta = benchmark.pedantic(
+        simchar_builder.homoglyphs_at_delta, args=("e", tuple(range(7))),
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    cumulative = 0
+    for delta_value in sorted(by_delta):
+        candidates = by_delta[delta_value]
+        cumulative += len(candidates)
+        sample = " ".join(f"{ch}(U+{ord(ch):04X})" for ch in candidates[:6])
+        rows.append((delta_value, len(candidates), cumulative, sample))
+    print_table("Figure 6: candidates for 'e' per Δ",
+                rows, headers=("Δ", "# candidates", "cumulative ≤ Δ", "examples"))
+
+    assert set(by_delta) == set(range(7))
+    # The candidate pool grows (weakly) as the threshold is relaxed.
+    cumulative_counts = []
+    running = 0
+    for delta_value in range(7):
+        running += len(by_delta[delta_value])
+        cumulative_counts.append(running)
+    assert cumulative_counts == sorted(cumulative_counts)
+    # Within the paper's threshold there is at least one candidate for 'e'.
+    assert sum(len(by_delta[d]) for d in range(5)) >= 1
+    # Candidates within the threshold include the accented e's.
+    within = {ch for d in range(5) for ch in by_delta[d]}
+    assert "é" in within or "è" in within or "е" in within

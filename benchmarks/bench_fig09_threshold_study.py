@@ -1,0 +1,41 @@
+"""Figure 9 — confusability score vs the threshold Δ (human study, Experiment 1).
+
+Paper values: the mean confusability score decreases with Δ; at Δ = 4 the
+mean is 3.57 and the median 4 ("confusing"), at Δ = 5 the mean drops to
+2.57 and the median to 2 ("distinct") — the basis for choosing θ = 4.
+"""
+
+from bench_util import print_table
+
+from repro.humanstudy.experiment import ThresholdExperiment
+
+
+def test_fig09_threshold_experiment(benchmark):
+    experiment = ThresholdExperiment(seed=1909)
+
+    result = benchmark.pedantic(
+        experiment.run, kwargs={"participants": 10, "pairs_per_delta": 20},
+        rounds=1, iterations=1,
+    )
+
+    by_delta = ThresholdExperiment.scores_by_delta(result)
+    rows = []
+    for delta_value in sorted(by_delta):
+        dist = by_delta[delta_value]
+        rows.append((delta_value, dist.count, f"{dist.mean:.2f}", f"{dist.median:.1f}",
+                     f"{dist.q1:.1f}", f"{dist.q3:.1f}"))
+    dummy = result.distribution("Random")
+    rows.append(("random", dummy.count, f"{dummy.mean:.2f}", f"{dummy.median:.1f}",
+                 f"{dummy.q1:.1f}", f"{dummy.q3:.1f}"))
+    print_table("Figure 9: confusability score vs Δ",
+                rows, headers=("Δ", "n", "mean", "median", "Q1", "Q3"))
+    print(f"\nRemoved (careless) participants: {result.removed_participants}")
+
+    assert 4 in by_delta and 5 in by_delta
+    # Score decreases with Δ, and the 4 → 5 transition crosses the
+    # confusing/distinct boundary exactly as in the paper.
+    assert by_delta[0].mean >= by_delta[4].mean >= by_delta[5].mean
+    assert by_delta[4].mean >= 3.2
+    assert by_delta[4].median >= 4
+    assert by_delta[5].mean <= 3.0
+    assert dummy.mean < 2.0

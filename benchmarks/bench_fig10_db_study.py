@@ -1,0 +1,37 @@
+"""Figure 10 — confusability of Random vs SimChar vs UC pairs (Experiment 2).
+
+Paper findings: random pairs concentrate at "very distinct"; both databases
+have a median of 4 ("confusing"); SimChar's mean exceeds 4 while UC's mean
+falls below 4 — SimChar homoglyphs are more confusable than UC's.
+"""
+
+from bench_util import print_table
+
+from repro.humanstudy.experiment import DatabaseComparisonExperiment
+
+
+def test_fig10_database_comparison(benchmark, simchar_db, uc_idna_db):
+    experiment = DatabaseComparisonExperiment(seed=1909)
+
+    result = benchmark.pedantic(
+        experiment.run, args=(simchar_db, uc_idna_db),
+        kwargs={"participants": 28}, rounds=1, iterations=1,
+    )
+
+    rows = []
+    for group in ("Random", "SimChar", "UC"):
+        dist = result.distribution(group)
+        rows.append((group, dist.count, f"{dist.mean:.2f}", f"{dist.median:.1f}",
+                     f"{dist.q1:.1f}", f"{dist.q3:.1f}"))
+    print_table("Figure 10: confusability by pair source",
+                rows, headers=("set", "n", "mean", "median", "Q1", "Q3"))
+
+    random_dist = result.distribution("Random")
+    simchar_dist = result.distribution("SimChar")
+    uc_dist = result.distribution("UC")
+    assert random_dist.mean < 2.0
+    assert simchar_dist.median >= 4
+    assert simchar_dist.mean > uc_dist.mean > random_dist.mean
+    # The paper's headline: SimChar's mean above 4, UC's below 4.
+    assert simchar_dist.mean > 3.8
+    assert uc_dist.mean < 4.2

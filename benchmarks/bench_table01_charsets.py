@@ -1,0 +1,43 @@
+"""Table 1 — sizes of the character sets (IDNA, UC, UC∩IDNA, SimChar, unions).
+
+Paper values: IDNA 123,006 chars; UC 9,605 chars / 6,296 pairs; UC∩IDNA 980
+chars / 627 pairs; SimChar 12,686 chars / 13,208 pairs; SimChar∩UC 233 chars
+/ 127 pairs; SimChar∪(UC∩IDNA) 13,210 chars / 13,708 pairs.  Our build runs
+at laptop scale (reduced repertoire), so the absolute counts are smaller;
+the ordering relationships are what the bench verifies.
+"""
+
+from bench_util import print_table
+
+from repro.unicode.idna import pvalid_count
+
+
+def test_table01_character_sets(benchmark, simchar_db, uc_db, uc_idna_db, union_db):
+    # Benchmark the cheap, repeatable part: recomputing the set relationships.
+    def compute():
+        intersection = simchar_db.intersection(uc_db)
+        shared_chars = simchar_db.shared_characters(uc_db)
+        return {
+            "UC": (uc_db.character_count, uc_db.pair_count),
+            "UC ∩ IDNA": (uc_idna_db.character_count, uc_idna_db.pair_count),
+            "SimChar": (simchar_db.character_count, simchar_db.pair_count),
+            "SimChar ∩ UC": (len(shared_chars), intersection.pair_count),
+            "SimChar ∪ (UC ∩ IDNA)": (union_db.character_count, union_db.pair_count),
+        }
+
+    rows_by_name = benchmark(compute)
+
+    # IDNA repertoire size over the BMP (paper: 123,006 over all planes).
+    idna_bmp = pvalid_count(0, 0xFFFF)
+    table = [("IDNA (BMP)", idna_bmp, "n/a")]
+    for name, (chars, pairs) in rows_by_name.items():
+        table.append((name, chars, pairs))
+    print_table("Table 1: character sets", table,
+                headers=("set", "# characters", "# homoglyph pairs"))
+
+    # Shape assertions mirroring the paper's Table 1.
+    assert idna_bmp > uc_db.character_count
+    assert uc_idna_db.character_count < uc_db.character_count
+    assert simchar_db.character_count > uc_idna_db.character_count
+    assert rows_by_name["SimChar ∩ UC"][0] < min(simchar_db.character_count, uc_db.character_count)
+    assert union_db.pair_count >= simchar_db.pair_count

@@ -1,0 +1,38 @@
+"""Table 2 — character sets intersected with the font's coverage.
+
+Paper values (Unifont12): IDNA∩Unifont 52,457; UC∩Unifont 5,080 chars /
+3,696 pairs; SimChar∩Unifont 12,686 chars / 13,208 pairs (SimChar is built
+from the intersection, so it is fully covered by definition).
+"""
+
+from bench_util import print_table
+
+
+def test_table02_font_coverage(benchmark, font, simchar_builder, simchar_db, uc_db):
+    repertoire = simchar_builder.repertoire()
+
+    def compute():
+        idna_covered = sum(1 for cp in repertoire if font.covers(cp))
+        uc_chars = [ord(c) for c in uc_db.characters]
+        uc_covered = sum(1 for cp in uc_chars if font.covers(cp))
+        uc_covered_pairs = sum(
+            1 for pair in uc_db
+            if font.covers(ord(pair.first)) and font.covers(ord(pair.second))
+        )
+        simchar_covered = sum(1 for c in simchar_db.characters if font.covers(ord(c)))
+        return idna_covered, uc_covered, uc_covered_pairs, simchar_covered
+
+    idna_covered, uc_covered, uc_covered_pairs, simchar_covered = benchmark(compute)
+
+    print_table("Table 2: font coverage (synthetic font standing in for Unifont12)", [
+        ("IDNA ∩ font (repertoire)", idna_covered, "n/a"),
+        ("UC ∩ font", uc_covered, uc_covered_pairs),
+        ("SimChar ∩ font", simchar_covered, simchar_db.pair_count),
+    ], headers=("set", "# chars", "# pairs"))
+
+    # SimChar is built from font-covered code points, so coverage is total.
+    assert simchar_covered == simchar_db.character_count
+    # The font covers most but not all of UC (UC includes unassigned/PUA-free
+    # code points outside the coverage planes in the real data).
+    assert uc_covered <= uc_db.character_count
+    assert idna_covered <= len(repertoire)

@@ -1,0 +1,27 @@
+"""Table 4 — top-5 Unicode blocks of SimChar and UC∩IDNA.
+
+Paper values: SimChar — Hangul 8,787; CJK 395; Canadian Aboriginal 387; Vai
+134; Arabic 107.  UC∩IDNA — CJK 91; Combining Diacritical Marks 56; Arabic
+52; Cyrillic 40; Thai 36.  The bench checks that Hangul dominates SimChar
+and that the two databases' block profiles differ.
+"""
+
+from bench_util import print_table
+
+from repro.homoglyph.blocks import compare_top_blocks
+
+
+def test_table04_top_blocks(benchmark, simchar_db, uc_idna_db):
+    comparison = benchmark(compare_top_blocks, simchar_db, uc_idna_db, limit=5)
+
+    print_table("Table 4: top-5 Unicode blocks (SimChar | UC∩IDNA)",
+                comparison.as_rows(),
+                headers=("SimChar block", "#chars", "UC∩IDNA block", "#chars"))
+
+    simchar_blocks = [name for name, _count in comparison.left_top]
+    assert simchar_blocks, "SimChar should have at least one block"
+    # Hangul syllables dominate SimChar, as in the paper.
+    assert simchar_blocks[0] == "Hangul Syllables"
+    uc_blocks = {name for name, _count in comparison.right_top}
+    # The two databases emphasise different blocks (coverage is complementary).
+    assert set(simchar_blocks) != uc_blocks

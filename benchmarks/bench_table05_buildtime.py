@@ -1,0 +1,30 @@
+"""Table 5 — time taken for constructing SimChar.
+
+Paper values (52,457 characters, 15 worker processes, Xeon E5-2620 v2):
+generating images 79.2 s, computing Δ for all pairs 10.9 h, eliminating
+sparse characters 18.0 s.  Our build uses a reduced repertoire and the
+ink-count pruning, so the absolute times are seconds, but the *ordering*
+(pairwise Δ dominates, sparse filtering is negligible) is preserved.
+"""
+
+from bench_util import print_table
+
+
+def test_table05_simchar_build_time(benchmark, simchar_builder):
+    result = benchmark.pedantic(simchar_builder.build, rounds=1, iterations=1)
+
+    timings = result.timings
+    print_table("Table 5: SimChar construction time", [
+        ("Generating images", f"{timings.render_seconds:.2f} s"),
+        ("Computing Δ for all the pairs", f"{timings.pairwise_seconds:.2f} s"),
+        ("Eliminating sparse characters", f"{timings.sparse_filter_seconds:.2f} s"),
+        ("Total", f"{timings.total_seconds:.2f} s"),
+        ("Repertoire size", result.repertoire_size),
+        ("Characters in SimChar", result.database.character_count),
+        ("Pairs in SimChar", result.database.pair_count),
+    ])
+
+    # The pairwise Δ computation dominates the build, as in the paper.
+    assert timings.pairwise_seconds > timings.sparse_filter_seconds
+    assert timings.pairwise_seconds >= timings.render_seconds * 0.5
+    assert result.database.pair_count > 0

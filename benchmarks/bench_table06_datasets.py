@@ -1,0 +1,27 @@
+"""Table 6 — domain name lists and the number of IDNs they contain.
+
+Paper values: zone file 140,900,279 domains / 952,352 IDNs (0.67 %);
+domainlists.io 139,667,014 / 953,209 (0.73 %); union 141,212,035 / 955,512.
+The synthetic population reproduces the structure (two overlapping lists,
+~0.67 % IDN share) at 1/400 scale.
+"""
+
+from bench_util import print_table
+
+
+def test_table06_domain_lists(benchmark, population):
+    table = benchmark(population.dataset_table)
+
+    rows = []
+    for source, domains, idns in table:
+        fraction = 100.0 * idns / domains if domains else 0.0
+        rows.append((source, f"{domains:,}", f"{idns:,}", f"{fraction:.2f}%"))
+    print_table("Table 6: domain name lists", rows,
+                headers=("data", "# domain names", "# IDNs", "IDN share"))
+
+    union_row = table[-1]
+    assert union_row[0] == "Total (union)"
+    assert union_row[1] >= max(table[0][1], table[1][1])
+    assert union_row[2] >= max(table[0][2], table[1][2])
+    fraction = union_row[2] / union_row[1]
+    assert 0.003 <= fraction <= 0.02          # around the paper's 0.67 %

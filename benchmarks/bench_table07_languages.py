@@ -1,0 +1,25 @@
+"""Table 7 — top languages used for IDNs.
+
+Paper values: Chinese 46.5 %, Korean 10.6 %, Japanese 9.3 %, German 5.6 %,
+Turkish 3.6 %.  The synthetic IDN labels are drawn from the same language
+mix, and the language identifier should recover Chinese as the dominant
+language with east-Asian languages at the top.
+"""
+
+from bench_util import print_table
+
+
+def test_table07_idn_languages(benchmark, study):
+    table = benchmark.pedantic(study.language_statistics, rounds=1, iterations=1)
+
+    print_table("Table 7: top languages used for IDNs",
+                [(rank + 1, language, count, f"{fraction:.1f}%")
+                 for rank, (language, count, fraction) in enumerate(table)],
+                headers=("rank", "language", "number", "fraction"))
+
+    assert table, "expected at least one classified language"
+    languages = [language for language, _count, _fraction in table]
+    assert languages[0] == "Chinese"
+    assert table[0][2] > 20.0                       # Chinese clearly dominant
+    top5 = set(languages[:5])
+    assert {"Korean", "Japanese"} & top5            # east Asian languages near the top

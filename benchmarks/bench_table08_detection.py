@@ -1,0 +1,28 @@
+"""Table 8 — number of detected IDN homographs per homoglyph database.
+
+Paper values (ASCII reference domains, .com zone): UC 436; SimChar 3,110;
+UC ∪ SimChar 3,280 — i.e. adding SimChar detects roughly eight times more
+homographs than UC alone.  The bench verifies the ordering and that the
+union is at least as large as each component.
+"""
+
+from bench_util import print_table
+
+
+def test_table08_detection_by_database(benchmark, study):
+    def detect():
+        report, _timing = study.detect_homographs()
+        return report.count_by_database()
+
+    counts = benchmark.pedantic(detect, rounds=1, iterations=1)
+
+    print_table("Table 8: detected IDN homographs by homoglyph database",
+                [(name, count) for name, count in counts.items()],
+                headers=("homoglyph DB", "number"))
+
+    assert counts["SimChar"] > counts["UC"]
+    assert counts["UC ∪ SimChar"] >= counts["SimChar"]
+    assert counts["UC ∪ SimChar"] >= counts["UC"]
+    # SimChar adds a multiple of UC's coverage (paper: ~7-8x).
+    if counts["UC"]:
+        assert counts["SimChar"] / counts["UC"] >= 1.5

@@ -1,0 +1,28 @@
+"""Table 9 — top-5 ASCII domain names with the most IDN homographs.
+
+Paper values: myetherwallet.com 170, google.com 114, amazon.com 75,
+facebook.com 72, allstate.com 68 — showing that moderately popular domains
+(myetherwallet, allstate) are targeted alongside the giants.
+"""
+
+from bench_util import print_table
+
+
+def test_table09_most_targeted_domains(benchmark, study_results):
+    report = study_results.detection_report
+
+    top = benchmark(report.top_targets, 5)
+
+    print_table("Table 9: most targeted reference domains",
+                [(rank + 1, domain, count) for rank, (domain, count) in enumerate(top)],
+                headers=("rank", "domain", "# homographs"))
+
+    assert len(top) == 5
+    counts = [count for _domain, count in top]
+    assert counts == sorted(counts, reverse=True)
+    domains = [domain for domain, _count in top]
+    # The boosted paper targets dominate the ranking.
+    assert set(domains) & {"myetherwallet.com", "google.com", "amazon.com",
+                           "facebook.com", "allstate.com", "gmail.com"}
+    # Non-top-10 Alexa domains (myetherwallet/allstate) are targeted too.
+    assert any(d in ("myetherwallet.com", "allstate.com") for d in domains)

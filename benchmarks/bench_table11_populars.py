@@ -1,0 +1,39 @@
+"""Table 11 — top-10 active IDN homographs by passive-DNS resolutions.
+
+Paper values: the cloaked phishing site gmaıl[.]com tops the list with
+615,447 resolutions, followed by döviz[.]com (portal), several parked
+gmail/yahoo variants, youtubê[.]com (for sale) and perú[.]com.  The bench
+verifies the ranking order and the headline phishing row.
+"""
+
+from bench_util import print_table
+
+
+def test_table11_popular_active_homographs(benchmark, study, study_results):
+    active = study_results.portscan.reachable_domains()
+
+    rows = benchmark.pedantic(study.popular_homographs, args=(active,),
+                              kwargs={"limit": 10}, rounds=1, iterations=1)
+
+    def mx_symbol(row):
+        if row.has_mx:
+            return "●"
+        if row.had_mx_in_past:
+            return "◐"
+        return ""
+
+    print_table("Table 11: most resolved active IDN homographs",
+                [(row.domain_unicode, row.category, f"{row.resolutions:,}",
+                  mx_symbol(row), "y" if row.web_link else "", "y" if row.sns_link else "")
+                 for row in rows],
+                headers=("domain", "category", "#resolutions", "MX", "web link", "SNS"))
+
+    assert rows, "expected at least one active homograph"
+    resolutions = [row.resolutions for row in rows]
+    assert resolutions == sorted(resolutions, reverse=True)
+    top = rows[0]
+    assert top.domain_unicode == "gmaıl.com"
+    assert top.category == "Phishing"
+    assert top.resolutions == 615_447
+    # Several of the popular homographs are parked, as in the paper.
+    assert sum(1 for row in rows if row.category == "Domain parking") >= 3

@@ -1,0 +1,27 @@
+"""Table 13 — classification of redirecting IDN homographs.
+
+Paper values (338 redirects): brand protection 178, legitimate website 125,
+malicious website 35 — most redirects are defensive registrations by the
+brand owners themselves.
+"""
+
+from bench_util import print_table
+
+
+def test_table13_redirect_intents(benchmark, study_results):
+    classification = study_results.classification
+
+    intents = benchmark(classification.redirect_intent_counts)
+
+    total = sum(intents.values())
+    print_table("Table 13: redirecting homographs by intent",
+                list(intents.items()) + [("Total", total)],
+                headers=("category", "number"))
+
+    if total >= 5:
+        # Brand protection is the largest class (paper: 178 / 125 / 35).
+        assert intents.get("Brand protection", 0) >= intents.get("Malicious website", 0)
+    if total >= 30:
+        # With enough redirects the legitimate class also dominates malicious.
+        assert intents.get("Legitimate website", 0) >= intents.get("Malicious website", 0)
+    assert all(count >= 0 for count in intents.values())

@@ -1,0 +1,31 @@
+"""Table 14 — malicious IDN homographs found on blacklists, per database.
+
+Paper values: with UC only — hpHosts 28, GSB 2, Symantec 1; with SimChar —
+222 / 12 / 7; with the union — 242 / 13 / 8.  Adding SimChar multiplies the
+number of blacklisted homographs the framework surfaces.
+"""
+
+from bench_util import print_table
+
+
+def test_table14_blacklisted_homographs(benchmark, study, study_results):
+    detection = study_results.detection_report
+
+    table = benchmark.pedantic(study.blacklist_analysis, args=(detection,),
+                               rounds=1, iterations=1)
+
+    rows = []
+    for database, feeds in table.items():
+        rows.append((database, feeds["hpHosts"], feeds["GSB"], feeds["Symantec"]))
+    print_table("Table 14: malicious IDN homographs per blacklist",
+                rows, headers=("homoglyph DB", "hpHosts", "GSB", "Symantec"))
+
+    union = table["UC ∪ SimChar"]
+    uc = table["UC"]
+    simchar = table["SimChar"]
+    for feed in ("hpHosts", "GSB", "Symantec"):
+        assert union[feed] >= max(uc[feed], simchar[feed])
+    # hpHosts (community list, years of data) has the most hits.
+    assert union["hpHosts"] >= union["GSB"] >= union["Symantec"]
+    # SimChar surfaces more malicious homographs than UC alone.
+    assert simchar["hpHosts"] >= uc["hpHosts"]

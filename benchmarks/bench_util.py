@@ -1,0 +1,15 @@
+"""Helpers shared by the benchmark files."""
+
+from __future__ import annotations
+
+__all__ = ["print_table"]
+
+
+def print_table(title: str, rows, *, headers=None) -> None:
+    """Print a paper-style table to the bench output."""
+    print()
+    print(f"=== {title} ===")
+    if headers:
+        print("  " + " | ".join(str(h) for h in headers))
+    for row in rows:
+        print("  " + " | ".join(str(cell) for cell in row))

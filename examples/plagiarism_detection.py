@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Detect homoglyph-obfuscated plagiarism with the SimChar database.
+
+The paper points out (Section 9) that the homoglyph database has uses beyond
+domain names: plagiarists replace characters of copied text with visually
+identical Unicode characters so that verbatim-overlap checkers miss the
+copy.  This example normalises a suspicious paragraph through the homoglyph
+database, reveals the hidden overlap, and lists the substituted characters.
+
+Run with::
+
+    python examples/plagiarism_detection.py
+"""
+
+from __future__ import annotations
+
+from repro import SimCharBuilder, load_confusables
+from repro.applications import PlagiarismDetector
+
+SOURCE_DOCUMENTS = [
+    # The original passage (paraphrasing the paper's abstract).
+    "the internationalized domain name is a mechanism that enables us to use "
+    "unicode characters in domain names and visually identical characters are "
+    "generally known as homoglyphs",
+    # An unrelated document.
+    "passive dns systems aggregate cache miss traffic from recursive resolvers "
+    "and expose cumulative lookup counts per domain name",
+]
+
+# The same passage, copied with Cyrillic е/о/а and Greek ο substituted.
+SUSPICIOUS = (
+    "the intеrnаtiоnalized dоmain nаme is a mechanism that enables us tο use "
+    "unicοde charаcters in dοmain names and visually identical charаcters are "
+    "generally knοwn as homoglyphs"
+)
+
+
+def main() -> None:
+    print("Building the homoglyph database (SimChar ∪ UC)...")
+    simchar = SimCharBuilder().build().database
+    uc = load_confusables().to_database().restricted_to_idna(name="UC∩IDNA")
+    detector = PlagiarismDetector(simchar.union(uc))
+
+    print("\nSuspicious passage:")
+    print(f"  {SUSPICIOUS[:90]}...")
+
+    findings = detector.find_obfuscations(SUSPICIOUS)
+    print(f"\nHomoglyph substitutions found: {len(findings)}")
+    for finding in findings[:8]:
+        print(f"  - {finding.describe()}")
+
+    print("\nComparison against the source corpus:")
+    for match in detector.compare(SUSPICIOUS, SOURCE_DOCUMENTS):
+        verdict = "PLAGIARISM (homoglyph-obfuscated)" if match.is_suspicious else "no match"
+        print(f"  source #{match.source_index}: raw similarity {match.raw_similarity:.2f}, "
+              f"after normalisation {match.normalised_similarity:.2f}  -> {verdict}")
+
+
+if __name__ == "__main__":
+    main()

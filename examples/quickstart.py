@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: detect IDN homographs of popular domains.
+
+Builds the homoglyph databases (SimChar + UC), runs the detector over a
+handful of candidate domains, prints what was found — including the exact
+substituted characters — and recovers the original domain for a homograph
+that targets a site outside the reference list.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import DomainName, ShamFinder
+
+
+def main() -> None:
+    print("Building homoglyph databases (SimChar + UC)...")
+    finder = ShamFinder.with_default_databases()
+    databases = finder.databases()
+    print(f"  SimChar: {databases['SimChar'].character_count} characters, "
+          f"{databases['SimChar'].pair_count} pairs")
+    print(f"  UC∩IDNA: {databases['UC'].character_count} characters, "
+          f"{databases['UC'].pair_count} pairs")
+    print(f"  union:   {databases['union'].pair_count} pairs")
+    print()
+
+    # Candidate domains as they would appear in a zone file (A-label form).
+    candidates = [
+        "xn--ggle-55da.com",        # gооgle.com (Cyrillic о)
+        "xn--facbook-dya.com",      # facébook.com (accented e — missed by UC)
+        "xn--amazn-mye.com",        # amazоn.com
+        "xn--pple-43d.com",         # аpple.com (Cyrillic а)
+        "xn--tsta8290bfzd.com",     # 阿里巴巴.com (legitimate Chinese IDN)
+        "example.com",              # plain ASCII domain
+    ]
+    reference = ["google.com", "facebook.com", "amazon.com", "apple.com",
+                 "netflix.com", "paypal.com"]
+
+    print("Scanning candidates against the reference list...")
+    report = finder.detect(candidates, reference)
+    for detection in report:
+        print(f"  [{'+'.join(sorted(detection.sources))}] {detection.describe()}")
+    print(f"\nDetected {len(report.detected_idns())} homographs "
+          f"out of {len(candidates)} candidates.")
+
+    # Reverting: recover the imitated original even without a reference hit.
+    suspicious = DomainName("аllstate.com")     # Cyrillic а, not in our reference list
+    original = finder.revert_to_original(suspicious)
+    print(f"\n{suspicious.ascii} ({suspicious.unicode}) most likely imitates: {original}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""ShamFinder reproduction: automated detection of IDN homographs.
+
+The package reproduces the full system of the IMC 2019 paper "ShamFinder:
+An Automated Framework for Detecting IDN Homographs": the SimChar homoglyph
+database construction, the UC (Unicode confusables) database, the IDN
+homograph detection algorithm, and the measurement/evaluation pipeline,
+together with the substrates they need (Unicode properties, glyph
+rendering, Punycode/IDNA, DNS, web classification, blacklists, language
+identification, and a simulated human-perception study).
+
+Quickstart::
+
+    from repro import ShamFinder
+
+    finder = ShamFinder.with_default_databases()
+    report = finder.detect(["xn--ggle-55da.com"], reference=["google.com"])
+    for detection in report:
+        print(detection.describe())
+"""
+
+from .detection.report import DetectionReport, HomographDetection
+from .detection.shamfinder import ShamFinder
+from .homoglyph.confusables import load_confusables
+from .homoglyph.database import HomoglyphDatabase, HomoglyphPair
+from .homoglyph.simchar import SimCharBuilder
+from .idn.domain import DomainName
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DetectionReport",
+    "HomographDetection",
+    "ShamFinder",
+    "load_confusables",
+    "HomoglyphDatabase",
+    "HomoglyphPair",
+    "SimCharBuilder",
+    "DomainName",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Downstream applications of the homoglyph database (paper Section 9)."""
+
+from .plagiarism import DocumentMatch, ObfuscatedCharacter, PlagiarismDetector
+
+__all__ = ["DocumentMatch", "ObfuscatedCharacter", "PlagiarismDetector"]

@@ -1,0 +1,197 @@
+"""``shamfinder`` command-line interface.
+
+Sub-commands:
+
+* ``build-db``  — build the SimChar database (and optionally merge UC) and
+  write it to a JSON file;
+* ``detect``    — detect IDN homographs of a reference list among candidate
+  domains given on the command line or in files;
+* ``inspect``   — describe a single domain (scripts, IDNA validity, warning
+  dialog content if it looks like a homograph);
+* ``measure``   — run the full synthetic measurement study and print the
+  paper-shaped tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .countermeasure.warning import WarningGenerator
+from .detection.shamfinder import ShamFinder
+from .homoglyph.confusables import load_confusables
+from .homoglyph.database import HomoglyphDatabase
+from .homoglyph.simchar import SimCharBuilder
+from .idn.domain import DomainName
+from .idn.idna_codec import IDNAError
+from .measurement.alexa import ReferenceList
+from .measurement.domainlists import ZoneConfig, generate_population
+from .measurement.study import MeasurementStudy
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="shamfinder",
+        description="Detect IDN homographs with the SimChar/UC homoglyph databases.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build-db", help="build the homoglyph database")
+    build.add_argument("--output", "-o", type=Path, required=True, help="output JSON path")
+    build.add_argument("--threshold", type=int, default=4, help="pixel-difference threshold θ")
+    build.add_argument("--no-uc", action="store_true", help="do not merge the UC confusables")
+
+    detect = sub.add_parser("detect", help="detect homographs among candidate domains")
+    detect.add_argument("candidates", nargs="*", help="candidate domain names")
+    detect.add_argument("--candidates-file", type=Path, help="file with one candidate per line")
+    detect.add_argument("--reference", nargs="*", default=None, help="reference domains")
+    detect.add_argument("--reference-file", type=Path, help="file with one reference per line")
+    detect.add_argument("--database", type=Path, help="homoglyph database JSON (default: build)")
+    detect.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    inspect = sub.add_parser("inspect", help="inspect a single domain")
+    inspect.add_argument("domain", help="domain name (Unicode or xn-- form)")
+    inspect.add_argument("--reference", nargs="*", default=None, help="reference domains")
+
+    measure = sub.add_parser("measure", help="run the synthetic measurement study")
+    measure.add_argument("--scale", type=float, default=0.05,
+                         help="population scale relative to the default benchmark size")
+    measure.add_argument("--seed", type=int, default=20190917)
+    measure.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    return parser
+
+
+def _load_lines(path: Path | None) -> list[str]:
+    if path is None:
+        return []
+    return [line.strip() for line in path.read_text(encoding="utf-8").splitlines() if line.strip()]
+
+
+def _default_finder(database_path: Path | None) -> ShamFinder:
+    if database_path is not None:
+        return ShamFinder(HomoglyphDatabase.load(database_path))
+    return ShamFinder.with_default_databases()
+
+
+def _cmd_build_db(args: argparse.Namespace) -> int:
+    builder = SimCharBuilder(threshold=args.threshold)
+    result = builder.build()
+    database = result.database
+    if not args.no_uc:
+        uc = load_confusables().to_database().restricted_to_idna(name="UC∩IDNA")
+        database = database.union(uc, name="UC∪SimChar")
+    database.save(args.output)
+    summary = {"output": str(args.output), **result.summary(),
+               "merged_pairs": database.pair_count}
+    print(json.dumps(summary, indent=2))
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    candidates = list(args.candidates) + _load_lines(args.candidates_file)
+    if not candidates:
+        print("no candidate domains given", file=sys.stderr)
+        return 2
+    reference = list(args.reference or []) + _load_lines(args.reference_file)
+    if not reference:
+        reference = ReferenceList.top_sites(1000).domains()
+    finder = _default_finder(args.database)
+    report = finder.detect(candidates, reference)
+    if args.json:
+        payload = [
+            {
+                "idn": d.idn,
+                "unicode": d.idn_unicode,
+                "reference": d.reference,
+                "substitutions": [s.describe() for s in d.substitutions],
+                "sources": sorted(d.sources),
+            }
+            for d in report
+        ]
+        print(json.dumps(payload, ensure_ascii=False, indent=2))
+    else:
+        if not len(report):
+            print("no homographs detected")
+        for detection in report:
+            print(detection.describe())
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    try:
+        name = DomainName(args.domain)
+    except (IDNAError, ValueError) as exc:
+        print(f"invalid domain name: {exc}", file=sys.stderr)
+        return 2
+    print(f"ascii:     {name.ascii}")
+    print(f"unicode:   {name.unicode}")
+    print(f"idn:       {name.is_idn}")
+    print(f"scripts:   {', '.join(sorted(name.scripts)) or 'none'}")
+    print(f"mixed:     {name.is_mixed_script}")
+    if name.has_idn_registrable_label:
+        finder = ShamFinder.with_default_databases()
+        reference = args.reference or ReferenceList.top_sites(1000).domains()
+        generator = WarningGenerator(finder.database, reference)
+        warning = generator.warning_for(name)
+        if warning is not None:
+            print()
+            print(warning.render_text())
+    return 0
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    config = ZoneConfig.paper_scaled(scale=args.scale, seed=args.seed)
+    population = generate_population(config)
+    finder = ShamFinder.with_default_databases()
+    study = MeasurementStudy(population, finder)
+    results = study.run()
+    if args.json:
+        print(json.dumps(results.summary(), ensure_ascii=False, indent=2, default=str))
+        return 0
+    print("== Dataset (Table 6) ==")
+    for source, domains, idns in results.dataset_table:
+        print(f"  {source:<18} {domains:>10,} domains  {idns:>8,} IDNs")
+    print("== Languages (Table 7) ==")
+    for language, count, fraction in results.language_table[:5]:
+        print(f"  {language:<12} {count:>8,}  {fraction:5.1f}%")
+    print("== Detections (Table 8) ==")
+    for database, count in results.detection_counts.items():
+        print(f"  {database:<14} {count:>6,}")
+    print("== Top targets (Table 9) ==")
+    for domain, count in results.top_targets:
+        print(f"  {domain:<24} {count:>4}")
+    print("== Port scan (Table 10) ==")
+    for label, count in results.portscan.as_table_rows():
+        print(f"  {label:<18} {count:>6,}")
+    print("== Classification (Table 12) ==")
+    for label, count in results.classification.as_table_rows():
+        print(f"  {label:<16} {count:>6,}")
+    print("== Blacklists (Table 14) ==")
+    for database, feeds in results.blacklist_table.items():
+        feed_text = ", ".join(f"{name}: {count}" for name, count in feeds.items())
+        print(f"  {database:<14} {feed_text}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "build-db": _cmd_build_db,
+        "detect": _cmd_detect,
+        "inspect": _cmd_inspect,
+        "measure": _cmd_measure,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,13 @@
+"""Countermeasures: browser display policies and the homograph warning UI."""
+
+from .browser_policy import DisplayDecision, DisplayPolicy, MixedScriptPolicy
+from .warning import CharacterAnnotation, HomographWarning, WarningGenerator
+
+__all__ = [
+    "DisplayDecision",
+    "DisplayPolicy",
+    "MixedScriptPolicy",
+    "CharacterAnnotation",
+    "HomographWarning",
+    "WarningGenerator",
+]

@@ -1,0 +1,79 @@
+"""Browser IDN display policies (paper Section 2.2 and 7.2).
+
+After the 2017 wave of homograph proofs-of-concept, Chrome and Firefox
+changed how they display IDNs: when a label mixes characters from multiple
+scripts (outside a small set of allowed combinations, notably Latin + CJK),
+the browser shows the Punycode form instead of the Unicode form.  The paper
+argues this punishes usability without explaining the risk, and that it
+does nothing against single-script (non-Latin) homographs.
+
+This module implements that display policy so the countermeasure benches
+can contrast it with the ShamFinder-based warning UI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..idn.domain import DomainName
+from ..unicode.scripts import scripts_of_text
+
+__all__ = ["DisplayDecision", "DisplayPolicy", "MixedScriptPolicy"]
+
+#: Script combinations the browsers allow to appear together in one label
+#: (CJK scripts legitimately mix with each other and with Latin).
+_ALLOWED_COMBINATIONS: tuple[frozenset[str], ...] = (
+    frozenset({"Latin", "Han", "Hiragana", "Katakana"}),
+    frozenset({"Latin", "Han", "Hangul"}),
+    frozenset({"Latin", "Han", "Bopomofo"}),
+)
+
+
+class DisplayDecision(str, Enum):
+    """How the address bar shows an IDN."""
+
+    UNICODE = "unicode"
+    PUNYCODE = "punycode"
+
+
+@dataclass(frozen=True)
+class DisplayPolicy:
+    """Base policy: always show Unicode (pre-2017 behaviour)."""
+
+    name: str = "legacy"
+
+    def decide(self, domain: DomainName | str) -> DisplayDecision:
+        """Decide how to display a domain."""
+        return DisplayDecision.UNICODE
+
+    def display(self, domain: DomainName | str) -> str:
+        """The string shown in the address bar."""
+        name = domain if isinstance(domain, DomainName) else DomainName(str(domain))
+        if self.decide(name) is DisplayDecision.PUNYCODE:
+            return name.ascii
+        return name.unicode
+
+
+@dataclass(frozen=True)
+class MixedScriptPolicy(DisplayPolicy):
+    """Chrome/Firefox-style policy: Punycode for disallowed script mixes."""
+
+    name: str = "mixed-script"
+
+    def decide(self, domain: DomainName | str) -> DisplayDecision:
+        """Punycode when the registrable label mixes scripts outside the allowed sets."""
+        name = domain if isinstance(domain, DomainName) else DomainName(str(domain))
+        if not name.is_idn:
+            return DisplayDecision.UNICODE
+        scripts = scripts_of_text(name.registrable_unicode)
+        if len(scripts) <= 1:
+            return DisplayDecision.UNICODE
+        for allowed in _ALLOWED_COMBINATIONS:
+            if scripts <= allowed:
+                return DisplayDecision.UNICODE
+        return DisplayDecision.PUNYCODE
+
+    def catches(self, domain: DomainName | str) -> bool:
+        """True when the policy would flag (punycode-display) this domain."""
+        return self.decide(domain) is DisplayDecision.PUNYCODE

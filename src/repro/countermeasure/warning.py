@@ -1,0 +1,149 @@
+"""Homograph warning UI content (paper Section 7.2, Figure 12).
+
+Instead of silently forcing Punycode, the paper proposes warning the user
+with the *context* of the suspected homograph: which character was
+substituted, what it is (e.g. "Lao Digit Zero"), and which original domain
+was probably intended.  The databases are small enough to embed in a
+browser extension, and this module generates exactly the content of the
+paper's mock-up: the warning text, the per-character annotations, and the
+two navigation choices.
+"""
+
+from __future__ import annotations
+
+import unicodedata
+from dataclasses import dataclass
+
+from ..detection.algorithm import HomographMatcher
+from ..detection.revert import HomographReverter
+from ..homoglyph.database import HomoglyphDatabase
+from ..idn.domain import DomainName
+from ..idn.idna_codec import IDNAError
+
+__all__ = ["CharacterAnnotation", "HomographWarning", "WarningGenerator"]
+
+
+@dataclass(frozen=True)
+class CharacterAnnotation:
+    """Explanation of one substituted character (the "໐ → o" line in Figure 12)."""
+
+    suspicious_char: str
+    original_char: str
+    suspicious_name: str
+    original_name: str
+    position: int
+
+    def as_line(self) -> str:
+        """Render as the one-line explanation shown in the warning dialog."""
+        return (
+            f"{self.suspicious_char} → {self.original_char}   "
+            f"({self.suspicious_name} → {self.original_name})"
+        )
+
+
+@dataclass(frozen=True)
+class HomographWarning:
+    """The full content of a warning dialog for one suspicious domain."""
+
+    accessed_domain: str        # Unicode form the user is visiting
+    accessed_ascii: str
+    suspected_original: str     # the domain we believe was intended
+    annotations: tuple[CharacterAnnotation, ...]
+
+    @property
+    def title(self) -> str:
+        """Dialog title."""
+        return "WARNING: Use of homoglyph detected."
+
+    @property
+    def message(self) -> str:
+        """Dialog body text (Figure 12 wording)."""
+        return (
+            f"You are accessing {self.accessed_domain}. "
+            f"Did you mean {self.suspected_original}?"
+        )
+
+    @property
+    def choices(self) -> tuple[str, str]:
+        """The two navigation buttons."""
+        return (f"Go to {self.suspected_original}", f"Go to {self.accessed_domain}")
+
+    def render_text(self) -> str:
+        """Plain-text rendering of the dialog (used by the CLI and benches)."""
+        lines = [self.title, "", self.message, ""]
+        for annotation in self.annotations:
+            lines.append("  " + annotation.as_line())
+        lines.append("")
+        lines.extend(f"[ {choice} ]" for choice in self.choices)
+        return "\n".join(lines)
+
+
+class WarningGenerator:
+    """Builds :class:`HomographWarning` dialogs from a homoglyph database."""
+
+    def __init__(self, database: HomoglyphDatabase, reference_domains: list[str] | None = None) -> None:
+        self.database = database
+        self.matcher = HomographMatcher(database)
+        self.reverter = HomographReverter(database)
+        self.reference_labels: dict[str, str] = {}
+        for domain in reference_domains or []:
+            try:
+                name = DomainName(domain)
+            except (IDNAError, ValueError):
+                continue
+            self.reference_labels[name.registrable_unicode] = name.ascii
+
+    def warning_for(self, domain: str | DomainName) -> HomographWarning | None:
+        """Generate the warning for a domain, or ``None`` when it looks benign."""
+        name = domain if isinstance(domain, DomainName) else DomainName(str(domain))
+        if not name.has_idn_registrable_label:
+            return None
+        label = name.registrable_unicode
+
+        original_label = self._match_reference(label)
+        if original_label is None:
+            original_label = self.reverter.best_original(label)
+        if original_label is None or original_label == label:
+            return None
+
+        match = self.matcher.match(label, original_label)
+        annotations = []
+        if match.is_homograph:
+            for substitution in match.substitutions:
+                annotations.append(CharacterAnnotation(
+                    suspicious_char=substitution.candidate_char,
+                    original_char=substitution.reference_char,
+                    suspicious_name=_char_name(substitution.candidate_char),
+                    original_name=_char_name(substitution.reference_char),
+                    position=substitution.position,
+                ))
+        else:
+            for position, (cand, orig) in enumerate(zip(label, original_label)):
+                if cand != orig:
+                    annotations.append(CharacterAnnotation(
+                        suspicious_char=cand,
+                        original_char=orig,
+                        suspicious_name=_char_name(cand),
+                        original_name=_char_name(orig),
+                        position=position,
+                    ))
+        if not annotations:
+            return None
+
+        suspected = f"{original_label}.{name.tld}"
+        return HomographWarning(
+            accessed_domain=name.unicode,
+            accessed_ascii=name.ascii,
+            suspected_original=suspected,
+            annotations=tuple(annotations),
+        )
+
+    def _match_reference(self, label: str) -> str | None:
+        index = self.matcher.build_reference_index(self.reference_labels)
+        matches = self.matcher.match_with_index(label, index)
+        return matches[0].reference if matches else None
+
+
+def _char_name(char: str) -> str:
+    name = unicodedata.name(char, "")
+    return name.title() if name else f"U+{ord(char):04X}"

@@ -1,0 +1,18 @@
+"""Detection core: Algorithm 1 matcher, ShamFinder framework, reverting, reports."""
+
+from .algorithm import CharacterSubstitution, HomographMatcher, MatchResult
+from .report import DetectionReport, HomographDetection
+from .revert import HomographReverter, RevertedDomain
+from .shamfinder import DetectionTiming, ShamFinder
+
+__all__ = [
+    "CharacterSubstitution",
+    "HomographMatcher",
+    "MatchResult",
+    "DetectionReport",
+    "HomographDetection",
+    "HomographReverter",
+    "RevertedDomain",
+    "DetectionTiming",
+    "ShamFinder",
+]

@@ -1,0 +1,138 @@
+"""Homograph detection algorithm (paper Algorithm 1).
+
+Given a reference label ``r`` and a candidate IDN label ``x`` of the same
+length, the candidate is a homograph of the reference when, at every
+position, the characters either match exactly or form a pair in the
+homoglyph database — and at least one position differs (otherwise the two
+labels are simply identical).
+
+The matcher indexes reference labels by length so that a candidate is only
+compared against same-length references, which is the paper's main
+complexity reduction (|N||M||L| worst case, with the length restriction in
+practice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..homoglyph.database import HomoglyphDatabase
+
+__all__ = ["CharacterSubstitution", "MatchResult", "HomographMatcher"]
+
+
+@dataclass(frozen=True)
+class CharacterSubstitution:
+    """One differing position between a candidate and its reference."""
+
+    position: int
+    candidate_char: str
+    reference_char: str
+
+    def describe(self) -> str:
+        """Human-readable description used by reports and the warning UI."""
+        return (
+            f"position {self.position}: U+{ord(self.candidate_char):04X} "
+            f"{self.candidate_char!r} stands in for U+{ord(self.reference_char):04X} "
+            f"{self.reference_char!r}"
+        )
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Outcome of matching one candidate label against one reference label."""
+
+    candidate: str
+    reference: str
+    is_homograph: bool
+    substitutions: tuple[CharacterSubstitution, ...] = ()
+
+    @property
+    def substitution_count(self) -> int:
+        """Number of positions where a homoglyph substitution occurred."""
+        return len(self.substitutions)
+
+
+class HomographMatcher:
+    """Implements Algorithm 1 over a homoglyph database."""
+
+    def __init__(self, database: HomoglyphDatabase) -> None:
+        self.database = database
+
+    # -- single-pair matching --------------------------------------------------
+
+    def match(self, candidate: str, reference: str) -> MatchResult:
+        """Match one candidate label against one reference label.
+
+        Both labels are expected in Unicode (U-label) form with the TLD
+        already removed, as in the paper's Figure 2.
+        """
+        candidate = candidate.lower()
+        reference = reference.lower()
+        if len(candidate) != len(reference) or not candidate:
+            return MatchResult(candidate, reference, False)
+        if candidate == reference:
+            return MatchResult(candidate, reference, False)
+
+        substitutions: list[CharacterSubstitution] = []
+        for position, (cand_char, ref_char) in enumerate(zip(candidate, reference)):
+            if cand_char == ref_char:
+                continue
+            if self.database.are_homoglyphs(cand_char, ref_char):
+                substitutions.append(CharacterSubstitution(position, cand_char, ref_char))
+                continue
+            return MatchResult(candidate, reference, False)
+        return MatchResult(candidate, reference, True, tuple(substitutions))
+
+    def is_homograph(self, candidate: str, reference: str) -> bool:
+        """True when *candidate* is an IDN homograph of *reference*."""
+        return self.match(candidate, reference).is_homograph
+
+    # -- one-vs-many matching ------------------------------------------------------
+
+    def match_against(
+        self,
+        candidate: str,
+        references: Iterable[str],
+    ) -> list[MatchResult]:
+        """All references the candidate is a homograph of."""
+        index = self.build_reference_index(references)
+        return self.match_with_index(candidate, index)
+
+    @staticmethod
+    def build_reference_index(references: Iterable[str]) -> dict[int, list[str]]:
+        """Group reference labels by length (the paper's pruning step)."""
+        index: dict[int, list[str]] = {}
+        for reference in references:
+            reference = reference.lower()
+            index.setdefault(len(reference), []).append(reference)
+        return index
+
+    def match_with_index(
+        self,
+        candidate: str,
+        reference_index: dict[int, list[str]],
+    ) -> list[MatchResult]:
+        """Match a candidate against a pre-built length index."""
+        candidate = candidate.lower()
+        matches: list[MatchResult] = []
+        for reference in reference_index.get(len(candidate), ()):
+            result = self.match(candidate, reference)
+            if result.is_homograph:
+                matches.append(result)
+        return matches
+
+    # -- many-vs-many matching --------------------------------------------------------
+
+    def find_homographs(
+        self,
+        candidates: Sequence[str],
+        references: Sequence[str],
+    ) -> list[MatchResult]:
+        """All (candidate, reference) homograph matches (Algorithm 1's loops)."""
+        index = self.build_reference_index(references)
+        results: list[MatchResult] = []
+        for candidate in candidates:
+            results.extend(self.match_with_index(candidate, index))
+        return results

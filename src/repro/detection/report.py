@@ -1,0 +1,116 @@
+"""Detection results and reporting.
+
+A :class:`HomographDetection` records that one registered IDN is a
+homograph of one reference domain, including the exact character
+substitutions — the property the paper highlights as ShamFinder's advantage
+over image-only approaches (it can *pinpoint the differential characters*).
+:class:`DetectionReport` aggregates detections into the statistics the
+measurement section reports (detections per database, most-targeted
+reference domains).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..homoglyph.database import SOURCE_SIMCHAR, SOURCE_UC
+from .algorithm import CharacterSubstitution
+
+__all__ = ["HomographDetection", "DetectionReport"]
+
+
+@dataclass(frozen=True)
+class HomographDetection:
+    """One detected IDN homograph."""
+
+    idn: str                 # registered domain, ASCII/A-label form (e.g. xn--gogle-0ta.com)
+    idn_unicode: str         # the same domain in Unicode form
+    reference: str           # the targeted reference domain (e.g. google.com)
+    substitutions: tuple[CharacterSubstitution, ...] = ()
+    sources: frozenset[str] = frozenset()
+
+    @property
+    def uses_uc(self) -> bool:
+        """True when at least one substitution is covered by UC."""
+        return SOURCE_UC in self.sources
+
+    @property
+    def uses_simchar(self) -> bool:
+        """True when at least one substitution is covered by SimChar."""
+        return SOURCE_SIMCHAR in self.sources
+
+    def describe(self) -> str:
+        """One-line human readable summary."""
+        subs = "; ".join(s.describe() for s in self.substitutions) or "identical rendering"
+        return f"{self.idn_unicode} imitates {self.reference} ({subs})"
+
+
+@dataclass
+class DetectionReport:
+    """Aggregated homograph detections for one measurement run."""
+
+    detections: list[HomographDetection] = field(default_factory=list)
+
+    def add(self, detection: HomographDetection) -> None:
+        """Record a detection."""
+        self.detections.append(detection)
+
+    def extend(self, detections: Iterable[HomographDetection]) -> None:
+        """Record several detections."""
+        self.detections.extend(detections)
+
+    def __len__(self) -> int:
+        return len(self.detections)
+
+    def __iter__(self):
+        return iter(self.detections)
+
+    # -- views used by the evaluation tables ------------------------------------
+
+    def detected_idns(self) -> list[str]:
+        """Unique detected IDN domains (a single IDN may target several references)."""
+        return sorted({d.idn for d in self.detections})
+
+    def references_targeted(self) -> list[str]:
+        """Unique reference domains that have at least one homograph."""
+        return sorted({d.reference for d in self.detections})
+
+    def top_targets(self, limit: int = 5) -> list[tuple[str, int]]:
+        """Reference domains with the most homographs (Table 9)."""
+        counts = Counter()
+        for detection in self.detections:
+            counts[detection.reference] += 1
+        return counts.most_common(limit)
+
+    def count_by_database(self) -> dict[str, int]:
+        """Unique IDNs detected with UC only, SimChar only, and the union (Table 8)."""
+        uc_idns = {d.idn for d in self.detections if d.uses_uc}
+        simchar_idns = {d.idn for d in self.detections if d.uses_simchar}
+        return {
+            "UC": len(uc_idns),
+            "SimChar": len(simchar_idns),
+            "UC ∪ SimChar": len(uc_idns | simchar_idns),
+        }
+
+    def detections_for_reference(self, reference: str) -> list[HomographDetection]:
+        """All homographs of one reference domain."""
+        return [d for d in self.detections if d.reference == reference]
+
+    def homograph_map(self) -> dict[str, str]:
+        """Mapping of detected IDN to (one of) its targeted reference domains."""
+        mapping: dict[str, str] = {}
+        for detection in self.detections:
+            mapping.setdefault(detection.idn, detection.reference)
+        return mapping
+
+    def summary(self) -> dict:
+        """Compact dictionary for benches and the CLI."""
+        return {
+            "detections": len(self.detections),
+            "unique_idns": len(self.detected_idns()),
+            "targeted_references": len(self.references_targeted()),
+            "by_database": self.count_by_database(),
+            "top_targets": self.top_targets(),
+        }

@@ -1,0 +1,107 @@
+"""Reverting IDN homographs to their original domains (paper Section 6.4).
+
+When a malicious IDN is found outside the reference list, the homoglyph
+database can be used in reverse: replace every confusable character with
+its Basic Latin (or otherwise ASCII) counterpart to recover the domain the
+attacker imitated.  Because a character can be the homoglyph of several
+letters, the reverter returns every plausible original, ranked by how many
+substitutions map to Basic Latin.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..homoglyph.database import HomoglyphDatabase
+
+__all__ = ["RevertedDomain", "HomographReverter"]
+
+_ASCII_LOWER = set("abcdefghijklmnopqrstuvwxyz0123456789-")
+
+
+@dataclass(frozen=True)
+class RevertedDomain:
+    """One candidate original label recovered from a homograph label."""
+
+    original_label: str
+    substituted_positions: tuple[int, ...]
+
+    @property
+    def substitution_count(self) -> int:
+        """How many characters had to be replaced."""
+        return len(self.substituted_positions)
+
+    @property
+    def is_fully_ascii(self) -> bool:
+        """True when every character of the recovered label is LDH."""
+        return all(ch in _ASCII_LOWER for ch in self.original_label)
+
+
+class HomographReverter:
+    """Maps homograph labels back to the domains they imitate."""
+
+    def __init__(self, database: HomoglyphDatabase, *, max_candidates: int = 64) -> None:
+        self.database = database
+        self.max_candidates = max_candidates
+
+    def ascii_alternatives(self, char: str) -> list[str]:
+        """ASCII characters that *char* can stand in for (empty when none)."""
+        if char in _ASCII_LOWER:
+            return [char]
+        partners = self.database.homoglyphs_of(char)
+        return sorted(p for p in partners if p in _ASCII_LOWER)
+
+    def revert_label(self, label: str) -> list[RevertedDomain]:
+        """All plausible ASCII originals of a (Unicode) label, best first.
+
+        The best candidates are those where every non-ASCII character could
+        be mapped to an ASCII homoglyph; labels containing characters with
+        no ASCII counterpart keep those characters unchanged.
+        """
+        label = label.lower()
+        per_position: list[list[str]] = []
+        substituted: list[int] = []
+        for position, char in enumerate(label):
+            alternatives = self.ascii_alternatives(char)
+            if char not in _ASCII_LOWER and alternatives:
+                substituted.append(position)
+                per_position.append(alternatives)
+            elif alternatives:
+                per_position.append([char])
+            else:
+                per_position.append([char])
+
+        candidates: list[RevertedDomain] = []
+        for combination in itertools.islice(itertools.product(*per_position), self.max_candidates):
+            candidate = "".join(combination)
+            if candidate == label:
+                continue
+            candidates.append(RevertedDomain(candidate, tuple(substituted)))
+        candidates.sort(key=lambda c: (not c.is_fully_ascii, c.original_label))
+        return candidates
+
+    def best_original(self, label: str) -> str | None:
+        """The single most plausible original label (``None`` when no mapping exists)."""
+        candidates = self.revert_label(label)
+        for candidate in candidates:
+            if candidate.is_fully_ascii:
+                return candidate.original_label
+        return candidates[0].original_label if candidates else None
+
+    def targets_outside_reference(
+        self,
+        labels: list[str],
+        reference_labels: set[str],
+    ) -> dict[str, str]:
+        """Recovered originals that are *not* in the reference list (Section 6.4).
+
+        Returns a mapping of homograph label to recovered original label for
+        the labels whose best original falls outside the reference set.
+        """
+        result: dict[str, str] = {}
+        for label in labels:
+            original = self.best_original(label)
+            if original is not None and original not in reference_labels:
+                result[label] = original
+        return result

@@ -1,0 +1,219 @@
+"""The ShamFinder framework (paper Section 3.1, Figure 1).
+
+ShamFinder ties the pieces together:
+
+* **Step 1** — collect registered domain names for a TLD (zone file or
+  domain lists);
+* **Step 2** — extract the IDNs (labels with the ``xn--`` prefix);
+* **Step 3** — compare every IDN against a reference list of popular
+  domains using the homoglyph database (UC ∪ SimChar) and report the
+  homographs with their differential characters.
+
+The class also exposes the per-detection source attribution (which database
+covered the substitutions), the reverting helper (Section 6.4), and a
+timing probe used by the Section 4.2 computational-cost bench.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..homoglyph.confusables import load_confusables
+from ..homoglyph.database import SOURCE_SIMCHAR, SOURCE_UC, HomoglyphDatabase
+from ..homoglyph.simchar import SimCharBuilder
+from ..idn.domain import DomainName
+from ..idn.idna_codec import IDNAError
+from .algorithm import HomographMatcher, MatchResult
+from .report import DetectionReport, HomographDetection
+from .revert import HomographReverter
+
+__all__ = ["ShamFinder", "DetectionTiming"]
+
+
+@dataclass(frozen=True)
+class DetectionTiming:
+    """Timing of a detection run (paper Section 4.2)."""
+
+    reference_count: int
+    idn_count: int
+    total_seconds: float
+
+    @property
+    def seconds_per_reference(self) -> float:
+        """Average time spent per reference domain."""
+        if self.reference_count == 0:
+            return 0.0
+        return self.total_seconds / self.reference_count
+
+
+class ShamFinder:
+    """End-to-end IDN homograph detector."""
+
+    def __init__(
+        self,
+        database: HomoglyphDatabase,
+        *,
+        uc_database: HomoglyphDatabase | None = None,
+        simchar_database: HomoglyphDatabase | None = None,
+    ) -> None:
+        self.database = database
+        self.uc_database = uc_database
+        self.simchar_database = simchar_database
+        self.matcher = HomographMatcher(database)
+        self.reverter = HomographReverter(database)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def with_default_databases(
+        cls,
+        *,
+        font=None,
+        simchar_builder: SimCharBuilder | None = None,
+    ) -> "ShamFinder":
+        """Build a finder with UC ∪ SimChar, constructing SimChar if needed."""
+        builder = simchar_builder if simchar_builder is not None else SimCharBuilder(font)
+        simchar = builder.build().database
+        uc = load_confusables().to_database().restricted_to_idna(name="UC∩IDNA")
+        union = simchar.union(uc, name="UC∪SimChar")
+        return cls(union, uc_database=uc, simchar_database=simchar)
+
+    @classmethod
+    def from_databases(cls, *databases: HomoglyphDatabase) -> "ShamFinder":
+        """Build a finder from the union of arbitrary databases."""
+        if not databases:
+            raise ValueError("at least one database is required")
+        union = databases[0]
+        for other in databases[1:]:
+            union = union.union(other)
+        return cls(union)
+
+    # -- Step 2: IDN extraction ---------------------------------------------------
+
+    @staticmethod
+    def extract_idns(domains: Iterable[str | DomainName]) -> list[DomainName]:
+        """Extract the IDNs from a collection of registered domain names.
+
+        Invalid names (undecodable Punycode, bad labels) are skipped, which
+        mirrors how the paper's pipeline tolerates junk in zone data.
+        """
+        idns: list[DomainName] = []
+        for item in domains:
+            try:
+                name = item if isinstance(item, DomainName) else DomainName(str(item))
+            except (IDNAError, ValueError):
+                continue
+            if name.has_idn_registrable_label:
+                idns.append(name)
+        return idns
+
+    # -- Step 3: homograph detection -------------------------------------------------
+
+    def detect(
+        self,
+        idns: Sequence[str | DomainName],
+        reference: Sequence[str | DomainName],
+    ) -> DetectionReport:
+        """Detect which IDNs are homographs of which reference domains.
+
+        Both inputs are full domain names; comparison happens on the
+        registrable label with the TLD removed, per the paper's Figure 2.
+        """
+        report, _timing = self.detect_with_timing(idns, reference)
+        return report
+
+    def detect_with_timing(
+        self,
+        idns: Sequence[str | DomainName],
+        reference: Sequence[str | DomainName],
+    ) -> tuple[DetectionReport, DetectionTiming]:
+        """Like :meth:`detect` but also returns the wall-clock timing."""
+        started = time.perf_counter()
+
+        idn_names = [d if isinstance(d, DomainName) else DomainName(str(d)) for d in idns]
+        reference_names = []
+        for item in reference:
+            try:
+                reference_names.append(item if isinstance(item, DomainName) else DomainName(str(item)))
+            except (IDNAError, ValueError):
+                continue
+
+        reference_labels: dict[str, list[DomainName]] = {}
+        for ref in reference_names:
+            reference_labels.setdefault(ref.registrable_unicode, []).append(ref)
+        index = self.matcher.build_reference_index(reference_labels)
+
+        report = DetectionReport()
+        for idn in idn_names:
+            try:
+                label = idn.registrable_unicode
+            except IDNAError:
+                continue
+            for match in self.matcher.match_with_index(label, index):
+                for ref in reference_labels.get(match.reference, ()):
+                    if ref.tld != idn.tld:
+                        continue
+                    report.add(self._detection_from_match(idn, ref, match))
+
+        timing = DetectionTiming(
+            reference_count=len(reference_names),
+            idn_count=len(idn_names),
+            total_seconds=time.perf_counter() - started,
+        )
+        return report, timing
+
+    def _detection_from_match(
+        self,
+        idn: DomainName,
+        reference: DomainName,
+        match: MatchResult,
+    ) -> HomographDetection:
+        sources: set[str] = set()
+        for substitution in match.substitutions:
+            pair = self.database.get(substitution.candidate_char, substitution.reference_char)
+            if pair is not None:
+                sources.update(pair.sources)
+        if not match.substitutions:
+            sources.add(SOURCE_SIMCHAR)
+        return HomographDetection(
+            idn=idn.ascii,
+            idn_unicode=idn.unicode,
+            reference=reference.ascii,
+            substitutions=match.substitutions,
+            sources=frozenset(sources),
+        )
+
+    # -- filtered views (Table 8 compares detection with UC only / SimChar only) -------
+
+    def detect_with_database(
+        self,
+        idns: Sequence[str | DomainName],
+        reference: Sequence[str | DomainName],
+        database: HomoglyphDatabase,
+    ) -> DetectionReport:
+        """Run detection using a specific database (used for the Table 8 comparison)."""
+        finder = ShamFinder(database)
+        return finder.detect(idns, reference)
+
+    # -- Section 6.4: reverting --------------------------------------------------------
+
+    def revert_to_original(self, idn: str | DomainName) -> str | None:
+        """Recover the most plausible original domain a homograph imitates."""
+        name = idn if isinstance(idn, DomainName) else DomainName(str(idn))
+        original_label = self.reverter.best_original(name.registrable_unicode)
+        if original_label is None:
+            return None
+        return f"{original_label}.{name.tld}"
+
+    # -- source attribution helpers ------------------------------------------------------
+
+    def databases(self) -> dict[str, HomoglyphDatabase]:
+        """The underlying databases keyed by their role."""
+        result = {"union": self.database}
+        if self.uc_database is not None:
+            result[SOURCE_UC] = self.uc_database
+        if self.simchar_database is not None:
+            result[SOURCE_SIMCHAR] = self.simchar_database
+        return result

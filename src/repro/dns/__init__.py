@@ -1,0 +1,24 @@
+"""DNS substrate: records, zone files, simulated resolution, passive DNS, port scans."""
+
+from .passive_dns import ClientPopulation, PassiveDNSCollector
+from .portscan import PortScanner, PortScanResult, PortScanSummary
+from .records import DEFAULT_TTL, RecordSet, ResourceRecord, RRType
+from .resolver import AuthoritativeStore, DNSResponse, ResponseCode, StubResolver
+from .zonefile import ZoneFile
+
+__all__ = [
+    "ClientPopulation",
+    "PassiveDNSCollector",
+    "PortScanner",
+    "PortScanResult",
+    "PortScanSummary",
+    "DEFAULT_TTL",
+    "RecordSet",
+    "ResourceRecord",
+    "RRType",
+    "AuthoritativeStore",
+    "DNSResponse",
+    "ResponseCode",
+    "StubResolver",
+    "ZoneFile",
+]

@@ -1,0 +1,131 @@
+"""Passive DNS (Farsight DNSDB substitute).
+
+The paper measures the popularity of detected IDN homographs through a
+passive DNS system: sensors co-located with recursive resolvers record the
+cumulative number of resolutions per domain name.  This module provides
+
+* :class:`PassiveDNSCollector` — the sensor/aggregate database, fed either
+  directly or by observing a :class:`~repro.dns.resolver.StubResolver`, and
+* :class:`ClientPopulation` — a deterministic simulation of end users
+  issuing lookups with a popularity-skewed (Zipf-like) distribution, used
+  by the measurement synthesiser to create realistic resolution counts
+  (phishing homographs that lure many victims accumulate large counts,
+  parked domains fewer — Table 11).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .records import RRType
+from .resolver import DNSResponse, StubResolver
+
+__all__ = ["PassiveDNSCollector", "ClientPopulation"]
+
+
+@dataclass
+class PassiveDNSCollector:
+    """Aggregated per-domain resolution counts as a passive DNS system reports them."""
+
+    sampling_rate: float = 1.0
+    _counts: Counter = field(default_factory=Counter, repr=False)
+
+    def observe(self, name: str, rtype: RRType, response: DNSResponse) -> None:
+        """Observer hook compatible with :class:`StubResolver`."""
+        if rtype in (RRType.A, RRType.AAAA):
+            self._counts[name.lower().rstrip(".")] += 1
+
+    def attach_to(self, resolver: StubResolver) -> None:
+        """Register this collector on a resolver's observer list."""
+        resolver.add_observer(self.observe)
+
+    def record_lookups(self, domain: str, count: int = 1) -> None:
+        """Directly account *count* lookups for a domain (bulk feeding)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._counts[domain.lower().rstrip(".")] += count
+
+    def bulk_load(self, counts: Mapping[str, int]) -> None:
+        """Load a mapping of domain to lookup count."""
+        for domain, count in counts.items():
+            self.record_lookups(domain, count)
+
+    # -- queries -------------------------------------------------------------
+
+    def resolution_count(self, domain: str) -> int:
+        """Cumulative (sampled) resolutions observed for a domain."""
+        observed = self._counts.get(domain.lower().rstrip("."), 0)
+        return int(observed * self.sampling_rate) if self.sampling_rate != 1.0 else observed
+
+    def top_domains(self, limit: int = 10, *, within: Iterable[str] | None = None) -> list[tuple[str, int]]:
+        """Top-N domains by resolution count, optionally restricted to a candidate set."""
+        if within is None:
+            return self._counts.most_common(limit)
+        wanted = {d.lower().rstrip(".") for d in within}
+        filtered = Counter({d: c for d, c in self._counts.items() if d in wanted})
+        return filtered.most_common(limit)
+
+    def total_observations(self) -> int:
+        """Total number of recorded lookups."""
+        return sum(self._counts.values())
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+
+@dataclass
+class ClientPopulation:
+    """Deterministic population of clients issuing popularity-skewed lookups."""
+
+    seed: int = 20190917
+    zipf_exponent: float = 1.1
+
+    def _rng(self, salt: str) -> np.random.Generator:
+        digest = hashlib.sha256(f"{self.seed}:{salt}".encode()).digest()
+        return np.random.default_rng(np.frombuffer(digest[:16], dtype=np.uint64))
+
+    def lookup_counts(
+        self,
+        domains: Sequence[str],
+        *,
+        total_lookups: int = 1_000_000,
+        popularity: Mapping[str, float] | None = None,
+    ) -> dict[str, int]:
+        """Distribute *total_lookups* over *domains*.
+
+        Without an explicit ``popularity`` weighting, ranks follow a Zipf
+        law over the (deterministically shuffled) domain list, which is the
+        standard model for DNS lookup popularity.
+        """
+        if not domains:
+            return {}
+        rng = self._rng("lookups")
+        ordered = list(domains)
+        rng.shuffle(ordered)
+        if popularity is None:
+            ranks = np.arange(1, len(ordered) + 1, dtype=np.float64)
+            weights = 1.0 / np.power(ranks, self.zipf_exponent)
+        else:
+            weights = np.array([max(popularity.get(d, 0.0), 1e-9) for d in ordered])
+        weights = weights / weights.sum()
+        counts = rng.multinomial(total_lookups, weights)
+        return {domain: int(count) for domain, count in zip(ordered, counts)}
+
+    def drive(
+        self,
+        resolver: StubResolver,
+        domains: Sequence[str],
+        *,
+        total_lookups: int = 10_000,
+    ) -> dict[str, int]:
+        """Issue lookups through a resolver (used in the integration tests)."""
+        counts = self.lookup_counts(domains, total_lookups=total_lookups)
+        for domain, count in counts.items():
+            for _ in range(min(count, 50)):  # cache makes repeats cheap
+                resolver.query(domain, RRType.A, use_cache=False)
+        return counts

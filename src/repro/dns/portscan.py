@@ -1,0 +1,112 @@
+"""Simulated TCP port scanning (paper Section 6.1, Table 10).
+
+After resolving the detected homographs, the paper scans TCP/80 and
+TCP/443 to find which of them actually run a web server.  The scanner here
+asks the hosting model (``repro.web.hosting``) which ports a host listens
+on instead of opening sockets, but reports results in the same shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol, Sequence
+
+__all__ = ["PortScanResult", "PortScanSummary", "PortScanner", "HostModel"]
+
+HTTP_PORT = 80
+HTTPS_PORT = 443
+DEFAULT_PORTS = (HTTP_PORT, HTTPS_PORT)
+
+
+class HostModel(Protocol):
+    """Anything that can tell which TCP ports a domain's host listens on."""
+
+    def open_ports(self, domain: str) -> set[int]:
+        """Return the set of open TCP ports for the host serving *domain*."""
+
+
+@dataclass(frozen=True)
+class PortScanResult:
+    """Scan outcome for one domain."""
+
+    domain: str
+    open_ports: frozenset[int]
+
+    @property
+    def reachable(self) -> bool:
+        """True when at least one scanned port is open."""
+        return bool(self.open_ports)
+
+    @property
+    def http(self) -> bool:
+        """True when TCP/80 answered."""
+        return HTTP_PORT in self.open_ports
+
+    @property
+    def https(self) -> bool:
+        """True when TCP/443 answered."""
+        return HTTPS_PORT in self.open_ports
+
+
+@dataclass
+class PortScanSummary:
+    """Aggregate of a scan campaign (rows of Table 10)."""
+
+    results: list[PortScanResult] = field(default_factory=list)
+
+    def count_open(self, port: int) -> int:
+        """Domains with the given port open."""
+        return sum(1 for r in self.results if port in r.open_ports)
+
+    @property
+    def http_count(self) -> int:
+        """Domains answering on TCP/80."""
+        return self.count_open(HTTP_PORT)
+
+    @property
+    def https_count(self) -> int:
+        """Domains answering on TCP/443."""
+        return self.count_open(HTTPS_PORT)
+
+    @property
+    def both_count(self) -> int:
+        """Domains answering on both TCP/80 and TCP/443."""
+        return sum(1 for r in self.results if r.http and r.https)
+
+    @property
+    def reachable_count(self) -> int:
+        """Domains answering on at least one scanned port (Table 10 "Total")."""
+        return sum(1 for r in self.results if r.reachable)
+
+    def reachable_domains(self) -> list[str]:
+        """Names of the reachable domains."""
+        return [r.domain for r in self.results if r.reachable]
+
+    def as_table_rows(self) -> list[tuple[str, int]]:
+        """Rows in the shape of the paper's Table 10."""
+        return [
+            ("TCP/80", self.http_count),
+            ("TCP/443", self.https_count),
+            ("TCP/80 & TCP/443", self.both_count),
+            ("Total (unique)", self.reachable_count),
+        ]
+
+
+@dataclass
+class PortScanner:
+    """Scanner over a :class:`HostModel`."""
+
+    host_model: HostModel
+    ports: Sequence[int] = DEFAULT_PORTS
+
+    def scan(self, domain: str) -> PortScanResult:
+        """Scan one domain."""
+        open_ports = self.host_model.open_ports(domain)
+        return PortScanResult(domain, frozenset(p for p in open_ports if p in set(self.ports)))
+
+    def scan_all(self, domains: Iterable[str]) -> PortScanSummary:
+        """Scan a set of domains and aggregate the results."""
+        summary = PortScanSummary()
+        for domain in domains:
+            summary.results.append(self.scan(domain))
+        return summary

@@ -1,0 +1,105 @@
+"""DNS resource record model.
+
+A light-weight representation of the record types the measurement pipeline
+uses: NS (presence in a zone / delegation to a parking provider), A
+(activeness), MX (mail capability of phishing domains, Table 11) and CNAME
+(redirect infrastructure).  Records are value objects; the stores live in
+:mod:`repro.dns.zonefile` and :mod:`repro.dns.resolver`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Iterator
+
+__all__ = ["RRType", "ResourceRecord", "RecordSet", "DEFAULT_TTL"]
+
+DEFAULT_TTL = 3600
+
+
+class RRType(str, Enum):
+    """Resource record types used by the pipeline."""
+
+    NS = "NS"
+    A = "A"
+    AAAA = "AAAA"
+    MX = "MX"
+    CNAME = "CNAME"
+    TXT = "TXT"
+    SOA = "SOA"
+
+    @classmethod
+    def parse(cls, token: str) -> "RRType":
+        """Parse a record type token (case-insensitive)."""
+        try:
+            return cls(token.strip().upper())
+        except ValueError:
+            raise ValueError(f"unsupported record type: {token!r}") from None
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    """A single DNS resource record."""
+
+    name: str
+    rtype: RRType
+    rdata: str
+    ttl: int = DEFAULT_TTL
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", self.name.lower().rstrip("."))
+        object.__setattr__(self, "rdata", self.rdata.rstrip(".") if self.rtype in (
+            RRType.NS, RRType.CNAME, RRType.MX) else self.rdata)
+        if self.ttl < 0:
+            raise ValueError("TTL must be non-negative")
+
+    def to_zone_line(self) -> str:
+        """Render in zone-file presentation format."""
+        rdata = self.rdata
+        if self.rtype in (RRType.NS, RRType.CNAME):
+            rdata = rdata + "."
+        return f"{self.name}.\t{self.ttl}\tIN\t{self.rtype.value}\t{rdata}"
+
+    @classmethod
+    def from_zone_line(cls, line: str) -> "ResourceRecord":
+        """Parse a zone-file presentation line (name ttl IN type rdata)."""
+        parts = line.split()
+        if len(parts) < 5 or parts[2].upper() != "IN":
+            raise ValueError(f"malformed zone line: {line!r}")
+        name, ttl, _klass, rtype = parts[0], parts[1], parts[2], parts[3]
+        rdata = " ".join(parts[4:])
+        return cls(name.rstrip("."), RRType.parse(rtype), rdata, int(ttl))
+
+
+class RecordSet:
+    """A multiset of records grouped by ``(name, type)``."""
+
+    def __init__(self, records: Iterable[ResourceRecord] = ()) -> None:
+        self._by_key: dict[tuple[str, RRType], list[ResourceRecord]] = {}
+        for record in records:
+            self.add(record)
+
+    def add(self, record: ResourceRecord) -> None:
+        """Add a record (duplicates are ignored)."""
+        bucket = self._by_key.setdefault((record.name, record.rtype), [])
+        if record not in bucket:
+            bucket.append(record)
+
+    def lookup(self, name: str, rtype: RRType) -> list[ResourceRecord]:
+        """All records of a type for a name (empty list when none)."""
+        return list(self._by_key.get((name.lower().rstrip("."), rtype), ()))
+
+    def names(self) -> set[str]:
+        """All owner names present in the set."""
+        return {name for name, _ in self._by_key}
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._by_key.values())
+
+    def __iter__(self) -> Iterator[ResourceRecord]:
+        for key in sorted(self._by_key, key=lambda k: (k[0], k[1].value)):
+            yield from self._by_key[key]
+
+    def __contains__(self, record: ResourceRecord) -> bool:
+        return record in self._by_key.get((record.name, record.rtype), ())

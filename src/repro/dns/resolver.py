@@ -1,0 +1,146 @@
+"""Simulated DNS resolution.
+
+The measurement pipeline needs three DNS behaviours the paper obtains from
+the real Internet:
+
+* checking whether a detected homograph still has NS records (registered),
+* checking whether it resolves to an address (A record, "active"), and
+* feeding a passive-DNS system with the lookups of a client population.
+
+:class:`AuthoritativeStore` holds the records of the simulated Internet
+(populated by the measurement synthesiser), and :class:`StubResolver`
+answers queries against it with a cache, optionally notifying observers
+(the passive-DNS collector registers itself as one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Iterable
+
+from .records import RRType, RecordSet, ResourceRecord
+
+__all__ = ["ResponseCode", "DNSResponse", "AuthoritativeStore", "StubResolver"]
+
+
+class ResponseCode(str, Enum):
+    """Subset of DNS RCODEs the pipeline distinguishes."""
+
+    NOERROR = "NOERROR"
+    NXDOMAIN = "NXDOMAIN"
+
+
+@dataclass(frozen=True)
+class DNSResponse:
+    """Answer to a single query."""
+
+    name: str
+    rtype: RRType
+    rcode: ResponseCode
+    records: tuple[ResourceRecord, ...] = ()
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the answer section is empty (NXDOMAIN or NODATA)."""
+        return not self.records
+
+
+class AuthoritativeStore:
+    """Record store for every simulated authoritative server."""
+
+    def __init__(self) -> None:
+        self._records = RecordSet()
+        self._names: set[str] = set()
+
+    def add(self, record: ResourceRecord) -> None:
+        """Publish a record."""
+        self._records.add(record)
+        self._names.add(record.name)
+
+    def add_many(self, records: Iterable[ResourceRecord]) -> None:
+        """Publish several records."""
+        for record in records:
+            self.add(record)
+
+    def remove_name(self, name: str) -> None:
+        """Delete every record of a name (domain expiration)."""
+        name = name.lower().rstrip(".")
+        self._names.discard(name)
+        filtered = RecordSet(r for r in self._records if r.name != name)
+        self._records = filtered
+
+    def exists(self, name: str) -> bool:
+        """True when any record exists for the name."""
+        return name.lower().rstrip(".") in self._names
+
+    def lookup(self, name: str, rtype: RRType) -> list[ResourceRecord]:
+        """Records of a type for a name."""
+        return self._records.lookup(name, rtype)
+
+    def names(self) -> set[str]:
+        """All published owner names."""
+        return set(self._names)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+@dataclass
+class StubResolver:
+    """Caching resolver over an :class:`AuthoritativeStore`.
+
+    ``observers`` are callables invoked for every (cache-missing) query with
+    the query name, type and response; the passive-DNS collector uses this
+    hook.
+    """
+
+    store: AuthoritativeStore
+    observers: list[Callable[[str, RRType, DNSResponse], None]] = field(default_factory=list)
+    _cache: dict[tuple[str, RRType], DNSResponse] = field(default_factory=dict, repr=False)
+    queries_sent: int = 0
+    cache_hits: int = 0
+
+    def add_observer(self, observer: Callable[[str, RRType, DNSResponse], None]) -> None:
+        """Register a query observer (e.g. a passive DNS sensor)."""
+        self.observers.append(observer)
+
+    def query(self, name: str, rtype: RRType | str = RRType.A, *, use_cache: bool = True) -> DNSResponse:
+        """Resolve a name, consulting the cache first."""
+        rtype = RRType.parse(rtype) if isinstance(rtype, str) else rtype
+        key = (name.lower().rstrip("."), rtype)
+        if use_cache and key in self._cache:
+            self.cache_hits += 1
+            return self._cache[key]
+
+        self.queries_sent += 1
+        records = tuple(self.store.lookup(key[0], rtype))
+        if records:
+            response = DNSResponse(key[0], rtype, ResponseCode.NOERROR, records)
+        elif self.store.exists(key[0]):
+            response = DNSResponse(key[0], rtype, ResponseCode.NOERROR, ())
+        else:
+            response = DNSResponse(key[0], rtype, ResponseCode.NXDOMAIN, ())
+
+        self._cache[key] = response
+        for observer in self.observers:
+            observer(key[0], rtype, response)
+        return response
+
+    # -- convenience predicates used by the measurement pipeline ------------------
+
+    def has_ns(self, domain: str) -> bool:
+        """True when the domain has NS records (still delegated)."""
+        return not self.query(domain, RRType.NS).is_empty
+
+    def has_a(self, domain: str) -> bool:
+        """True when the domain resolves to an address."""
+        return not self.query(domain, RRType.A).is_empty
+
+    def has_mx(self, domain: str) -> bool:
+        """True when the domain currently publishes an MX record."""
+        return not self.query(domain, RRType.MX).is_empty
+
+    def clear_cache(self) -> None:
+        """Drop every cached answer."""
+        self._cache.clear()

@@ -1,0 +1,25 @@
+"""Font/glyph substrate: bitmap glyphs, Unifont .hex parsing, synthetic font."""
+
+from .equivalences import SHAPE_EQUIVALENCES, equivalence_groups, shape_equivalence
+from .glyph import GLYPH_SIZE, Glyph
+from .hexfont import HexFont, format_hex_line, parse_hex_line
+from .registry import DATA_DIR, FontProtocol, FontRegistry, default_font
+from .synthetic import SPARSE_CATEGORIES, ShapeSpec, SyntheticFont
+
+__all__ = [
+    "SHAPE_EQUIVALENCES",
+    "equivalence_groups",
+    "shape_equivalence",
+    "GLYPH_SIZE",
+    "Glyph",
+    "HexFont",
+    "format_hex_line",
+    "parse_hex_line",
+    "DATA_DIR",
+    "FontProtocol",
+    "FontRegistry",
+    "default_font",
+    "SPARSE_CATEGORIES",
+    "ShapeSpec",
+    "SyntheticFont",
+]

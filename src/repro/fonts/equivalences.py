@@ -1,0 +1,261 @@
+"""Curated visual-shape equivalences used by the synthetic font.
+
+The synthetic font (see :mod:`repro.fonts.synthetic` and DESIGN.md) needs to
+know which code points *look like* which others so that it can render them
+with nearly identical bitmaps, the way GNU Unifont draws a Cyrillic ``о``
+with exactly the same pixels as a Latin ``o``.
+
+The table below maps a code point to ``(shape_key, extra_delta)``:
+
+* ``shape_key`` — the canonical shape this code point is drawn as (usually a
+  Basic Latin letter or a representative character of its group);
+* ``extra_delta`` — how many pixels the glyph differs from the canonical
+  shape (0 = pixel-identical, 1-4 = visually confusable but not identical,
+  larger values = noticeably different).
+
+The entries are genuine visual confusions taken from the homograph
+literature (Cyrillic/Greek/Armenian lookalikes of Latin letters, fullwidth
+forms, dotless/stroked variants, CJK-vs-Katakana shapes).  Accented
+characters are *not* listed here: the font derives those automatically from
+their NFKD decomposition.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SHAPE_EQUIVALENCES", "shape_equivalence", "equivalence_groups"]
+
+# codepoint -> (shape key, extra pixel delta from that shape)
+SHAPE_EQUIVALENCES: dict[int, tuple[str, int]] = {
+    # --- Cyrillic lookalikes of Basic Latin lowercase ---------------------
+    0x0430: ("a", 0),   # CYRILLIC SMALL LETTER A
+    0x0435: ("e", 0),   # CYRILLIC SMALL LETTER IE
+    0x043E: ("o", 0),   # CYRILLIC SMALL LETTER O
+    0x0440: ("p", 0),   # CYRILLIC SMALL LETTER ER
+    0x0441: ("c", 0),   # CYRILLIC SMALL LETTER ES
+    0x0443: ("y", 1),   # CYRILLIC SMALL LETTER U
+    0x0445: ("x", 0),   # CYRILLIC SMALL LETTER HA
+    0x0455: ("s", 0),   # CYRILLIC SMALL LETTER DZE
+    0x0456: ("i", 0),   # CYRILLIC SMALL LETTER BYELORUSSIAN-UKRAINIAN I
+    0x0458: ("j", 0),   # CYRILLIC SMALL LETTER JE
+    0x0475: ("v", 1),   # CYRILLIC SMALL LETTER IZHITSA
+    0x049B: ("k", 2),   # CYRILLIC SMALL LETTER KA WITH DESCENDER
+    0x04BB: ("h", 1),   # CYRILLIC SMALL LETTER SHHA
+    0x043C: ("m", 3),   # CYRILLIC SMALL LETTER EM (small caps m)
+    0x043D: ("h", 4),   # CYRILLIC SMALL LETTER EN (looks like small-caps H)
+    0x043F: ("n", 4),   # CYRILLIC SMALL LETTER PE
+    0x0442: ("t", 4),   # CYRILLIC SMALL LETTER TE
+    0x044A: ("b", 3),   # CYRILLIC SMALL LETTER HARD SIGN
+    0x044C: ("b", 2),   # CYRILLIC SMALL LETTER SOFT SIGN
+    0x044E: ("io", 0),  # CYRILLIC SMALL LETTER YU (o with bar) — own group
+    0x0491: ("r", 4),   # CYRILLIC SMALL LETTER GHE WITH UPTURN
+    0x04CF: ("l", 1),   # CYRILLIC SMALL LETTER PALOCHKA
+    0x051B: ("q", 1),   # CYRILLIC SMALL LETTER QA
+    0x051D: ("w", 0),   # CYRILLIC SMALL LETTER WE
+    0x0501: ("d", 1),   # CYRILLIC SMALL LETTER KOMI DE
+    0x0461: ("w", 2),   # CYRILLIC SMALL LETTER OMEGA
+    # --- Greek lookalikes ---------------------------------------------------
+    0x03B1: ("a", 2),   # GREEK SMALL LETTER ALPHA
+    0x03B3: ("y", 2),   # GREEK SMALL LETTER GAMMA
+    0x03B5: ("e", 3),   # GREEK SMALL LETTER EPSILON
+    0x03B9: ("i", 1),   # GREEK SMALL LETTER IOTA (dotless)
+    0x03BA: ("k", 1),   # GREEK SMALL LETTER KAPPA
+    0x03BD: ("v", 1),   # GREEK SMALL LETTER NU
+    0x03BF: ("o", 0),   # GREEK SMALL LETTER OMICRON
+    0x03C1: ("p", 1),   # GREEK SMALL LETTER RHO
+    0x03C3: ("o", 3),   # GREEK SMALL LETTER SIGMA
+    0x03C4: ("t", 3),   # GREEK SMALL LETTER TAU
+    0x03C5: ("u", 1),   # GREEK SMALL LETTER UPSILON
+    0x03C7: ("x", 1),   # GREEK SMALL LETTER CHI
+    0x03C9: ("w", 1),   # GREEK SMALL LETTER OMEGA
+    0x03F2: ("c", 0),   # GREEK LUNATE SIGMA SYMBOL
+    # --- Armenian lookalikes -------------------------------------------------
+    0x0561: ("w", 3),   # ARMENIAN SMALL LETTER AYB
+    0x0563: ("q", 2),   # ARMENIAN SMALL LETTER GIM
+    0x0564: ("n", 3),   # ARMENIAN SMALL LETTER DA
+    0x0565: ("t", 5),   # ARMENIAN SMALL LETTER ECH
+    0x0566: ("q", 3),   # ARMENIAN SMALL LETTER ZA
+    0x056A: ("d", 4),   # ARMENIAN SMALL LETTER ZHE
+    0x056B: ("h", 3),   # ARMENIAN SMALL LETTER INI
+    0x056C: ("l", 3),   # ARMENIAN SMALL LETTER LIWN
+    0x0570: ("h", 2),   # ARMENIAN SMALL LETTER HO
+    0x0578: ("n", 2),   # ARMENIAN SMALL LETTER VO
+    0x057C: ("n", 4),   # ARMENIAN SMALL LETTER RA
+    0x057D: ("u", 2),   # ARMENIAN SMALL LETTER SEH
+    0x0581: ("g", 2),   # ARMENIAN SMALL LETTER CO
+    0x0584: ("f", 3),   # ARMENIAN SMALL LETTER KEH
+    0x0585: ("o", 1),   # ARMENIAN SMALL LETTER OH
+    0x0587: ("u", 3),   # ARMENIAN SMALL LIGATURE ECH YIWN
+    0x0572: ("n", 5),   # ARMENIAN SMALL LETTER GHAD
+    0x10E7: ("y", 2),   # GEORGIAN LETTER QAR (paper Figure 5, pairs with 'y')
+    0x10FF: ("o", 3),   # GEORGIAN LETTER LABIAL SIGN
+    # --- Latin additions / IPA ------------------------------------------------
+    0x0131: ("i", 2),   # LATIN SMALL LETTER DOTLESS I
+    0x0237: ("j", 2),   # LATIN SMALL LETTER DOTLESS J
+    0x0251: ("a", 1),   # LATIN SMALL LETTER ALPHA
+    0x0253: ("b", 1),   # LATIN SMALL LETTER B WITH HOOK (paper Figure 5)
+    0x0255: ("c", 2),   # LATIN SMALL LETTER C WITH CURL
+    0x0256: ("d", 2),   # LATIN SMALL LETTER D WITH TAIL
+    0x0257: ("d", 1),   # LATIN SMALL LETTER D WITH HOOK
+    0x025B: ("e", 4),   # LATIN SMALL LETTER OPEN E
+    0x025F: ("j", 3),   # LATIN SMALL LETTER DOTLESS J WITH STROKE
+    0x0260: ("g", 1),   # LATIN SMALL LETTER G WITH HOOK
+    0x0261: ("g", 0),   # LATIN SMALL LETTER SCRIPT G
+    0x0265: ("u", 4),   # LATIN SMALL LETTER TURNED H
+    0x0268: ("i", 3),   # LATIN SMALL LETTER I WITH STROKE
+    0x026A: ("i", 4),   # LATIN LETTER SMALL CAPITAL I
+    0x026B: ("l", 2),   # LATIN SMALL LETTER L WITH MIDDLE TILDE
+    0x026F: ("w", 4),   # LATIN SMALL LETTER TURNED M
+    0x0271: ("m", 2),   # LATIN SMALL LETTER M WITH HOOK
+    0x0272: ("n", 1),   # LATIN SMALL LETTER N WITH LEFT HOOK
+    0x0273: ("n", 2),   # LATIN SMALL LETTER N WITH RETROFLEX HOOK
+    0x0274: ("n", 5),   # LATIN LETTER SMALL CAPITAL N
+    0x0275: ("o", 4),   # LATIN SMALL LETTER BARRED O
+    0x0279: ("r", 5),   # LATIN SMALL LETTER TURNED R
+    0x027E: ("r", 3),   # LATIN SMALL LETTER R WITH FISHHOOK
+    0x0282: ("s", 2),   # LATIN SMALL LETTER S WITH HOOK
+    0x0288: ("t", 2),   # LATIN SMALL LETTER T WITH RETROFLEX HOOK
+    0x0289: ("u", 3),   # LATIN SMALL LETTER U BAR
+    0x028B: ("v", 2),   # LATIN SMALL LETTER V WITH HOOK
+    0x028F: ("y", 5),   # LATIN LETTER SMALL CAPITAL Y
+    0x0290: ("z", 2),   # LATIN SMALL LETTER Z WITH RETROFLEX HOOK
+    0x0291: ("z", 1),   # LATIN SMALL LETTER Z WITH CURL
+    0x029C: ("h", 5),   # LATIN LETTER SMALL CAPITAL H
+    0x029F: ("l", 5),   # LATIN LETTER SMALL CAPITAL L
+    0x02A0: ("q", 1),   # LATIN SMALL LETTER Q WITH HOOK
+    0x0180: ("b", 2),   # LATIN SMALL LETTER B WITH STROKE
+    0x0183: ("b", 3),   # LATIN SMALL LETTER B WITH TOPBAR
+    0x0188: ("c", 1),   # LATIN SMALL LETTER C WITH HOOK
+    0x018D: ("g", 3),   # LATIN SMALL LETTER TURNED DELTA
+    0x0199: ("k", 1),   # LATIN SMALL LETTER K WITH HOOK
+    0x019A: ("l", 1),   # LATIN SMALL LETTER L WITH BAR
+    0x019B: ("l", 4),   # LATIN SMALL LETTER LAMBDA WITH STROKE
+    0x019E: ("n", 3),   # LATIN SMALL LETTER N WITH LONG RIGHT LEG
+    0x01A5: ("p", 1),   # LATIN SMALL LETTER P WITH HOOK
+    0x01AB: ("t", 1),   # LATIN SMALL LETTER T WITH PALATAL HOOK
+    0x01AD: ("t", 2),   # LATIN SMALL LETTER T WITH HOOK
+    0x01B4: ("y", 3),   # LATIN SMALL LETTER Y WITH HOOK
+    0x01B6: ("z", 3),   # LATIN SMALL LETTER Z WITH STROKE
+    0x01BF: ("p", 4),   # LATIN LETTER WYNN
+    0x021D: ("y", 4),   # LATIN SMALL LETTER YOGH
+    0x0167: ("t", 3),   # LATIN SMALL LETTER T WITH STROKE
+    0x0142: ("l", 2),   # LATIN SMALL LETTER L WITH STROKE
+    0x0127: ("h", 1),   # LATIN SMALL LETTER H WITH STROKE
+    0x0111: ("d", 2),   # LATIN SMALL LETTER D WITH STROKE
+    0x0249: ("j", 3),   # LATIN SMALL LETTER J WITH STROKE
+    0x024D: ("r", 2),   # LATIN SMALL LETTER R WITH STROKE
+    0x0247: ("e", 5),   # LATIN SMALL LETTER E WITH STROKE
+    0x024F: ("y", 2),   # LATIN SMALL LETTER Y WITH STROKE
+    0x01DD: ("e", 6),   # LATIN SMALL LETTER TURNED E
+    0x0259: ("e", 6),   # LATIN SMALL LETTER SCHWA
+    # --- Fullwidth forms --------------------------------------------------------
+    0xFF41: ("a", 1), 0xFF42: ("b", 1), 0xFF43: ("c", 1), 0xFF44: ("d", 1),
+    0xFF45: ("e", 1), 0xFF46: ("f", 1), 0xFF47: ("g", 1), 0xFF48: ("h", 1),
+    0xFF49: ("i", 1), 0xFF4A: ("j", 1), 0xFF4B: ("k", 1), 0xFF4C: ("l", 1),
+    0xFF4D: ("m", 1), 0xFF4E: ("n", 1), 0xFF4F: ("o", 1), 0xFF50: ("p", 1),
+    0xFF51: ("q", 1), 0xFF52: ("r", 1), 0xFF53: ("s", 1), 0xFF54: ("t", 1),
+    0xFF55: ("u", 1), 0xFF56: ("v", 1), 0xFF57: ("w", 1), 0xFF58: ("x", 1),
+    0xFF59: ("y", 1), 0xFF5A: ("z", 1),
+    # --- Cherokee / Lisu / Vai shapes that mimic Latin ----------------------------
+    0x13A2: ("d", 5),   # CHEROKEE LETTER E
+    0x13A5: ("i", 5),   # CHEROKEE LETTER V (looks like i-ish)
+    0x13C7: ("z", 5),   # CHEROKEE LETTER QUE
+    0xA4D1: ("b", 2),   # LISU LETTER PA
+    0xA4D3: ("d", 2),   # LISU LETTER DA
+    0xA4DF: ("e", 2),   # LISU LETTER E... (approximation)
+    0xA4E8: ("w", 2),   # LISU LETTER WA
+    0xA4F3: ("u", 2),   # LISU LETTER U... (approximation)
+    0xA52B: ("o", 2),   # VAI SYLLABLE O-like shape
+    0xA55B: ("s", 3),   # VAI SYLLABLE shape
+    0xA579: ("g", 4),   # VAI SYLLABLE shape
+    0xA5A8: ("c", 3),   # VAI SYLLABLE shape
+    # --- Lao / Thai round shapes resembling 'o' (paper Figure 12 uses Lao digit) ---
+    0x0ED0: ("o", 1),   # LAO DIGIT ZERO
+    0x0E4F: ("o", 3),   # THAI CHARACTER FONGMAN
+    0x0E50: ("o", 2),   # THAI DIGIT ZERO
+    0x0966: ("o", 2),   # DEVANAGARI DIGIT ZERO
+    0x0A66: ("o", 2),   # GURMUKHI DIGIT ZERO
+    0x0AE6: ("o", 2),   # GUJARATI DIGIT ZERO
+    0x0B66: ("o", 2),   # ORIYA DIGIT ZERO
+    0x0C66: ("o", 2),   # TELUGU DIGIT ZERO
+    0x0CE6: ("o", 2),   # KANNADA DIGIT ZERO
+    0x0D66: ("o", 2),   # MALAYALAM DIGIT ZERO
+    0x0B20: ("o", 4),   # ORIYA LETTER TTHA
+    0x0B13: ("o", 5),   # ORIYA LETTER O
+    # --- Oriya pair from paper Figure 5 (U+0B32 / U+0B33) ---------------------------
+    0x0B32: ("oriya-la", 0),   # ORIYA LETTER LA
+    0x0B33: ("oriya-la", 2),   # ORIYA LETTER LLA
+    # --- Hebrew / Arabic shapes ------------------------------------------------------
+    0x05D5: ("i", 5),   # HEBREW LETTER VAV
+    0x05DF: ("l", 5),   # HEBREW LETTER FINAL NUN
+    0x0647: ("o", 5),   # ARABIC LETTER HEH
+    0x0665: ("o", 3),   # ARABIC-INDIC DIGIT FIVE (round)
+    0x06F5: ("o", 3),   # EXTENDED ARABIC-INDIC DIGIT FIVE
+    0x0661: ("l", 6),   # ARABIC-INDIC DIGIT ONE
+    # --- CJK Unified Ideographs vs Katakana / each other ------------------------------
+    0x5DE5: ("cjk-kou", 0),    # 工 (paper: 工 vs エ)
+    0x30A8: ("cjk-kou", 1),    # エ KATAKANA LETTER E
+    0x529B: ("cjk-chikara", 0),  # 力
+    0x30AB: ("cjk-chikara", 2),  # カ KATAKANA LETTER KA
+    0x53E3: ("cjk-kuchi", 0),  # 口
+    0x30ED: ("cjk-kuchi", 1),  # ロ KATAKANA LETTER RO
+    0x56D7: ("cjk-kuchi", 2),  # 囗 enclosure
+    0x5915: ("cjk-yuu", 0),    # 夕
+    0x30BF: ("cjk-yuu", 2),    # タ KATAKANA LETTER TA
+    0x4E8C: ("cjk-ni", 0),     # 二
+    0x30CB: ("cjk-ni", 1),     # ニ KATAKANA LETTER NI
+    0x516B: ("cjk-hachi", 0),  # 八
+    0x30CF: ("cjk-hachi", 1),  # ハ KATAKANA LETTER HA
+    0x4E00: ("cjk-ichi", 0),   # 一
+    0x30FC: ("cjk-ichi", 1),   # ー KATAKANA-HIRAGANA PROLONGED SOUND MARK
+    0x624D: ("cjk-sai", 0),    # 才
+    0x30AA: ("cjk-sai", 3),    # オ KATAKANA LETTER O
+    0x5343: ("cjk-sen", 0),    # 千
+    0x30C1: ("cjk-sen", 2),    # チ KATAKANA LETTER TI
+    0x4E0B: ("cjk-shita", 0),  # 下
+    0x30C8: ("cjk-shita", 4),  # ト KATAKANA LETTER TO
+    0x672A: ("cjk-mi", 0),     # 未
+    0x672B: ("cjk-mi", 2),     # 末
+    0x571F: ("cjk-tsuchi", 0), # 土
+    0x58EB: ("cjk-tsuchi", 2), # 士
+    0x65E5: ("cjk-hi", 0),     # 日
+    0x66F0: ("cjk-hi", 3),     # 曰
+    0x4EBA: ("cjk-hito", 0),   # 人
+    0x5165: ("cjk-hito", 2),   # 入
+    0x5DF1: ("cjk-ki", 0),     # 己
+    0x5DF2: ("cjk-ki", 2),     # 已
+    0x5DF3: ("cjk-ki", 3),     # 巳
+    0x91CC: ("cjk-ri", 0),     # 里 (paper Figure 5 pairs 里 with 甼-like char)
+    0x573C: ("cjk-ri", 3),     # 圼 (paper Figure 5)
+    0x5DE6: ("cjk-hidari", 0), # 左
+    0x5728: ("cjk-hidari", 4), # 在
+    0x5927: ("cjk-dai", 0),    # 大
+    0x592A: ("cjk-dai", 2),    # 太
+    0x72AC: ("cjk-dai", 3),    # 犬
+    0x738B: ("cjk-ou", 0),     # 王
+    0x7389: ("cjk-ou", 2),     # 玉
+    0x5E72: ("cjk-kan", 0),    # 干
+    0x5E73: ("cjk-kan", 4),    # 平
+    0x76EE: ("cjk-me", 0),     # 目
+    0x81EA: ("cjk-me", 3),     # 自
+    0x7530: ("cjk-ta", 0),     # 田
+    0x7531: ("cjk-ta", 2),     # 由
+    0x7532: ("cjk-ta", 2),     # 甲
+    0x7533: ("cjk-ta", 3),     # 申
+    # --- Hangul syllable lookalike seeds (paper Figure 5: U+BFC8 vs U+BF58) ------------
+    0xBFC8: ("hangul-bf", 0),
+    0xBF58: ("hangul-bf", 2),
+}
+
+def shape_equivalence(codepoint: int) -> tuple[str, int] | None:
+    """Return the curated ``(shape_key, extra_delta)`` for a code point, if any."""
+    return SHAPE_EQUIVALENCES.get(codepoint)
+
+
+def equivalence_groups() -> dict[str, list[int]]:
+    """Group the curated code points by shape key (useful for tests/reports)."""
+    groups: dict[str, list[int]] = {}
+    for codepoint, (key, _delta) in SHAPE_EQUIVALENCES.items():
+        groups.setdefault(key, []).append(codepoint)
+    for members in groups.values():
+        members.sort()
+    return groups

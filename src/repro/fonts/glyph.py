@@ -1,0 +1,168 @@
+"""Binary glyph bitmaps.
+
+The SimChar pipeline represents every character as a square binary bitmap
+(the paper uses 32x32 pixels rendered from GNU Unifont).  Pillow is not a
+dependency: glyphs are plain numpy arrays of 0/1 values with the handful of
+operations the pipeline needs (difference metric, scaling, packing, ASCII
+rendering for reports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["Glyph", "GLYPH_SIZE"]
+
+#: Default glyph edge length in pixels (the paper renders 32x32 bitmaps).
+GLYPH_SIZE = 32
+
+
+@dataclass(frozen=True)
+class Glyph:
+    """A square binary bitmap for one code point.
+
+    Attributes
+    ----------
+    codepoint:
+        The Unicode code point this glyph renders.
+    bitmap:
+        ``(N, N)`` numpy array of dtype ``uint8`` holding 0 (background) and
+        1 (ink) values.  The array is made read-only at construction time so
+        glyphs can be shared and hashed safely.
+    """
+
+    codepoint: int
+    bitmap: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        bitmap = np.asarray(self.bitmap, dtype=np.uint8)
+        if bitmap.ndim != 2 or bitmap.shape[0] != bitmap.shape[1]:
+            raise ValueError(f"glyph bitmap must be square, got shape {bitmap.shape}")
+        if not np.isin(bitmap, (0, 1)).all():
+            raise ValueError("glyph bitmap must be binary (0/1)")
+        bitmap = bitmap.copy()
+        bitmap.setflags(write=False)
+        object.__setattr__(self, "bitmap", bitmap)
+
+    # -- basic properties --------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Edge length in pixels."""
+        return int(self.bitmap.shape[0])
+
+    @property
+    def pixel_count(self) -> int:
+        """Number of ink (black) pixels; the paper's sparse filter uses this."""
+        return int(self.bitmap.sum())
+
+    @property
+    def is_blank(self) -> bool:
+        """True when the glyph has no ink at all."""
+        return self.pixel_count == 0
+
+    # -- comparisons ---------------------------------------------------------
+
+    def delta(self, other: "Glyph") -> int:
+        """Pixel-difference metric Δ from the paper (count of differing pixels)."""
+        if self.size != other.size:
+            raise ValueError(
+                f"cannot compare glyphs of different sizes: {self.size} vs {other.size}"
+            )
+        return int(np.count_nonzero(self.bitmap != other.bitmap))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Glyph):
+            return NotImplemented
+        return self.codepoint == other.codepoint and np.array_equal(self.bitmap, other.bitmap)
+
+    def __hash__(self) -> int:
+        return hash((self.codepoint, self.bitmap.tobytes()))
+
+    # -- transformations -----------------------------------------------------
+
+    def scaled(self, size: int) -> "Glyph":
+        """Return a nearest-neighbour scaled copy with edge length *size*.
+
+        Used to bring the 8x16 / 16x16 Unifont cells up to the 32x32 canvas
+        the paper's Δ metric is defined on.
+        """
+        if size <= 0:
+            raise ValueError("size must be positive")
+        if size == self.size:
+            return self
+        src = self.size
+        rows = (np.arange(size) * src) // size
+        cols = (np.arange(size) * src) // size
+        scaled = self.bitmap[np.ix_(rows, cols)]
+        return Glyph(self.codepoint, scaled)
+
+    def centered(self, size: int) -> "Glyph":
+        """Return a copy padded (or cropped) to *size*, ink kept centered."""
+        if size == self.size:
+            return self
+        result = np.zeros((size, size), dtype=np.uint8)
+        copy = min(size, self.size)
+        src_off = (self.size - copy) // 2
+        dst_off = (size - copy) // 2
+        result[dst_off:dst_off + copy, dst_off:dst_off + copy] = self.bitmap[
+            src_off:src_off + copy, src_off:src_off + copy
+        ]
+        return Glyph(self.codepoint, result)
+
+    def with_pixels(self, pixels: Iterable[tuple[int, int]], value: int = 1) -> "Glyph":
+        """Return a copy with the given ``(row, col)`` pixels set to *value*."""
+        bitmap = self.bitmap.copy()
+        bitmap.setflags(write=True)
+        for row, col in pixels:
+            bitmap[row % self.size, col % self.size] = 1 if value else 0
+        return Glyph(self.codepoint, bitmap)
+
+    def inverted(self) -> "Glyph":
+        """Return a copy with ink and background swapped."""
+        return Glyph(self.codepoint, 1 - self.bitmap)
+
+    # -- serialisation --------------------------------------------------------
+
+    def packed(self) -> bytes:
+        """Pack the bitmap into bytes (row-major, 8 pixels per byte)."""
+        return np.packbits(self.bitmap, axis=None).tobytes()
+
+    @classmethod
+    def unpack(cls, codepoint: int, data: bytes, size: int = GLYPH_SIZE) -> "Glyph":
+        """Inverse of :meth:`packed`."""
+        bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8), count=size * size)
+        return cls(codepoint, bits.reshape(size, size))
+
+    def to_hex_row_strings(self) -> list[str]:
+        """Rows as hex strings (GNU Unifont ``.hex`` style, one row per string)."""
+        packed_rows = np.packbits(self.bitmap, axis=1)
+        return ["".join(f"{byte:02X}" for byte in row) for row in packed_rows]
+
+    def to_ascii_art(self, ink: str = "#", background: str = ".") -> str:
+        """Render the glyph as ASCII art (used in reports and Figure benches)."""
+        lines = []
+        for row in self.bitmap:
+            lines.append("".join(ink if px else background for px in row))
+        return "\n".join(lines)
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def blank(cls, codepoint: int, size: int = GLYPH_SIZE) -> "Glyph":
+        """An all-background glyph."""
+        return cls(codepoint, np.zeros((size, size), dtype=np.uint8))
+
+    @classmethod
+    def from_rows(cls, codepoint: int, rows: Iterable[str]) -> "Glyph":
+        """Build from strings of ``0``/``1`` or ``.``/``#`` characters."""
+        matrix = []
+        for row in rows:
+            matrix.append([1 if ch in ("1", "#", "X", "*") else 0 for ch in row])
+        array = np.array(matrix, dtype=np.uint8)
+        if array.ndim != 2 or array.shape[0] != array.shape[1]:
+            raise ValueError("rows must form a square bitmap")
+        return cls(codepoint, array)

@@ -1,0 +1,167 @@
+"""GNU Unifont ``.hex`` format support.
+
+GNU Unifont ships its glyphs in a simple text format: one line per code
+point, ``XXXX:HEXDATA`` where ``HEXDATA`` encodes either an 8x16 cell
+(32 hex digits) or a 16x16 cell (64 hex digits).  The paper renders these
+cells onto a 32x32 canvas before computing the pixel-difference metric.
+
+This module parses and writes that format so that a real ``unifont.hex``
+file dropped into the data directory is used verbatim by the pipeline; the
+synthetic font (:mod:`repro.fonts.synthetic`) is only the fallback when no
+``.hex`` file is available (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from .glyph import GLYPH_SIZE, Glyph
+
+__all__ = ["HexFont", "parse_hex_line", "format_hex_line"]
+
+
+def parse_hex_line(line: str) -> tuple[int, np.ndarray]:
+    """Parse one ``.hex`` line into ``(codepoint, bitmap)``.
+
+    The bitmap is returned in its native cell size: ``(16, 8)`` for narrow
+    glyphs and ``(16, 16)`` for wide glyphs.
+    """
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        raise ValueError("not a glyph line")
+    if ":" not in stripped:
+        raise ValueError(f"malformed .hex line: {line!r}")
+    code_part, data_part = stripped.split(":", 1)
+    codepoint = int(code_part, 16)
+    data_part = data_part.strip()
+    if len(data_part) == 32:
+        width = 8
+    elif len(data_part) == 64:
+        width = 16
+    else:
+        raise ValueError(
+            f"unsupported .hex glyph data length {len(data_part)} for U+{codepoint:04X}"
+        )
+    raw = bytes.fromhex(data_part)
+    bits = np.unpackbits(np.frombuffer(raw, dtype=np.uint8))
+    bitmap = bits.reshape(16, width).astype(np.uint8)
+    return codepoint, bitmap
+
+
+def format_hex_line(codepoint: int, bitmap: np.ndarray) -> str:
+    """Format a native-cell bitmap back into a ``.hex`` line."""
+    bitmap = np.asarray(bitmap, dtype=np.uint8)
+    if bitmap.shape not in ((16, 8), (16, 16)):
+        raise ValueError(f"bitmap must be 16x8 or 16x16, got {bitmap.shape}")
+    packed = np.packbits(bitmap, axis=None)
+    return f"{codepoint:04X}:{packed.tobytes().hex().upper()}"
+
+
+def _cell_to_canvas(bitmap: np.ndarray, size: int) -> np.ndarray:
+    """Place a 16x8 / 16x16 Unifont cell onto a centered square canvas."""
+    height, width = bitmap.shape
+    scale = max(1, size // 16)
+    scaled = np.kron(bitmap, np.ones((scale, scale), dtype=np.uint8))
+    canvas = np.zeros((size, size), dtype=np.uint8)
+    h, w = scaled.shape
+    h = min(h, size)
+    w = min(w, size)
+    top = (size - h) // 2
+    left = (size - w) // 2
+    canvas[top:top + h, left:left + w] = scaled[:h, :w]
+    return canvas
+
+
+@dataclass
+class HexFont:
+    """A bitmap font loaded from (or writable to) the GNU Unifont ``.hex`` format."""
+
+    name: str = "unifont"
+    glyph_size: int = GLYPH_SIZE
+    _cells: dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+
+    # -- loading -------------------------------------------------------------
+
+    @classmethod
+    def from_lines(cls, lines: Iterable[str], *, name: str = "unifont",
+                   glyph_size: int = GLYPH_SIZE) -> "HexFont":
+        """Build a font from an iterable of ``.hex`` lines."""
+        font = cls(name=name, glyph_size=glyph_size)
+        for line in lines:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            codepoint, bitmap = parse_hex_line(stripped)
+            font._cells[codepoint] = bitmap
+        return font
+
+    @classmethod
+    def from_file(cls, path: str | os.PathLike, *, name: str | None = None,
+                  glyph_size: int = GLYPH_SIZE) -> "HexFont":
+        """Load a ``.hex`` file from disk."""
+        font_name = name if name is not None else os.path.splitext(os.path.basename(path))[0]
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_lines(handle, name=font_name, glyph_size=glyph_size)
+
+    @classmethod
+    def from_glyphs(cls, glyphs: Mapping[int, np.ndarray], *, name: str = "custom",
+                    glyph_size: int = GLYPH_SIZE) -> "HexFont":
+        """Build directly from a mapping of code point to native cell bitmaps."""
+        font = cls(name=name, glyph_size=glyph_size)
+        for codepoint, bitmap in glyphs.items():
+            array = np.asarray(bitmap, dtype=np.uint8)
+            if array.shape not in ((16, 8), (16, 16)):
+                raise ValueError(f"cell for U+{codepoint:04X} must be 16x8 or 16x16")
+            font._cells[int(codepoint)] = array
+        return font
+
+    # -- font API --------------------------------------------------------------
+
+    def __contains__(self, codepoint: int) -> bool:
+        return codepoint in self._cells
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def codepoints(self) -> Iterator[int]:
+        """Iterate over covered code points in ascending order."""
+        return iter(sorted(self._cells))
+
+    def covers(self, codepoint: int) -> bool:
+        """True when the font has a glyph for the code point."""
+        return codepoint in self._cells
+
+    def render(self, codepoint: int) -> Glyph:
+        """Render a covered code point onto the square canvas as a :class:`Glyph`."""
+        try:
+            cell = self._cells[codepoint]
+        except KeyError:
+            raise KeyError(f"font {self.name!r} has no glyph for U+{codepoint:04X}") from None
+        return Glyph(codepoint, _cell_to_canvas(cell, self.glyph_size))
+
+    def render_text(self, text: str) -> list[Glyph]:
+        """Render every character of *text* (raises if any is uncovered)."""
+        return [self.render(ord(ch)) for ch in text]
+
+    # -- writing ---------------------------------------------------------------
+
+    def add_cell(self, codepoint: int, bitmap: np.ndarray) -> None:
+        """Add or replace the native cell for a code point."""
+        array = np.asarray(bitmap, dtype=np.uint8)
+        if array.shape not in ((16, 8), (16, 16)):
+            raise ValueError("cell must be 16x8 or 16x16")
+        self._cells[int(codepoint)] = array
+
+    def to_lines(self) -> list[str]:
+        """Serialise to ``.hex`` lines in code point order."""
+        return [format_hex_line(cp, self._cells[cp]) for cp in sorted(self._cells)]
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Write the font to a ``.hex`` file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for line in self.to_lines():
+                handle.write(line + "\n")

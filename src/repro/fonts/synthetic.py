@@ -1,0 +1,295 @@
+"""Deterministic synthetic bitmap font ("SynthFont").
+
+GNU Unifont itself is not redistributable inside this offline reproduction,
+so the pipeline falls back to a synthetic font whose glyphs preserve the
+*structure* the SimChar construction relies on (see DESIGN.md):
+
+* code points that genuinely look alike render to bitmaps that differ by
+  only a few pixels (Δ ≤ 4), and
+* unrelated code points render to bitmaps that differ by dozens of pixels.
+
+The rendering model:
+
+1. Every code point is reduced to a *shape key*:
+
+   * the curated cross-script equivalences in
+     :mod:`repro.fonts.equivalences` map lookalikes (Cyrillic ``о``,
+     Greek ``ο``, Armenian ``օ`` …) onto a canonical shape with a small
+     ``extra_delta``;
+   * otherwise, the NFKD decomposition splits a character into its base
+     character plus combining marks, so every accented variant of ``o``
+     shares ``o``'s shape; Hangul syllables decompose into jamo the same
+     way;
+   * otherwise the character is its own shape.
+
+2. The base bitmap of a shape is a deterministic pseudo-random pattern
+   (seeded by SHA-256 of the shape key) drawn inside the *body region* of a
+   32x32 canvas, with an ink density chosen by general category (CJK
+   ideographs are denser than Latin letters; combining marks and
+   punctuation are sparse, which is what the paper's Step III filter
+   removes).
+
+3. Combining marks flip two dedicated pixels each in the *mark band* (top
+   rows), and ``extra_delta`` flips pixels in the *variation band* (bottom
+   rows), so Δ between a variant and its base equals exactly
+   ``2 x #marks + extra_delta``.
+
+Because every band is disjoint, Δ values compose predictably and the font
+is fully deterministic across processes and platforms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import unicodedata
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..unicode.blocks import block_name
+from ..unicode.ucd import is_assigned
+from .equivalences import shape_equivalence
+from .glyph import GLYPH_SIZE, Glyph
+
+__all__ = ["SyntheticFont", "ShapeSpec", "SPARSE_CATEGORIES"]
+
+
+#: General categories rendered as sparse glyphs (few ink pixels).  These are
+#: the characters the paper's Step III eliminates.
+SPARSE_CATEGORIES = frozenset({"Mn", "Me", "Cf", "Zs", "Po", "Pc", "Pd", "Ps", "Pe", "Sk", "Lm"})
+
+# Canvas layout: rows [0, _MARK_ROWS) hold combining-mark pixels, rows
+# [_MARK_ROWS, _BODY_END) hold the shape body, rows [_BODY_END, size) hold
+# variation pixels.
+_MARK_ROWS = 4
+_VARIATION_ROWS = 3
+
+
+@dataclass(frozen=True)
+class ShapeSpec:
+    """Decomposition of a code point into shape key, marks, and extra delta."""
+
+    codepoint: int
+    shape_key: str
+    marks: tuple[str, ...] = ()
+    extra_delta: int = 0
+
+    @property
+    def total_delta_from_base(self) -> int:
+        """Δ between this glyph and the bare base shape glyph."""
+        return 2 * len(self.marks) + self.extra_delta
+
+
+def _digest(seed: str) -> np.random.Generator:
+    """Deterministic RNG derived from a string seed."""
+    digest = hashlib.sha256(seed.encode("utf-8")).digest()
+    return np.random.default_rng(np.frombuffer(digest[:16], dtype=np.uint64))
+
+
+def _category(codepoint: int) -> str:
+    return unicodedata.category(chr(codepoint))
+
+
+def _density_for(codepoint: int) -> int:
+    """Target number of ink pixels in the body region for a code point."""
+    category = _category(codepoint)
+    block = block_name(codepoint)
+    if category in SPARSE_CATEGORIES:
+        # Sparse: below the Step III threshold of 10 pixels.
+        return 4 + (codepoint % 5)
+    if "CJK" in block or block in ("Kangxi Radicals", "CJK Radicals Supplement"):
+        return 150
+    if block in ("Hangul Syllables", "Hangul Jamo", "Hangul Compatibility Jamo"):
+        return 120
+    if category.startswith("N"):
+        return 70
+    if category.startswith("L"):
+        return 90
+    if category.startswith("S"):
+        return 40
+    return 30
+
+
+class SyntheticFont:
+    """Deterministic Unifont substitute implementing the font protocol.
+
+    Parameters
+    ----------
+    glyph_size:
+        Edge length of rendered glyphs (32 as in the paper).
+    name:
+        Registry name of the font.
+    coverage_planes:
+        Unicode planes the font claims to cover (Unifont covers the BMP and
+        parts of the SMP; the default mirrors that).
+    """
+
+    def __init__(
+        self,
+        glyph_size: int = GLYPH_SIZE,
+        *,
+        name: str = "synthfont",
+        coverage_planes: Iterable[int] = (0, 1),
+    ) -> None:
+        if glyph_size < 16:
+            raise ValueError("glyph_size must be at least 16")
+        self.name = name
+        self.glyph_size = int(glyph_size)
+        self.coverage_planes = frozenset(int(p) for p in coverage_planes)
+        self._base_cache: dict[str, np.ndarray] = {}
+
+    # -- coverage ---------------------------------------------------------
+
+    def covers(self, codepoint: int) -> bool:
+        """True when the font has a glyph for the code point.
+
+        Mirrors Unifont's coverage profile: assigned code points in the BMP
+        plus the configured supplementary planes, excluding surrogates and
+        private use areas.
+        """
+        if codepoint < 0 or codepoint > 0x10FFFF:
+            return False
+        if 0xD800 <= codepoint <= 0xDFFF:
+            return False
+        if 0xE000 <= codepoint <= 0xF8FF:
+            return False
+        if (codepoint >> 16) not in self.coverage_planes:
+            return False
+        return is_assigned(codepoint)
+
+    def __contains__(self, codepoint: int) -> bool:
+        return self.covers(codepoint)
+
+    def coverage(self, codepoints: Iterable[int]) -> list[int]:
+        """Filter *codepoints* down to those the font covers."""
+        return [cp for cp in codepoints if self.covers(cp)]
+
+    # -- shape decomposition ------------------------------------------------
+
+    @lru_cache(maxsize=65536)
+    def shape_spec(self, codepoint: int) -> ShapeSpec:
+        """Decompose a code point into its :class:`ShapeSpec`."""
+        char = chr(codepoint)
+        equivalence = shape_equivalence(codepoint)
+        if equivalence is not None:
+            shape_key, extra = equivalence
+            return ShapeSpec(codepoint, shape_key, (), extra)
+
+        decomposition = unicodedata.normalize("NFKD", char)
+        if decomposition != char and decomposition:
+            base_chars = [c for c in decomposition if not unicodedata.combining(c)]
+            marks = tuple(c for c in decomposition if unicodedata.combining(c))
+            if base_chars:
+                base = base_chars[0]
+                extra = 0
+                # A decomposition with several base characters (ligatures,
+                # Hangul with multiple jamo) keeps the first as the shape and
+                # adds the remainder as pseudo-marks.
+                pseudo_marks = tuple(base_chars[1:])
+                base_equiv = shape_equivalence(ord(base))
+                if base_equiv is not None:
+                    shape_key, extra = base_equiv
+                else:
+                    shape_key = base
+                return ShapeSpec(codepoint, shape_key, marks + pseudo_marks, extra)
+
+        return ShapeSpec(codepoint, char, (), 0)
+
+    # -- rendering -----------------------------------------------------------
+
+    def _base_bitmap(self, shape_key: str, density: int) -> np.ndarray:
+        cache_key = f"{shape_key}|{density}"
+        cached = self._base_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        size = self.glyph_size
+        body_rows = range(_MARK_ROWS, size - _VARIATION_ROWS)
+        body_cols = range(2, size - 2)
+        positions = [(r, c) for r in body_rows for c in body_cols]
+        rng = _digest(f"shape:{shape_key}")
+        count = min(density, len(positions))
+        chosen = rng.choice(len(positions), size=count, replace=False)
+        bitmap = np.zeros((size, size), dtype=np.uint8)
+        for idx in chosen:
+            row, col = positions[int(idx)]
+            bitmap[row, col] = 1
+        bitmap.setflags(write=False)
+        self._base_cache[cache_key] = bitmap
+        return bitmap
+
+    def _mark_pixels(self, mark: str, count: int = 2) -> list[tuple[int, int]]:
+        """Deterministic pixels in the mark band for a combining mark or jamo."""
+        rng = _digest(f"mark:{mark}")
+        size = self.glyph_size
+        pixels = []
+        taken: set[tuple[int, int]] = set()
+        while len(pixels) < count:
+            row = int(rng.integers(0, _MARK_ROWS))
+            col = int(rng.integers(0, size))
+            if (row, col) in taken:
+                continue
+            taken.add((row, col))
+            pixels.append((row, col))
+        return pixels
+
+    def _variation_pixels(self, codepoint: int, count: int) -> list[tuple[int, int]]:
+        """``count`` deterministic pixels in the variation band for a code point."""
+        rng = _digest(f"variation:{codepoint:06X}")
+        size = self.glyph_size
+        pixels: list[tuple[int, int]] = []
+        taken: set[tuple[int, int]] = set()
+        while len(pixels) < count:
+            row = int(rng.integers(size - _VARIATION_ROWS, size))
+            col = int(rng.integers(0, size))
+            if (row, col) in taken:
+                continue
+            taken.add((row, col))
+            pixels.append((row, col))
+        return pixels
+
+    def render(self, codepoint: int) -> Glyph:
+        """Render a covered code point as a :class:`Glyph`."""
+        if not self.covers(codepoint):
+            raise KeyError(f"font {self.name!r} has no glyph for U+{codepoint:04X}")
+        spec = self.shape_spec(codepoint)
+        density = _density_for(codepoint)
+        bitmap = self._base_bitmap(spec.shape_key, density).copy()
+        bitmap.setflags(write=True)
+        for mark in spec.marks:
+            # Combining marks (accents) differ from the base by two pixels;
+            # structural components (extra base characters from ligature or
+            # Hangul jamo decompositions) contribute three, so that syllables
+            # sharing all but their final jamo stay within the Δ threshold
+            # while syllables differing in a vowel fall outside it.
+            count = 2 if unicodedata.combining(mark) else 3
+            for row, col in self._mark_pixels(mark, count):
+                bitmap[row, col] = 1
+        if spec.extra_delta:
+            for row, col in self._variation_pixels(codepoint, spec.extra_delta):
+                bitmap[row, col] = 1
+        return Glyph(codepoint, bitmap)
+
+    def render_text(self, text: str) -> list[Glyph]:
+        """Render every character of *text*."""
+        return [self.render(ord(ch)) for ch in text]
+
+    def render_many(self, codepoints: Iterable[int]) -> dict[int, Glyph]:
+        """Render a batch of code points, skipping uncovered ones."""
+        result: dict[int, Glyph] = {}
+        for cp in codepoints:
+            if self.covers(cp):
+                result[cp] = self.render(cp)
+        return result
+
+    # -- introspection ------------------------------------------------------------
+
+    def codepoints(self, candidates: Iterable[int]) -> Iterator[int]:
+        """Yield the candidates covered by this font (fonts have no global list)."""
+        for cp in candidates:
+            if self.covers(cp):
+                yield cp
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"SyntheticFont(name={self.name!r}, glyph_size={self.glyph_size})"

@@ -1,0 +1,36 @@
+"""Homoglyph databases: SimChar construction, UC confusables, union database."""
+
+from .blocks import BlockComparison, block_abbreviations, compare_top_blocks
+from .confusables import ConfusablesTable, load_confusables, parse_confusables
+from .database import SOURCE_SIMCHAR, SOURCE_UC, HomoglyphDatabase, HomoglyphPair
+from .latin import LatinCoverageRow, latin_coverage_table, most_vulnerable_letters
+from .simchar import (
+    DEFAULT_REPERTOIRE_BLOCKS,
+    DEFAULT_SPARSE_MIN_PIXELS,
+    DEFAULT_THRESHOLD,
+    BuildTimings,
+    SimCharBuilder,
+    SimCharResult,
+)
+
+__all__ = [
+    "BlockComparison",
+    "block_abbreviations",
+    "compare_top_blocks",
+    "ConfusablesTable",
+    "load_confusables",
+    "parse_confusables",
+    "SOURCE_SIMCHAR",
+    "SOURCE_UC",
+    "HomoglyphDatabase",
+    "HomoglyphPair",
+    "LatinCoverageRow",
+    "latin_coverage_table",
+    "most_vulnerable_letters",
+    "DEFAULT_REPERTOIRE_BLOCKS",
+    "DEFAULT_SPARSE_MIN_PIXELS",
+    "DEFAULT_THRESHOLD",
+    "BuildTimings",
+    "SimCharBuilder",
+    "SimCharResult",
+]

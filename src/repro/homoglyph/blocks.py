@@ -1,0 +1,65 @@
+"""Unicode-block statistics of homoglyph databases (paper Table 4).
+
+The paper compares UC∩IDNA and SimChar by the Unicode blocks their member
+characters fall into; SimChar is dominated by Hangul syllables and CJK
+ideographs while UC∩IDNA's top blocks are CJK, combining marks, Arabic,
+Cyrillic and Thai.  These helpers compute that comparison for any pair of
+databases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .database import HomoglyphDatabase
+
+__all__ = ["BlockComparison", "compare_top_blocks", "block_abbreviations"]
+
+#: Abbreviations used in the paper's Table 4 caption.
+_ABBREVIATIONS = {
+    "CJK Unified Ideographs": "CJK",
+    "Combining Diacritical Marks": "CDM",
+    "Hangul Syllables": "Hangul",
+    "Unified Canadian Aboriginal Syllabics": "CA",
+}
+
+
+def block_abbreviations(name: str) -> str:
+    """Return the paper's abbreviation for a block name (or the name itself)."""
+    return _ABBREVIATIONS.get(name, name)
+
+
+@dataclass(frozen=True)
+class BlockComparison:
+    """Top blocks of two databases, side by side."""
+
+    left_name: str
+    right_name: str
+    left_top: tuple[tuple[str, int], ...]
+    right_top: tuple[tuple[str, int], ...]
+
+    def as_rows(self) -> list[tuple[str, int, str, int]]:
+        """Rows of ``(left block, count, right block, count)`` padded to equal length."""
+        rows = []
+        length = max(len(self.left_top), len(self.right_top))
+        for index in range(length):
+            left = self.left_top[index] if index < len(self.left_top) else ("", 0)
+            right = self.right_top[index] if index < len(self.right_top) else ("", 0)
+            rows.append((block_abbreviations(left[0]), left[1],
+                         block_abbreviations(right[0]), right[1]))
+        return rows
+
+
+def compare_top_blocks(
+    left: HomoglyphDatabase,
+    right: HomoglyphDatabase,
+    *,
+    limit: int = 5,
+) -> BlockComparison:
+    """Compute the paper's Table 4: top-N blocks of two databases."""
+    return BlockComparison(
+        left_name=left.name,
+        right_name=right.name,
+        left_top=tuple(left.top_blocks(limit)),
+        right_top=tuple(right.top_blocks(limit)),
+    )

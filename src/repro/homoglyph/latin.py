@@ -1,0 +1,78 @@
+"""Latin-letter homoglyph analysis (paper Table 3 and Section 3.4).
+
+Most popular domain names are composed of the 26 Basic Latin lowercase
+letters, so the paper reports, for each letter, how many homoglyphs SimChar
+and UC∩IDNA contain.  This module turns a pair of databases into those
+table rows and the derived observations (which letters are most
+"vulnerable", how the two databases overlap per letter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .database import HomoglyphDatabase
+
+__all__ = ["LatinCoverageRow", "latin_coverage_table", "most_vulnerable_letters"]
+
+_ASCII_LOWER = "abcdefghijklmnopqrstuvwxyz"
+
+
+@dataclass(frozen=True)
+class LatinCoverageRow:
+    """Homoglyph counts of one Latin letter in two databases."""
+
+    letter: str
+    simchar_count: int
+    uc_count: int
+    shared_count: int
+
+    @property
+    def simchar_only(self) -> int:
+        """Homoglyphs found only by SimChar."""
+        return self.simchar_count - self.shared_count
+
+    @property
+    def uc_only(self) -> int:
+        """Homoglyphs found only by UC."""
+        return self.uc_count - self.shared_count
+
+
+def latin_coverage_table(
+    simchar: HomoglyphDatabase,
+    uc_idna: HomoglyphDatabase,
+) -> list[LatinCoverageRow]:
+    """Per-letter homoglyph counts for SimChar vs UC∩IDNA (Table 3).
+
+    Partners that are themselves ASCII letters are excluded, matching the
+    paper's counting (a homoglyph of a Latin letter is a non-ASCII
+    character).
+    """
+    rows: list[LatinCoverageRow] = []
+    for letter in _ASCII_LOWER:
+        simchar_partners = {
+            ch for ch in simchar.homoglyphs_of(letter) if ch not in _ASCII_LOWER
+        }
+        uc_partners = {
+            ch for ch in uc_idna.homoglyphs_of(letter) if ch not in _ASCII_LOWER
+        }
+        rows.append(
+            LatinCoverageRow(
+                letter=letter,
+                simchar_count=len(simchar_partners),
+                uc_count=len(uc_partners),
+                shared_count=len(simchar_partners & uc_partners),
+            )
+        )
+    return rows
+
+
+def most_vulnerable_letters(
+    database: HomoglyphDatabase,
+    *,
+    limit: int = 5,
+) -> list[tuple[str, int]]:
+    """Letters with the most homoglyphs ("vulnerable" letters, Section 3.4)."""
+    counts = database.latin_homoglyph_counts()
+    ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ranked[:limit]

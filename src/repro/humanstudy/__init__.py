@@ -1,0 +1,22 @@
+"""Human-perception study simulation (MTurk substitute, Figures 9-11)."""
+
+from .experiment import (
+    DatabaseComparisonExperiment,
+    ExperimentResult,
+    PairSample,
+    ThresholdExperiment,
+)
+from .participants import LIKERT_LABELS, Participant, ParticipantPool, PerceptionModel
+from .stats import ScoreDistribution
+
+__all__ = [
+    "DatabaseComparisonExperiment",
+    "ExperimentResult",
+    "PairSample",
+    "ThresholdExperiment",
+    "LIKERT_LABELS",
+    "Participant",
+    "ParticipantPool",
+    "PerceptionModel",
+    "ScoreDistribution",
+]

@@ -1,0 +1,230 @@
+"""Human-perception experiments (paper Section 4.1, Figures 9-11).
+
+Two experiments are reproduced over the simulated participant pool:
+
+* **Experiment 1** — how the threshold Δ affects confusability: for each
+  Δ ∈ {0..8}, sample pairs of a Basic Latin letter and a candidate
+  homoglyph at that exact Δ, have them judged, and report the score
+  distribution per Δ (Figure 9);
+* **Experiment 2** — compare the confusability of SimChar pairs (Δ ≤ 4),
+  UC pairs, and random pairs (Figure 10), and list the UC pairs judged
+  most distinct (Figure 11).
+
+The experiment runner also applies the paper's quality screening: workers
+who call a dummy (random) pair "confusing"/"very confusing", or a Δ = 0
+pair "distinct"/"very distinct", have all of their responses removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..fonts.registry import FontProtocol, default_font
+from ..homoglyph.database import HomoglyphDatabase
+from ..homoglyph.simchar import SimCharBuilder
+from .participants import LIKERT_LABELS, Participant, ParticipantPool
+from .stats import ScoreDistribution
+
+__all__ = ["PairSample", "ExperimentResult", "ThresholdExperiment", "DatabaseComparisonExperiment"]
+
+_ASCII_LOWER = "abcdefghijklmnopqrstuvwxyz"
+
+
+@dataclass(frozen=True)
+class PairSample:
+    """One character pair shown to participants."""
+
+    first: str
+    second: str
+    delta: int | None        # None marks a dummy/random pair
+    group: str               # "delta-0" .. "delta-8", "SimChar", "UC", "Random"
+
+
+@dataclass
+class ExperimentResult:
+    """Scores collected for one experiment."""
+
+    samples: list[PairSample] = field(default_factory=list)
+    responses: dict[str, list[int]] = field(default_factory=dict)  # group -> scores
+    removed_participants: int = 0
+    effective_responses: int = 0
+
+    def distribution(self, group: str) -> ScoreDistribution:
+        """Score distribution of one group."""
+        return ScoreDistribution.from_scores(self.responses.get(group, []))
+
+    def groups(self) -> list[str]:
+        """All groups with responses."""
+        return sorted(self.responses)
+
+    def mean_by_group(self) -> dict[str, float]:
+        """Mean score per group."""
+        return {group: self.distribution(group).mean for group in self.groups()}
+
+
+class _ExperimentBase:
+    """Shared machinery: sampling, judging, screening."""
+
+    def __init__(
+        self,
+        *,
+        font: FontProtocol | None = None,
+        pool: ParticipantPool | None = None,
+        builder: SimCharBuilder | None = None,
+        seed: int = 1909,
+    ) -> None:
+        self.font = font if font is not None else default_font()
+        self.pool = pool if pool is not None else ParticipantPool(seed=seed)
+        self.builder = builder if builder is not None else SimCharBuilder(self.font)
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    # -- sampling helpers -----------------------------------------------------
+
+    def _random_pairs(self, count: int) -> list[PairSample]:
+        pairs = []
+        letters = list(_ASCII_LOWER)
+        for _ in range(count):
+            first, second = self._rng.choice(letters, size=2, replace=False)
+            pairs.append(PairSample(str(first), str(second), None, "Random"))
+        return pairs
+
+    def _collect(self, samples: Sequence[PairSample], participants: list[Participant]) -> ExperimentResult:
+        """Have every participant judge every sample, applying the screening rules."""
+        result = ExperimentResult(samples=list(samples))
+        deltas = [sample.delta for sample in samples]
+        for participant in participants:
+            scores = self.pool.judgements(participant, deltas)
+            if self._should_remove(samples, scores):
+                result.removed_participants += 1
+                continue
+            for sample, score in zip(samples, scores):
+                result.responses.setdefault(sample.group, []).append(score)
+                result.effective_responses += 1
+        return result
+
+    @staticmethod
+    def _should_remove(samples: Sequence[PairSample], scores: Sequence[int]) -> bool:
+        for sample, score in zip(samples, scores):
+            if sample.delta is None and score >= 4:
+                return True          # judged a dummy pair as confusing
+            if sample.delta == 0 and score <= 2:
+                return True          # judged identical glyphs as distinct
+        return False
+
+
+class ThresholdExperiment(_ExperimentBase):
+    """Experiment 1: confusability score as a function of Δ (Figure 9)."""
+
+    def sample_pairs(self, *, pairs_per_delta: int = 20, deltas: Sequence[int] = tuple(range(9)),
+                     dummy_pairs: int = 30) -> list[PairSample]:
+        """Sample letter/candidate pairs at each exact Δ plus dummy pairs."""
+        samples: list[PairSample] = []
+        per_letter: dict[str, dict[int, list[str]]] = {}
+        for letter in _ASCII_LOWER:
+            per_letter[letter] = self.builder.homoglyphs_at_delta(letter, deltas)
+        for delta in deltas:
+            candidates: list[tuple[str, str]] = []
+            for letter, by_delta in per_letter.items():
+                for partner in by_delta.get(delta, ()):
+                    candidates.append((letter, partner))
+            if not candidates:
+                continue
+            chosen = self._rng.choice(len(candidates),
+                                      size=min(pairs_per_delta, len(candidates)), replace=False)
+            for index in chosen:
+                letter, partner = candidates[int(index)]
+                samples.append(PairSample(letter, partner, delta, f"delta-{delta}"))
+        samples.extend(self._random_pairs(dummy_pairs))
+        return samples
+
+    def run(self, *, participants: int = 10, pairs_per_delta: int = 20) -> ExperimentResult:
+        """Run the experiment end to end."""
+        samples = self.sample_pairs(pairs_per_delta=pairs_per_delta)
+        workers = self.pool.recruit(participants)
+        return self._collect(samples, workers)
+
+    @staticmethod
+    def scores_by_delta(result: ExperimentResult) -> dict[int, ScoreDistribution]:
+        """Figure 9: score distribution for each Δ."""
+        output: dict[int, ScoreDistribution] = {}
+        for group in result.groups():
+            if group.startswith("delta-"):
+                output[int(group.split("-", 1)[1])] = result.distribution(group)
+        return output
+
+
+class DatabaseComparisonExperiment(_ExperimentBase):
+    """Experiment 2: SimChar vs UC vs random pairs (Figures 10-11)."""
+
+    def sample_pairs(
+        self,
+        simchar: HomoglyphDatabase,
+        uc: HomoglyphDatabase,
+        *,
+        simchar_pairs: int = 100,
+        uc_pairs: int = 30,
+        dummy_pairs: int = 30,
+    ) -> list[PairSample]:
+        """Sample Latin-letter pairs from both databases plus dummies."""
+        samples: list[PairSample] = []
+        samples.extend(self._sample_from_database(simchar, simchar_pairs, "SimChar"))
+        samples.extend(self._sample_from_database(uc, uc_pairs, "UC"))
+        samples.extend(self._random_pairs(dummy_pairs))
+        return samples
+
+    def _sample_from_database(self, database: HomoglyphDatabase, count: int, group: str) -> list[PairSample]:
+        candidates: list[tuple[str, str]] = []
+        for letter in _ASCII_LOWER:
+            for partner in sorted(database.homoglyphs_of(letter)):
+                if partner not in _ASCII_LOWER:
+                    candidates.append((letter, partner))
+        if not candidates:
+            return []
+        chosen = self._rng.choice(len(candidates), size=min(count, len(candidates)), replace=False)
+        samples = []
+        for index in chosen:
+            letter, partner = candidates[int(index)]
+            delta = self._delta_of(letter, partner)
+            samples.append(PairSample(letter, partner, delta, group))
+        return samples
+
+    def _delta_of(self, first: str, second: str) -> int:
+        if self.font.covers(ord(first)) and self.font.covers(ord(second)):
+            return self.font.render(ord(first)).delta(self.font.render(ord(second)))
+        return 12  # uncovered characters look nothing alike in any font we have
+
+    def run(
+        self,
+        simchar: HomoglyphDatabase,
+        uc: HomoglyphDatabase,
+        *,
+        participants: int = 28,
+    ) -> ExperimentResult:
+        """Run the comparison end to end."""
+        samples = self.sample_pairs(simchar, uc)
+        workers = self.pool.recruit(participants)
+        return self._collect(samples, workers)
+
+    def most_distinct_uc_pairs(self, result: ExperimentResult, *, limit: int = 3) -> list[tuple[PairSample, float]]:
+        """Figure 11: UC pairs with the lowest mean confusability."""
+        uc_samples = [s for s in result.samples if s.group == "UC"]
+        scored: list[tuple[PairSample, float]] = []
+        for sample in uc_samples:
+            # Per-sample means are approximated through the perception model
+            # (scores are stored per group); rank by Δ, largest first.
+            scored.append((sample, float(sample.delta if sample.delta is not None else 99)))
+        scored.sort(key=lambda item: -item[1])
+        ranked = []
+        for sample, delta in scored[:limit]:
+            mean = self.pool.model.mean_score(int(delta) if delta < 99 else None)
+            ranked.append((sample, mean))
+        return ranked
+
+    @staticmethod
+    def likert_label(score: int) -> str:
+        """Human-readable Likert label."""
+        return LIKERT_LABELS[score]

@@ -1,0 +1,137 @@
+"""Simulated crowd-sourcing participants (paper Section 4.1).
+
+The paper measures the *confusability* of homoglyph pairs with an Amazon
+Mechanical Turk study: participants see a pair of characters and answer on
+a five-level Likert scale from "1: very distinct" to "5: very confusing".
+No crowd is available offline, so this module models participants whose
+responses are a calibrated function of the pair's pixel difference Δ plus
+individual bias and noise:
+
+* Δ = 0 (identical glyphs) → almost always "very confusing";
+* Δ = 4 → mean score ≈ 3.6 ("confusing"), matching the paper's Figure 9;
+* Δ = 5 → mean score ≈ 2.6 ("distinct");
+* random unrelated pairs → concentrated at "very distinct".
+
+A small fraction of participants is *careless* (answers uniformly at
+random); the screening rules of the experiment runner are expected to
+remove them, exactly as the paper removes workers who mis-judge dummy or
+Δ = 0 pairs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LIKERT_LABELS", "PerceptionModel", "Participant", "ParticipantPool"]
+
+#: The five Likert options used in the MTurk task.
+LIKERT_LABELS: dict[int, str] = {
+    1: "very distinct",
+    2: "distinct",
+    3: "neutral",
+    4: "confusing",
+    5: "very confusing",
+}
+
+#: Mean confusability score per Δ value, calibrated to the paper's Figure 9.
+_MEAN_SCORE_BY_DELTA: dict[int, float] = {
+    0: 4.85,
+    1: 4.55,
+    2: 4.25,
+    3: 3.90,
+    4: 3.57,
+    5: 2.57,
+    6: 2.10,
+    7: 1.80,
+    8: 1.60,
+}
+
+#: Mean score of a random (unrelated) character pair.
+_RANDOM_PAIR_MEAN = 1.25
+
+
+def _clamp_score(value: float) -> int:
+    return int(min(5, max(1, round(value))))
+
+
+@dataclass(frozen=True)
+class PerceptionModel:
+    """Maps a pair's Δ to the population-mean confusability score."""
+
+    noise_sd: float = 0.65
+
+    def mean_score(self, delta: int | None) -> float:
+        """Population mean for a pair with the given Δ (``None`` = random pair)."""
+        if delta is None:
+            return _RANDOM_PAIR_MEAN
+        if delta < 0:
+            raise ValueError("delta must be non-negative")
+        if delta in _MEAN_SCORE_BY_DELTA:
+            return _MEAN_SCORE_BY_DELTA[delta]
+        return max(1.0, _MEAN_SCORE_BY_DELTA[8] - 0.1 * (delta - 8))
+
+
+@dataclass(frozen=True)
+class Participant:
+    """One crowd worker."""
+
+    worker_id: str
+    bias: float          # systematic shift of this worker's scores
+    careless: bool       # answers uniformly at random
+    approval_rate: float # platform-side history used for recruitment screening
+    approved_tasks: int
+
+    def judge(self, delta: int | None, model: PerceptionModel, rng: np.random.Generator) -> int:
+        """Produce a Likert score for a pair with pixel difference *delta*."""
+        if self.careless:
+            return int(rng.integers(1, 6))
+        mean = model.mean_score(delta) + self.bias
+        return _clamp_score(rng.normal(mean, model.noise_sd))
+
+
+class ParticipantPool:
+    """Deterministic pool of simulated MTurk workers."""
+
+    def __init__(self, *, seed: int = 1909, careless_rate: float = 0.12,
+                 model: PerceptionModel | None = None) -> None:
+        self.seed = seed
+        self.careless_rate = careless_rate
+        self.model = model if model is not None else PerceptionModel()
+
+    def _rng(self, salt: str) -> np.random.Generator:
+        digest = hashlib.sha256(f"{self.seed}:{salt}".encode()).digest()
+        return np.random.default_rng(np.frombuffer(digest[:16], dtype=np.uint64))
+
+    def recruit(self, count: int, *, min_approved: int = 50,
+                min_approval_rate: float = 0.97) -> list[Participant]:
+        """Recruit *count* workers satisfying the paper's recruitment criteria.
+
+        Workers are generated until enough of them pass the platform-side
+        screening (≥ 50 approved tasks, ≥ 97 % approval rate).
+        """
+        rng = self._rng("recruit")
+        participants: list[Participant] = []
+        attempts = 0
+        while len(participants) < count and attempts < count * 20:
+            attempts += 1
+            worker = Participant(
+                worker_id=f"W{attempts:05d}",
+                bias=float(rng.normal(0.0, 0.25)),
+                careless=bool(rng.random() < self.careless_rate),
+                approval_rate=float(1.0 - rng.beta(1.2, 40.0)),
+                approved_tasks=int(rng.integers(5, 5000)),
+            )
+            if worker.approved_tasks < min_approved:
+                continue
+            if worker.approval_rate < min_approval_rate:
+                continue
+            participants.append(worker)
+        return participants
+
+    def judgements(self, participant: Participant, deltas: list[int | None]) -> list[int]:
+        """Scores of one participant over a list of pair Δ values."""
+        rng = self._rng(f"judge:{participant.worker_id}")
+        return [participant.judge(delta, self.model, rng) for delta in deltas]

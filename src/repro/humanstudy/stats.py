@@ -1,0 +1,72 @@
+"""Descriptive statistics for Likert score distributions.
+
+The paper reports its human-study results as boxplots (median, quartiles,
+1.5 IQR whiskers, mean).  :class:`ScoreDistribution` computes exactly those
+statistics so the Figure 9/10 benches can print the numbers behind the
+plots.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ScoreDistribution"]
+
+
+@dataclass(frozen=True)
+class ScoreDistribution:
+    """Summary statistics of a set of 1-5 Likert scores."""
+
+    count: int
+    mean: float
+    median: float
+    q1: float
+    q3: float
+    whisker_low: float
+    whisker_high: float
+    histogram: tuple[tuple[int, int], ...]
+
+    @classmethod
+    def from_scores(cls, scores: Sequence[int]) -> "ScoreDistribution":
+        """Compute the distribution of a score list (empty lists allowed)."""
+        if not scores:
+            return cls(0, float("nan"), float("nan"), float("nan"), float("nan"),
+                       float("nan"), float("nan"), ())
+        array = np.asarray(list(scores), dtype=np.float64)
+        q1 = float(np.percentile(array, 25))
+        q3 = float(np.percentile(array, 75))
+        iqr = q3 - q1
+        low_bound = q1 - 1.5 * iqr
+        high_bound = q3 + 1.5 * iqr
+        within = array[(array >= low_bound) & (array <= high_bound)]
+        histogram = Counter(int(score) for score in array)
+        return cls(
+            count=int(array.size),
+            mean=float(array.mean()),
+            median=float(np.median(array)),
+            q1=q1,
+            q3=q3,
+            whisker_low=float(within.min()) if within.size else float(array.min()),
+            whisker_high=float(within.max()) if within.size else float(array.max()),
+            histogram=tuple(sorted(histogram.items())),
+        )
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range."""
+        return self.q3 - self.q1
+
+    def boxplot_row(self) -> tuple[float, float, float, float, float, float]:
+        """``(whisker_low, q1, median, q3, whisker_high, mean)`` — one boxplot."""
+        return (self.whisker_low, self.q1, self.median, self.q3, self.whisker_high, self.mean)
+
+    def fraction_at_least(self, score: int) -> float:
+        """Fraction of responses with a score of at least *score*."""
+        if self.count == 0:
+            return float("nan")
+        total = sum(count for value, count in self.histogram if value >= score)
+        return total / self.count

@@ -1,0 +1,32 @@
+"""IDN substrate: Punycode, IDNA label conversion, domain model, TLD policies."""
+
+from . import punycode
+from .domain import DomainName
+from .idna_codec import (
+    ACE_PREFIX,
+    IDNAError,
+    decode_domain,
+    encode_domain,
+    is_ace_label,
+    to_ascii_label,
+    to_unicode_label,
+    validate_ulabel,
+)
+from .tld import IDNTable, REGISTRY_POLICIES, policy_for, register_policy
+
+__all__ = [
+    "punycode",
+    "DomainName",
+    "ACE_PREFIX",
+    "IDNAError",
+    "decode_domain",
+    "encode_domain",
+    "is_ace_label",
+    "to_ascii_label",
+    "to_unicode_label",
+    "validate_ulabel",
+    "IDNTable",
+    "REGISTRY_POLICIES",
+    "policy_for",
+    "register_policy",
+]

@@ -1,0 +1,157 @@
+"""IDNA label conversion: U-labels ↔ A-labels.
+
+Registered IDNs appear in zone files as ASCII *A-labels* with the ACE
+prefix ``xn--`` (e.g. ``xn--tsta8290bfzd``); users see the Unicode
+*U-label* (``阿里巴巴``).  This module converts between the two forms and
+validates labels against the IDNA2008 rules the registries enforce:
+
+* code points must be PVALID (or contextual, when allowed);
+* labels are NFC-normalised and case-folded;
+* A-labels obey the LDH and length rules (63 octets, no leading/trailing
+  hyphen, no hyphens in positions 3-4 unless the label is an A-label).
+
+The implementation is intentionally independent of the ``idna`` PyPI
+package (not available offline) and of the lenient built-in ``"idna"``
+codec.
+"""
+
+from __future__ import annotations
+
+import unicodedata
+
+from ..unicode.idna import DerivedProperty, derived_property
+from . import punycode
+
+__all__ = [
+    "ACE_PREFIX",
+    "IDNAError",
+    "is_ace_label",
+    "to_ascii_label",
+    "to_unicode_label",
+    "encode_domain",
+    "decode_domain",
+    "validate_ulabel",
+]
+
+#: ASCII-Compatible-Encoding prefix marking an encoded IDN label.
+ACE_PREFIX = "xn--"
+
+_MAX_LABEL_OCTETS = 63
+_MAX_DOMAIN_OCTETS = 253
+_LDH_CHARS = frozenset("abcdefghijklmnopqrstuvwxyz0123456789-_")
+
+
+class IDNAError(ValueError):
+    """Raised when a label violates the IDNA2008 rules."""
+
+
+def is_ace_label(label: str) -> bool:
+    """True when *label* carries the ``xn--`` ACE prefix."""
+    return label.lower().startswith(ACE_PREFIX)
+
+
+def _check_hyphens(label: str, *, is_alabel: bool) -> None:
+    if not label:
+        raise IDNAError("empty label")
+    if label.startswith("-") or label.endswith("-"):
+        raise IDNAError(f"label may not start or end with a hyphen: {label!r}")
+    if not is_alabel and len(label) >= 4 and label[2:4] == "--":
+        raise IDNAError(f"label has hyphens in positions 3-4: {label!r}")
+
+
+def validate_ulabel(label: str, *, allow_contextual: bool = True) -> str:
+    """Validate and normalise a Unicode label; returns the normalised form."""
+    if not label:
+        raise IDNAError("empty label")
+    normalised = unicodedata.normalize("NFC", label.casefold())
+    if len(normalised.encode("utf-8")) > _MAX_LABEL_OCTETS * 4:
+        raise IDNAError("label too long")
+    for ch in normalised:
+        prop = derived_property(ord(ch))
+        if prop is DerivedProperty.PVALID:
+            continue
+        if allow_contextual and prop in (DerivedProperty.CONTEXTJ, DerivedProperty.CONTEXTO):
+            continue
+        raise IDNAError(
+            f"code point U+{ord(ch):04X} ({prop.value}) not permitted in IDN label {label!r}"
+        )
+    _check_hyphens(normalised, is_alabel=False)
+    return normalised
+
+
+def to_ascii_label(label: str, *, validate: bool = True) -> str:
+    """Convert a single label to its A-label (ASCII) form.
+
+    Pure-ASCII labels are returned lower-cased and unchanged (no prefix);
+    labels already carrying the ACE prefix are round-trip checked.
+    """
+    label = label.strip()
+    if not label:
+        raise IDNAError("empty label")
+    if is_ace_label(label):
+        # Verify it decodes, then return the canonical lowercase form.
+        to_unicode_label(label)
+        return label.lower()
+    if all(ord(ch) < 0x80 for ch in label):
+        lowered = label.lower()
+        if validate and any(ch not in _LDH_CHARS for ch in lowered):
+            raise IDNAError(f"label contains non-LDH ASCII characters: {label!r}")
+        _check_hyphens(lowered, is_alabel=False)
+        if len(lowered) > _MAX_LABEL_OCTETS:
+            raise IDNAError(f"label exceeds 63 octets: {label!r}")
+        return lowered
+    ulabel = validate_ulabel(label) if validate else unicodedata.normalize("NFC", label.casefold())
+    if all(ord(ch) < 0x80 for ch in ulabel):
+        # Normalisation (e.g. case folding of ß) can turn a label pure-ASCII;
+        # such labels are not encoded as A-labels.
+        _check_hyphens(ulabel, is_alabel=False)
+        return ulabel
+    alabel = ACE_PREFIX + punycode.encode(ulabel)
+    if len(alabel) > _MAX_LABEL_OCTETS:
+        raise IDNAError(f"A-label exceeds 63 octets: {alabel!r}")
+    return alabel
+
+
+def to_unicode_label(label: str) -> str:
+    """Convert a single label to its U-label (Unicode) form."""
+    label = label.strip().lower()
+    if not label:
+        raise IDNAError("empty label")
+    if not is_ace_label(label):
+        return label
+    encoded = label[len(ACE_PREFIX):]
+    if not encoded:
+        raise IDNAError("empty A-label payload")
+    try:
+        decoded = punycode.decode(encoded)
+    except punycode.PunycodeError as exc:
+        raise IDNAError(f"invalid Punycode in label {label!r}: {exc}") from exc
+    if all(ord(ch) < 0x80 for ch in decoded):
+        raise IDNAError(f"A-label {label!r} decodes to pure ASCII")
+    return decoded
+
+
+def encode_domain(domain: str) -> str:
+    """Convert a full domain name to its ASCII (A-label) form."""
+    labels = _split(domain)
+    encoded = [to_ascii_label(label) for label in labels]
+    result = ".".join(encoded)
+    if len(result) > _MAX_DOMAIN_OCTETS:
+        raise IDNAError(f"domain exceeds {_MAX_DOMAIN_OCTETS} octets: {domain!r}")
+    return result
+
+
+def decode_domain(domain: str) -> str:
+    """Convert a full domain name to its Unicode (U-label) form."""
+    labels = _split(domain)
+    return ".".join(to_unicode_label(label) for label in labels)
+
+
+def _split(domain: str) -> list[str]:
+    domain = domain.strip().rstrip(".")
+    if not domain:
+        raise IDNAError("empty domain name")
+    # Accept the ideographic and fullwidth dots users may type.
+    for dot in ("。", "．", "｡"):
+        domain = domain.replace(dot, ".")
+    return domain.split(".")

@@ -1,0 +1,178 @@
+"""Punycode — RFC 3492 Bootstring encoding for IDNA.
+
+IDN labels travel on the wire as ASCII "A-labels": the Unicode label is
+encoded with the Bootstring algorithm using the Punycode parameters and
+prefixed with ``xn--``.  This module implements the encoder and decoder
+from scratch (including the bias adaptation function and overflow checks),
+independent of Python's built-in ``punycode`` codec, which the test suite
+uses as a cross-check.
+"""
+
+from __future__ import annotations
+
+__all__ = ["encode", "decode", "PunycodeError"]
+
+# Bootstring parameters for Punycode (RFC 3492 section 5).
+_BASE = 36
+_TMIN = 1
+_TMAX = 26
+_SKEW = 38
+_DAMP = 700
+_INITIAL_BIAS = 72
+_INITIAL_N = 0x80
+_DELIMITER = "-"
+_MAXINT = 0x7FFFFFFF
+
+
+class PunycodeError(ValueError):
+    """Raised when a string cannot be Punycode-encoded or decoded."""
+
+
+def _encode_digit(digit: int) -> str:
+    """Map a digit in ``[0, 35]`` to its code point (a-z, 0-9)."""
+    if digit < 26:
+        return chr(ord("a") + digit)
+    if digit < 36:
+        return chr(ord("0") + digit - 26)
+    raise PunycodeError(f"digit out of range: {digit}")
+
+
+def _decode_digit(char: str) -> int:
+    """Inverse of :func:`_encode_digit` (case-insensitive)."""
+    cp = ord(char)
+    if 0x30 <= cp <= 0x39:  # 0-9
+        return cp - 0x30 + 26
+    if 0x41 <= cp <= 0x5A:  # A-Z
+        return cp - 0x41
+    if 0x61 <= cp <= 0x7A:  # a-z
+        return cp - 0x61
+    raise PunycodeError(f"invalid Punycode digit: {char!r}")
+
+
+def _adapt(delta: int, num_points: int, first_time: bool) -> int:
+    """Bias adaptation function (RFC 3492 section 6.1)."""
+    delta = delta // _DAMP if first_time else delta // 2
+    delta += delta // num_points
+    k = 0
+    while delta > ((_BASE - _TMIN) * _TMAX) // 2:
+        delta //= _BASE - _TMIN
+        k += _BASE
+    return k + (((_BASE - _TMIN + 1) * delta) // (delta + _SKEW))
+
+
+def encode(text: str) -> str:
+    """Encode a Unicode string into its Punycode form (without ``xn--``).
+
+    Follows RFC 3492 section 6.3.  Pure-ASCII input is returned with a
+    trailing delimiter-less copy (the basic code points plus an empty
+    extended part), matching the reference algorithm.
+    """
+    codepoints = [ord(ch) for ch in text]
+    basic = [cp for cp in codepoints if cp < 0x80]
+    output = [chr(cp) for cp in basic]
+
+    handled = len(basic)
+    if handled > 0:
+        output.append(_DELIMITER)
+
+    n = _INITIAL_N
+    delta = 0
+    bias = _INITIAL_BIAS
+
+    while handled < len(codepoints):
+        candidates = [cp for cp in codepoints if cp >= n]
+        if not candidates:
+            raise PunycodeError("no code point to encode")
+        m = min(candidates)
+        if (m - n) > (_MAXINT - delta) // (handled + 1):
+            raise PunycodeError("overflow during encoding")
+        delta += (m - n) * (handled + 1)
+        n = m
+        for cp in codepoints:
+            if cp < n:
+                delta += 1
+                if delta > _MAXINT:
+                    raise PunycodeError("overflow during encoding")
+            elif cp == n:
+                q = delta
+                k = _BASE
+                while True:
+                    if k <= bias:
+                        threshold = _TMIN
+                    elif k >= bias + _TMAX:
+                        threshold = _TMAX
+                    else:
+                        threshold = k - bias
+                    if q < threshold:
+                        break
+                    output.append(_encode_digit(threshold + ((q - threshold) % (_BASE - threshold))))
+                    q = (q - threshold) // (_BASE - threshold)
+                    k += _BASE
+                output.append(_encode_digit(q))
+                bias = _adapt(delta, handled + 1, handled == len(basic))
+                delta = 0
+                handled += 1
+        delta += 1
+        n += 1
+
+    return "".join(output)
+
+
+def decode(text: str) -> str:
+    """Decode a Punycode string (without ``xn--``) back into Unicode.
+
+    Follows RFC 3492 section 6.2 with the overflow checks the RFC requires.
+    """
+    for ch in text:
+        if ord(ch) >= 0x80:
+            raise PunycodeError(f"non-ASCII character in Punycode input: {ch!r}")
+
+    delimiter_index = text.rfind(_DELIMITER)
+    if delimiter_index >= 0:
+        basic = text[:delimiter_index]
+        extended = text[delimiter_index + 1:]
+    else:
+        basic = ""
+        extended = text
+
+    output = list(basic)
+    n = _INITIAL_N
+    index = 0
+    bias = _INITIAL_BIAS
+
+    position = 0
+    while position < len(extended):
+        old_index = index
+        weight = 1
+        k = _BASE
+        while True:
+            if position >= len(extended):
+                raise PunycodeError("truncated Punycode input")
+            digit = _decode_digit(extended[position])
+            position += 1
+            if digit > (_MAXINT - index) // weight:
+                raise PunycodeError("overflow during decoding")
+            index += digit * weight
+            if k <= bias:
+                threshold = _TMIN
+            elif k >= bias + _TMAX:
+                threshold = _TMAX
+            else:
+                threshold = k - bias
+            if digit < threshold:
+                break
+            if weight > _MAXINT // (_BASE - threshold):
+                raise PunycodeError("overflow during decoding")
+            weight *= _BASE - threshold
+            k += _BASE
+        bias = _adapt(index - old_index, len(output) + 1, old_index == 0)
+        if index // (len(output) + 1) > _MAXINT - n:
+            raise PunycodeError("overflow during decoding")
+        n += index // (len(output) + 1)
+        index %= len(output) + 1
+        if n > 0x10FFFF or 0xD800 <= n <= 0xDFFF:
+            raise PunycodeError(f"decoded code point out of range: {n:#x}")
+        output.insert(index, chr(n))
+        index += 1
+
+    return "".join(output)

@@ -1,0 +1,13 @@
+"""Language identification substrate (langid.py substitute)."""
+
+from .classifier import LanguageGuess, LanguageIdentifier, identify, language_histogram
+from .profiles import PROFILES, LanguageProfile
+
+__all__ = [
+    "LanguageGuess",
+    "LanguageIdentifier",
+    "identify",
+    "language_histogram",
+    "PROFILES",
+    "LanguageProfile",
+]

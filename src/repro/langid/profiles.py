@@ -1,0 +1,94 @@
+"""Language profiles for the script/character based language identifier.
+
+Each profile names a language (ISO 639-1 code plus English name), the
+scripts it is written in, and the characteristic characters that separate
+it from other languages sharing the same script (e.g. ``ß`` for German,
+dotless ``ı``/``ğ`` for Turkish, ``ñ`` for Spanish).  The identifier in
+:mod:`repro.langid.classifier` scores a string against every profile.
+
+The inventory covers the languages that dominate real IDN registrations
+(paper Table 7: Chinese, Korean, Japanese, German, Turkish at the top)
+plus the other languages langid.py distinguishes that plausibly appear in
+``.com`` IDN labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LanguageProfile", "PROFILES"]
+
+
+@dataclass(frozen=True)
+class LanguageProfile:
+    """Evidence used to recognise one language."""
+
+    code: str
+    name: str
+    scripts: frozenset[str]
+    marker_chars: frozenset[str] = field(default_factory=frozenset)
+    common_substrings: tuple[str, ...] = ()
+    base_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scripts", frozenset(self.scripts))
+        object.__setattr__(self, "marker_chars", frozenset(self.marker_chars))
+
+
+def _profile(code: str, name: str, scripts: set[str], markers: str = "",
+             substrings: tuple[str, ...] = (), weight: float = 1.0) -> LanguageProfile:
+    return LanguageProfile(code, name, frozenset(scripts), frozenset(markers), substrings, weight)
+
+
+PROFILES: tuple[LanguageProfile, ...] = (
+    # East Asian languages — dominant in .com IDNs.
+    _profile("zh", "Chinese", {"Han", "Bopomofo"}, weight=1.15),
+    _profile("ja", "Japanese", {"Hiragana", "Katakana"}, weight=1.1),
+    _profile("ko", "Korean", {"Hangul"}, weight=1.1),
+    # European Latin-script languages.
+    _profile("de", "German", {"Latin"}, "äöüß", ("sch", "che", "ung", "str", "ein")),
+    _profile("tr", "Turkish", {"Latin"}, "ğışçöüİ", ("lar", "ler", "lik", "oğlu")),
+    _profile("fr", "French", {"Latin"}, "àâçèêëîïôûœ", ("eau", "oux", "tion", "aire")),
+    _profile("es", "Spanish", {"Latin"}, "ñáíóú¿", ("cion", "illa", "ería")),
+    _profile("pt", "Portuguese", {"Latin"}, "ãõçáâê", ("ção", "inho", "eira")),
+    _profile("it", "Italian", {"Latin"}, "àèìòù", ("zione", "ella", "ino")),
+    _profile("sv", "Swedish", {"Latin"}, "åäö", ("ning", "ska", "bolag")),
+    _profile("da", "Danish", {"Latin"}, "æøå", ("eri", "gaard")),
+    _profile("no", "Norwegian", {"Latin"}, "æøå", ("ing", "sen")),
+    _profile("fi", "Finnish", {"Latin"}, "äö", ("inen", "lla", "kka")),
+    _profile("pl", "Polish", {"Latin"}, "ąćęłńóśźż", ("ski", "owa", "czy")),
+    _profile("cs", "Czech", {"Latin"}, "čďěňřšťůž", ("ova", "sky")),
+    _profile("hu", "Hungarian", {"Latin"}, "őűö", ("szt", "egy")),
+    _profile("nl", "Dutch", {"Latin"}, "ij", ("ijk", "aan", "ver")),
+    _profile("vi", "Vietnamese", {"Latin"}, "ăâđêôơưạảấầẩẫậắằẳẵặẹẻẽếềểễệỉịọỏốồổỗộớờởỡợụủứừửữựỳỵỷỹ"),
+    _profile("ro", "Romanian", {"Latin"}, "ăâîșț", ("ul", "escu")),
+    _profile("en", "English", {"Latin"}, "", ("the", "ing", "shop", "online"), weight=0.6),
+    # Cyrillic-script languages.
+    _profile("ru", "Russian", {"Cyrillic"}, "ыъэё", ("ов", "ский", "ние"), weight=1.05),
+    _profile("uk", "Ukrainian", {"Cyrillic"}, "їєґі", ("ськ", "ння")),
+    _profile("bg", "Bulgarian", {"Cyrillic"}, "ъщ", ("ите", "ият")),
+    _profile("sr", "Serbian", {"Cyrillic"}, "ђћџљњ", ()),
+    # Other scripts.
+    _profile("ar", "Arabic", {"Arabic"}, "", (), 1.05),
+    _profile("fa", "Persian", {"Arabic"}, "پچژگ", ()),
+    _profile("he", "Hebrew", {"Hebrew"}),
+    _profile("el", "Greek", {"Greek"}),
+    _profile("hy", "Armenian", {"Armenian"}),
+    _profile("ka", "Georgian", {"Georgian"}),
+    _profile("th", "Thai", {"Thai"}),
+    _profile("lo", "Lao", {"Lao"}),
+    _profile("hi", "Hindi", {"Devanagari"}),
+    _profile("bn", "Bengali", {"Bengali"}),
+    _profile("ta", "Tamil", {"Tamil"}),
+    _profile("te", "Telugu", {"Telugu"}),
+    _profile("kn", "Kannada", {"Kannada"}),
+    _profile("ml", "Malayalam", {"Malayalam"}),
+    _profile("or", "Odia", {"Oriya"}),
+    _profile("pa", "Punjabi", {"Gurmukhi"}),
+    _profile("gu", "Gujarati", {"Gujarati"}),
+    _profile("si", "Sinhala", {"Sinhala"}),
+    _profile("my", "Burmese", {"Myanmar"}),
+    _profile("km", "Khmer", {"Khmer"}),
+    _profile("am", "Amharic", {"Ethiopic"}),
+    _profile("mn", "Mongolian", {"Mongolian", "Cyrillic"}, "өү"),
+)

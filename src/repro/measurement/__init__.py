@@ -1,0 +1,25 @@
+"""Measurement study: reference lists, synthetic .com population, Sections 5-6 pipeline."""
+
+from .alexa import HEAD_DOMAINS, ReferenceDomain, ReferenceList
+from .domainlists import (
+    ATTACKER_SUBSTITUTIONS,
+    DomainPopulation,
+    InjectedHomograph,
+    ZoneConfig,
+    generate_population,
+)
+from .study import MeasurementStudy, PopularHomograph, StudyResults
+
+__all__ = [
+    "HEAD_DOMAINS",
+    "ReferenceDomain",
+    "ReferenceList",
+    "ATTACKER_SUBSTITUTIONS",
+    "DomainPopulation",
+    "InjectedHomograph",
+    "ZoneConfig",
+    "generate_population",
+    "MeasurementStudy",
+    "PopularHomograph",
+    "StudyResults",
+]

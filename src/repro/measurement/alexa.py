@@ -1,0 +1,149 @@
+"""Reference domain lists (Alexa Top Sites substitute).
+
+ShamFinder needs a ranked list of popular domains as the reference set
+(paper Section 5.1: the top-10k ``.com`` domains from the Alexa ranking).
+The generator below produces a deterministic ranked list seeded with the
+real, well-known domains the paper's evaluation revolves around (google,
+amazon, facebook, gmail, myetherwallet, allstate, …) followed by synthetic
+but realistic-looking names, so any requested list size can be produced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["ReferenceDomain", "ReferenceList", "HEAD_DOMAINS"]
+
+#: Hand-ranked head of the list: popular .com domains named in the paper plus
+#: other globally popular .com sites.  Ranks 1.. follow list order.
+HEAD_DOMAINS: tuple[str, ...] = (
+    "google.com", "youtube.com", "facebook.com", "baidu.com", "wikipedia.com",
+    "qq.com", "amazon.com", "yahoo.com", "taobao.com", "reddit.com",
+    "gmail.com", "tmall.com", "twitter.com", "instagram.com", "live.com",
+    "vk.com", "sohu.com", "jd.com", "sina.com", "weibo.com",
+    "linkedin.com", "netflix.com", "twitch.com", "office.com", "ebay.com",
+    "bing.com", "microsoft.com", "apple.com", "paypal.com", "dropbox.com",
+    "wordpress.com", "adobe.com", "tumblr.com", "booking.com", "github.com",
+    "stackoverflow.com", "imdb.com", "whatsapp.com", "binance.com", "coinbase.com",
+    "spotify.com", "salesforce.com", "chase.com", "wellsfargo.com", "bankofamerica.com",
+    "walmart.com", "target.com", "bestbuy.com", "homedepot.com", "costco.com",
+    "espn.com", "cnn.com", "nytimes.com", "foxnews.com", "bbc.com",
+    "zoom.com", "slack.com", "airbnb.com", "uber.com", "lyft.com",
+    "expedia.com", "tripadvisor.com", "aliexpress.com", "alibaba.com", "shopify.com",
+    "etsy.com", "pinterest.com", "quora.com", "medium.com", "telegram.com",
+    "doviz.com", "expansion.com", "peru.com", "shadbase.com", "steamcommunity.com",
+    "roblox.com", "minecraft.com", "epicgames.com", "ea.com", "blizzard.com",
+    "myetherwallet.com", "blockchain.com", "kraken.com", "bitfinex.com", "bittrex.com",
+    "allstate.com", "geico.com", "progressive.com", "statefarm.com", "usaa.com",
+    "fedex.com", "ups.com", "usps.com", "dhl.com", "aramex.com",
+    "hotmail.com", "outlook.com", "protonmail.com", "zoho.com", "mail.com",
+)
+
+_SYLLABLES = (
+    "ab", "ac", "ad", "al", "am", "an", "ar", "as", "at", "be", "bi", "bo",
+    "ca", "ce", "ci", "co", "cu", "da", "de", "di", "do", "du", "el", "en",
+    "er", "es", "ex", "fa", "fi", "fo", "ga", "ge", "go", "ha", "he", "hi",
+    "ho", "hu", "in", "is", "it", "ka", "ke", "ki", "ko", "la", "le", "li",
+    "lo", "lu", "ma", "me", "mi", "mo", "mu", "na", "ne", "ni", "no", "nu",
+    "on", "or", "pa", "pe", "pi", "po", "ra", "re", "ri", "ro", "ru", "sa",
+    "se", "si", "so", "su", "ta", "te", "ti", "to", "tu", "un", "ur", "va",
+    "ve", "vi", "vo", "wa", "we", "wi", "ya", "yo", "za", "zo",
+)
+
+_SUFFIXES = ("", "", "", "shop", "online", "store", "hub", "app", "web", "net", "pro", "lab", "media", "tech")
+
+
+@dataclass(frozen=True)
+class ReferenceDomain:
+    """One ranked reference domain."""
+
+    rank: int
+    domain: str
+
+    @property
+    def label(self) -> str:
+        """Registrable label (domain without the TLD)."""
+        return self.domain.rsplit(".", 1)[0]
+
+
+class ReferenceList:
+    """A ranked list of reference (popular) domains."""
+
+    def __init__(self, domains: Sequence[str]) -> None:
+        seen: set[str] = set()
+        entries: list[ReferenceDomain] = []
+        for domain in domains:
+            domain = domain.lower().rstrip(".")
+            if domain in seen:
+                continue
+            seen.add(domain)
+            entries.append(ReferenceDomain(len(entries) + 1, domain))
+        self._entries = entries
+        self._by_domain = {entry.domain: entry for entry in entries}
+
+    # -- generation ---------------------------------------------------------
+
+    @classmethod
+    def top_sites(cls, count: int = 10_000, *, tld: str = "com", seed: int = 20190917) -> "ReferenceList":
+        """Generate a ranked reference list of the requested size."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        head = [d for d in HEAD_DOMAINS if d.endswith("." + tld)][:count]
+        names = list(head)
+        rng = _rng(seed, "alexa")
+        while len(names) < count:
+            label = _synthetic_label(rng)
+            domain = f"{label}.{tld}"
+            if domain not in names:
+                names.append(domain)
+        return cls(names[:count])
+
+    # -- access ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[ReferenceDomain]:
+        return iter(self._entries)
+
+    def __contains__(self, domain: str) -> bool:
+        return domain.lower().rstrip(".") in self._by_domain
+
+    def domains(self) -> list[str]:
+        """All domains in rank order."""
+        return [entry.domain for entry in self._entries]
+
+    def labels(self) -> list[str]:
+        """Registrable labels in rank order."""
+        return [entry.label for entry in self._entries]
+
+    def rank_of(self, domain: str) -> int | None:
+        """Rank of a domain (``None`` when absent)."""
+        entry = self._by_domain.get(domain.lower().rstrip("."))
+        return entry.rank if entry is not None else None
+
+    def top(self, count: int) -> "ReferenceList":
+        """The first *count* entries as a new list."""
+        return ReferenceList([entry.domain for entry in self._entries[:count]])
+
+    def popularity_weights(self, *, exponent: float = 1.05) -> dict[str, float]:
+        """Zipf-like popularity weights keyed by domain (rank 1 is heaviest)."""
+        return {
+            entry.domain: 1.0 / (entry.rank ** exponent)
+            for entry in self._entries
+        }
+
+
+def _rng(seed: int, salt: str) -> np.random.Generator:
+    digest = hashlib.sha256(f"{seed}:{salt}".encode()).digest()
+    return np.random.default_rng(np.frombuffer(digest[:16], dtype=np.uint64))
+
+
+def _synthetic_label(rng: np.random.Generator) -> str:
+    parts = [str(_SYLLABLES[int(rng.integers(0, len(_SYLLABLES)))]) for _ in range(int(rng.integers(2, 5)))]
+    suffix = str(_SUFFIXES[int(rng.integers(0, len(_SUFFIXES)))])
+    return "".join(parts) + suffix

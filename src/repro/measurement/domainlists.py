@@ -1,0 +1,584 @@
+"""Synthetic ``.com`` domain population (zone file + domainlists.io substitute).
+
+The paper's measurement consumes the Verisign ``.com`` zone file (140.9 M
+domains) complemented by the domainlists.io list (139.7 M), of which
+955,512 are IDNs; ShamFinder then detects 3,280 IDN homographs of the
+Alexa top-10k.  Neither data source is available offline, so this module
+synthesises a population with the same *structure* at a configurable scale
+(DESIGN.md §2):
+
+* a bulk of ASCII domains with realistic label shapes;
+* an IDN slice whose language mix follows the paper's Table 7 (Chinese,
+  Korean, Japanese, German, Turkish, …);
+* injected IDN homographs of the reference list, concentrated on the
+  domains the paper found most targeted (myetherwallet, google, amazon,
+  facebook, allstate, gmail, …), including the specific high-profile
+  domains of Table 11 (the cloaked ``gmaıl.com`` phishing site, the
+  ``döviz.com`` portal, parked gmail/yahoo/youtube variants);
+* per-domain hosting behaviour (registration status, A records, open
+  ports, parking, redirects, MX, lookups, maliciousness) drawn from the
+  paper's observed distributions (Tables 10-14), and
+* two overlapping domain lists (zone file and "domainlists.io") whose
+  union is the analysis input (Table 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..dns.zonefile import ZoneFile
+from ..idn.idna_codec import IDNAError, to_ascii_label
+from ..web.blacklist import BlacklistAggregator
+from ..web.hosting import RedirectIntent, SiteCategory, SyntheticWeb, WebsiteProfile
+from ..web.parking import PARKING_NS_SUFFIXES
+from .alexa import ReferenceList, _rng as _seed_rng, _synthetic_label
+
+__all__ = ["ZoneConfig", "InjectedHomograph", "DomainPopulation", "generate_population",
+           "ATTACKER_SUBSTITUTIONS", "LANGUAGE_MIX"]
+
+
+# Characters an attacker substitutes for each ASCII letter when minting a
+# homograph.  Mostly confusables our databases know about; the final entry of
+# some lists is a weaker lookalike that the databases may miss, so detection
+# recall stays realistically below 100%.
+ATTACKER_SUBSTITUTIONS: dict[str, tuple[str, ...]] = {
+    "a": ("а", "á", "à", "â", "ä", "ạ", "α"),
+    "b": ("Ƅ", "ḅ", "ɓ"),
+    "c": ("с", "ç", "ć", "ċ"),
+    "d": ("ԁ", "ḍ", "ɗ"),
+    "e": ("е", "é", "è", "ê", "ë", "ẹ", "ē"),
+    "g": ("ɡ", "ğ", "ġ", "ģ"),
+    "h": ("һ", "ḥ", "ĥ"),
+    "i": ("і", "í", "ì", "î", "ï", "ı", "ι"),
+    "j": ("ј", "ĵ"),
+    "k": ("ķ", "ḳ", "κ"),
+    "l": ("ӏ", "ĺ", "ļ", "ḷ", "ł"),
+    "m": ("ṃ", "ḿ"),
+    "n": ("ո", "ń", "ñ", "ṇ"),
+    "o": ("о", "ο", "ó", "ò", "ô", "ö", "õ", "ọ", "ơ", "օ"),
+    "p": ("р", "ṗ", "ρ"),
+    "q": ("ԛ",),
+    "r": ("ŕ", "ṛ", "ř"),
+    "s": ("ѕ", "ś", "ş", "ṣ"),
+    "t": ("ţ", "ṭ", "ť"),
+    "u": ("υ", "ú", "ù", "û", "ü", "ụ", "ư"),
+    "v": ("ν", "ṿ"),
+    "w": ("ԝ", "ẁ", "ŵ", "ẃ"),
+    "x": ("х", "ẋ"),
+    "y": ("у", "ý", "ỳ", "ŷ", "ÿ"),
+    "z": ("ź", "ż", "ẓ"),
+}
+
+#: Language mix of (non-homograph) IDN registrable labels, following Table 7.
+LANGUAGE_MIX: tuple[tuple[str, float], ...] = (
+    ("Chinese", 0.465),
+    ("Korean", 0.106),
+    ("Japanese", 0.093),
+    ("German", 0.056),
+    ("Turkish", 0.036),
+    ("Russian", 0.034),
+    ("French", 0.030),
+    ("Spanish", 0.026),
+    ("Arabic", 0.022),
+    ("Vietnamese", 0.020),
+    ("Thai", 0.015),
+    ("Hebrew", 0.012),
+    ("Greek", 0.012),
+    ("Korean2", 0.0),  # placeholder keeps tuple length stable for tests
+    ("Other Latin", 0.073),
+)
+
+# Character pools per language used to mint IDN labels.
+_LANGUAGE_POOLS: dict[str, str] = {
+    "Chinese": "的一是不了人我在有他这中大来上国个到说们为子和你地出道也时年得就那要下以生会自着去之过家学对可她里后小么心多天而能好都然没日于起还发成事只作当想看文无开手十用主行方又如前所本见经头面公同三已老从动两长知汉",
+    "Korean": "가나다라마바사아자차카타파하고노도로모보소오조초코토포호구누두루무부수우주추쿠투푸후기니디리미비시이지치키티피히게네데레메베세에제체케테페헤",
+    "Japanese": "あいうえおかきくけこさしすせそたちつてとなにぬねのはひふへほまみむめもやゆよらりるれろわをんアイウエオカキクケコサシスセソタチツテトナニヌネノハヒフヘホマミムメモヤユヨラリルレロワヲン",
+    "German": "abcdefghijklmnopqrstuvwxyzäöüß",
+    "Turkish": "abcçdefgğhıijklmnoöprsştuüvyz",
+    "Russian": "абвгдежзийклмнопрстуфхцчшщъыьэюя",
+    "French": "abcdefghijklmnopqrstuvwxyzéèêàçôû",
+    "Spanish": "abcdefghijklmnopqrstuvwxyzñáéíóú",
+    "Arabic": "ابتثجحخدذرزسشصضطظعغفقكلمنهوي",
+    "Vietnamese": "abcdeghiklmnopqrstuvxyăâđêôơư",
+    "Thai": "กขคงจฉชซญฎฏฐณดตถทธนบปผฝพฟภมยรลวศษสหอฮ",
+    "Hebrew": "אבגדהוזחטיכלמנסעפצקרשת",
+    "Greek": "αβγδεζηθικλμνξοπρστυφχψω",
+    "Other Latin": "abcdefghijklmnopqrstuvwxyzåøæœãõ",
+}
+
+#: Table 11's specific high-profile homographs: (unicode domain, targeted
+#: reference, category, lookups, MX now, MX in past, web link, SNS link).
+_HEADLINE_HOMOGRAPHS: tuple[tuple[str, str, SiteCategory, int, bool, bool, bool, bool], ...] = (
+    ("gmaıl.com", "gmail.com", SiteCategory.PHISHING, 615_447, False, True, True, False),
+    ("döviz.com", "doviz.com", SiteCategory.PORTAL, 127_417, True, True, True, True),
+    ("ʼgmail.com", "gmail.com", SiteCategory.PARKED, 74_699, False, True, False, False),
+    ("gmàil.com", "gmail.com", SiteCategory.PARKED, 63_233, False, False, True, True),
+    ("expansión.com", "expansion.com", SiteCategory.PARKED, 56_918, False, True, True, True),
+    ("gmaiĺ.com", "gmail.com", SiteCategory.PARKED, 49_248, False, False, True, False),
+    ("yàhoo.com", "yahoo.com", SiteCategory.PARKED, 44_368, False, True, False, False),
+    ("shädbase.com", "shadbase.com", SiteCategory.PARKED, 38_556, False, False, True, False),
+    ("youtubê.com", "youtube.com", SiteCategory.FOR_SALE, 37_713, False, False, True, True),
+    ("perú.com", "peru.com", SiteCategory.PARKED, 36_405, False, False, True, False),
+)
+
+#: How strongly each reference domain attracts homograph registrations,
+#: following the paper's Table 9 (myetherwallet first, then google, amazon,
+#: facebook, allstate) plus gmail/yahoo/youtube for Table 11.
+_TARGET_BOOSTS: dict[str, float] = {
+    "myetherwallet.com": 30.0,
+    "google.com": 20.0,
+    "amazon.com": 13.0,
+    "facebook.com": 12.5,
+    "allstate.com": 12.0,
+    "gmail.com": 9.0,
+    "yahoo.com": 6.0,
+    "youtube.com": 5.0,
+    "paypal.com": 4.0,
+    "binance.com": 4.0,
+    "apple.com": 3.5,
+    "netflix.com": 3.0,
+    "coinbase.com": 3.0,
+}
+
+
+@dataclass(frozen=True)
+class ZoneConfig:
+    """Scale and behaviour knobs of the synthetic population."""
+
+    total_domains: int = 120_000
+    idn_fraction: float = 0.0067
+    homograph_count: int = 330
+    reference_size: int = 10_000
+    seed: int = 20190917
+    zone_overlap: float = 0.98          # fraction of domains present in the zone file
+    domainlists_overlap: float = 0.97   # fraction present in the domainlists.io list
+    expired_fraction: float = 0.30      # homographs with no NS records (Section 6.1)
+    no_address_fraction: float = 0.168  # of delegated homographs, share without A records
+    unreachable_fraction: float = 0.137 # of addressed homographs, share with no open web port
+    https_fraction: float = 0.42        # of reachable homographs, share also serving HTTPS
+    category_mix: tuple[tuple[SiteCategory, float], ...] = (
+        (SiteCategory.PARKED, 0.211),
+        (SiteCategory.FOR_SALE, 0.210),
+        (SiteCategory.REDIRECT, 0.205),
+        (SiteCategory.NORMAL, 0.171),
+        (SiteCategory.EMPTY, 0.135),
+        (SiteCategory.ERROR, 0.068),
+    )
+    redirect_intent_mix: tuple[tuple[RedirectIntent, float], ...] = (
+        (RedirectIntent.BRAND_PROTECTION, 0.527),
+        (RedirectIntent.LEGITIMATE, 0.370),
+        (RedirectIntent.MALICIOUS, 0.103),
+    )
+    malicious_fraction: float = 0.074   # of all homographs, share that is blacklisted
+    blacklist_coverage: tuple[tuple[str, float], ...] = (
+        ("hpHosts", 0.95),
+        ("GSB", 0.055),
+        ("Symantec", 0.035),
+    )
+
+    @classmethod
+    def small(cls, *, seed: int = 7) -> "ZoneConfig":
+        """A population small enough for unit tests (hundreds of domains)."""
+        return cls(total_domains=2_500, idn_fraction=0.08, homograph_count=60,
+                   reference_size=300, seed=seed)
+
+    @classmethod
+    def paper_scaled(cls, *, scale: float = 1.0, seed: int = 20190917) -> "ZoneConfig":
+        """The default benchmark population (≈ 1/1000 of the paper's zone)."""
+        return cls(
+            total_domains=int(140_000 * scale),
+            idn_fraction=0.0067,
+            homograph_count=int(330 * scale) or 10,
+            reference_size=min(10_000, int(10_000 * scale) or 100),
+            seed=seed,
+        )
+
+
+@dataclass(frozen=True)
+class InjectedHomograph:
+    """Ground truth about one injected homograph registration."""
+
+    domain_ascii: str
+    domain_unicode: str
+    reference: str
+    detectable: bool
+
+
+@dataclass
+class DomainPopulation:
+    """The synthetic Internet handed to the measurement pipeline."""
+
+    config: ZoneConfig
+    reference: ReferenceList
+    zone: ZoneFile
+    zone_domains: list[str]
+    domainlists_domains: list[str]
+    web: SyntheticWeb
+    homographs: list[InjectedHomograph]
+    blacklists: BlacklistAggregator
+    plain_idns: list[str] = field(default_factory=list)
+
+    @property
+    def all_domains(self) -> list[str]:
+        """Union of the two lists (Table 6 "Total (union)")."""
+        return sorted(set(self.zone_domains) | set(self.domainlists_domains))
+
+    def idn_domains(self) -> list[str]:
+        """All registered IDNs (homographs plus plain IDNs)."""
+        return sorted(
+            {h.domain_ascii for h in self.homographs} | set(self.plain_idns)
+        )
+
+    def dataset_table(self) -> list[tuple[str, int, int]]:
+        """Rows of the paper's Table 6: (source, #domains, #IDNs)."""
+        def idn_count(domains: list[str]) -> int:
+            return sum(1 for d in domains if d.split(".")[0].startswith("xn--"))
+
+        union = self.all_domains
+        return [
+            ("zone file", len(self.zone_domains), idn_count(self.zone_domains)),
+            ("domainlists.io", len(self.domainlists_domains), idn_count(self.domainlists_domains)),
+            ("Total (union)", len(union), idn_count(union)),
+        ]
+
+
+# ---------------------------------------------------------------------------
+# generation
+# ---------------------------------------------------------------------------
+
+
+def generate_population(config: ZoneConfig | None = None) -> DomainPopulation:
+    """Generate the full synthetic population described in the module docstring."""
+    config = config if config is not None else ZoneConfig()
+    rng = _seed_rng(config.seed, "population")
+
+    reference = ReferenceList.top_sites(config.reference_size, seed=config.seed)
+    homographs = _inject_homographs(config, reference, rng)
+    plain_idns = _generate_plain_idns(config, rng)
+    ascii_domains = _generate_ascii_domains(config, reference, rng,
+                                            existing=len(homographs) + len(plain_idns))
+
+    all_domains = (
+        [h.domain_ascii for h in homographs]
+        + plain_idns
+        + ascii_domains
+    )
+
+    web = SyntheticWeb()
+    blacklists = BlacklistAggregator.with_default_feeds()
+    _assign_homograph_profiles(config, homographs, web, blacklists, rng)
+    _assign_background_profiles(plain_idns, ascii_domains, reference, web, rng)
+
+    zone_domains, domainlists_domains = _split_into_lists(config, all_domains, web, rng)
+    zone = _build_zone(zone_domains, web)
+
+    return DomainPopulation(
+        config=config,
+        reference=reference,
+        zone=zone,
+        zone_domains=zone_domains,
+        domainlists_domains=domainlists_domains,
+        web=web,
+        homographs=homographs,
+        blacklists=blacklists,
+        plain_idns=plain_idns,
+    )
+
+
+# -- homograph injection ------------------------------------------------------
+
+
+def _inject_homographs(config: ZoneConfig, reference: ReferenceList,
+                       rng: np.random.Generator) -> list[InjectedHomograph]:
+    homographs: list[InjectedHomograph] = []
+    seen: set[str] = set()
+
+    # Headline (Table 11) homographs first — they must exist at every scale.
+    for unicode_domain, target, *_rest in _HEADLINE_HOMOGRAPHS:
+        label, tld = unicode_domain.rsplit(".", 1)
+        try:
+            ascii_domain = f"{to_ascii_label(label)}.{tld}"
+        except IDNAError:
+            continue
+        if ascii_domain in seen:
+            continue
+        seen.add(ascii_domain)
+        homographs.append(InjectedHomograph(ascii_domain, unicode_domain, target, True))
+
+    # Weighted choice of targets for the remaining injections.
+    targets = reference.domains()
+    weights = np.array([
+        _TARGET_BOOSTS.get(domain, 1.0 / (rank ** 0.35))
+        for rank, domain in enumerate(targets, start=1)
+    ])
+    weights = weights / weights.sum()
+
+    attempts = 0
+    while len(homographs) < config.homograph_count and attempts < config.homograph_count * 30:
+        attempts += 1
+        target = targets[int(rng.choice(len(targets), p=weights))]
+        label = target.rsplit(".", 1)[0]
+        mutated, detectable = _mutate_label(label, rng)
+        if mutated == label:
+            continue
+        try:
+            ascii_domain = f"{to_ascii_label(mutated)}.com"
+        except IDNAError:
+            continue
+        if ascii_domain in seen or not ascii_domain.split(".")[0].startswith("xn--"):
+            continue
+        seen.add(ascii_domain)
+        homographs.append(InjectedHomograph(ascii_domain, f"{mutated}.com", target, detectable))
+    return homographs
+
+
+def _mutate_label(label: str, rng: np.random.Generator) -> tuple[str, bool]:
+    """Substitute 1-2 characters of *label* with attacker homoglyphs."""
+    positions = [i for i, ch in enumerate(label) if ch in ATTACKER_SUBSTITUTIONS]
+    if not positions:
+        return label, False
+    count = 1 if rng.random() < 0.8 or len(positions) == 1 else 2
+    chosen = rng.choice(len(positions), size=min(count, len(positions)), replace=False)
+    chars = list(label)
+    detectable = True
+    for index in sorted(int(c) for c in chosen):
+        position = positions[index]
+        alternatives = ATTACKER_SUBSTITUTIONS[chars[position]]
+        pick = int(rng.integers(0, len(alternatives)))
+        chars[position] = alternatives[pick]
+    return "".join(chars), detectable
+
+
+# -- background population -------------------------------------------------------
+
+
+def _generate_plain_idns(config: ZoneConfig, rng: np.random.Generator) -> list[str]:
+    idn_total = max(0, int(config.total_domains * config.idn_fraction) - config.homograph_count)
+    languages = [name for name, _weight in LANGUAGE_MIX if name in _LANGUAGE_POOLS]
+    weights = np.array([weight for name, weight in LANGUAGE_MIX if name in _LANGUAGE_POOLS])
+    weights = weights / weights.sum()
+    result: list[str] = []
+    seen: set[str] = set()
+    while len(result) < idn_total:
+        language = languages[int(rng.choice(len(languages), p=weights))]
+        pool = _LANGUAGE_POOLS[language]
+        length = int(rng.integers(2, 8 if language in ("Chinese", "Korean", "Japanese") else 12))
+        label = "".join(pool[int(rng.integers(0, len(pool)))] for _ in range(length))
+        try:
+            ascii_label = to_ascii_label(label)
+        except IDNAError:
+            continue
+        if not ascii_label.startswith("xn--"):
+            continue
+        domain = f"{ascii_label}.com"
+        if domain in seen:
+            continue
+        seen.add(domain)
+        result.append(domain)
+    return result
+
+
+def _generate_ascii_domains(config: ZoneConfig, reference: ReferenceList,
+                            rng: np.random.Generator, *, existing: int) -> list[str]:
+    target_total = max(config.total_domains - existing - len(reference), 0)
+    result: list[str] = list(reference.domains())
+    seen: set[str] = set(result)
+    while len(result) - len(reference) < target_total:
+        label = _synthetic_label(rng)
+        digest = int(rng.integers(0, 100))
+        if digest < 7:
+            label = f"{label}{int(rng.integers(1, 999))}"
+        elif digest < 12:
+            label = f"{label}-{_synthetic_label(rng)}"
+        domain = f"{label}.com"
+        if domain in seen:
+            continue
+        seen.add(domain)
+        result.append(domain)
+    return result
+
+
+# -- profile assignment -------------------------------------------------------------
+
+
+def _assign_homograph_profiles(config: ZoneConfig, homographs: list[InjectedHomograph],
+                               web: SyntheticWeb, blacklists: BlacklistAggregator,
+                               rng: np.random.Generator) -> None:
+    categories = [c for c, _w in config.category_mix]
+    category_weights = np.array([w for _c, w in config.category_mix])
+    category_weights = category_weights / category_weights.sum()
+    intents = [i for i, _w in config.redirect_intent_mix]
+    intent_weights = np.array([w for _i, w in config.redirect_intent_mix])
+    intent_weights = intent_weights / intent_weights.sum()
+
+    headline_by_ascii = {}
+    for unicode_domain, target, category, lookups, mx, past_mx, link, sns in _HEADLINE_HOMOGRAPHS:
+        label, tld = unicode_domain.rsplit(".", 1)
+        try:
+            headline_by_ascii[f"{to_ascii_label(label)}.{tld}"] = (
+                unicode_domain, target, category, lookups, mx, past_mx, link, sns
+            )
+        except IDNAError:
+            continue
+
+    for homograph in homographs:
+        domain = homograph.domain_ascii
+        headline = headline_by_ascii.get(domain)
+        if headline is not None:
+            _unicode, target, category, lookups, mx, past_mx, link, sns = headline
+            profile = WebsiteProfile(
+                domain=domain,
+                category=category,
+                open_ports=frozenset({80, 443}),
+                has_mx=mx,
+                had_mx_in_past=past_mx,
+                lookups=lookups,
+                linked_on_web=link,
+                linked_on_sns=sns,
+                malicious=category is SiteCategory.PHISHING,
+                cloaking=category is SiteCategory.PHISHING,
+                target_of=target,
+                nameservers=(f"ns1.{domain}", f"ns2.{domain}"),
+            )
+            web.add(profile)
+            if profile.malicious:
+                _blacklist(domain, config, blacklists, rng, force=True)
+            continue
+
+        if rng.random() < config.expired_fraction:
+            web.add(WebsiteProfile(domain=domain, registered=False, target_of=homograph.reference))
+            continue
+        if rng.random() < config.no_address_fraction:
+            web.add(WebsiteProfile(domain=domain, has_a=False, category=SiteCategory.EMPTY,
+                                   nameservers=(f"ns1.{domain}",), target_of=homograph.reference))
+            continue
+        if rng.random() < config.unreachable_fraction:
+            web.add(WebsiteProfile(domain=domain, open_ports=frozenset(),
+                                   category=SiteCategory.ERROR,
+                                   nameservers=(f"ns1.{domain}",), target_of=homograph.reference))
+            continue
+
+        category = categories[int(rng.choice(len(categories), p=category_weights))]
+        ports = {80}
+        if rng.random() < config.https_fraction:
+            ports.add(443)
+        lookups = int(rng.pareto(1.3) * 800) + int(rng.integers(5, 300))
+        malicious = False
+        redirect_target = None
+        redirect_intent = None
+        parking_ns = None
+        nameservers: tuple[str, ...] = (f"ns1.{domain}", f"ns2.{domain}")
+
+        if category is SiteCategory.PARKED:
+            provider = PARKING_NS_SUFFIXES[int(rng.integers(0, len(PARKING_NS_SUFFIXES)))]
+            parking_ns = f"ns1.{provider}"
+            nameservers = (parking_ns, f"ns2.{provider}")
+        elif category is SiteCategory.REDIRECT:
+            redirect_intent = intents[int(rng.choice(len(intents), p=intent_weights))]
+            if redirect_intent is RedirectIntent.BRAND_PROTECTION:
+                redirect_target = homograph.reference
+            elif redirect_intent is RedirectIntent.LEGITIMATE:
+                redirect_target = f"{_synthetic_label(rng)}.com"
+            else:
+                redirect_target = f"{_synthetic_label(rng)}-landing.com"
+                malicious = True
+
+        if not malicious and rng.random() < config.malicious_fraction:
+            malicious = True
+
+        profile = WebsiteProfile(
+            domain=domain,
+            category=category,
+            open_ports=frozenset(ports),
+            redirect_target=redirect_target,
+            redirect_intent=redirect_intent,
+            parking_ns=parking_ns,
+            nameservers=nameservers,
+            has_mx=rng.random() < 0.06,
+            had_mx_in_past=rng.random() < 0.12,
+            lookups=lookups,
+            malicious=malicious,
+            linked_on_web=rng.random() < 0.35,
+            linked_on_sns=rng.random() < 0.18,
+            target_of=homograph.reference,
+        )
+        web.add(profile)
+        if malicious:
+            _blacklist(domain, config, blacklists, rng)
+
+
+def _blacklist(domain: str, config: ZoneConfig, blacklists: BlacklistAggregator,
+               rng: np.random.Generator, *, force: bool = False) -> None:
+    listed_anywhere = False
+    for feed_name, coverage in config.blacklist_coverage:
+        if rng.random() < coverage:
+            blacklists.feed(feed_name).add(domain)
+            listed_anywhere = True
+    if force and not listed_anywhere:
+        blacklists.feed(config.blacklist_coverage[0][0]).add(domain)
+
+
+def _assign_background_profiles(plain_idns: Sequence[str], ascii_domains: Sequence[str],
+                                reference: ReferenceList, web: SyntheticWeb,
+                                rng: np.random.Generator) -> None:
+    popularity = reference.popularity_weights()
+    for domain in reference.domains():
+        web.add(WebsiteProfile(
+            domain=domain,
+            category=SiteCategory.NORMAL,
+            open_ports=frozenset({80, 443}),
+            has_mx=True,
+            lookups=int(popularity[domain] * 3_000_000) + 1_000,
+            nameservers=(f"ns1.{domain}", f"ns2.{domain}"),
+            page_title=domain.split(".")[0].title(),
+        ))
+    for domain in plain_idns:
+        web.add(WebsiteProfile(
+            domain=domain,
+            category=SiteCategory.NORMAL,
+            open_ports=frozenset({80, 443}) if rng.random() < 0.7 else frozenset({80}),
+            lookups=int(rng.integers(0, 2_000)),
+            nameservers=(f"ns1.{domain}",),
+        ))
+    # Ordinary ASCII domains get no individual profiles beyond the reference
+    # list: the measurement pipeline never inspects them, and skipping the
+    # profiles keeps large populations cheap.
+
+
+# -- list splitting and zone building ----------------------------------------------
+
+
+def _split_into_lists(config: ZoneConfig, all_domains: list[str], web: SyntheticWeb,
+                      rng: np.random.Generator) -> tuple[list[str], list[str]]:
+    # Note: homographs whose registration later expired (no NS at probe time)
+    # are still present in the lists — they were registered when the zone
+    # snapshot was taken, exactly as in the paper's Section 6.1.
+    zone_domains: list[str] = []
+    domainlists_domains: list[str] = []
+    for domain in all_domains:
+        in_zone = rng.random() < config.zone_overlap
+        in_lists = rng.random() < config.domainlists_overlap
+        if not in_zone and not in_lists:
+            in_zone = True
+        if in_zone:
+            zone_domains.append(domain)
+        if in_lists:
+            domainlists_domains.append(domain)
+    return zone_domains, domainlists_domains
+
+
+def _build_zone(zone_domains: list[str], web: SyntheticWeb) -> ZoneFile:
+    zone = ZoneFile(tld="com")
+    for domain in zone_domains:
+        profile = web.get(domain)
+        if profile is not None and profile.nameservers:
+            nameservers = profile.nameservers
+        elif profile is not None and profile.parking_ns:
+            nameservers = (profile.parking_ns,)
+        else:
+            nameservers = (f"ns1.{domain}",)
+        zone.add_delegation(domain, nameservers)
+    return zone

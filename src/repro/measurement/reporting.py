@@ -1,0 +1,100 @@
+"""Markdown rendering of measurement-study results.
+
+Turns a :class:`~repro.measurement.study.StudyResults` object into the
+paper-shaped tables as GitHub-flavoured markdown, so a measurement run can
+be archived or diffed directly against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from .study import StudyResults
+
+__all__ = ["render_markdown_report"]
+
+
+def _markdown_table(headers: list[str], rows: list[tuple]) -> str:
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join(["---"] * len(headers)) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def render_markdown_report(results: StudyResults, *, title: str = "ShamFinder measurement report") -> str:
+    """Render every table of a study run as a markdown document."""
+    sections: list[str] = [f"# {title}", ""]
+
+    sections.append("## Table 6 — domain name lists")
+    sections.append(_markdown_table(
+        ["data", "# domain names", "# IDNs"],
+        [(source, f"{domains:,}", f"{idns:,}") for source, domains, idns in results.dataset_table],
+    ))
+
+    sections.append("\n## Table 7 — top languages used for IDNs")
+    sections.append(_markdown_table(
+        ["rank", "language", "number", "fraction"],
+        [(rank + 1, language, count, f"{fraction:.1f}%")
+         for rank, (language, count, fraction) in enumerate(results.language_table)],
+    ))
+
+    sections.append("\n## Table 8 — detected IDN homographs per homoglyph database")
+    sections.append(_markdown_table(
+        ["homoglyph DB", "number"],
+        list(results.detection_counts.items()),
+    ))
+
+    sections.append("\n## Table 9 — most targeted reference domains")
+    sections.append(_markdown_table(
+        ["rank", "domain", "# homographs"],
+        [(rank + 1, domain, count) for rank, (domain, count) in enumerate(results.top_targets)],
+    ))
+
+    sections.append("\n## Table 10 — registration probing and port scan")
+    funnel_rows = [("Detected homographs", len(results.detection_report.detected_idns())),
+                   ("With NS records", results.ns_count),
+                   ("Without A records", results.no_a_count)]
+    sections.append(_markdown_table(["stage", "number"],
+                                    funnel_rows + results.portscan.as_table_rows()))
+
+    sections.append("\n## Table 11 — most resolved active homographs")
+    sections.append(_markdown_table(
+        ["domain", "category", "# resolutions", "MX", "web link", "SNS"],
+        [(row.domain_unicode, row.category, f"{row.resolutions:,}",
+          "yes" if row.has_mx else ("past" if row.had_mx_in_past else ""),
+          "yes" if row.web_link else "", "yes" if row.sns_link else "")
+         for row in results.popular_homographs],
+    ))
+
+    sections.append("\n## Table 12 — classification of active homographs")
+    sections.append(_markdown_table(["category", "number"], results.classification.as_table_rows()))
+
+    sections.append("\n## Table 13 — redirect intents")
+    sections.append(_markdown_table(["category", "number"],
+                                    sorted(results.redirect_intents.items(), key=lambda kv: -kv[1])))
+
+    sections.append("\n## Table 14 — blacklisted homographs per database")
+    feed_names = sorted(next(iter(results.blacklist_table.values()), {}).keys())
+    sections.append(_markdown_table(
+        ["homoglyph DB", *feed_names],
+        [(database, *[feeds[name] for name in feed_names])
+         for database, feeds in results.blacklist_table.items()],
+    ))
+
+    timing = results.detection_timing
+    if timing is not None:
+        sections.append("\n## Section 4.2 — detection cost")
+        sections.append(_markdown_table(
+            ["metric", "value"],
+            [("reference domains", timing.reference_count),
+             ("IDNs scanned", timing.idn_count),
+             ("total seconds", f"{timing.total_seconds:.3f}"),
+             ("seconds per reference", f"{timing.seconds_per_reference:.6f}")],
+        ))
+
+    sections.append("\n## Section 6.4 — homographs of non-popular domains")
+    sections.append(
+        f"{len(results.reverted_outside_reference)} blacklisted homographs revert to an "
+        f"original domain outside the reference head."
+    )
+
+    return "\n".join(sections) + "\n"

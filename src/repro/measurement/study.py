@@ -1,0 +1,261 @@
+"""End-to-end measurement study (paper Sections 5-6).
+
+:class:`MeasurementStudy` wires every substrate together and reproduces
+the paper's evaluation on a synthetic population:
+
+1. merge the zone file and domainlists.io lists (Table 6);
+2. classify the languages of registered IDNs (Table 7);
+3. detect IDN homographs of the reference list with UC, SimChar and their
+   union (Table 8) and rank the most-targeted references (Table 9);
+4. probe NS/A records and scan web ports of the detected homographs
+   (Table 10);
+5. rank the active homographs by passive-DNS resolutions and inspect
+   MX/web/SNS presence (Table 11);
+6. classify active homograph websites and redirects (Tables 12-13);
+7. check every detected homograph against the blacklist feeds (Table 14);
+8. revert malicious homographs to the originals they imitate (Section 6.4).
+
+The result object keeps every intermediate product so benches and the
+EXPERIMENTS.md generator can print the same rows the paper reports.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..detection.report import DetectionReport
+from ..detection.shamfinder import DetectionTiming, ShamFinder
+from ..dns.passive_dns import PassiveDNSCollector
+from ..dns.portscan import PortScanner, PortScanSummary
+from ..dns.records import RRType
+from ..dns.resolver import AuthoritativeStore, StubResolver
+from ..idn.domain import DomainName
+from ..idn.idna_codec import IDNAError
+from ..langid.classifier import LanguageIdentifier
+from ..web.classifier import ClassificationReport, WebsiteClassifier
+from ..web.crawler import Crawler
+from ..web.hosting import SiteCategory
+from .domainlists import DomainPopulation
+
+__all__ = ["PopularHomograph", "StudyResults", "MeasurementStudy"]
+
+
+@dataclass(frozen=True)
+class PopularHomograph:
+    """One row of the paper's Table 11."""
+
+    domain_unicode: str
+    domain_ascii: str
+    category: str
+    resolutions: int
+    has_mx: bool
+    had_mx_in_past: bool
+    web_link: bool
+    sns_link: bool
+
+
+@dataclass
+class StudyResults:
+    """Everything a measurement run produced, keyed by the paper's tables."""
+
+    dataset_table: list[tuple[str, int, int]] = field(default_factory=list)
+    language_table: list[tuple[str, int, float]] = field(default_factory=list)
+    detection_counts: dict[str, int] = field(default_factory=dict)
+    detection_report: DetectionReport = field(default_factory=DetectionReport)
+    detection_timing: DetectionTiming | None = None
+    top_targets: list[tuple[str, int]] = field(default_factory=list)
+    ns_count: int = 0
+    no_a_count: int = 0
+    portscan: PortScanSummary = field(default_factory=PortScanSummary)
+    popular_homographs: list[PopularHomograph] = field(default_factory=list)
+    classification: ClassificationReport = field(default_factory=ClassificationReport)
+    redirect_intents: Counter = field(default_factory=Counter)
+    blacklist_table: dict[str, dict[str, int]] = field(default_factory=dict)
+    reverted_outside_reference: dict[str, str] = field(default_factory=dict)
+    idn_count: int = 0
+
+    def summary(self) -> dict:
+        """Compact dictionary used by the CLI and EXPERIMENTS.md generator."""
+        return {
+            "domains": self.dataset_table[-1][1] if self.dataset_table else 0,
+            "idns": self.idn_count,
+            "detections": self.detection_counts,
+            "top_targets": self.top_targets,
+            "with_ns": self.ns_count,
+            "without_a": self.no_a_count,
+            "reachable": self.portscan.reachable_count,
+            "categories": dict(self.classification.category_counts()),
+            "redirect_intents": dict(self.redirect_intents),
+            "blacklists": self.blacklist_table,
+            "reverted_outside_reference": len(self.reverted_outside_reference),
+        }
+
+
+class MeasurementStudy:
+    """Runs the full Sections 5-6 pipeline over a synthetic population."""
+
+    def __init__(self, population: DomainPopulation, finder: ShamFinder) -> None:
+        self.population = population
+        self.finder = finder
+
+        # Publish the synthetic web into an authoritative DNS store and wire
+        # the probing clients the study uses.
+        self.store = AuthoritativeStore()
+        population.web.publish_dns(self.store)
+        self.resolver = StubResolver(self.store)
+        self.passive_dns = PassiveDNSCollector()
+        self.passive_dns.bulk_load(population.web.lookup_counts())
+        self.scanner = PortScanner(population.web)
+        self.crawler = Crawler(population.web)
+
+    # -- individual stages ------------------------------------------------------
+
+    def dataset_statistics(self) -> list[tuple[str, int, int]]:
+        """Table 6: list sizes and IDN counts."""
+        return self.population.dataset_table()
+
+    def language_statistics(self, *, limit: int = 10) -> list[tuple[str, int, float]]:
+        """Table 7: top languages of registered IDNs."""
+        identifier = LanguageIdentifier()
+        histogram: Counter = Counter()
+        idns = self.extract_idns()
+        for domain in idns:
+            try:
+                label = DomainName(domain).registrable_unicode
+            except (IDNAError, ValueError):
+                continue
+            histogram[identifier.classify(label).name] += 1
+        total = sum(histogram.values()) or 1
+        return [
+            (language, count, 100.0 * count / total)
+            for language, count in histogram.most_common(limit)
+        ]
+
+    def extract_idns(self) -> list[str]:
+        """Step 2 of the framework over the union of the two lists."""
+        return [
+            domain for domain in self.population.all_domains
+            if domain.split(".")[0].startswith("xn--")
+        ]
+
+    def detect_homographs(self) -> tuple[DetectionReport, DetectionTiming]:
+        """Step 3 with the union database (also records timing, Section 4.2)."""
+        idns = self.extract_idns()
+        reference = self.population.reference.domains()
+        return self.finder.detect_with_timing(idns, reference)
+
+    def detection_database_comparison(self) -> dict[str, int]:
+        """Table 8: homographs found with UC, SimChar and the union."""
+        report = self.detect_homographs()[0]
+        return report.count_by_database()
+
+    def probe_registrations(self, detected: list[str]) -> tuple[list[str], list[str], list[str]]:
+        """NS/A probing of detected homographs (Section 6.1).
+
+        Returns ``(with_ns, without_a, with_a)`` domain lists.
+        """
+        with_ns = [d for d in detected if self.resolver.has_ns(d)]
+        without_a = [d for d in with_ns if not self.resolver.has_a(d)]
+        with_a = [d for d in with_ns if self.resolver.has_a(d)]
+        return with_ns, without_a, with_a
+
+    def scan_ports(self, domains: list[str]) -> PortScanSummary:
+        """Table 10: TCP/80 and TCP/443 scan of addressed homographs."""
+        return self.scanner.scan_all(domains)
+
+    def popular_homographs(self, active: list[str], *, limit: int = 10) -> list[PopularHomograph]:
+        """Table 11: active homographs ranked by passive-DNS resolutions."""
+        ranked = self.passive_dns.top_domains(limit, within=active)
+        rows: list[PopularHomograph] = []
+        for domain, resolutions in ranked:
+            profile = self.population.web.get(domain)
+            if profile is None:
+                continue
+            try:
+                unicode_form = DomainName(domain).unicode
+            except (IDNAError, ValueError):
+                unicode_form = domain
+            category = profile.category.value
+            if profile.category is SiteCategory.FOR_SALE:
+                category = "Sale"
+            rows.append(PopularHomograph(
+                domain_unicode=unicode_form,
+                domain_ascii=domain,
+                category=category,
+                resolutions=resolutions,
+                has_mx=profile.has_mx,
+                had_mx_in_past=profile.had_mx_in_past,
+                web_link=profile.linked_on_web,
+                sns_link=profile.linked_on_sns,
+            ))
+        return rows
+
+    def classify_active(self, active: list[str], detection: DetectionReport) -> ClassificationReport:
+        """Tables 12-13: classify the active homograph websites."""
+        classifier = WebsiteClassifier(
+            self.population.web,
+            crawler=self.crawler,
+            blacklists=self.population.blacklists,
+            reference_targets=detection.homograph_map(),
+        )
+        return classifier.classify_all(active)
+
+    def blacklist_analysis(self, detection: DetectionReport) -> dict[str, dict[str, int]]:
+        """Table 14: blacklist hits per homoglyph database."""
+        by_database: dict[str, set[str]] = {"UC": set(), "SimChar": set(), "UC ∪ SimChar": set()}
+        for hit in detection:
+            if hit.uses_uc:
+                by_database["UC"].add(hit.idn)
+            if hit.uses_simchar:
+                by_database["SimChar"].add(hit.idn)
+            by_database["UC ∪ SimChar"].add(hit.idn)
+        result: dict[str, dict[str, int]] = {}
+        for database, idns in by_database.items():
+            result[database] = self.population.blacklists.hit_counts(sorted(idns))
+        return result
+
+    def revert_analysis(self, detection: DetectionReport, *, top_reference: int = 1000) -> dict[str, str]:
+        """Section 6.4: malicious homographs whose original is not a top domain."""
+        top_labels = {
+            domain.rsplit(".", 1)[0]
+            for domain in self.population.reference.top(top_reference).domains()
+        }
+        malicious = sorted(self.population.blacklists.union_hits(detection.detected_idns()))
+        labels = []
+        for domain in malicious:
+            try:
+                labels.append(DomainName(domain).registrable_unicode)
+            except (IDNAError, ValueError):
+                continue
+        return self.finder.reverter.targets_outside_reference(labels, top_labels)
+
+    # -- full pipeline -----------------------------------------------------------------
+
+    def run(self) -> StudyResults:
+        """Run every stage and collect the paper-shaped tables."""
+        results = StudyResults()
+        results.dataset_table = self.dataset_statistics()
+        results.idn_count = len(self.extract_idns())
+        results.language_table = self.language_statistics()
+
+        detection, timing = self.detect_homographs()
+        results.detection_report = detection
+        results.detection_timing = timing
+        results.detection_counts = detection.count_by_database()
+        results.top_targets = detection.top_targets(5)
+
+        detected = detection.detected_idns()
+        with_ns, without_a, with_a = self.probe_registrations(detected)
+        results.ns_count = len(with_ns)
+        results.no_a_count = len(without_a)
+
+        results.portscan = self.scan_ports(with_a)
+        active = results.portscan.reachable_domains()
+
+        results.popular_homographs = self.popular_homographs(active)
+        results.classification = self.classify_active(active, detection)
+        results.redirect_intents = results.classification.redirect_intent_counts()
+        results.blacklist_table = self.blacklist_analysis(detection)
+        results.reverted_outside_reference = self.revert_analysis(detection)
+        return results

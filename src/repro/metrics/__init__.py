@@ -1,0 +1,15 @@
+"""Image similarity metrics: Δ pixel difference, MSE, PSNR, SSIM."""
+
+from .pixel import delta, delta_matrix, mse, pairwise_deltas
+from .psnr import psnr, psnr_from_delta
+from .ssim import ssim
+
+__all__ = [
+    "delta",
+    "delta_matrix",
+    "mse",
+    "pairwise_deltas",
+    "psnr",
+    "psnr_from_delta",
+    "ssim",
+]

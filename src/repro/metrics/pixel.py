@@ -1,0 +1,156 @@
+"""Pixel-difference metric Δ (the paper's Section 3.3 metric).
+
+For two binary images ``I1`` and ``I2`` of size ``N x N``::
+
+    Δ = Σ_i Σ_j | I1(i, j) - I2(i, j) |
+
+``Δ = 0`` means the glyphs are pixel-identical.  The mean square error used
+to relate Δ to PSNR is ``MSE = Δ / N²`` because the pixels are binary.
+
+Besides the scalar metric, this module provides vectorised helpers used by
+the SimChar builder to evaluate millions of candidate pairs quickly:
+glyph stacking, blockwise pairwise distance computation, and the ink-count
+pruning bound (two glyphs whose ink counts differ by more than θ cannot
+have Δ ≤ θ).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..fonts.glyph import Glyph
+
+__all__ = [
+    "delta",
+    "mse",
+    "delta_matrix",
+    "pairwise_deltas",
+    "stack_glyphs",
+    "candidate_pairs_within",
+]
+
+
+def delta(first: Glyph | np.ndarray, second: Glyph | np.ndarray) -> int:
+    """Number of differing pixels between two binary images."""
+    a = first.bitmap if isinstance(first, Glyph) else np.asarray(first, dtype=np.uint8)
+    b = second.bitmap if isinstance(second, Glyph) else np.asarray(second, dtype=np.uint8)
+    if a.shape != b.shape:
+        raise ValueError(f"image shapes differ: {a.shape} vs {b.shape}")
+    return int(np.count_nonzero(a != b))
+
+
+def mse(first: Glyph | np.ndarray, second: Glyph | np.ndarray) -> float:
+    """Mean square error for binary images: Δ divided by the pixel count."""
+    a = first.bitmap if isinstance(first, Glyph) else np.asarray(first, dtype=np.uint8)
+    return delta(first, second) / a.size
+
+
+def stack_glyphs(glyphs: Sequence[Glyph]) -> np.ndarray:
+    """Stack glyph bitmaps into an ``(n, size*size)`` uint8 matrix."""
+    if not glyphs:
+        return np.zeros((0, 0), dtype=np.uint8)
+    size = glyphs[0].size
+    flat = np.empty((len(glyphs), size * size), dtype=np.uint8)
+    for index, glyph in enumerate(glyphs):
+        if glyph.size != size:
+            raise ValueError("all glyphs must share the same size")
+        flat[index] = glyph.bitmap.reshape(-1)
+    return flat
+
+
+def delta_matrix(glyphs: Sequence[Glyph], *, block: int = 256) -> np.ndarray:
+    """Full pairwise Δ matrix for a glyph list.
+
+    Computed blockwise so memory stays bounded at ``block x n`` int32.
+    Suitable for repertoires up to a few thousand glyphs; the SimChar
+    builder uses :func:`candidate_pairs_within` with pruning for larger
+    inputs.
+    """
+    flat = stack_glyphs(glyphs).astype(np.int16)
+    n = flat.shape[0]
+    result = np.zeros((n, n), dtype=np.int32)
+    for start in range(0, n, block):
+        stop = min(start + block, n)
+        chunk = flat[start:stop]
+        # |a-b| summed over pixels == xor count for binary images.
+        diffs = np.abs(chunk[:, None, :] - flat[None, :, :]).sum(axis=2)
+        result[start:stop] = diffs.astype(np.int32)
+    return result
+
+
+def pairwise_deltas(glyphs: Sequence[Glyph]) -> Iterator[tuple[int, int, int]]:
+    """Yield ``(i, j, Δ)`` for every unordered pair of glyphs (i < j)."""
+    flat = stack_glyphs(glyphs).astype(np.int16)
+    n = flat.shape[0]
+    for i in range(n):
+        if i + 1 >= n:
+            break
+        diffs = np.abs(flat[i + 1:] - flat[i]).sum(axis=1)
+        for offset, value in enumerate(diffs):
+            yield i, i + 1 + offset, int(value)
+
+
+def candidate_pairs_within(
+    glyphs: Sequence[Glyph],
+    threshold: int,
+    *,
+    block: int = 512,
+) -> Iterator[tuple[int, int, int]]:
+    """Yield ``(i, j, Δ)`` for pairs with ``Δ <= threshold``.
+
+    Uses the ink-count bound for pruning: since
+    ``Δ(a, b) >= |ink(a) - ink(b)|``, glyphs are bucketed by ink count and
+    only pairs whose counts are within ``threshold`` of each other are
+    compared exactly.  This turns the quadratic scan of the full repertoire
+    into a near-linear pass for realistic glyph populations, which is how
+    the default SimChar build stays laptop-sized (DESIGN.md §2).
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    flat = stack_glyphs(glyphs).astype(np.int16)
+    n = flat.shape[0]
+    if n == 0:
+        return
+    ink = flat.sum(axis=1)
+    order = np.argsort(ink, kind="stable")
+    sorted_ink = ink[order]
+
+    for position in range(n):
+        i = int(order[position])
+        # Find the window of candidates whose ink count is within threshold.
+        upper_value = sorted_ink[position] + threshold
+        end = int(np.searchsorted(sorted_ink, upper_value, side="right"))
+        candidate_positions = order[position + 1:end]
+        if candidate_positions.size == 0:
+            continue
+        for start in range(0, candidate_positions.size, block):
+            chunk = candidate_positions[start:start + block]
+            diffs = np.abs(flat[chunk] - flat[i]).sum(axis=1)
+            hits = np.nonzero(diffs <= threshold)[0]
+            for hit in hits:
+                j = int(chunk[hit])
+                a, b = (i, j) if i < j else (j, i)
+                yield a, b, int(diffs[hit])
+
+
+def nearest_neighbours(
+    glyphs: Sequence[Glyph],
+    *,
+    limit: int = 5,
+) -> dict[int, list[tuple[int, int]]]:
+    """For each glyph index return its *limit* closest other glyphs by Δ.
+
+    Helper used by reports and the Figure 6 bench (showing the closest
+    candidates of a letter at increasing Δ).
+    """
+    flat = stack_glyphs(glyphs).astype(np.int16)
+    n = flat.shape[0]
+    result: dict[int, list[tuple[int, int]]] = {}
+    for i in range(n):
+        diffs = np.abs(flat - flat[i]).sum(axis=1)
+        diffs[i] = np.iinfo(np.int32).max
+        order = np.argsort(diffs, kind="stable")[:limit]
+        result[i] = [(int(j), int(diffs[j])) for j in order]
+    return result

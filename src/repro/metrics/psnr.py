@@ -1,0 +1,41 @@
+"""Peak signal-to-noise ratio for binary glyph images.
+
+The paper relates its Δ metric to PSNR as::
+
+    MSE  = Δ / N²
+    PSNR = 10 log10(1 / MSE) = 20 log10(N) - 10 log10(Δ)
+
+PSNR is infinite for identical images (Δ = 0).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..fonts.glyph import Glyph
+from .pixel import delta as _delta
+
+__all__ = ["psnr", "psnr_from_delta"]
+
+
+def psnr_from_delta(delta_value: int, size: int) -> float:
+    """PSNR in decibels from a Δ value and image edge length.
+
+    Returns ``math.inf`` when Δ is 0 (identical images).
+    """
+    if delta_value < 0:
+        raise ValueError("delta must be non-negative")
+    if size <= 0:
+        raise ValueError("size must be positive")
+    if delta_value == 0:
+        return math.inf
+    return 20.0 * math.log10(size) - 10.0 * math.log10(delta_value)
+
+
+def psnr(first: Glyph | np.ndarray, second: Glyph | np.ndarray) -> float:
+    """PSNR between two binary images."""
+    a = first.bitmap if isinstance(first, Glyph) else np.asarray(first)
+    size = int(a.shape[0])
+    return psnr_from_delta(_delta(first, second), size)

@@ -1,0 +1,49 @@
+"""Unicode substrate: blocks, scripts, IDNA2008 derived properties, code points."""
+
+from .blocks import BLOCKS, UnicodeBlock, block_name, block_of, blocks_in_plane, iter_blocks
+from .codepoint import CodePoint, codepoints_of, format_codepoint
+from .idna import (
+    DerivedProperty,
+    derived_property,
+    is_idna_permitted,
+    is_pvalid,
+    iter_pvalid,
+    pvalid_count,
+)
+from .scripts import (
+    HIGHLY_CONFUSABLE_SCRIPTS,
+    KNOWN_SCRIPTS,
+    dominant_script,
+    is_mixed_script,
+    script_of,
+    scripts_of_text,
+)
+from .ucd import assigned_codepoints, assigned_count, idna_repertoire, is_assigned
+
+__all__ = [
+    "BLOCKS",
+    "UnicodeBlock",
+    "block_name",
+    "block_of",
+    "blocks_in_plane",
+    "iter_blocks",
+    "CodePoint",
+    "codepoints_of",
+    "format_codepoint",
+    "DerivedProperty",
+    "derived_property",
+    "is_idna_permitted",
+    "is_pvalid",
+    "iter_pvalid",
+    "pvalid_count",
+    "HIGHLY_CONFUSABLE_SCRIPTS",
+    "KNOWN_SCRIPTS",
+    "dominant_script",
+    "is_mixed_script",
+    "script_of",
+    "scripts_of_text",
+    "assigned_codepoints",
+    "assigned_count",
+    "idna_repertoire",
+    "is_assigned",
+]

@@ -1,0 +1,175 @@
+"""Code point model.
+
+A thin, immutable wrapper around an integer code point that exposes the
+properties the rest of the library needs repeatedly: name, general category,
+block, script, IDNA derived property, and decomposition.  Keeping the
+lookups in one place avoids scattering ``unicodedata`` calls throughout the
+code base and makes the glyph/homoglyph pipeline easier to test.
+"""
+
+from __future__ import annotations
+
+import unicodedata
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable
+
+from .blocks import block_name
+from .idna import DerivedProperty, derived_property
+from .scripts import script_of
+
+__all__ = ["CodePoint", "codepoints_of", "format_codepoint"]
+
+
+def format_codepoint(value: int) -> str:
+    """Format an integer code point in the conventional ``U+XXXX`` form."""
+    return f"U+{value:04X}"
+
+
+@dataclass(frozen=True, order=True)
+class CodePoint:
+    """An immutable Unicode code point with derived properties."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.value <= 0x10FFFF):
+            raise ValueError(f"code point out of range: {self.value!r}")
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_char(cls, char: str) -> "CodePoint":
+        """Build from a single-character string."""
+        if len(char) != 1:
+            raise ValueError("expected a single character")
+        return cls(ord(char))
+
+    @classmethod
+    def parse(cls, text: str) -> "CodePoint":
+        """Parse ``U+0061``, ``0x61``, ``97`` or a single character."""
+        stripped = text.strip()
+        if len(stripped) == 1 and not stripped.isdigit():
+            return cls.from_char(stripped)
+        lowered = stripped.lower()
+        if lowered.startswith("u+"):
+            return cls(int(stripped[2:], 16))
+        if lowered.startswith("0x"):
+            return cls(int(stripped, 16))
+        if stripped.isdigit():
+            return cls(int(stripped))
+        if len(stripped) == 1:
+            return cls.from_char(stripped)
+        raise ValueError(f"cannot parse code point: {text!r}")
+
+    # -- basic views -------------------------------------------------------
+
+    @property
+    def char(self) -> str:
+        """The character this code point encodes."""
+        return chr(self.value)
+
+    @property
+    def hex(self) -> str:
+        """``U+XXXX`` notation."""
+        return format_codepoint(self.value)
+
+    @cached_property
+    def name(self) -> str:
+        """Unicode character name (empty string when unnamed)."""
+        return unicodedata.name(self.char, "")
+
+    @cached_property
+    def category(self) -> str:
+        """Unicode general category, e.g. ``Ll`` or ``Lo``."""
+        return unicodedata.category(self.char)
+
+    @cached_property
+    def block(self) -> str:
+        """Unicode block name, e.g. ``Cyrillic``."""
+        return block_name(self.value)
+
+    @cached_property
+    def script(self) -> str:
+        """Script name, e.g. ``Latin`` or ``Han``."""
+        return script_of(self.value)
+
+    @cached_property
+    def idna_property(self) -> DerivedProperty:
+        """IDNA2008 (RFC 5892) derived property."""
+        return derived_property(self.value)
+
+    @property
+    def is_pvalid(self) -> bool:
+        """True when the code point is PVALID for IDN use."""
+        return self.idna_property is DerivedProperty.PVALID
+
+    @property
+    def plane(self) -> int:
+        """Unicode plane (0 = BMP)."""
+        return self.value >> 16
+
+    @property
+    def is_bmp(self) -> bool:
+        """True when the code point lies in the Basic Multilingual Plane."""
+        return self.plane == 0
+
+    # -- decomposition -----------------------------------------------------
+
+    @cached_property
+    def nfkd(self) -> str:
+        """NFKD decomposition of the character."""
+        return unicodedata.normalize("NFKD", self.char)
+
+    @cached_property
+    def base_char(self) -> str:
+        """First non-combining character of the NFKD decomposition.
+
+        For ``é`` this is ``e``; for characters without a decomposition it
+        is the character itself.  Used heavily by the synthetic font and
+        the homograph reverter.
+        """
+        for ch in self.nfkd:
+            if not unicodedata.combining(ch):
+                return ch
+        return self.char
+
+    @cached_property
+    def combining_marks(self) -> tuple[str, ...]:
+        """Combining marks present in the NFKD decomposition."""
+        return tuple(ch for ch in self.nfkd if unicodedata.combining(ch))
+
+    @property
+    def is_combining(self) -> bool:
+        """True for combining marks themselves."""
+        return unicodedata.combining(self.char) != 0
+
+    # -- misc ---------------------------------------------------------------
+
+    def __str__(self) -> str:
+        return self.char
+
+    def __repr__(self) -> str:
+        name = self.name or "<unnamed>"
+        return f"CodePoint({self.hex} {name})"
+
+    def describe(self) -> str:
+        """One-line human readable description used by reports and the CLI."""
+        return (
+            f"{self.hex} '{self.char}' {self.name or '<unnamed>'} "
+            f"[{self.category}, {self.script}, {self.block}, {self.idna_property.value}]"
+        )
+
+
+def codepoints_of(text: str) -> list[CodePoint]:
+    """Return the :class:`CodePoint` sequence for a string."""
+    return [CodePoint(ord(ch)) for ch in text]
+
+
+def unique_codepoints(texts: Iterable[str]) -> set[CodePoint]:
+    """Collect the set of distinct code points appearing in *texts*."""
+    seen: set[CodePoint] = set()
+    for text in texts:
+        for ch in text:
+            seen.add(CodePoint(ord(ch)))
+    return seen

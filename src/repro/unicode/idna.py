@@ -1,0 +1,270 @@
+"""IDNA2008 derived property computation (RFC 5892).
+
+The paper restricts the homoglyph search space to the code points that are
+*permitted in IDNs*: the "PROTOCOL VALID" (PVALID) code points listed in the
+IDNA2008-and-Unicode-12 Internet draft.  RFC 5892 defines the derived
+property algorithmically from Unicode character properties, so we compute it
+here with :mod:`unicodedata` instead of embedding the 123k-entry table.
+
+The algorithm below follows RFC 5892 section 2 (categories A-I and the rule
+ordering in section 3).  Two simplifications are made and documented:
+
+* The *Unstable* category uses NFKC + case-folding stability, the same test
+  RFC 5892 specifies, computed directly with :func:`unicodedata.normalize`.
+* Contextual-rule code points (CONTEXTJ/CONTEXTO, e.g. ZERO WIDTH JOINER,
+  MIDDLE DOT, Greek/Hebrew punctuation) are reported with their own
+  :class:`DerivedProperty` value; helper predicates treat them as permitted
+  only when explicitly asked, which mirrors how registries treat them.
+
+The resulting PVALID set matches the reference table for all the scripts the
+paper's measurement relies on (Latin, Cyrillic, Greek, Armenian, Arabic,
+CJK, Kana, Hangul, Thai, Lao, Oriya, Vai, Canadian Aboriginal syllabics).
+"""
+
+from __future__ import annotations
+
+import unicodedata
+from enum import Enum
+from functools import lru_cache
+from typing import Iterable, Iterator
+
+__all__ = [
+    "DerivedProperty",
+    "derived_property",
+    "is_pvalid",
+    "is_idna_permitted",
+    "iter_pvalid",
+    "pvalid_count",
+    "UNICODE_VERSION",
+    "LDH_CODEPOINTS",
+]
+
+#: Unicode version of the running interpreter's ``unicodedata`` tables.
+UNICODE_VERSION = unicodedata.unidata_version
+
+#: Letter-Digit-Hyphen code points valid in traditional ASCII labels.
+LDH_CODEPOINTS = frozenset(
+    list(range(ord("a"), ord("z") + 1))
+    + list(range(ord("0"), ord("9") + 1))
+    + [ord("-")]
+)
+
+
+class DerivedProperty(str, Enum):
+    """RFC 5892 derived property values."""
+
+    PVALID = "PVALID"
+    CONTEXTJ = "CONTEXTJ"
+    CONTEXTO = "CONTEXTO"
+    DISALLOWED = "DISALLOWED"
+    UNASSIGNED = "UNASSIGNED"
+
+
+# RFC 5892 section 2.6 — Exceptions (F).  Explicit per-code-point overrides.
+_EXCEPTIONS_PVALID = {
+    0x00DF,  # LATIN SMALL LETTER SHARP S
+    0x03C2,  # GREEK SMALL LETTER FINAL SIGMA
+    0x06FD,  # ARABIC SIGN SINDHI AMPERSAND
+    0x06FE,  # ARABIC SIGN SINDHI POSTPOSITION MEN
+    0x0F0B,  # TIBETAN MARK INTERSYLLABIC TSHEG
+    0x3007,  # IDEOGRAPHIC NUMBER ZERO
+}
+_EXCEPTIONS_CONTEXTO = {
+    0x00B7,  # MIDDLE DOT
+    0x0375,  # GREEK LOWER NUMERAL SIGN (KERAIA)
+    0x05F3,  # HEBREW PUNCTUATION GERESH
+    0x05F4,  # HEBREW PUNCTUATION GERSHAYIM
+    0x30FB,  # KATAKANA MIDDLE DOT
+    0x0660, 0x0661, 0x0662, 0x0663, 0x0664,  # ARABIC-INDIC DIGITS
+    0x0665, 0x0666, 0x0667, 0x0668, 0x0669,
+    0x06F0, 0x06F1, 0x06F2, 0x06F3, 0x06F4,  # EXTENDED ARABIC-INDIC DIGITS
+    0x06F5, 0x06F6, 0x06F7, 0x06F8, 0x06F9,
+}
+_EXCEPTIONS_DISALLOWED = {
+    0x0640,  # ARABIC TATWEEL
+    0x07FA,  # NKO LAJANYALAN
+    0x302E,  # HANGUL SINGLE DOT TONE MARK
+    0x302F,  # HANGUL DOUBLE DOT TONE MARK
+    0x3031, 0x3032, 0x3033, 0x3034, 0x3035,  # VERTICAL KANA REPEAT MARKS
+    0x303B,  # VERTICAL IDEOGRAPHIC ITERATION MARK
+}
+
+# RFC 5892 section 2.8 — JoinControl (H).
+_JOIN_CONTROL = {0x200C, 0x200D}  # ZWNJ, ZWJ
+
+# General categories composing the LetterDigits category (A).
+_LETTER_DIGITS_CATEGORIES = {"Ll", "Lu", "Lo", "Nd", "Lm", "Mn", "Mc"}
+
+# Categories treated as IgnorableProperties (B) approximations:
+# default-ignorable, white space, noncharacters.
+_DEFAULT_IGNORABLE = (
+    {0x00AD, 0x034F, 0x061C, 0x115F, 0x1160, 0x17B4, 0x17B5, 0x3164, 0xFFA0, 0xFEFF}
+    | set(range(0x180B, 0x180F))
+    | set(range(0x200B, 0x2010))
+    | set(range(0x2060, 0x2070))
+    | set(range(0xFE00, 0xFE10))
+    | set(range(0xE0000, 0xE1000))
+)
+
+
+def _is_noncharacter(cp: int) -> bool:
+    if 0xFDD0 <= cp <= 0xFDEF:
+        return True
+    return (cp & 0xFFFF) in (0xFFFE, 0xFFFF)
+
+
+def _is_unassigned(cp: int) -> bool:
+    char = chr(cp)
+    if unicodedata.category(char) == "Cn" and not _is_noncharacter(cp):
+        return True
+    return False
+
+
+def _is_ldh(cp: int) -> bool:
+    # RFC 5892 "ASCII7" (G) restricted to the LDH subset historically valid
+    # in hostnames.
+    return cp in LDH_CODEPOINTS or (0x41 <= cp <= 0x5A)
+
+
+def _is_ignorable_property(cp: int) -> bool:
+    char = chr(cp)
+    if cp in _DEFAULT_IGNORABLE:
+        return True
+    if unicodedata.category(char) == "Zs" and cp != 0x0020:
+        return True
+    if _is_noncharacter(cp):
+        return True
+    return False
+
+
+def _is_ignorable_block(cp: int) -> bool:
+    # Combining Diacritical Marks for Symbols, Musical Symbols, Ancient Greek
+    # Musical Notation blocks.
+    return (
+        0x20D0 <= cp <= 0x20FF
+        or 0x1D100 <= cp <= 0x1D1FF
+        or 0x1D200 <= cp <= 0x1D24F
+    )
+
+
+def _is_old_hangul_jamo(cp: int) -> bool:
+    return 0x1100 <= cp <= 0x11FF or 0xA960 <= cp <= 0xA97F or 0xD7B0 <= cp <= 0xD7FF
+
+
+def _is_letter_digit(cp: int) -> bool:
+    return unicodedata.category(chr(cp)) in _LETTER_DIGITS_CATEGORIES
+
+
+def _is_unstable(cp: int) -> bool:
+    """RFC 5892 Unstable (B): cp != NFKC(casefold(NFKC(cp)))."""
+    char = chr(cp)
+    try:
+        transformed = unicodedata.normalize(
+            "NFKC", unicodedata.normalize("NFKC", char).casefold()
+        )
+    except ValueError:  # pragma: no cover - surrogates
+        return True
+    return transformed != char
+
+
+@lru_cache(maxsize=None)
+def derived_property(codepoint: int) -> DerivedProperty:
+    """Compute the RFC 5892 derived property of a code point.
+
+    The rule ordering follows RFC 5892 section 3::
+
+        If .cp. .in. Exceptions Then Exceptions(cp);
+        Else If .cp. .in. BackwardCompatible Then BackwardCompatible(cp);
+        Else If .cp. .in. Unassigned Then UNASSIGNED;
+        Else If .cp. .in. ASCII7 Then ... (LDH treated as PVALID here)
+        Else If .cp. .in. JoinControl Then CONTEXTJ;
+        Else If .cp. .in. OldHangulJamo Then DISALLOWED;
+        Else If .cp. .in. Unstable Then DISALLOWED;
+        Else If .cp. .in. IgnorableProperties Then DISALLOWED;
+        Else If .cp. .in. IgnorableBlocks Then DISALLOWED;
+        Else If .cp. .in. LDH Then DISALLOWED;   (covered by ASCII7 above)
+        Else If .cp. .in. LetterDigits Then PVALID;
+        Else DISALLOWED;
+    """
+    cp = int(codepoint)
+    if cp < 0 or cp > 0x10FFFF:
+        raise ValueError(f"code point out of range: {codepoint!r}")
+    if 0xD800 <= cp <= 0xDFFF:  # surrogates
+        return DerivedProperty.DISALLOWED
+
+    if cp in _EXCEPTIONS_PVALID:
+        return DerivedProperty.PVALID
+    if cp in _EXCEPTIONS_CONTEXTO:
+        return DerivedProperty.CONTEXTO
+    if cp in _EXCEPTIONS_DISALLOWED:
+        return DerivedProperty.DISALLOWED
+    if _is_unassigned(cp):
+        return DerivedProperty.UNASSIGNED
+    if _is_ldh(cp):
+        # Lowercase LDH is PVALID, uppercase ASCII is DISALLOWED (unstable
+        # under case folding), other ASCII is DISALLOWED.
+        if cp in LDH_CODEPOINTS:
+            return DerivedProperty.PVALID
+        return DerivedProperty.DISALLOWED
+    if cp < 0x80:
+        return DerivedProperty.DISALLOWED
+    if cp in _JOIN_CONTROL:
+        return DerivedProperty.CONTEXTJ
+    if _is_old_hangul_jamo(cp):
+        return DerivedProperty.DISALLOWED
+    if _is_unstable(cp):
+        return DerivedProperty.DISALLOWED
+    if _is_ignorable_property(cp):
+        return DerivedProperty.DISALLOWED
+    if _is_ignorable_block(cp):
+        return DerivedProperty.DISALLOWED
+    if _is_letter_digit(cp):
+        return DerivedProperty.PVALID
+    return DerivedProperty.DISALLOWED
+
+
+def is_pvalid(codepoint: int) -> bool:
+    """True if the code point is PVALID under IDNA2008."""
+    return derived_property(codepoint) is DerivedProperty.PVALID
+
+
+def is_idna_permitted(codepoint: int, *, allow_contextual: bool = False) -> bool:
+    """True if the code point may appear in an IDN label.
+
+    With ``allow_contextual=True`` the CONTEXTJ/CONTEXTO code points are
+    also accepted (their contextual rules are checked at the label level by
+    :mod:`repro.idn.idna_codec`).
+    """
+    prop = derived_property(codepoint)
+    if prop is DerivedProperty.PVALID:
+        return True
+    if allow_contextual and prop in (DerivedProperty.CONTEXTJ, DerivedProperty.CONTEXTO):
+        return True
+    return False
+
+
+def iter_pvalid(
+    start: int = 0,
+    end: int = 0x10FFFF,
+    *,
+    allow_contextual: bool = False,
+) -> Iterator[int]:
+    """Iterate over IDNA-permitted code points in ``[start, end]``."""
+    for cp in range(start, end + 1):
+        if 0xD800 <= cp <= 0xDFFF:
+            continue
+        if is_idna_permitted(cp, allow_contextual=allow_contextual):
+            yield cp
+
+
+def pvalid_count(start: int = 0, end: int = 0x10FFFF) -> int:
+    """Number of PVALID code points in ``[start, end]`` (can be slow for full range)."""
+    return sum(1 for _ in iter_pvalid(start, end))
+
+
+def classify_codepoints(codepoints: Iterable[int]) -> dict[DerivedProperty, int]:
+    """Histogram of derived properties over *codepoints*."""
+    result: dict[DerivedProperty, int] = {prop: 0 for prop in DerivedProperty}
+    for cp in codepoints:
+        result[derived_property(cp)] += 1
+    return result

@@ -1,0 +1,274 @@
+"""Unicode script classification.
+
+The IDN display policies of Chrome and Firefox (and the mixed-script
+detection used throughout this library) need to know the *script* of a code
+point: Latin, Cyrillic, Greek, Han, Hiragana, Katakana, Hangul, and so on.
+The standard library does not expose ``Scripts.txt``, so this module embeds
+a script range table that covers the scripts relevant to IDN registration
+under the large gTLDs.
+
+The classification is block-granular for most scripts (which matches how
+the paper reasons about "scripts") with a few sub-block refinements
+(e.g. ``Common`` for ASCII digits and punctuation inside Basic Latin).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable
+
+__all__ = [
+    "script_of",
+    "scripts_of_text",
+    "is_mixed_script",
+    "dominant_script",
+    "KNOWN_SCRIPTS",
+    "HIGHLY_CONFUSABLE_SCRIPTS",
+]
+
+# (start, end inclusive, script name)
+_RANGES: list[tuple[int, int, str]] = [
+    (0x0030, 0x0039, "Common"),        # digits
+    (0x0041, 0x005A, "Latin"),
+    (0x0061, 0x007A, "Latin"),
+    (0x0000, 0x0040, "Common"),
+    (0x005B, 0x0060, "Common"),
+    (0x007B, 0x00A9, "Common"),
+    (0x00AA, 0x00AA, "Latin"),
+    (0x00AB, 0x00B9, "Common"),
+    (0x00BA, 0x00BA, "Latin"),
+    (0x00BB, 0x00BF, "Common"),
+    (0x00C0, 0x024F, "Latin"),
+    (0x0250, 0x02AF, "Latin"),          # IPA extensions are Latin-script
+    (0x02B0, 0x02FF, "Common"),
+    (0x0300, 0x036F, "Inherited"),      # combining marks
+    (0x0370, 0x03FF, "Greek"),
+    (0x0400, 0x052F, "Cyrillic"),
+    (0x0530, 0x058F, "Armenian"),
+    (0x0590, 0x05FF, "Hebrew"),
+    (0x0600, 0x06FF, "Arabic"),
+    (0x0700, 0x074F, "Syriac"),
+    (0x0750, 0x077F, "Arabic"),
+    (0x0780, 0x07BF, "Thaana"),
+    (0x07C0, 0x07FF, "Nko"),
+    (0x08A0, 0x08FF, "Arabic"),
+    (0x0900, 0x097F, "Devanagari"),
+    (0x0980, 0x09FF, "Bengali"),
+    (0x0A00, 0x0A7F, "Gurmukhi"),
+    (0x0A80, 0x0AFF, "Gujarati"),
+    (0x0B00, 0x0B7F, "Oriya"),
+    (0x0B80, 0x0BFF, "Tamil"),
+    (0x0C00, 0x0C7F, "Telugu"),
+    (0x0C80, 0x0CFF, "Kannada"),
+    (0x0D00, 0x0D7F, "Malayalam"),
+    (0x0D80, 0x0DFF, "Sinhala"),
+    (0x0E00, 0x0E7F, "Thai"),
+    (0x0E80, 0x0EFF, "Lao"),
+    (0x0F00, 0x0FFF, "Tibetan"),
+    (0x1000, 0x109F, "Myanmar"),
+    (0x10A0, 0x10FF, "Georgian"),
+    (0x1100, 0x11FF, "Hangul"),
+    (0x1200, 0x139F, "Ethiopic"),
+    (0x13A0, 0x13FF, "Cherokee"),
+    (0x1400, 0x167F, "Canadian_Aboriginal"),
+    (0x1680, 0x169F, "Ogham"),
+    (0x16A0, 0x16FF, "Runic"),
+    (0x1780, 0x17FF, "Khmer"),
+    (0x1800, 0x18AF, "Mongolian"),
+    (0x18B0, 0x18FF, "Canadian_Aboriginal"),
+    (0x1900, 0x194F, "Limbu"),
+    (0x1950, 0x197F, "Tai_Le"),
+    (0x1980, 0x19DF, "New_Tai_Lue"),
+    (0x1A00, 0x1A1F, "Buginese"),
+    (0x1A20, 0x1AAF, "Tai_Tham"),
+    (0x1AB0, 0x1AFF, "Inherited"),
+    (0x1B00, 0x1B7F, "Balinese"),
+    (0x1B80, 0x1BBF, "Sundanese"),
+    (0x1BC0, 0x1BFF, "Batak"),
+    (0x1C00, 0x1C4F, "Lepcha"),
+    (0x1C50, 0x1C7F, "Ol_Chiki"),
+    (0x1C80, 0x1C8F, "Cyrillic"),
+    (0x1C90, 0x1CBF, "Georgian"),
+    (0x1D00, 0x1D7F, "Latin"),
+    (0x1D80, 0x1DBF, "Latin"),
+    (0x1DC0, 0x1DFF, "Inherited"),
+    (0x1E00, 0x1EFF, "Latin"),
+    (0x1F00, 0x1FFF, "Greek"),
+    (0x2000, 0x206F, "Common"),
+    (0x2070, 0x209F, "Common"),
+    (0x20A0, 0x20CF, "Common"),
+    (0x20D0, 0x20FF, "Inherited"),
+    (0x2100, 0x214F, "Common"),
+    (0x2150, 0x218F, "Common"),
+    (0x2190, 0x2BFF, "Common"),
+    (0x2C00, 0x2C5F, "Glagolitic"),
+    (0x2C60, 0x2C7F, "Latin"),
+    (0x2C80, 0x2CFF, "Coptic"),
+    (0x2D00, 0x2D2F, "Georgian"),
+    (0x2D30, 0x2D7F, "Tifinagh"),
+    (0x2D80, 0x2DDF, "Ethiopic"),
+    (0x2DE0, 0x2DFF, "Cyrillic"),
+    (0x2E00, 0x2E7F, "Common"),
+    (0x2E80, 0x2FDF, "Han"),
+    (0x2FF0, 0x303F, "Common"),
+    (0x3040, 0x309F, "Hiragana"),
+    (0x30A0, 0x30FF, "Katakana"),
+    (0x3100, 0x312F, "Bopomofo"),
+    (0x3130, 0x318F, "Hangul"),
+    (0x3190, 0x319F, "Common"),
+    (0x31A0, 0x31BF, "Bopomofo"),
+    (0x31C0, 0x31EF, "Common"),
+    (0x31F0, 0x31FF, "Katakana"),
+    (0x3200, 0x33FF, "Common"),
+    (0x3400, 0x4DBF, "Han"),
+    (0x4DC0, 0x4DFF, "Common"),
+    (0x4E00, 0x9FFF, "Han"),
+    (0xA000, 0xA4CF, "Yi"),
+    (0xA4D0, 0xA4FF, "Lisu"),
+    (0xA500, 0xA63F, "Vai"),
+    (0xA640, 0xA69F, "Cyrillic"),
+    (0xA6A0, 0xA6FF, "Bamum"),
+    (0xA700, 0xA71F, "Common"),
+    (0xA720, 0xA7FF, "Latin"),
+    (0xA800, 0xA82F, "Syloti_Nagri"),
+    (0xA840, 0xA87F, "Phags_Pa"),
+    (0xA880, 0xA8DF, "Saurashtra"),
+    (0xA8E0, 0xA8FF, "Devanagari"),
+    (0xA900, 0xA92F, "Kayah_Li"),
+    (0xA930, 0xA95F, "Rejang"),
+    (0xA960, 0xA97F, "Hangul"),
+    (0xA980, 0xA9DF, "Javanese"),
+    (0xA9E0, 0xA9FF, "Myanmar"),
+    (0xAA00, 0xAA5F, "Cham"),
+    (0xAA60, 0xAA7F, "Myanmar"),
+    (0xAA80, 0xAADF, "Tai_Viet"),
+    (0xAAE0, 0xAAFF, "Meetei_Mayek"),
+    (0xAB00, 0xAB2F, "Ethiopic"),
+    (0xAB30, 0xAB6F, "Latin"),
+    (0xAB70, 0xABBF, "Cherokee"),
+    (0xABC0, 0xABFF, "Meetei_Mayek"),
+    (0xAC00, 0xD7FF, "Hangul"),
+    (0xF900, 0xFAFF, "Han"),
+    (0xFB00, 0xFB06, "Latin"),
+    (0xFB13, 0xFB17, "Armenian"),
+    (0xFB1D, 0xFB4F, "Hebrew"),
+    (0xFB50, 0xFDFF, "Arabic"),
+    (0xFE00, 0xFE0F, "Inherited"),
+    (0xFE20, 0xFE2F, "Inherited"),
+    (0xFE30, 0xFE4F, "Common"),
+    (0xFE70, 0xFEFF, "Arabic"),
+    (0xFF00, 0xFF20, "Common"),
+    (0xFF21, 0xFF3A, "Latin"),
+    (0xFF3B, 0xFF40, "Common"),
+    (0xFF41, 0xFF5A, "Latin"),
+    (0xFF5B, 0xFF65, "Common"),
+    (0xFF66, 0xFF9F, "Katakana"),
+    (0xFFA0, 0xFFDC, "Hangul"),
+    (0xFFE0, 0xFFEF, "Common"),
+    (0x10000, 0x100FF, "Linear_B"),
+    (0x10280, 0x1029F, "Lycian"),
+    (0x102A0, 0x102DF, "Carian"),
+    (0x10300, 0x1032F, "Old_Italic"),
+    (0x10330, 0x1034F, "Gothic"),
+    (0x10400, 0x1044F, "Deseret"),
+    (0x10450, 0x1047F, "Shavian"),
+    (0x10480, 0x104AF, "Osmanya"),
+    (0x104B0, 0x104FF, "Osage"),
+    (0x10800, 0x1083F, "Cypriot"),
+    (0x10A00, 0x10A5F, "Kharoshthi"),
+    (0x11000, 0x1107F, "Brahmi"),
+    (0x118A0, 0x118FF, "Warang_Citi"),
+    (0x16800, 0x16A3F, "Bamum"),
+    (0x16F00, 0x16F9F, "Miao"),
+    (0x17000, 0x18AFF, "Tangut"),
+    (0x1B000, 0x1B16F, "Hiragana"),
+    (0x1D400, 0x1D7FF, "Common"),       # mathematical alphanumerics
+    (0x1E900, 0x1E95F, "Adlam"),
+    (0x1F000, 0x1FAFF, "Common"),       # symbols, emoji
+    (0x20000, 0x2FA1F, "Han"),
+]
+
+_RANGES.sort(key=lambda r: (r[0], r[1]))
+_RANGE_STARTS = [r[0] for r in _RANGES]
+
+#: Scripts whose letters are routinely abused in Latin-target homograph
+#: attacks (used by the browser display policy and the warning UI).
+HIGHLY_CONFUSABLE_SCRIPTS = frozenset({"Cyrillic", "Greek", "Armenian"})
+
+#: All script names appearing in the embedded table.
+KNOWN_SCRIPTS = frozenset(r[2] for r in _RANGES)
+
+
+def script_of(char_or_codepoint: str | int) -> str:
+    """Return the script name of a character.
+
+    Accepts either a one-character string or an integer code point.  Code
+    points not covered by the embedded table are classified as
+    ``"Unknown"``.
+    """
+    if isinstance(char_or_codepoint, str):
+        if len(char_or_codepoint) != 1:
+            raise ValueError("script_of expects a single character")
+        codepoint = ord(char_or_codepoint)
+    else:
+        codepoint = int(char_or_codepoint)
+        if codepoint < 0 or codepoint > 0x10FFFF:
+            raise ValueError(f"code point out of range: {codepoint!r}")
+
+    # Ranges may overlap (refinements listed before broader spans); pick the
+    # narrowest matching range.
+    idx = bisect.bisect_right(_RANGE_STARTS, codepoint)
+    best: str | None = None
+    best_width = None
+    for start, end, name in _RANGES[max(0, idx - 40):idx]:
+        if start <= codepoint <= end:
+            width = end - start
+            if best_width is None or width < best_width:
+                best, best_width = name, width
+    return best if best is not None else "Unknown"
+
+
+def scripts_of_text(text: str, *, ignore_common: bool = True) -> set[str]:
+    """Return the set of scripts used in *text*.
+
+    ``Common`` and ``Inherited`` are excluded by default because digits,
+    hyphens and combining marks do not constitute a script mix on their own
+    (this mirrors the browser IDN display policies).
+    """
+    result: set[str] = set()
+    for ch in text:
+        script = script_of(ch)
+        if ignore_common and script in ("Common", "Inherited"):
+            continue
+        result.add(script)
+    return result
+
+
+def is_mixed_script(text: str) -> bool:
+    """True if *text* mixes two or more real scripts (Common/Inherited excluded)."""
+    return len(scripts_of_text(text)) > 1
+
+
+def dominant_script(text: str) -> str:
+    """Return the most frequent script in *text* (ties broken alphabetically).
+
+    Returns ``"Common"`` when no character belongs to a real script.
+    """
+    counts: dict[str, int] = {}
+    for ch in text:
+        script = script_of(ch)
+        if script in ("Common", "Inherited"):
+            continue
+        counts[script] = counts.get(script, 0) + 1
+    if not counts:
+        return "Common"
+    return sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[0][0]
+
+
+def count_by_script(chars: Iterable[str]) -> dict[str, int]:
+    """Histogram of scripts over an iterable of single characters."""
+    counts: dict[str, int] = {}
+    for ch in chars:
+        script = script_of(ch)
+        counts[script] = counts.get(script, 0) + 1
+    return counts

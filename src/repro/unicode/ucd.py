@@ -1,0 +1,105 @@
+"""Unicode Character Database helpers.
+
+Small utilities built on :mod:`unicodedata` that several subsystems share:
+counting assigned code points, picking representative repertoires for the
+SimChar pipeline, and sampling characters by script or block for the
+synthetic workloads.
+"""
+
+from __future__ import annotations
+
+import unicodedata
+from typing import Callable, Iterable, Iterator, Sequence
+
+from .blocks import BLOCKS, UnicodeBlock, block_of
+from .idna import is_pvalid
+
+__all__ = [
+    "is_assigned",
+    "assigned_codepoints",
+    "assigned_count",
+    "idna_repertoire",
+    "repertoire_by_blocks",
+    "letters_in_block",
+]
+
+
+def is_assigned(codepoint: int) -> bool:
+    """True when the code point is assigned in the running Unicode tables."""
+    if 0xD800 <= codepoint <= 0xDFFF:
+        return False
+    return unicodedata.category(chr(codepoint)) != "Cn"
+
+
+def assigned_codepoints(start: int = 0, end: int = 0x10FFFF) -> Iterator[int]:
+    """Iterate over assigned code points in ``[start, end]``."""
+    for cp in range(start, end + 1):
+        if is_assigned(cp):
+            yield cp
+
+
+def assigned_count(start: int = 0, end: int = 0x10FFFF) -> int:
+    """Count assigned code points in the range (full range is slow: ~1M iterations)."""
+    return sum(1 for _ in assigned_codepoints(start, end))
+
+
+def letters_in_block(block: UnicodeBlock, *, pvalid_only: bool = True) -> list[int]:
+    """Return the letter/digit code points of a block (optionally PVALID-only)."""
+    result = []
+    for cp in block.codepoints():
+        if not is_assigned(cp):
+            continue
+        if pvalid_only and not is_pvalid(cp):
+            continue
+        result.append(cp)
+    return result
+
+
+def idna_repertoire(
+    blocks: Sequence[str] | None = None,
+    *,
+    limit_per_block: int | None = None,
+    predicate: Callable[[int], bool] | None = None,
+) -> list[int]:
+    """Collect the IDNA-permitted code points of the named blocks.
+
+    This is the work-list fed to the SimChar builder.  ``blocks`` may name
+    any subset of the embedded block table; ``None`` means "every embedded
+    block".  ``limit_per_block`` caps the number of code points taken from
+    each block, which keeps the quadratic pairwise comparison tractable on a
+    laptop while preserving per-block representation (documented in
+    DESIGN.md as a scale substitution for the paper's 52,457-character run).
+    """
+    wanted: Iterable[UnicodeBlock]
+    if blocks is None:
+        wanted = BLOCKS
+    else:
+        by_name = {b.name: b for b in BLOCKS}
+        missing = [name for name in blocks if name not in by_name]
+        if missing:
+            raise KeyError(f"unknown Unicode block(s): {missing}")
+        wanted = [by_name[name] for name in blocks]
+
+    repertoire: list[int] = []
+    for block in wanted:
+        taken = 0
+        for cp in block.codepoints():
+            if not is_assigned(cp) or not is_pvalid(cp):
+                continue
+            if predicate is not None and not predicate(cp):
+                continue
+            repertoire.append(cp)
+            taken += 1
+            if limit_per_block is not None and taken >= limit_per_block:
+                break
+    return repertoire
+
+
+def repertoire_by_blocks(codepoints: Iterable[int]) -> dict[str, list[int]]:
+    """Group code points by their Unicode block name."""
+    grouped: dict[str, list[int]] = {}
+    for cp in codepoints:
+        block = block_of(cp)
+        name = block.name if block is not None else "No Block"
+        grouped.setdefault(name, []).append(cp)
+    return grouped

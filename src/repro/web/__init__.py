@@ -1,0 +1,29 @@
+"""Web measurement substrate: hosting model, crawler, classifier, parking, blacklists."""
+
+from .blacklist import DEFAULT_FEED_COVERAGE, Blacklist, BlacklistAggregator
+from .classifier import ClassificationReport, ClassifiedSite, WebsiteClassifier
+from .crawler import Crawler, CrawlResult, HTTPResponse
+from .hosting import RedirectIntent, SiteCategory, SyntheticWeb, WebsiteProfile
+from .parking import PARKING_NS_SUFFIXES, is_parking_nameserver, parking_provider_of
+from .virustotal import VirusTotalClient, VirusTotalReport
+
+__all__ = [
+    "DEFAULT_FEED_COVERAGE",
+    "Blacklist",
+    "BlacklistAggregator",
+    "ClassificationReport",
+    "ClassifiedSite",
+    "WebsiteClassifier",
+    "Crawler",
+    "CrawlResult",
+    "HTTPResponse",
+    "RedirectIntent",
+    "SiteCategory",
+    "SyntheticWeb",
+    "WebsiteProfile",
+    "PARKING_NS_SUFFIXES",
+    "is_parking_nameserver",
+    "parking_provider_of",
+    "VirusTotalClient",
+    "VirusTotalReport",
+]

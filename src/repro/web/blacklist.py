@@ -1,0 +1,113 @@
+"""Domain blacklists (hpHosts, Google Safe Browsing, Symantec DeepSight).
+
+The paper checks detected homographs against three blacklist feeds of very
+different sizes: the community-maintained hpHosts (largest, collected over
+years), Google Safe Browsing and Symantec DeepSight (smaller, curated by
+vendors).  This module models a feed as a named set of domains and provides
+the aggregator used by the maliciousness analysis (Table 14).  The
+measurement synthesiser populates the feeds from the malicious profiles of
+the synthetic web with per-feed coverage probabilities mirroring the
+paper's relative feed sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+__all__ = ["Blacklist", "BlacklistAggregator", "DEFAULT_FEED_COVERAGE"]
+
+#: Default probability that a malicious domain appears in each feed.  The
+#: ratios follow the paper's Table 14 (hpHosts ≫ GSB > Symantec).
+DEFAULT_FEED_COVERAGE: dict[str, float] = {
+    "hpHosts": 0.90,
+    "GSB": 0.05,
+    "Symantec": 0.03,
+}
+
+
+@dataclass
+class Blacklist:
+    """One blacklist feed."""
+
+    name: str
+    entries: set[str] = field(default_factory=set)
+
+    def add(self, domain: str) -> None:
+        """Add a domain to the feed."""
+        self.entries.add(domain.lower().rstrip("."))
+
+    def add_many(self, domains: Iterable[str]) -> None:
+        """Add several domains."""
+        for domain in domains:
+            self.add(domain)
+
+    def __contains__(self, domain: str) -> bool:
+        return domain.lower().rstrip(".") in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def hits(self, domains: Iterable[str]) -> list[str]:
+        """Domains from *domains* present in this feed."""
+        return [d for d in domains if d in self]
+
+
+class BlacklistAggregator:
+    """A set of blacklist feeds queried together."""
+
+    def __init__(self, feeds: Iterable[Blacklist] = ()) -> None:
+        self._feeds: dict[str, Blacklist] = {}
+        for feed in feeds:
+            self.add_feed(feed)
+
+    @classmethod
+    def with_default_feeds(cls) -> "BlacklistAggregator":
+        """Aggregator with empty hpHosts / GSB / Symantec feeds."""
+        return cls(Blacklist(name) for name in DEFAULT_FEED_COVERAGE)
+
+    def add_feed(self, feed: Blacklist) -> None:
+        """Register a feed."""
+        self._feeds[feed.name] = feed
+
+    def feed(self, name: str) -> Blacklist:
+        """Look up a feed by name."""
+        try:
+            return self._feeds[name]
+        except KeyError:
+            raise KeyError(f"no blacklist feed named {name!r}; have {sorted(self._feeds)}") from None
+
+    def feed_names(self) -> list[str]:
+        """Names of the registered feeds."""
+        return sorted(self._feeds)
+
+    def is_listed(self, domain: str) -> bool:
+        """True when any feed lists the domain."""
+        return any(domain in feed for feed in self._feeds.values())
+
+    def feeds_listing(self, domain: str) -> list[str]:
+        """Names of the feeds listing the domain."""
+        return sorted(name for name, feed in self._feeds.items() if domain in feed)
+
+    def hits_by_feed(self, domains: Iterable[str]) -> dict[str, list[str]]:
+        """Per-feed hits over a candidate set (Table 14 columns)."""
+        domains = list(domains)
+        return {name: feed.hits(domains) for name, feed in sorted(self._feeds.items())}
+
+    def hit_counts(self, domains: Iterable[str]) -> dict[str, int]:
+        """Per-feed hit counts over a candidate set."""
+        return {name: len(hits) for name, hits in self.hits_by_feed(domains).items()}
+
+    def union_hits(self, domains: Iterable[str]) -> set[str]:
+        """Domains listed by at least one feed."""
+        result: set[str] = set()
+        for hits in self.hits_by_feed(domains).values():
+            result.update(hits)
+        return result
+
+    def load_from(self, mapping: Mapping[str, Iterable[str]]) -> None:
+        """Bulk-load feeds from a mapping of feed name to domains."""
+        for name, domains in mapping.items():
+            if name not in self._feeds:
+                self.add_feed(Blacklist(name))
+            self._feeds[name].add_many(domains)

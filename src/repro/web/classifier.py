@@ -1,0 +1,170 @@
+"""Website classification (paper Section 6.2, Tables 12-13).
+
+Active IDN homographs are classified into six categories — *Domain
+parking*, *For sale*, *Redirect*, *Normal*, *Empty*, *Error* — using the
+NS records of parking providers, the HTTP responses, and the rendered
+page; redirecting homographs are further classified by intent into *Brand
+protection*, *Legitimate website* and *Malicious website* using the
+redirect target and the blacklist/VirusTotal verdicts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from .blacklist import BlacklistAggregator
+from .crawler import Crawler, CrawlResult
+from .hosting import RedirectIntent, SiteCategory, SyntheticWeb
+from .parking import parking_provider_of
+
+__all__ = ["ClassifiedSite", "WebsiteClassifier", "ClassificationReport"]
+
+
+@dataclass(frozen=True)
+class ClassifiedSite:
+    """Classification outcome for one domain."""
+
+    domain: str
+    category: SiteCategory
+    redirect_target: str | None = None
+    redirect_intent: RedirectIntent | None = None
+    parking_provider: str | None = None
+
+
+@dataclass
+class ClassificationReport:
+    """Aggregate of a classification campaign."""
+
+    sites: list[ClassifiedSite] = field(default_factory=list)
+
+    def category_counts(self) -> Counter:
+        """Counts per category (Table 12)."""
+        return Counter(site.category.value for site in self.sites)
+
+    def redirect_intent_counts(self) -> Counter:
+        """Counts per redirect intent (Table 13)."""
+        return Counter(
+            site.redirect_intent.value
+            for site in self.sites
+            if site.redirect_intent is not None
+        )
+
+    def sites_in_category(self, category: SiteCategory) -> list[ClassifiedSite]:
+        """All sites classified into *category*."""
+        return [site for site in self.sites if site.category is category]
+
+    def as_table_rows(self) -> list[tuple[str, int]]:
+        """Rows in the shape of the paper's Table 12 (fixed category order)."""
+        counts = self.category_counts()
+        order = [
+            SiteCategory.PARKED,
+            SiteCategory.FOR_SALE,
+            SiteCategory.REDIRECT,
+            SiteCategory.NORMAL,
+            SiteCategory.EMPTY,
+            SiteCategory.ERROR,
+        ]
+        rows = [(category.value, counts.get(category.value, 0)) for category in order]
+        rows.append(("Total", len(self.sites)))
+        return rows
+
+    def __len__(self) -> int:
+        return len(self.sites)
+
+
+class WebsiteClassifier:
+    """Classifies crawled homograph websites."""
+
+    def __init__(
+        self,
+        web: SyntheticWeb,
+        *,
+        crawler: Crawler | None = None,
+        blacklists: BlacklistAggregator | None = None,
+        reference_targets: Mapping[str, str] | None = None,
+    ) -> None:
+        self.web = web
+        self.crawler = crawler if crawler is not None else Crawler(web)
+        self.blacklists = blacklists
+        #: homograph domain -> original (targeted) domain, used to recognise
+        #: brand-protection redirects.
+        self.reference_targets = dict(reference_targets or {})
+
+    # -- single-domain classification ------------------------------------------
+
+    def classify(self, domain: str) -> ClassifiedSite:
+        """Classify one (active) domain."""
+        domain = domain.lower().rstrip(".")
+        profile = self.web.get(domain)
+        nameservers = profile.nameservers if profile is not None else ()
+        if profile is not None and profile.parking_ns:
+            nameservers = nameservers + (profile.parking_ns,)
+        provider = parking_provider_of(nameservers)
+        if provider is not None:
+            return ClassifiedSite(domain, SiteCategory.PARKED, parking_provider=provider)
+
+        crawl = self.crawler.fetch(domain, scheme="http")
+        if crawl.error is not None and not crawl.responses:
+            https_crawl = self.crawler.fetch(domain, scheme="https")
+            crawl = https_crawl if https_crawl.responses else crawl
+
+        return self._classify_from_crawl(domain, crawl)
+
+    def _classify_from_crawl(self, domain: str, crawl: CrawlResult) -> ClassifiedSite:
+        final = crawl.final_response
+        if final is None or crawl.error is not None and not crawl.responses:
+            return ClassifiedSite(domain, SiteCategory.ERROR)
+        if not final.ok and not final.is_redirect:
+            return ClassifiedSite(domain, SiteCategory.ERROR)
+
+        first = crawl.responses[0]
+        if first.is_redirect or crawl.redirected_offsite:
+            target = (crawl.final_url or "").split("//")[-1].split("/")[0].rstrip(".")
+            intent = self._redirect_intent(domain, target)
+            return ClassifiedSite(domain, SiteCategory.REDIRECT, redirect_target=target,
+                                  redirect_intent=intent)
+
+        body = final.body.lower()
+        if "for sale" in body or "make an offer" in body:
+            return ClassifiedSite(domain, SiteCategory.FOR_SALE)
+        if "parked" in body or "related searches" in body:
+            return ClassifiedSite(domain, SiteCategory.PARKED)
+        if _is_empty_body(body):
+            return ClassifiedSite(domain, SiteCategory.EMPTY)
+        return ClassifiedSite(domain, SiteCategory.NORMAL)
+
+    def _redirect_intent(self, domain: str, target: str) -> RedirectIntent:
+        original = self.reference_targets.get(domain)
+        if original is not None and _same_site(target, original):
+            return RedirectIntent.BRAND_PROTECTION
+        if self.blacklists is not None and (
+            self.blacklists.is_listed(domain) or self.blacklists.is_listed(target)
+        ):
+            return RedirectIntent.MALICIOUS
+        profile = self.web.get(domain)
+        if profile is not None and profile.malicious:
+            return RedirectIntent.MALICIOUS
+        return RedirectIntent.LEGITIMATE
+
+    # -- campaigns -----------------------------------------------------------------
+
+    def classify_all(self, domains: Iterable[str]) -> ClassificationReport:
+        """Classify a whole set of (active) domains."""
+        report = ClassificationReport()
+        for domain in domains:
+            report.sites.append(self.classify(domain))
+        return report
+
+
+def _is_empty_body(body: str) -> bool:
+    stripped = (
+        body.replace("<html>", "").replace("</html>", "")
+        .replace("<body>", "").replace("</body>", "").strip()
+    )
+    return not stripped
+
+
+def _same_site(first: str, second: str) -> bool:
+    return first.lower().rstrip(".") == second.lower().rstrip(".")

@@ -1,0 +1,161 @@
+"""Simulated web crawler (puppeteer substitute).
+
+The paper drives a headless Chrome (puppeteer) at every active homograph
+over HTTP and HTTPS, takes a screenshot, and classifies the page.  Here the
+crawler synthesises the HTTP conversation from the domain's
+:class:`~repro.web.hosting.WebsiteProfile`: status code, body markers
+(parking/for-sale templates, empty pages), redirect chains (including the
+cloaking behaviour the paper found on the gmail phishing homograph), and a
+deterministic "screenshot signature" standing in for the screenshot image.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .hosting import SiteCategory, SyntheticWeb, WebsiteProfile
+
+__all__ = ["HTTPResponse", "CrawlResult", "Crawler", "DEFAULT_USER_AGENT"]
+
+DEFAULT_USER_AGENT = "Mozilla/5.0 (ShamFinder reproduction crawler)"
+
+_PARKING_BODY = "<html><body>This domain is parked. Related searches: {domain}</body></html>"
+_FOR_SALE_BODY = "<html><body>The domain {domain} is for sale! Make an offer today.</body></html>"
+_PHISHING_BODY = "<html><body><form action='/login'>Sign in to continue to {target}</form></body></html>"
+_NORMAL_BODY = "<html><body><h1>{title}</h1><p>Welcome to {domain}.</p></body></html>"
+_EMPTY_BODY = "<html><body></body></html>"
+
+
+@dataclass(frozen=True)
+class HTTPResponse:
+    """A single HTTP exchange."""
+
+    url: str
+    status: int
+    body: str = ""
+    location: str | None = None
+
+    @property
+    def is_redirect(self) -> bool:
+        """True for 3xx responses carrying a Location header."""
+        return 300 <= self.status < 400 and self.location is not None
+
+    @property
+    def ok(self) -> bool:
+        """True for 2xx responses."""
+        return 200 <= self.status < 300
+
+
+@dataclass
+class CrawlResult:
+    """Outcome of crawling one domain over one scheme."""
+
+    domain: str
+    scheme: str
+    responses: list[HTTPResponse] = field(default_factory=list)
+    error: str | None = None
+
+    @property
+    def final_response(self) -> HTTPResponse | None:
+        """Last response in the redirect chain (``None`` on connection error)."""
+        return self.responses[-1] if self.responses else None
+
+    @property
+    def final_url(self) -> str | None:
+        """URL the browser ends up on."""
+        final = self.final_response
+        return final.url if final is not None else None
+
+    @property
+    def redirected_offsite(self) -> bool:
+        """True when the chain left the original domain."""
+        final = self.final_url
+        if final is None:
+            return False
+        host = final.split("/")[2] if "//" in final else final
+        return host.lower().rstrip(".") != self.domain
+
+    @property
+    def screenshot_signature(self) -> str:
+        """Deterministic stand-in for the page screenshot (hash of the final body)."""
+        final = self.final_response
+        if final is None:
+            return ""
+        return hashlib.sha256(final.body.encode("utf-8")).hexdigest()[:16]
+
+
+class Crawler:
+    """Headless-browser-like crawler over the synthetic web."""
+
+    def __init__(self, web: SyntheticWeb, *, user_agent: str = DEFAULT_USER_AGENT,
+                 max_redirects: int = 5) -> None:
+        self.web = web
+        self.user_agent = user_agent
+        self.max_redirects = max_redirects
+
+    # -- fetching ----------------------------------------------------------------
+
+    def fetch(self, domain: str, *, scheme: str = "http", user_agent: str | None = None) -> CrawlResult:
+        """Fetch a domain, following redirects within the synthetic web."""
+        agent = user_agent if user_agent is not None else self.user_agent
+        result = CrawlResult(domain=domain.lower().rstrip("."), scheme=scheme)
+        current = result.domain
+        for _hop in range(self.max_redirects + 1):
+            profile = self.web.get(current)
+            url = f"{scheme}://{current}/"
+            if profile is None or not profile.reachable:
+                if current == result.domain:
+                    result.error = "connection refused"
+                    return result
+                # Off-site target outside the synthetic web: treat as a plain page.
+                result.responses.append(HTTPResponse(url, 200, _NORMAL_BODY.format(
+                    title=current, domain=current)))
+                return result
+            if scheme == "https" and 443 not in profile.open_ports:
+                result.error = "tls handshake failed"
+                return result
+            response = self._respond(profile, url, agent)
+            result.responses.append(response)
+            if not response.is_redirect:
+                return result
+            target = response.location or ""
+            current = target.split("//")[-1].split("/")[0].lower().rstrip(".")
+        result.error = "too many redirects"
+        return result
+
+    def crawl_all(self, domains: Iterable[str], *, schemes: tuple[str, ...] = ("http", "https")) -> dict[str, dict[str, CrawlResult]]:
+        """Crawl every domain over every scheme (paper: HTTP and HTTPS)."""
+        results: dict[str, dict[str, CrawlResult]] = {}
+        for domain in domains:
+            results[domain] = {scheme: self.fetch(domain, scheme=scheme) for scheme in schemes}
+        return results
+
+    # -- behaviour synthesis -------------------------------------------------------
+
+    def _respond(self, profile: WebsiteProfile, url: str, user_agent: str) -> HTTPResponse:
+        domain = profile.domain
+        category = profile.category
+        if profile.cloaking and "bot" in user_agent.lower():
+            # Cloaking sites show an innocuous page to crawlers identifying
+            # themselves as bots (paper Section 6.2).
+            return HTTPResponse(url, 200, _NORMAL_BODY.format(title="Welcome", domain=domain))
+        if category is SiteCategory.REDIRECT and profile.redirect_target:
+            return HTTPResponse(url, 302, "", location=f"http://{profile.redirect_target}/")
+        if category is SiteCategory.PARKED:
+            return HTTPResponse(url, 200, _PARKING_BODY.format(domain=domain))
+        if category is SiteCategory.FOR_SALE:
+            return HTTPResponse(url, 200, _FOR_SALE_BODY.format(domain=domain))
+        if category is SiteCategory.PHISHING:
+            target = profile.target_of or domain
+            if profile.cloaking:
+                # Victims get bounced to the credential-harvesting page.
+                return HTTPResponse(url, 302, "", location=f"http://login.{domain}/")
+            return HTTPResponse(url, 200, _PHISHING_BODY.format(target=target))
+        if category is SiteCategory.EMPTY:
+            return HTTPResponse(url, 200, _EMPTY_BODY)
+        if category is SiteCategory.ERROR:
+            return HTTPResponse(url, 503, "Service Unavailable")
+        title = profile.page_title or domain
+        return HTTPResponse(url, 200, _NORMAL_BODY.format(title=title, domain=domain))

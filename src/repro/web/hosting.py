@@ -1,0 +1,167 @@
+"""Synthetic web hosting model.
+
+The deep inspection of detected homographs (paper Section 6.2) needs to
+know, for each registered domain, how its website behaves: does it resolve,
+which ports answer, is it parked, does it redirect, is it a phishing page,
+does it have MX records, how often is it looked up.  In the paper this
+information comes from the live Internet; here it is synthesised into
+:class:`WebsiteProfile` objects by the measurement generator and served to
+the DNS resolver, port scanner, crawler and blacklists through
+:class:`SyntheticWeb`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator
+
+from ..dns.records import RRType, ResourceRecord
+from ..dns.resolver import AuthoritativeStore
+
+__all__ = ["SiteCategory", "RedirectIntent", "WebsiteProfile", "SyntheticWeb"]
+
+
+class SiteCategory(str, Enum):
+    """Website behaviour classes used in the paper's Tables 11-12."""
+
+    PARKED = "Domain parking"
+    FOR_SALE = "For sale"
+    REDIRECT = "Redirect"
+    NORMAL = "Normal"
+    EMPTY = "Empty"
+    ERROR = "Error"
+    PHISHING = "Phishing"
+    PORTAL = "Portal"
+    UNREGISTERED = "Unregistered"
+
+
+class RedirectIntent(str, Enum):
+    """Why a homograph redirects somewhere else (Table 13)."""
+
+    BRAND_PROTECTION = "Brand protection"
+    LEGITIMATE = "Legitimate website"
+    MALICIOUS = "Malicious website"
+
+
+@dataclass
+class WebsiteProfile:
+    """Everything the simulated Internet knows about one domain."""
+
+    domain: str
+    registered: bool = True
+    has_ns: bool = True
+    has_a: bool = True
+    open_ports: frozenset[int] = frozenset({80, 443})
+    category: SiteCategory = SiteCategory.NORMAL
+    redirect_target: str | None = None
+    redirect_intent: RedirectIntent | None = None
+    parking_ns: str | None = None
+    nameservers: tuple[str, ...] = ()
+    has_mx: bool = False
+    had_mx_in_past: bool = False
+    lookups: int = 0
+    malicious: bool = False
+    blacklist_feeds: frozenset[str] = frozenset()
+    cloaking: bool = False
+    linked_on_web: bool = False
+    linked_on_sns: bool = False
+    page_title: str = ""
+    target_of: str | None = None  # the legitimate domain a homograph imitates
+
+    def __post_init__(self) -> None:
+        self.domain = self.domain.lower().rstrip(".")
+        if self.redirect_target is not None:
+            self.redirect_target = self.redirect_target.lower().rstrip(".")
+        if not self.registered:
+            self.has_ns = False
+            self.has_a = False
+            self.open_ports = frozenset()
+            self.category = SiteCategory.UNREGISTERED
+        if not self.has_a:
+            self.open_ports = frozenset()
+
+    @property
+    def reachable(self) -> bool:
+        """True when a web port answers."""
+        return bool(self.open_ports & {80, 443})
+
+    @property
+    def is_parked(self) -> bool:
+        """True when the domain is held by a parking provider."""
+        return self.category is SiteCategory.PARKED or self.parking_ns is not None
+
+
+class SyntheticWeb:
+    """The simulated Internet: hosting model + DNS publication."""
+
+    def __init__(self, profiles: Iterable[WebsiteProfile] = ()) -> None:
+        self._profiles: dict[str, WebsiteProfile] = {}
+        for profile in profiles:
+            self.add(profile)
+
+    # -- population ----------------------------------------------------------
+
+    def add(self, profile: WebsiteProfile) -> None:
+        """Add (or replace) a domain's profile."""
+        self._profiles[profile.domain] = profile
+
+    def get(self, domain: str) -> WebsiteProfile | None:
+        """Profile of a domain, or ``None`` for never-seen domains."""
+        return self._profiles.get(domain.lower().rstrip("."))
+
+    def __contains__(self, domain: str) -> bool:
+        return domain.lower().rstrip(".") in self._profiles
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __iter__(self) -> Iterator[WebsiteProfile]:
+        return iter(self._profiles.values())
+
+    def domains(self) -> list[str]:
+        """All known domains."""
+        return sorted(self._profiles)
+
+    # -- host model (port scanner protocol) ---------------------------------------
+
+    def open_ports(self, domain: str) -> set[int]:
+        """Open TCP ports of the host serving *domain* (empty when unknown/down)."""
+        profile = self.get(domain)
+        if profile is None or not profile.registered:
+            return set()
+        return set(profile.open_ports)
+
+    # -- DNS publication ------------------------------------------------------------
+
+    def publish_dns(self, store: AuthoritativeStore) -> None:
+        """Publish NS/A/MX records of every registered profile into a store."""
+        for profile in self._profiles.values():
+            if not profile.registered or not profile.has_ns:
+                continue
+            nameservers = profile.nameservers or (
+                (profile.parking_ns,) if profile.parking_ns else (f"ns1.{profile.domain}",)
+            )
+            for ns in nameservers:
+                if ns:
+                    store.add(ResourceRecord(profile.domain, RRType.NS, ns))
+            if profile.has_a:
+                store.add(ResourceRecord(profile.domain, RRType.A, _fake_address(profile.domain)))
+            if profile.has_mx:
+                store.add(ResourceRecord(profile.domain, RRType.MX, f"10 mail.{profile.domain}"))
+
+    # -- convenience views ---------------------------------------------------------------
+
+    def lookup_counts(self) -> dict[str, int]:
+        """Per-domain lookup counts (feeds the passive DNS collector)."""
+        return {p.domain: p.lookups for p in self._profiles.values() if p.lookups > 0}
+
+    def profiles_by_category(self, category: SiteCategory) -> list[WebsiteProfile]:
+        """All profiles of a given category."""
+        return [p for p in self._profiles.values() if p.category is category]
+
+
+def _fake_address(domain: str) -> str:
+    """Deterministic RFC 5737 documentation address for a domain."""
+    digest = sum(domain.encode("utf-8"))
+    return f"203.0.113.{digest % 254 + 1}"

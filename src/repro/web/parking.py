@@ -1,0 +1,51 @@
+"""Domain-parking detection by NS records.
+
+The paper classifies a homograph as parked when its NS records point to a
+known domain-parking provider (the list is compiled following Vissers et
+al., NDSS 2015 and DomainChroma; the paper ends up with 17 NS patterns).
+This module embeds that provider list and the matching logic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["PARKING_NS_SUFFIXES", "is_parking_nameserver", "parking_provider_of"]
+
+#: Name server suffixes operated by domain-parking companies (17 entries, as
+#: in the paper's compiled list).
+PARKING_NS_SUFFIXES: tuple[str, ...] = (
+    "sedoparking.com",
+    "parkingcrew.net",
+    "bodis.com",
+    "parklogic.com",
+    "above.com",
+    "voodoo.com",
+    "dsredirection.com",
+    "fabulous.com",
+    "domaincontrol.com",
+    "cashparking.com",
+    "namedrive.com",
+    "rookmedia.net",
+    "smartname.com",
+    "domainapps.com",
+    "parked.com",
+    "uniregistrymarket.link",
+    "undeveloped.com",
+)
+
+
+def is_parking_nameserver(nameserver: str) -> bool:
+    """True when a name server belongs to a known parking provider."""
+    host = nameserver.lower().rstrip(".")
+    return any(host == suffix or host.endswith("." + suffix) for suffix in PARKING_NS_SUFFIXES)
+
+
+def parking_provider_of(nameservers: Iterable[str]) -> str | None:
+    """Return the parking provider suffix matched by any NS, or ``None``."""
+    for nameserver in nameservers:
+        host = nameserver.lower().rstrip(".")
+        for suffix in PARKING_NS_SUFFIXES:
+            if host == suffix or host.endswith("." + suffix):
+                return suffix
+    return None

@@ -1,0 +1,71 @@
+"""VirusTotal-like URL scanner aggregate.
+
+The paper uses VirusTotal to double-check redirecting homographs.  The
+simulated scanner aggregates a fixed set of engines; a domain's detection
+count is derived deterministically from its profile (malicious domains are
+flagged by several engines, benign ones occasionally receive a single
+false positive, mirroring how practitioners threshold VT results).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from .hosting import SyntheticWeb
+
+__all__ = ["VirusTotalReport", "VirusTotalClient"]
+
+_ENGINES = (
+    "AegisLab", "AlphaSOC", "BitDefender", "CRDF", "Certego", "CyRadar",
+    "ESET", "Emsisoft", "Forcepoint", "Fortinet", "GData", "Kaspersky",
+    "Lionic", "MalwareDomainList", "OpenPhish", "PhishLabs", "Phishtank",
+    "Sophos", "Spamhaus", "Trustwave", "URLhaus", "Webroot",
+)
+
+
+@dataclass(frozen=True)
+class VirusTotalReport:
+    """Scan result for one domain/URL."""
+
+    domain: str
+    positives: int
+    total: int
+    engines: tuple[str, ...]
+
+    @property
+    def is_malicious(self) -> bool:
+        """Practitioner's rule of thumb: two or more engines flagging."""
+        return self.positives >= 2
+
+
+class VirusTotalClient:
+    """Deterministic VirusTotal stand-in over the synthetic web."""
+
+    def __init__(self, web: SyntheticWeb, *, detection_rate: float = 0.5) -> None:
+        if not 0.0 <= detection_rate <= 1.0:
+            raise ValueError("detection_rate must be within [0, 1]")
+        self.web = web
+        self.detection_rate = detection_rate
+
+    def scan(self, domain: str) -> VirusTotalReport:
+        """Scan a domain and return the aggregated engine verdicts."""
+        domain = domain.lower().rstrip(".")
+        profile = self.web.get(domain)
+        flagged: list[str] = []
+        if profile is not None and profile.malicious:
+            for engine in _ENGINES:
+                digest = hashlib.sha256(f"{engine}:{domain}".encode()).digest()
+                if digest[0] / 255.0 < self.detection_rate:
+                    flagged.append(engine)
+            if len(flagged) < 2:  # malicious domains are caught by at least two engines
+                flagged = list(_ENGINES[:2])
+        else:
+            digest = hashlib.sha256(f"fp:{domain}".encode()).digest()
+            if digest[0] < 3:  # ~1% single-engine false positive rate
+                flagged = [_ENGINES[digest[1] % len(_ENGINES)]]
+        return VirusTotalReport(domain, len(flagged), len(_ENGINES), tuple(flagged))
+
+    def scan_all(self, domains: list[str]) -> dict[str, VirusTotalReport]:
+        """Scan a batch of domains."""
+        return {domain: self.scan(domain) for domain in domains}

@@ -1,0 +1,60 @@
+"""Tests for the reference (Alexa-like) domain list."""
+
+from repro.measurement.alexa import HEAD_DOMAINS, ReferenceList
+
+
+def test_head_domains_include_paper_targets():
+    for domain in ("google.com", "amazon.com", "facebook.com", "gmail.com",
+                   "myetherwallet.com", "allstate.com", "binance.com"):
+        assert domain in HEAD_DOMAINS
+
+
+def test_top_sites_generation_deterministic():
+    first = ReferenceList.top_sites(500, seed=1)
+    second = ReferenceList.top_sites(500, seed=1)
+    assert first.domains() == second.domains()
+    different = ReferenceList.top_sites(500, seed=2)
+    assert first.domains() != different.domains()
+
+
+def test_requested_size_and_uniqueness():
+    reference = ReferenceList.top_sites(1234)
+    domains = reference.domains()
+    assert len(domains) == 1234
+    assert len(set(domains)) == 1234
+    assert all(domain.endswith(".com") for domain in domains)
+
+
+def test_ranking_and_lookup():
+    reference = ReferenceList.top_sites(100)
+    assert reference.rank_of("google.com") == 1
+    assert reference.rank_of("notinlist.com") is None
+    assert "google.com" in reference
+    assert len(reference) == 100
+    entries = list(reference)
+    assert entries[0].rank == 1 and entries[0].label == "google"
+
+
+def test_top_slice():
+    reference = ReferenceList.top_sites(100)
+    top10 = reference.top(10)
+    assert len(top10) == 10
+    assert top10.domains() == reference.domains()[:10]
+
+
+def test_popularity_weights_decrease_with_rank():
+    reference = ReferenceList.top_sites(50)
+    weights = reference.popularity_weights()
+    domains = reference.domains()
+    assert weights[domains[0]] > weights[domains[10]] > weights[domains[-1]]
+
+
+def test_duplicates_are_removed_on_construction():
+    reference = ReferenceList(["a.com", "A.com", "b.com"])
+    assert reference.domains() == ["a.com", "b.com"]
+    assert reference.rank_of("b.com") == 2
+
+
+def test_labels_strip_tld():
+    reference = ReferenceList(["google.com", "amazon.com"])
+    assert reference.labels() == ["google", "amazon"]

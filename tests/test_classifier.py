@@ -1,0 +1,85 @@
+"""Tests for the website classifier (Tables 12-13)."""
+
+from repro.web.blacklist import Blacklist, BlacklistAggregator
+from repro.web.classifier import WebsiteClassifier
+from repro.web.hosting import RedirectIntent, SiteCategory, SyntheticWeb, WebsiteProfile
+
+
+def _setup():
+    web = SyntheticWeb([
+        WebsiteProfile("parked-by-ns.com", category=SiteCategory.NORMAL,
+                       parking_ns="ns1.sedoparking.com",
+                       nameservers=("ns1.sedoparking.com",)),
+        WebsiteProfile("parked-by-body.com", category=SiteCategory.PARKED,
+                       nameservers=("ns1.custom.net",)),
+        WebsiteProfile("sale.com", category=SiteCategory.FOR_SALE),
+        WebsiteProfile("normal.com", category=SiteCategory.NORMAL),
+        WebsiteProfile("empty.com", category=SiteCategory.EMPTY),
+        WebsiteProfile("broken.com", category=SiteCategory.ERROR),
+        WebsiteProfile("dead.com", registered=False),
+        WebsiteProfile("brandprot.com", category=SiteCategory.REDIRECT, redirect_target="google.com"),
+        WebsiteProfile("legit-redir.com", category=SiteCategory.REDIRECT, redirect_target="somewhere.com"),
+        WebsiteProfile("evil-redir.com", category=SiteCategory.REDIRECT,
+                       redirect_target="landing.com", malicious=True),
+    ])
+    blacklists = BlacklistAggregator([Blacklist("hpHosts", {"evil-redir.com"})])
+    classifier = WebsiteClassifier(
+        web,
+        blacklists=blacklists,
+        reference_targets={"brandprot.com": "google.com", "evil-redir.com": "google.com",
+                           "legit-redir.com": "google.com"},
+    )
+    return classifier
+
+
+def test_parking_detected_by_ns_before_crawling():
+    classifier = _setup()
+    site = classifier.classify("parked-by-ns.com")
+    assert site.category is SiteCategory.PARKED
+    assert site.parking_provider == "sedoparking.com"
+
+
+def test_parking_detected_by_page_template():
+    classifier = _setup()
+    assert classifier.classify("parked-by-body.com").category is SiteCategory.PARKED
+
+
+def test_for_sale_normal_empty_error():
+    classifier = _setup()
+    assert classifier.classify("sale.com").category is SiteCategory.FOR_SALE
+    assert classifier.classify("normal.com").category is SiteCategory.NORMAL
+    assert classifier.classify("empty.com").category is SiteCategory.EMPTY
+    assert classifier.classify("broken.com").category is SiteCategory.ERROR
+    assert classifier.classify("dead.com").category is SiteCategory.ERROR
+
+
+def test_redirect_intents():
+    classifier = _setup()
+    brand = classifier.classify("brandprot.com")
+    assert brand.category is SiteCategory.REDIRECT
+    assert brand.redirect_intent is RedirectIntent.BRAND_PROTECTION
+    assert brand.redirect_target == "google.com"
+    legit = classifier.classify("legit-redir.com")
+    assert legit.redirect_intent is RedirectIntent.LEGITIMATE
+    evil = classifier.classify("evil-redir.com")
+    assert evil.redirect_intent is RedirectIntent.MALICIOUS
+
+
+def test_classify_all_report():
+    classifier = _setup()
+    report = classifier.classify_all([
+        "parked-by-ns.com", "sale.com", "normal.com", "empty.com", "broken.com",
+        "brandprot.com", "legit-redir.com", "evil-redir.com",
+    ])
+    assert len(report) == 8
+    counts = report.category_counts()
+    assert counts[SiteCategory.PARKED.value] == 1
+    assert counts[SiteCategory.REDIRECT.value] == 3
+    intents = report.redirect_intent_counts()
+    assert intents[RedirectIntent.BRAND_PROTECTION.value] == 1
+    assert intents[RedirectIntent.MALICIOUS.value] == 1
+    rows = report.as_table_rows()
+    assert rows[-1] == ("Total", 8)
+    labels = [label for label, _count in rows[:-1]]
+    assert labels == ["Domain parking", "For sale", "Redirect", "Normal", "Empty", "Error"]
+    assert len(report.sites_in_category(SiteCategory.REDIRECT)) == 3

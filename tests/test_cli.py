@@ -1,0 +1,92 @@
+"""Tests for the command-line interface.
+
+The CLI sub-commands that need the full default SimChar build are exercised
+through lighter paths (pre-built database files, small scales) to keep the
+suite fast.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_has_all_subcommands():
+    parser = build_parser()
+    for argv in (["build-db", "-o", "x.json"],
+                 ["detect", "example.com"],
+                 ["inspect", "example.com"],
+                 ["measure"]):
+        args = parser.parse_args(argv)
+        assert args.command == argv[0]
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_detect_with_prebuilt_database(tmp_path, capsys, union_db):
+    db_path = tmp_path / "db.json"
+    union_db.save(db_path)
+    rc = main([
+        "detect",
+        "xn--ggle-55da.com", "example.com",
+        "--reference", "google.com", "amazon.com",
+        "--database", str(db_path),
+    ])
+    assert rc == 0
+    output = capsys.readouterr().out
+    assert "google.com" in output
+    assert "imitates" in output
+
+
+def test_detect_json_output_and_files(tmp_path, capsys, union_db):
+    db_path = tmp_path / "db.json"
+    union_db.save(db_path)
+    candidates = tmp_path / "candidates.txt"
+    candidates.write_text("xn--facbook-dya.com\n\n", encoding="utf-8")
+    reference = tmp_path / "reference.txt"
+    reference.write_text("facebook.com\n", encoding="utf-8")
+    rc = main([
+        "detect",
+        "--candidates-file", str(candidates),
+        "--reference-file", str(reference),
+        "--database", str(db_path),
+        "--json",
+    ])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["reference"] == "facebook.com"
+    assert payload[0]["unicode"] == "facébook.com"
+    assert payload[0]["sources"]
+
+
+def test_detect_without_candidates_errors(capsys):
+    rc = main(["detect"])
+    assert rc == 2
+    assert "no candidate domains" in capsys.readouterr().err
+
+
+def test_detect_no_matches_message(tmp_path, capsys, union_db):
+    db_path = tmp_path / "db.json"
+    union_db.save(db_path)
+    rc = main(["detect", "example.com", "--reference", "google.com",
+               "--database", str(db_path)])
+    assert rc == 0
+    assert "no homographs" in capsys.readouterr().out
+
+
+def test_inspect_plain_domain(capsys):
+    rc = main(["inspect", "google.com"])
+    assert rc == 0
+    output = capsys.readouterr().out
+    assert "ascii:     google.com" in output
+    assert "idn:       False" in output
+
+
+def test_inspect_invalid_domain(capsys):
+    rc = main(["inspect", "bad domain!"])
+    assert rc == 2
+    assert "invalid domain" in capsys.readouterr().err

@@ -1,0 +1,59 @@
+"""CLI tests for the sub-commands that build databases or run the study.
+
+These exercise the full default SimChar build, so they are slower than the
+rest of the CLI tests (a few seconds each) but still well within unit-test
+territory thanks to the laptop-scale repertoire.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.homoglyph.database import HomoglyphDatabase
+
+
+@pytest.mark.slow
+def test_build_db_writes_union_database(tmp_path, capsys):
+    output = tmp_path / "union.json"
+    rc = main(["build-db", "--output", str(output)])
+    assert rc == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["output"] == str(output)
+    assert summary["pairs"] > 0
+    assert summary["merged_pairs"] >= summary["pairs"]
+
+    database = HomoglyphDatabase.load(output)
+    assert database.are_homoglyphs("o", "о")
+    assert database.are_homoglyphs("e", "é")
+
+
+@pytest.mark.slow
+def test_build_db_without_uc(tmp_path, capsys):
+    output = tmp_path / "simchar.json"
+    rc = main(["build-db", "--output", str(output), "--no-uc", "--threshold", "2"])
+    assert rc == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["threshold"] == 2
+    database = HomoglyphDatabase.load(output)
+    # Without UC, every pair carries only the SimChar source.
+    assert all(pair.sources == {"SimChar"} for pair in database)
+
+
+@pytest.mark.slow
+def test_measure_text_output(capsys):
+    rc = main(["measure", "--scale", "0.01", "--seed", "7"])
+    assert rc == 0
+    output = capsys.readouterr().out
+    for heading in ("Table 6", "Table 7", "Table 8", "Table 9", "Table 10",
+                    "Table 12", "Table 14"):
+        assert heading in output
+
+
+@pytest.mark.slow
+def test_measure_json_output(capsys):
+    rc = main(["measure", "--scale", "0.01", "--seed", "7", "--json"])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "detections" in payload and "blacklists" in payload
+    assert payload["detections"]["UC ∪ SimChar"] >= payload["detections"]["UC"]

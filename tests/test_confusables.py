@@ -1,0 +1,99 @@
+"""Tests for the UC confusables table and parser."""
+
+import pytest
+
+from repro.homoglyph.confusables import (
+    EMBEDDED_CONFUSABLES,
+    ConfusablesTable,
+    load_confusables,
+    parse_confusables,
+)
+
+
+def test_parse_basic_lines():
+    table = parse_confusables([
+        "0430 ; 0061 ; MA # CYRILLIC SMALL A -> a",
+        "FF41 ;\t0061 ; MA",
+        "# a comment line",
+        "",
+    ])
+    assert len(table) == 2
+    assert table.prototype("а") == "a"
+    assert table.prototype("ａ") == "a"
+    assert table.prototype("x") == "x"
+
+
+def test_parse_skips_malformed_and_multichar_sources():
+    table = parse_confusables([
+        "ZZZZ ; 0061 ; MA",               # bad hex
+        "0430 0431 ; 0061 ; MA",          # multi-char source: skipped
+        "0431",                            # missing fields
+        "0432 ; D800 ; MA",               # surrogate target
+        "0435 ; 0065 ; MA",               # valid
+    ])
+    assert len(table) == 1
+    assert table.prototype("е") == "e"
+
+
+def test_skeleton_and_confusability():
+    table = load_confusables()
+    assert table.skeleton("gооgle") == "google"        # Cyrillic о
+    assert table.are_confusable("gооgle", "google")
+    assert not table.are_confusable("googel", "google")
+    assert table.skeleton("аррle") == "apple"          # Cyrillic а and р
+
+
+def test_embedded_seed_loads():
+    table = load_confusables()
+    assert len(table) > 150
+    # Every confusable named in the paper's examples is present.
+    assert table.prototype("а") == "a"
+    assert table.prototype("օ") == "o"
+    assert table.prototype("ı") == "i"
+    assert "а" in table
+    assert len(table.characters()) > 200
+
+
+def test_embedded_seed_contains_non_idna_entries():
+    # UC covers far more than the IDNA-permitted repertoire (paper Table 1).
+    table = load_confusables()
+    db = table.to_database()
+    idna_db = db.restricted_to_idna()
+    assert idna_db.pair_count < db.pair_count
+
+
+def test_to_database_pairs_and_shared_prototypes():
+    table = parse_confusables([
+        "0430 ; 0061 ; MA",
+        "0251 ; 0061 ; MA",
+        "04D5 ; 0061 0065 ; MA",          # multi-char target skipped for pairs
+    ])
+    db = table.to_database()
+    assert db.are_homoglyphs("а", "a")
+    assert db.are_homoglyphs("ɑ", "a")
+    # Characters sharing a prototype are mutually confusable.
+    assert db.are_homoglyphs("а", "ɑ")
+    assert not any("ӕ" in (p.first, p.second) for p in db)
+
+
+def test_load_confusables_from_file(tmp_path):
+    path = tmp_path / "confusables.txt"
+    path.write_text("0430 ; 0061 ; MA\n", encoding="utf-8")
+    table = load_confusables(path, name="file-UC")
+    assert table.name == "file-UC"
+    assert len(table) == 1
+
+
+def test_malformed_line_in_embedded_seed_is_ignored():
+    # The embedded seed deliberately contains one malformed line to keep the
+    # parser honest.
+    assert "30ET" in EMBEDDED_CONFUSABLES
+    table = load_confusables()
+    assert all(len(source) == 1 for source in (s for s in table.characters() if s in table))
+
+
+def test_table_len_and_contains():
+    table = ConfusablesTable({"а": "a"})
+    assert len(table) == 1
+    assert "а" in table
+    assert "a" not in table

@@ -1,0 +1,82 @@
+"""Tests for browser display policies and the warning UI (Figure 12)."""
+
+from repro.countermeasure.browser_policy import DisplayDecision, DisplayPolicy, MixedScriptPolicy
+from repro.countermeasure.warning import WarningGenerator
+from repro.idn.domain import DomainName
+
+
+def test_legacy_policy_always_unicode():
+    policy = DisplayPolicy()
+    assert policy.decide("xn--ggle-55da.com") is DisplayDecision.UNICODE
+    assert policy.display("xn--ggle-55da.com") == "gооgle.com"
+
+
+def test_mixed_script_policy_flags_cross_script_mix():
+    policy = MixedScriptPolicy()
+    # Cyrillic о mixed into Latin: shown as Punycode.
+    assert policy.decide("xn--ggle-55da.com") is DisplayDecision.PUNYCODE
+    assert policy.display("xn--ggle-55da.com") == "xn--ggle-55da.com"
+    assert policy.catches("xn--ggle-55da.com")
+
+
+def test_mixed_script_policy_misses_single_script_homographs():
+    policy = MixedScriptPolicy()
+    # facébook is pure Latin: the browser shows Unicode, the attack survives
+    # (the paper's criticism of the countermeasure).
+    assert policy.decide("xn--facbook-dya.com") is DisplayDecision.UNICODE
+    assert policy.display("xn--facbook-dya.com") == "facébook.com"
+    # Pure-Cyrillic and pure-Han labels are also displayed as Unicode.
+    assert policy.decide(DomainName("пример.com")) is DisplayDecision.UNICODE
+    assert not policy.catches("xn--tsta8290bfzd.com")
+
+
+def test_mixed_script_policy_allows_latin_cjk_combination():
+    policy = MixedScriptPolicy()
+    name = DomainName("東京abc.com")
+    assert policy.decide(name) is DisplayDecision.UNICODE
+
+
+def test_ascii_domains_never_flagged():
+    policy = MixedScriptPolicy()
+    assert policy.decide("google.com") is DisplayDecision.UNICODE
+
+
+def _generator(union_db):
+    return WarningGenerator(union_db, ["google.com", "facebook.com", "amazon.com"])
+
+
+def test_warning_generated_for_reference_homograph(union_db):
+    warning = _generator(union_db).warning_for("xn--ggle-55da.com")
+    assert warning is not None
+    assert warning.accessed_domain == "gооgle.com"
+    assert warning.suspected_original == "google.com"
+    assert "Did you mean google.com?" in warning.message
+    assert warning.title.startswith("WARNING")
+    assert len(warning.annotations) == 2
+    annotation = warning.annotations[0]
+    assert annotation.original_char == "o"
+    assert "Cyrillic" in annotation.suspicious_name
+    assert warning.choices[0] == "Go to google.com"
+    text = warning.render_text()
+    assert "google.com" in text and "→" in text
+
+
+def test_warning_uses_reverter_for_unlisted_targets(union_db):
+    # allstate.com is not in the generator's reference list, but the reverter
+    # can still recover it from its homograph.
+    generator = _generator(union_db)
+    warning = generator.warning_for(DomainName("аllstate.com"))
+    assert warning is not None
+    assert warning.suspected_original == "allstate.com"
+
+
+def test_no_warning_for_ascii_or_benign_idn(union_db):
+    generator = _generator(union_db)
+    assert generator.warning_for("google.com") is None
+    # A Chinese IDN has no ASCII homoglyph mapping and no reference match.
+    assert generator.warning_for("xn--tsta8290bfzd.com") is None
+
+
+def test_warning_generator_skips_invalid_reference_entries(union_db):
+    generator = WarningGenerator(union_db, ["google.com", "not a domain!"])
+    assert generator.warning_for("xn--ggle-55da.com") is not None

@@ -1,0 +1,81 @@
+"""Tests for the simulated crawler."""
+
+from repro.web.crawler import Crawler
+from repro.web.hosting import SiteCategory, SyntheticWeb, WebsiteProfile
+
+
+def _web():
+    return SyntheticWeb([
+        WebsiteProfile("normal.com", category=SiteCategory.NORMAL, page_title="Welcome"),
+        WebsiteProfile("parked.com", category=SiteCategory.PARKED),
+        WebsiteProfile("sale.com", category=SiteCategory.FOR_SALE),
+        WebsiteProfile("empty.com", category=SiteCategory.EMPTY),
+        WebsiteProfile("error.com", category=SiteCategory.ERROR),
+        WebsiteProfile("redir.com", category=SiteCategory.REDIRECT, redirect_target="normal.com"),
+        WebsiteProfile("offsite.com", category=SiteCategory.REDIRECT, redirect_target="elsewhere.org"),
+        WebsiteProfile("phish.com", category=SiteCategory.PHISHING, target_of="gmail.com"),
+        WebsiteProfile("cloaked.com", category=SiteCategory.PHISHING, cloaking=True, target_of="gmail.com"),
+        WebsiteProfile("httponly.com", category=SiteCategory.NORMAL, open_ports=frozenset({80})),
+        WebsiteProfile("down.com", registered=False),
+    ])
+
+
+def test_fetch_normal_page():
+    crawler = Crawler(_web())
+    result = crawler.fetch("normal.com")
+    assert result.error is None
+    assert result.final_response.ok
+    assert "Welcome" in result.final_response.body
+    assert not result.redirected_offsite
+    assert result.screenshot_signature
+
+
+def test_fetch_unreachable_and_https_failure():
+    crawler = Crawler(_web())
+    assert crawler.fetch("down.com").error == "connection refused"
+    assert crawler.fetch("unknown.com").error == "connection refused"
+    assert crawler.fetch("httponly.com", scheme="https").error == "tls handshake failed"
+    assert crawler.fetch("httponly.com", scheme="http").error is None
+
+
+def test_fetch_follows_redirects():
+    crawler = Crawler(_web())
+    internal = crawler.fetch("redir.com")
+    assert internal.responses[0].is_redirect
+    assert internal.final_url.startswith("http://normal.com")
+    assert internal.redirected_offsite
+    offsite = crawler.fetch("offsite.com")
+    assert offsite.redirected_offsite
+    assert offsite.final_response.ok
+
+
+def test_template_bodies_by_category():
+    crawler = Crawler(_web())
+    assert "parked" in crawler.fetch("parked.com").final_response.body.lower()
+    assert "for sale" in crawler.fetch("sale.com").final_response.body.lower()
+    assert crawler.fetch("error.com").final_response.status == 503
+    body = crawler.fetch("empty.com").final_response.body
+    assert "<body></body>" in body
+    assert "gmail.com" in crawler.fetch("phish.com").final_response.body
+
+
+def test_cloaking_depends_on_user_agent():
+    crawler = Crawler(_web())
+    victim = crawler.fetch("cloaked.com", user_agent="Mozilla/5.0 (iPhone)")
+    assert victim.responses[0].is_redirect
+    bot = crawler.fetch("cloaked.com", user_agent="Googlebot/2.1")
+    assert bot.final_response.ok and not bot.responses[0].is_redirect
+
+
+def test_crawl_all_schemes():
+    crawler = Crawler(_web())
+    results = crawler.crawl_all(["normal.com", "httponly.com"])
+    assert set(results) == {"normal.com", "httponly.com"}
+    assert set(results["normal.com"]) == {"http", "https"}
+    assert results["httponly.com"]["https"].error == "tls handshake failed"
+
+
+def test_screenshot_signature_distinguishes_pages():
+    crawler = Crawler(_web())
+    assert (crawler.fetch("parked.com").screenshot_signature
+            != crawler.fetch("sale.com").screenshot_signature)

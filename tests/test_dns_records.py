@@ -1,0 +1,58 @@
+"""Tests for DNS resource records and record sets."""
+
+import pytest
+
+from repro.dns.records import DEFAULT_TTL, RecordSet, ResourceRecord, RRType
+
+
+def test_rrtype_parse():
+    assert RRType.parse("ns") is RRType.NS
+    assert RRType.parse(" A ") is RRType.A
+    with pytest.raises(ValueError):
+        RRType.parse("BOGUS")
+
+
+def test_record_normalisation():
+    record = ResourceRecord("Example.COM.", RRType.NS, "ns1.example.net.")
+    assert record.name == "example.com"
+    assert record.rdata == "ns1.example.net"
+    assert record.ttl == DEFAULT_TTL
+    with pytest.raises(ValueError):
+        ResourceRecord("example.com", RRType.A, "203.0.113.1", ttl=-1)
+
+
+def test_zone_line_roundtrip():
+    record = ResourceRecord("example.com", RRType.NS, "ns1.example.net", 172800)
+    line = record.to_zone_line()
+    assert "example.com." in line and "NS" in line and "ns1.example.net." in line
+    parsed = ResourceRecord.from_zone_line(line)
+    assert parsed == record
+
+
+def test_zone_line_parse_errors():
+    with pytest.raises(ValueError):
+        ResourceRecord.from_zone_line("example.com. 3600 CH NS ns1.example.net.")
+    with pytest.raises(ValueError):
+        ResourceRecord.from_zone_line("example.com. 3600 IN")
+
+
+def test_record_set_add_lookup_dedup():
+    records = RecordSet()
+    ns1 = ResourceRecord("example.com", RRType.NS, "ns1.example.net")
+    records.add(ns1)
+    records.add(ns1)                                     # duplicate ignored
+    records.add(ResourceRecord("example.com", RRType.NS, "ns2.example.net"))
+    records.add(ResourceRecord("example.com", RRType.A, "203.0.113.5"))
+    assert len(records) == 3
+    assert len(records.lookup("EXAMPLE.COM", RRType.NS)) == 2
+    assert records.lookup("example.com", RRType.MX) == []
+    assert records.names() == {"example.com"}
+    assert ns1 in records
+
+
+def test_record_set_iteration_sorted():
+    records = RecordSet([
+        ResourceRecord("b.com", RRType.A, "203.0.113.2"),
+        ResourceRecord("a.com", RRType.A, "203.0.113.1"),
+    ])
+    assert [r.name for r in records] == ["a.com", "b.com"]

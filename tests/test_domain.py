@@ -1,0 +1,78 @@
+"""Tests for the DomainName model."""
+
+import pytest
+
+from repro.idn.domain import DomainName
+from repro.idn.idna_codec import IDNAError
+
+
+def test_ascii_domain_basics():
+    name = DomainName("Google.COM")
+    assert name.ascii == "google.com"
+    assert name.unicode == "google.com"
+    assert name.labels == ("google", "com")
+    assert name.tld == "com"
+    assert name.registrable_label == "google"
+    assert name.sld_and_tld == "google.com"
+    assert not name.is_idn
+    assert str(name) == "google.com"
+
+
+def test_idn_domain_both_faces():
+    name = DomainName("阿里巴巴.com")
+    assert name.ascii == "xn--tsta8290bfzd.com"
+    assert name.unicode == "阿里巴巴.com"
+    assert name.is_idn
+    assert name.has_idn_registrable_label
+    assert name.registrable_unicode == "阿里巴巴"
+    assert "Han" in name.scripts
+
+
+def test_parse_accepts_either_form():
+    from_unicode = DomainName.parse("facébook.com")
+    from_ascii = DomainName.parse("xn--facbook-dya.com")
+    assert from_unicode == from_ascii
+    assert from_unicode.unicode == "facébook.com"
+
+
+def test_mixed_script_detection():
+    cyrillic_o = DomainName("g" + chr(0x043E) + chr(0x043E) + "gle.com")
+    assert cyrillic_o.is_mixed_script
+    accented = DomainName("facébook.com")
+    assert not accented.is_mixed_script
+    ascii_only = DomainName("example.com")
+    assert not ascii_only.is_mixed_script
+    assert ascii_only.scripts == frozenset({"Latin"})
+
+
+def test_subdomain_structure():
+    name = DomainName("mail.xn--facbook-dya.com")
+    assert name.tld == "com"
+    assert name.registrable_label == "xn--facbook-dya"
+    assert name.has_idn_registrable_label
+    assert name.sld_and_tld == "xn--facbook-dya.com"
+
+
+def test_single_label_domain():
+    name = DomainName("localhost")
+    assert name.registrable_label == "localhost"
+    assert name.sld_and_tld == "localhost"
+
+
+def test_invalid_domains_raise():
+    with pytest.raises(IDNAError):
+        DomainName("exa mple.com")
+    with pytest.raises(IDNAError):
+        DomainName("")
+    with pytest.raises(IDNAError):
+        DomainName("xn--zzzzzzzz!.com")
+
+
+def test_equality_and_hash():
+    assert DomainName("GOOGLE.com") == DomainName("google.com")
+    assert len({DomainName("google.com"), DomainName("google.com")}) == 1
+
+
+def test_repr_shows_unicode_for_idns():
+    assert "facébook" in repr(DomainName("facébook.com"))
+    assert "google.com" in repr(DomainName("google.com"))

@@ -1,0 +1,122 @@
+"""Tests for the synthetic .com population generator."""
+
+import pytest
+
+from repro.measurement.domainlists import (
+    ATTACKER_SUBSTITUTIONS,
+    ZoneConfig,
+    generate_population,
+)
+from repro.web.hosting import SiteCategory
+
+
+def test_attacker_substitutions_cover_all_letters():
+    assert set(ATTACKER_SUBSTITUTIONS) == set("abcdefghijklmnopqrstuvwxyz") - {"f"} or \
+        set("abcdefghijklmnopqrstuvwxyz") >= set(ATTACKER_SUBSTITUTIONS)
+    for letter, alternatives in ATTACKER_SUBSTITUTIONS.items():
+        assert alternatives, letter
+        assert all(alt != letter for alt in alternatives)
+
+
+def test_generation_is_deterministic(population):
+    again = generate_population(ZoneConfig.small())
+    assert again.all_domains == population.all_domains
+    assert [h.domain_ascii for h in again.homographs] == [
+        h.domain_ascii for h in population.homographs
+    ]
+
+
+def test_population_sizes_respect_config(population):
+    config = population.config
+    assert len(population.all_domains) == pytest.approx(config.total_domains, rel=0.05)
+    assert len(population.homographs) == config.homograph_count
+    assert len(population.reference) == config.reference_size
+
+
+def test_idn_fraction_in_range(population):
+    idns = [d for d in population.all_domains if d.split(".")[0].startswith("xn--")]
+    fraction = len(idns) / len(population.all_domains)
+    assert fraction == pytest.approx(population.config.idn_fraction, rel=0.35)
+
+
+def test_headline_homographs_present(population):
+    unicode_domains = {h.domain_unicode for h in population.homographs}
+    assert "gmaıl.com" in unicode_domains
+    assert "döviz.com" in unicode_domains
+    gmail_phish = population.web.get("xn--gmal-yqa.com") or population.web.get(
+        [h.domain_ascii for h in population.homographs if h.domain_unicode == "gmaıl.com"][0]
+    )
+    assert gmail_phish is not None
+    assert gmail_phish.category is SiteCategory.PHISHING
+    assert gmail_phish.lookups == 615_447
+    assert gmail_phish.cloaking
+
+
+def test_homographs_target_paper_domains(population):
+    targets = [h.reference for h in population.homographs]
+    counts = {d: targets.count(d) for d in set(targets)}
+    # The boosted targets dominate.
+    assert counts.get("myetherwallet.com", 0) >= 3
+    assert counts.get("google.com", 0) >= 2
+
+
+def test_homograph_ascii_forms_are_idns(population):
+    for homograph in population.homographs:
+        assert homograph.domain_ascii.split(".")[0].startswith("xn--")
+        assert homograph.domain_ascii.endswith(".com")
+        assert homograph.reference.endswith(".com")
+
+
+def test_zone_and_domainlists_overlap(population):
+    zone = set(population.zone_domains)
+    lists = set(population.domainlists_domains)
+    union = set(population.all_domains)
+    assert zone <= union and lists <= union
+    assert len(zone & lists) > 0.9 * min(len(zone), len(lists))
+    assert union == zone | lists
+
+
+def test_dataset_table_shape(population):
+    table = population.dataset_table()
+    assert [row[0] for row in table] == ["zone file", "domainlists.io", "Total (union)"]
+    for _source, domains, idns in table:
+        assert idns <= domains
+    assert table[2][1] >= max(table[0][1], table[1][1])
+
+
+def test_zone_file_delegations_match_zone_domains(population):
+    assert population.zone.domain_count() == len(population.zone_domains)
+    sample = population.zone_domains[0]
+    assert population.zone.nameservers_of(sample)
+
+
+def test_web_profiles_cover_homographs_and_reference(population):
+    for homograph in population.homographs:
+        assert population.web.get(homograph.domain_ascii) is not None
+    assert population.web.get("google.com") is not None
+    assert population.web.get("google.com").has_mx
+
+
+def test_blacklists_contain_some_homographs(population):
+    listed = population.blacklists.union_hits(
+        [h.domain_ascii for h in population.homographs]
+    )
+    assert listed, "expected at least one blacklisted homograph"
+    counts = population.blacklists.hit_counts([h.domain_ascii for h in population.homographs])
+    assert counts["hpHosts"] >= counts["GSB"] >= counts["Symantec"]
+
+
+def test_expired_homographs_exist(population):
+    unregistered = [
+        h for h in population.homographs
+        if population.web.get(h.domain_ascii) is not None
+        and not population.web.get(h.domain_ascii).registered
+    ]
+    assert unregistered, "some homograph registrations should have expired"
+
+
+def test_paper_scaled_config():
+    config = ZoneConfig.paper_scaled(scale=0.01)
+    assert config.total_domains == 1400
+    assert config.homograph_count >= 3
+    assert config.reference_size == 100

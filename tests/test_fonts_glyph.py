@@ -1,0 +1,94 @@
+"""Tests for the Glyph bitmap class."""
+
+import numpy as np
+import pytest
+
+from repro.fonts.glyph import GLYPH_SIZE, Glyph
+
+
+def _checkerboard(size=8):
+    bitmap = np.indices((size, size)).sum(axis=0) % 2
+    return Glyph(0x61, bitmap.astype(np.uint8))
+
+
+def test_glyph_validation():
+    with pytest.raises(ValueError):
+        Glyph(0x61, np.zeros((4, 8), dtype=np.uint8))       # not square
+    with pytest.raises(ValueError):
+        Glyph(0x61, np.full((4, 4), 2, dtype=np.uint8))     # not binary
+
+
+def test_glyph_is_immutable():
+    glyph = Glyph.blank(0x61, 8)
+    with pytest.raises(ValueError):
+        glyph.bitmap[0, 0] = 1
+
+
+def test_pixel_count_and_blank():
+    assert Glyph.blank(0x61).is_blank
+    board = _checkerboard()
+    assert board.pixel_count == 32
+    assert not board.is_blank
+
+
+def test_delta_metric():
+    a = _checkerboard()
+    b = a.inverted()
+    assert a.delta(a) == 0
+    assert a.delta(b) == 64
+    assert b.delta(a) == 64
+
+
+def test_delta_requires_same_size():
+    with pytest.raises(ValueError):
+        Glyph.blank(0x61, 8).delta(Glyph.blank(0x61, 16))
+
+
+def test_with_pixels_and_equality():
+    base = Glyph.blank(0x61, 8)
+    modified = base.with_pixels([(0, 0), (1, 1)])
+    assert modified.pixel_count == 2
+    assert base.delta(modified) == 2
+    assert base != modified
+    assert base == Glyph.blank(0x61, 8)
+    assert hash(base) == hash(Glyph.blank(0x61, 8))
+
+
+def test_scaled_nearest_neighbour():
+    board = _checkerboard(8)
+    doubled = board.scaled(16)
+    assert doubled.size == 16
+    assert doubled.pixel_count == board.pixel_count * 4
+    assert board.scaled(8) is board
+
+
+def test_centered_pad_and_crop():
+    small = _checkerboard(8)
+    padded = small.centered(12)
+    assert padded.size == 12
+    assert padded.pixel_count == small.pixel_count
+    cropped = padded.centered(8)
+    assert cropped.size == 8
+
+
+def test_pack_unpack_roundtrip():
+    board = _checkerboard(GLYPH_SIZE)
+    packed = board.packed()
+    restored = Glyph.unpack(board.codepoint, packed, GLYPH_SIZE)
+    assert restored == board
+
+
+def test_ascii_art_and_from_rows_roundtrip():
+    board = _checkerboard(8)
+    art = board.to_ascii_art()
+    rows = art.splitlines()
+    assert len(rows) == 8
+    rebuilt = Glyph.from_rows(board.codepoint, rows)
+    assert rebuilt == board
+
+
+def test_hex_row_strings():
+    glyph = Glyph.blank(0x61, 8).with_pixels([(0, 0)])
+    rows = glyph.to_hex_row_strings()
+    assert rows[0] == "80"
+    assert all(row == "00" for row in rows[1:])

@@ -1,0 +1,90 @@
+"""Tests for the GNU Unifont .hex parser/writer."""
+
+import numpy as np
+import pytest
+
+from repro.fonts.hexfont import HexFont, format_hex_line, parse_hex_line
+
+# A real Unifont-style glyph: 16x8 cell for U+0041 'A' (plausible shape).
+_NARROW_LINE = "0041:0000001818242442427E424242420000"
+# 16x16 wide cell (64 hex digits).
+_WIDE_LINE = "4E00:" + "0000" * 2 + "7FFE" + "0000" * 13
+
+
+def test_parse_narrow_line():
+    codepoint, bitmap = parse_hex_line(_NARROW_LINE)
+    assert codepoint == 0x41
+    assert bitmap.shape == (16, 8)
+    assert bitmap.sum() > 0
+
+
+def test_parse_wide_line():
+    codepoint, bitmap = parse_hex_line(_WIDE_LINE)
+    assert codepoint == 0x4E00
+    assert bitmap.shape == (16, 16)
+    assert bitmap.sum() == 14  # 7FFE has 14 bits set
+
+
+def test_parse_rejects_malformed_lines():
+    with pytest.raises(ValueError):
+        parse_hex_line("not a hex line")
+    with pytest.raises(ValueError):
+        parse_hex_line("0041:ZZZZ")
+    with pytest.raises(ValueError):
+        parse_hex_line("0041:00")          # bad length
+    with pytest.raises(ValueError):
+        parse_hex_line("# comment")
+
+
+def test_format_roundtrip():
+    codepoint, bitmap = parse_hex_line(_NARROW_LINE)
+    assert format_hex_line(codepoint, bitmap) == _NARROW_LINE
+    codepoint, bitmap = parse_hex_line(_WIDE_LINE)
+    assert format_hex_line(codepoint, bitmap) == _WIDE_LINE
+
+
+def test_font_from_lines_and_render():
+    font = HexFont.from_lines([_NARROW_LINE, _WIDE_LINE, "", "# comment"])
+    assert len(font) == 2
+    assert font.covers(0x41)
+    assert 0x4E00 in font
+    glyph = font.render(0x41)
+    assert glyph.size == font.glyph_size == 32
+    assert glyph.pixel_count > 0
+    with pytest.raises(KeyError):
+        font.render(0x42)
+
+
+def test_render_scales_ink_proportionally():
+    font = HexFont.from_lines([_NARROW_LINE])
+    _cp, cell = parse_hex_line(_NARROW_LINE)
+    glyph = font.render(0x41)
+    # 2x scaling quadruples each ink pixel.
+    assert glyph.pixel_count == int(cell.sum()) * 4
+
+
+def test_save_and_load_roundtrip(tmp_path):
+    font = HexFont.from_lines([_NARROW_LINE, _WIDE_LINE], name="mini")
+    path = tmp_path / "mini.hex"
+    font.save(path)
+    loaded = HexFont.from_file(path)
+    assert loaded.name == "mini"
+    assert sorted(loaded.codepoints()) == sorted(font.codepoints())
+    assert loaded.render(0x41) == font.render(0x41)
+
+
+def test_add_cell_and_from_glyphs():
+    cell = np.zeros((16, 8), dtype=np.uint8)
+    cell[4:10, 2:6] = 1
+    font = HexFont.from_glyphs({0x62: cell})
+    assert font.covers(0x62)
+    font.add_cell(0x63, cell)
+    assert font.covers(0x63)
+    with pytest.raises(ValueError):
+        font.add_cell(0x64, np.zeros((8, 8), dtype=np.uint8))
+
+
+def test_render_text():
+    font = HexFont.from_lines([_NARROW_LINE])
+    glyphs = font.render_text("A")
+    assert len(glyphs) == 1 and glyphs[0].codepoint == 0x41

@@ -1,0 +1,50 @@
+"""Tests for the font registry and default-font selection."""
+
+import pytest
+
+from repro.fonts.hexfont import HexFont
+from repro.fonts.registry import FontProtocol, FontRegistry, default_font
+from repro.fonts.synthetic import SyntheticFont
+
+
+def test_registry_register_and_get():
+    registry = FontRegistry()
+    font = SyntheticFont(name="synthfont")
+    registry.register(font)
+    assert registry.get("synthfont") is font
+    assert "synthfont" in registry
+    assert registry.names() == ["synthfont"]
+    assert len(registry) == 1
+    assert registry.default is font
+
+
+def test_registry_default_selection():
+    registry = FontRegistry()
+    first = SyntheticFont(name="first")
+    second = SyntheticFont(name="second")
+    registry.register(first)
+    registry.register(second, default=True)
+    assert registry.default is second
+
+
+def test_registry_missing_font():
+    registry = FontRegistry()
+    with pytest.raises(LookupError):
+        _ = registry.default
+    registry.register(SyntheticFont(name="a"))
+    with pytest.raises(KeyError):
+        registry.get("missing")
+
+
+def test_default_font_is_synthetic_without_hex_file():
+    font = default_font(refresh=True)
+    assert isinstance(font, (SyntheticFont, HexFont))
+    # In the offline environment no unifont .hex file ships with the repo.
+    assert isinstance(font, SyntheticFont)
+    # Cached on the second call.
+    assert default_font() is font
+
+
+def test_fonts_satisfy_protocol():
+    assert isinstance(SyntheticFont(), FontProtocol)
+    assert isinstance(HexFont(), FontProtocol)

@@ -1,0 +1,115 @@
+"""Tests for the deterministic synthetic font."""
+
+import pytest
+
+from repro.fonts.equivalences import SHAPE_EQUIVALENCES, equivalence_groups, shape_equivalence
+from repro.fonts.synthetic import SyntheticFont
+from repro.metrics.pixel import delta
+
+
+@pytest.fixture(scope="module")
+def synth():
+    return SyntheticFont()
+
+
+def test_rendering_is_deterministic(synth):
+    first = synth.render(ord("a"))
+    second = SyntheticFont().render(ord("a"))
+    assert first == second
+
+
+def test_coverage_profile(synth):
+    assert synth.covers(ord("a"))
+    assert synth.covers(0x4E00)
+    assert synth.covers(0x1F600)          # SMP emoticon (assigned, plane 1)
+    assert not synth.covers(0xD800)       # surrogate
+    assert not synth.covers(0xE000)       # private use
+    assert not synth.covers(0x0378)       # unassigned
+    assert not synth.covers(0x20000)      # plane 2 outside default coverage
+    assert not synth.covers(0x110000)
+    with pytest.raises(KeyError):
+        synth.render(0x0378)
+
+
+def test_identical_shape_cross_script(synth):
+    # Cyrillic/Greek о render pixel-identically to Latin o (Δ = 0).
+    latin_o = synth.render(ord("o"))
+    assert delta(latin_o, synth.render(0x043E)) == 0
+    assert delta(latin_o, synth.render(0x03BF)) == 0
+    # Armenian oh is a near-identical variant (0 < Δ ≤ 4).
+    assert 0 < delta(latin_o, synth.render(0x0585)) <= 4
+
+
+def test_accented_variants_stay_close(synth):
+    base = synth.render(ord("e"))
+    assert delta(base, synth.render(ord("é"))) == 2
+    assert delta(base, synth.render(ord("è"))) == 2
+    assert 2 <= delta(synth.render(ord("é")), synth.render(ord("è"))) <= 4
+
+
+def test_multi_mark_characters_accumulate_delta(synth):
+    base = synth.render(ord("o"))
+    assert delta(base, synth.render(0x1ED9)) == 4  # ộ = o + circumflex + dot below
+
+
+def test_unrelated_letters_are_far_apart(synth):
+    assert delta(synth.render(ord("a")), synth.render(ord("b"))) > 20
+    assert delta(synth.render(ord("o")), synth.render(0x4E00)) > 20
+
+
+def test_sparse_characters_have_little_ink(synth):
+    assert synth.render(0x0301).pixel_count < 10      # combining acute
+    assert synth.render(0x02C7).pixel_count < 10      # caron (modifier letter)
+    assert synth.render(ord("a")).pixel_count >= 10
+
+
+def test_cjk_density_higher_than_latin(synth):
+    assert synth.render(0x4E2D).pixel_count > synth.render(ord("m")).pixel_count
+
+
+def test_hangul_same_lead_vowel_close_same_lead_different_vowel_far(synth):
+    base = synth.render(0xAC00)            # 가 (L=ᄀ, V=ᅡ)
+    with_final = synth.render(0xAC01)      # 각 (adds final ᆨ)
+    other_vowel = synth.render(0xAC70)     # 거 (different vowel)
+    assert delta(base, with_final) <= 4
+    assert delta(base, other_vowel) > 4
+
+
+def test_paper_figure5_pairs_are_close(synth):
+    pairs = [(0x10E7, ord("y")), (0x0253, ord("b")), (0x0430, ord("a")),
+             (0x91CC, 0x573C), (0x0B32, 0x0B33)]
+    for first, second in pairs:
+        assert delta(synth.render(first), synth.render(second)) <= 4, (hex(first), hex(second))
+
+
+def test_shape_spec_structure(synth):
+    spec = synth.shape_spec(ord("é"))
+    assert spec.shape_key == "e"
+    assert len(spec.marks) == 1
+    assert spec.total_delta_from_base == 2
+    spec_equiv = synth.shape_spec(0x0430)
+    assert spec_equiv.shape_key == "a"
+    assert spec_equiv.extra_delta == 0
+
+
+def test_equivalence_table_sanity():
+    assert shape_equivalence(0x043E) == ("o", 0)
+    assert shape_equivalence(ord("a")) is None
+    groups = equivalence_groups()
+    assert len(groups["o"]) >= 5
+    for members in groups.values():
+        assert members == sorted(members)
+    # every curated extra delta stays small enough to be meaningful
+    assert all(0 <= extra <= 8 for _key, extra in SHAPE_EQUIVALENCES.values())
+
+
+def test_render_many_and_text(synth):
+    rendered = synth.render_many([ord("a"), 0x0378, ord("b")])
+    assert set(rendered) == {ord("a"), ord("b")}
+    glyphs = synth.render_text("ab")
+    assert [g.codepoint for g in glyphs] == [ord("a"), ord("b")]
+
+
+def test_glyph_size_validation():
+    with pytest.raises(ValueError):
+        SyntheticFont(glyph_size=8)

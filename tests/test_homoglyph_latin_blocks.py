@@ -1,0 +1,52 @@
+"""Tests for the Latin-coverage table (Table 3) and block comparison (Table 4)."""
+
+from repro.homoglyph.blocks import block_abbreviations, compare_top_blocks
+from repro.homoglyph.latin import latin_coverage_table, most_vulnerable_letters
+
+
+def test_latin_coverage_rows(simchar_db, uc_idna_db):
+    rows = latin_coverage_table(simchar_db, uc_idna_db)
+    assert len(rows) == 26
+    assert [row.letter for row in rows] == list("abcdefghijklmnopqrstuvwxyz")
+    by_letter = {row.letter: row for row in rows}
+    # SimChar finds more homoglyphs of 'e' than UC∩IDNA (the paper's headline
+    # observation about é-style accents).
+    assert by_letter["e"].simchar_count > by_letter["e"].uc_count
+    for row in rows:
+        assert row.shared_count <= min(row.simchar_count, row.uc_count)
+        assert row.simchar_only == row.simchar_count - row.shared_count
+        assert row.uc_only == row.uc_count - row.shared_count
+
+
+def test_simchar_total_exceeds_uc_total(simchar_db, uc_idna_db):
+    # Paper Table 3: SimChar 351 vs UC∩IDNA 141.
+    assert simchar_db.latin_homoglyph_total() > uc_idna_db.latin_homoglyph_total()
+
+
+def test_most_vulnerable_letters(simchar_db):
+    top = most_vulnerable_letters(simchar_db, limit=3)
+    assert len(top) == 3
+    assert top[0][1] >= top[1][1] >= top[2][1]
+    # 'o' is always near the top (it is the clear maximum on the full
+    # repertoire, see paper Table 3); vowels dominate on the fast fixture too.
+    counts = simchar_db.latin_homoglyph_counts()
+    assert counts["o"] >= top[2][1] - 2
+
+
+def test_block_comparison(simchar_db, uc_idna_db):
+    comparison = compare_top_blocks(simchar_db, uc_idna_db, limit=5)
+    assert comparison.left_name == simchar_db.name
+    assert len(comparison.left_top) <= 5
+    rows = comparison.as_rows()
+    assert len(rows) == max(len(comparison.left_top), len(comparison.right_top))
+    # Counts are ordered descending on each side.
+    left_counts = [count for _b, count, _b2, _c2 in rows if _b]
+    assert left_counts == sorted(left_counts, reverse=True)
+
+
+def test_block_abbreviations():
+    assert block_abbreviations("CJK Unified Ideographs") == "CJK"
+    assert block_abbreviations("Hangul Syllables") == "Hangul"
+    assert block_abbreviations("Combining Diacritical Marks") == "CDM"
+    assert block_abbreviations("Unified Canadian Aboriginal Syllabics") == "CA"
+    assert block_abbreviations("Cyrillic") == "Cyrillic"

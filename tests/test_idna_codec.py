@@ -1,0 +1,102 @@
+"""Tests for IDNA label/domain conversion."""
+
+import pytest
+
+from repro.idn.idna_codec import (
+    ACE_PREFIX,
+    IDNAError,
+    decode_domain,
+    encode_domain,
+    is_ace_label,
+    to_ascii_label,
+    to_unicode_label,
+    validate_ulabel,
+)
+
+
+def test_ace_prefix_detection():
+    assert is_ace_label("xn--80ak6aa92e")
+    assert is_ace_label("XN--80AK6AA92E")
+    assert not is_ace_label("google")
+    assert ACE_PREFIX == "xn--"
+
+
+def test_to_ascii_label_unicode():
+    assert to_ascii_label("阿里巴巴") == "xn--tsta8290bfzd"
+    assert to_ascii_label("facébook") == "xn--facbook-dya"
+    assert to_ascii_label("Google") == "google"
+    assert to_ascii_label("bücher") == "xn--bcher-kva"
+
+
+def test_to_ascii_label_already_encoded_is_canonicalised():
+    assert to_ascii_label("XN--FACBOOK-DYA") == "xn--facbook-dya"
+
+
+def test_to_ascii_label_normalisation_can_produce_ascii():
+    # ß case-folds to ss, yielding a plain ASCII label (no ACE prefix).
+    assert to_ascii_label("straße") == "strasse"
+
+
+def test_to_unicode_label():
+    assert to_unicode_label("xn--tsta8290bfzd") == "阿里巴巴"
+    assert to_unicode_label("google") == "google"
+    with pytest.raises(IDNAError):
+        to_unicode_label("xn--")                    # empty payload
+    with pytest.raises(IDNAError):
+        to_unicode_label("xn--google-")             # decodes to pure ASCII
+    with pytest.raises(IDNAError):
+        to_unicode_label("xn--a-ecp!")              # invalid punycode digit
+
+
+def test_validate_ulabel_rejects_disallowed_codepoints():
+    assert validate_ulabel("пример") == "пример"
+    with pytest.raises(IDNAError):
+        validate_ulabel("ex ample")                 # space
+    with pytest.raises(IDNAError):
+        validate_ulabel("exämple™")                 # trademark sign
+    with pytest.raises(IDNAError):
+        validate_ulabel("")
+    # Contextual code points are allowed only when requested.
+    with pytest.raises(IDNAError):
+        validate_ulabel("a‍b", allow_contextual=False)
+    assert validate_ulabel("a‍b", allow_contextual=True)
+
+
+def test_hyphen_rules():
+    with pytest.raises(IDNAError):
+        to_ascii_label("-leading")
+    with pytest.raises(IDNAError):
+        to_ascii_label("trailing-")
+    with pytest.raises(IDNAError):
+        to_ascii_label("ab--cd")                    # hyphens in positions 3-4
+    assert to_ascii_label("foo-bar") == "foo-bar"
+
+
+def test_label_length_limit():
+    with pytest.raises(IDNAError):
+        to_ascii_label("a" * 64)
+    assert to_ascii_label("a" * 63) == "a" * 63
+
+
+def test_encode_decode_domain():
+    assert encode_domain("facébook.com") == "xn--facbook-dya.com"
+    assert decode_domain("xn--facbook-dya.com") == "facébook.com"
+    assert encode_domain("пример.испытание".replace("испытание", "com")) == "xn--e1afmkfd.com"
+    assert encode_domain("GOOGLE.COM.") == "google.com"
+
+
+def test_domain_accepts_ideographic_dots():
+    assert encode_domain("例え。com") == encode_domain("例え.com")
+
+
+def test_empty_domain_rejected():
+    with pytest.raises(IDNAError):
+        encode_domain("")
+    with pytest.raises(IDNAError):
+        encode_domain("...")
+
+
+def test_domain_total_length_limit():
+    long_domain = ".".join(["a" * 60] * 5)
+    with pytest.raises(IDNAError):
+        encode_domain(long_domain)

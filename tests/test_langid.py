@@ -1,0 +1,67 @@
+"""Tests for the language identifier."""
+
+from collections import Counter
+
+from repro.langid.classifier import LanguageIdentifier, identify, language_histogram
+
+
+def test_script_decisive_languages():
+    identifier = LanguageIdentifier()
+    assert identifier.classify("北京大学").code == "zh"
+    assert identifier.classify("서울대학교").code == "ko"
+    assert identifier.classify("ドメインめい").code == "ja"
+    assert identifier.classify("пример").code == "ru"
+    assert identifier.classify("παράδειγμα").code == "el"
+    assert identifier.classify("מבחן").code == "he"
+    assert identifier.classify("مثال").code == "ar"
+    assert identifier.classify("ตัวอย่าง").code == "th"
+
+
+def test_han_plus_kana_is_japanese_not_chinese():
+    identifier = LanguageIdentifier()
+    assert identifier.classify("工業大学の").code == "ja"
+    assert identifier.classify("工業大学").code == "zh"
+
+
+def test_latin_languages_by_markers():
+    identifier = LanguageIdentifier()
+    assert identifier.classify("straßenbahn").code == "de"
+    assert identifier.classify("kötüoğlu").code == "tr"
+    assert identifier.classify("señoríañández").code in ("es", "pt")
+    assert identifier.classify("château-élevage").code == "fr"
+
+
+def test_plain_ascii_falls_back_to_a_latin_language():
+    guess = identify("onlineshop")
+    assert guess.code in ("en", "de", "nl", "it", "fr", "es", "sv")
+    assert 0.0 <= guess.confidence <= 1.0
+
+
+def test_rank_returns_ordered_guesses():
+    identifier = LanguageIdentifier()
+    ranked = identifier.rank("müllerstraße", limit=3)
+    assert len(ranked) == 3
+    assert ranked[0].confidence >= ranked[1].confidence >= ranked[2].confidence
+    assert ranked[0].code == "de"
+
+
+def test_empty_string():
+    guess = identify("")
+    assert guess.code == "en"
+
+
+def test_supported_language_inventory():
+    identifier = LanguageIdentifier()
+    codes = identifier.supported_languages()
+    assert len(codes) >= 40
+    for code in ("zh", "ko", "ja", "de", "tr", "ru", "ar"):
+        assert code in codes
+
+
+def test_language_histogram_shape():
+    labels = ["北京大学", "서울대학교", "ドメインめい", "straße", "château", "пример", "例子"]
+    histogram = language_histogram(labels)
+    assert isinstance(histogram, Counter)
+    assert histogram["Chinese"] == 2
+    assert histogram["Korean"] == 1
+    assert sum(histogram.values()) == len(labels)

@@ -1,0 +1,114 @@
+"""Tests for the image similarity metrics (Δ, MSE, PSNR, SSIM)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.fonts.glyph import Glyph
+from repro.metrics.pixel import (
+    candidate_pairs_within,
+    delta,
+    delta_matrix,
+    mse,
+    nearest_neighbours,
+    pairwise_deltas,
+    stack_glyphs,
+)
+from repro.metrics.psnr import psnr, psnr_from_delta
+from repro.metrics.ssim import ssim
+
+
+def _glyph(codepoint, pixels, size=16):
+    return Glyph.blank(codepoint, size).with_pixels(pixels)
+
+
+def test_delta_and_mse():
+    a = _glyph(0x61, [(0, 0), (1, 1)])
+    b = _glyph(0x62, [(0, 0), (2, 2)])
+    assert delta(a, a) == 0
+    assert delta(a, b) == 2
+    assert mse(a, b) == pytest.approx(2 / 256)
+
+
+def test_delta_accepts_arrays_and_checks_shapes():
+    a = np.zeros((4, 4), dtype=np.uint8)
+    b = np.ones((4, 4), dtype=np.uint8)
+    assert delta(a, b) == 16
+    with pytest.raises(ValueError):
+        delta(a, np.zeros((5, 5), dtype=np.uint8))
+
+
+def test_psnr_relationship_with_delta():
+    # PSNR = 20 log10(N) - 10 log10(Δ)
+    value = psnr_from_delta(4, 32)
+    assert value == pytest.approx(20 * math.log10(32) - 10 * math.log10(4))
+    assert psnr_from_delta(0, 32) == math.inf
+    a = _glyph(0x61, [(0, 0)], size=32)
+    b = _glyph(0x61, [(1, 1)], size=32)
+    assert psnr(a, b) == pytest.approx(psnr_from_delta(2, 32))
+    with pytest.raises(ValueError):
+        psnr_from_delta(-1, 32)
+    with pytest.raises(ValueError):
+        psnr_from_delta(1, 0)
+
+
+def test_ssim_bounds_and_identity():
+    a = _glyph(0x61, [(i, i) for i in range(8)])
+    b = _glyph(0x61, [(i, (i + 1) % 16) for i in range(8)])
+    assert ssim(a, a) == pytest.approx(1.0)
+    assert -1.0 <= ssim(a, b) < 1.0
+    with pytest.raises(ValueError):
+        ssim(a, Glyph.blank(0x61, 8))
+
+
+def test_ssim_monotone_with_similarity():
+    base = _glyph(0x61, [(i, j) for i in range(4, 12) for j in range(4, 12)])
+    near = base.with_pixels([(0, 0)])
+    far = base.inverted()
+    assert ssim(base, near) > ssim(base, far)
+
+
+def test_stack_glyphs_shape():
+    glyphs = [_glyph(0x61 + i, [(i, i)]) for i in range(3)]
+    stacked = stack_glyphs(glyphs)
+    assert stacked.shape == (3, 256)
+    assert stack_glyphs([]).shape == (0, 0)
+    with pytest.raises(ValueError):
+        stack_glyphs([glyphs[0], Glyph.blank(0x70, 8)])
+
+
+def test_delta_matrix_and_pairwise_agree():
+    glyphs = [_glyph(0x61 + i, [(i, j) for j in range(i + 1)]) for i in range(5)]
+    matrix = delta_matrix(glyphs)
+    assert matrix.shape == (5, 5)
+    assert (matrix.diagonal() == 0).all()
+    assert (matrix == matrix.T).all()
+    for i, j, value in pairwise_deltas(glyphs):
+        assert matrix[i, j] == value
+
+
+def test_candidate_pairs_within_matches_bruteforce():
+    glyphs = [_glyph(0x61 + i, [(i % 4, j) for j in range(3 + (i % 5))]) for i in range(12)]
+    threshold = 4
+    expected = {
+        (i, j): value
+        for i, j, value in pairwise_deltas(glyphs)
+        if value <= threshold
+    }
+    found = {(i, j): value for i, j, value in candidate_pairs_within(glyphs, threshold)}
+    assert found == expected
+    with pytest.raises(ValueError):
+        list(candidate_pairs_within(glyphs, -1))
+
+
+def test_candidate_pairs_empty_input():
+    assert list(candidate_pairs_within([], 4)) == []
+
+
+def test_nearest_neighbours():
+    glyphs = [_glyph(0x61 + i, [(0, j) for j in range(i + 1)]) for i in range(4)]
+    neighbours = nearest_neighbours(glyphs, limit=2)
+    assert set(neighbours) == {0, 1, 2, 3}
+    # The closest neighbour of glyph 0 is glyph 1 (Δ = 1).
+    assert neighbours[0][0] == (1, 1)

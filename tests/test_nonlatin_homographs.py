@@ -1,0 +1,70 @@
+"""Non-Latin homograph detection (paper Sections 2.2 and 7.1).
+
+The paper stresses that homograph attacks are not limited to Latin targets:
+an attacker can imitate a CJK domain with a Katakana lookalike (工業大学 vs
+エ業大学), and browsers' mixed-script policies do not flag Latin+CJK mixes.
+These tests exercise that path end to end through the public API.
+"""
+
+from repro.countermeasure.browser_policy import DisplayDecision, MixedScriptPolicy
+from repro.detection.shamfinder import ShamFinder
+from repro.idn.domain import DomainName
+from repro.idn.idna_codec import to_ascii_label
+
+
+def _domain(label: str) -> str:
+    return f"{to_ascii_label(label)}.com"
+
+
+def test_katakana_cjk_homograph_detected(finder):
+    # 工業大学 (institute of technology) imitated with Katakana エ.
+    reference = [_domain("工業大学"), _domain("東京大学")]
+    candidate = _domain("エ業大学")
+    report = finder.detect([candidate], reference)
+    assert len(report) == 1
+    detection = list(report)[0]
+    assert detection.reference == _domain("工業大学")
+    substitution = detection.substitutions[0]
+    assert substitution.candidate_char == "エ"
+    assert substitution.reference_char == "工"
+
+
+def test_cjk_near_shape_homograph_detected(finder):
+    # 未来 imitated with 末来 (末 vs 未 stroke-length confusion).
+    reference = [_domain("未来")]
+    candidate = _domain("末来")
+    report = finder.detect([candidate], reference)
+    assert len(report) == 1
+
+
+def test_unrelated_cjk_domains_not_flagged(finder):
+    reference = [_domain("工業大学")]
+    candidate = _domain("東京大学")
+    assert len(finder.detect([candidate], reference)) == 0
+
+
+def test_browser_policy_does_not_flag_non_latin_homographs():
+    # The Katakana/CJK mix is an allowed combination, so the browser displays
+    # Unicode — exactly the gap the paper points out.
+    policy = MixedScriptPolicy()
+    candidate = DomainName(_domain("エ業大学"))
+    assert policy.decide(candidate) is DisplayDecision.UNICODE
+    assert not policy.catches(candidate)
+
+
+def test_extract_idns_includes_cjk_registrations():
+    domains = [_domain("工業大学"), "plain-ascii.com", _domain("エ業大学")]
+    idns = ShamFinder.extract_idns(domains)
+    assert len(idns) == 2
+    assert all(name.has_idn_registrable_label for name in idns)
+
+
+def test_non_latin_warning_names_the_substitution(finder, union_db):
+    from repro.countermeasure.warning import WarningGenerator
+
+    generator = WarningGenerator(union_db, [_domain("工業大学")])
+    warning = generator.warning_for(_domain("エ業大学"))
+    assert warning is not None
+    assert warning.suspected_original == "工業大学.com"
+    assert any(a.suspicious_char == "エ" and a.original_char == "工"
+               for a in warning.annotations)

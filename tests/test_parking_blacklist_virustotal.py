@@ -1,0 +1,80 @@
+"""Tests for parking NS detection, blacklists, and the VirusTotal stand-in."""
+
+import pytest
+
+from repro.web.blacklist import DEFAULT_FEED_COVERAGE, Blacklist, BlacklistAggregator
+from repro.web.hosting import SyntheticWeb, WebsiteProfile
+from repro.web.parking import PARKING_NS_SUFFIXES, is_parking_nameserver, parking_provider_of
+from repro.web.virustotal import VirusTotalClient
+
+
+def test_parking_ns_list_matches_paper_size():
+    assert len(PARKING_NS_SUFFIXES) == 17
+
+
+def test_is_parking_nameserver():
+    assert is_parking_nameserver("ns1.sedoparking.com")
+    assert is_parking_nameserver("SEDOPARKING.COM.")
+    assert not is_parking_nameserver("ns1.google.com")
+    assert not is_parking_nameserver("notsedoparking.com.evil.net")
+
+
+def test_parking_provider_of():
+    assert parking_provider_of(["ns1.google.com", "ns2.bodis.com"]) == "bodis.com"
+    assert parking_provider_of(["ns1.google.com"]) is None
+    assert parking_provider_of([]) is None
+
+
+def test_blacklist_basics():
+    feed = Blacklist("hpHosts")
+    feed.add("Evil.COM.")
+    feed.add_many(["bad.com", "worse.com"])
+    assert "evil.com" in feed
+    assert "good.com" not in feed
+    assert len(feed) == 3
+    assert feed.hits(["evil.com", "good.com", "bad.com"]) == ["evil.com", "bad.com"]
+
+
+def test_aggregator_feeds_and_queries():
+    aggregator = BlacklistAggregator.with_default_feeds()
+    assert set(aggregator.feed_names()) == set(DEFAULT_FEED_COVERAGE)
+    aggregator.feed("hpHosts").add("evil.com")
+    aggregator.feed("GSB").add("evil.com")
+    aggregator.feed("GSB").add("phish.com")
+    assert aggregator.is_listed("evil.com")
+    assert not aggregator.is_listed("fine.com")
+    assert aggregator.feeds_listing("evil.com") == ["GSB", "hpHosts"]
+    counts = aggregator.hit_counts(["evil.com", "phish.com", "fine.com"])
+    assert counts == {"GSB": 2, "Symantec": 0, "hpHosts": 1}
+    assert aggregator.union_hits(["evil.com", "phish.com", "fine.com"]) == {"evil.com", "phish.com"}
+    with pytest.raises(KeyError):
+        aggregator.feed("unknown")
+
+
+def test_aggregator_load_from_creates_feeds():
+    aggregator = BlacklistAggregator()
+    aggregator.load_from({"custom": ["a.com"], "other": ["b.com"]})
+    assert aggregator.is_listed("a.com") and aggregator.is_listed("b.com")
+
+
+def test_virustotal_flags_malicious_profiles():
+    web = SyntheticWeb([
+        WebsiteProfile("evil.com", malicious=True),
+        WebsiteProfile("fine.com", malicious=False),
+    ])
+    client = VirusTotalClient(web)
+    evil = client.scan("evil.com")
+    fine = client.scan("fine.com")
+    assert evil.is_malicious and evil.positives >= 2
+    assert not fine.is_malicious
+    assert evil.total == fine.total > 0
+    # Deterministic: same result on rescan.
+    assert client.scan("evil.com") == evil
+    results = client.scan_all(["evil.com", "fine.com"])
+    assert set(results) == {"evil.com", "fine.com"}
+
+
+def test_virustotal_detection_rate_validation():
+    web = SyntheticWeb()
+    with pytest.raises(ValueError):
+        VirusTotalClient(web, detection_rate=1.5)

@@ -1,0 +1,86 @@
+"""Tests for the homoglyph-obfuscated plagiarism detector (paper Section 9)."""
+
+import pytest
+
+from repro.applications.plagiarism import PlagiarismDetector
+from repro.homoglyph.database import SOURCE_UC, HomoglyphDatabase
+
+ORIGINAL = "the quick brown fox jumps over the lazy dog"
+# The same sentence with Cyrillic е/о/а substituted (as a plagiarist would).
+OBFUSCATED = "the quick brоwn fоx jumps оver the lаzy dоg"
+UNRELATED = "completely different text about network measurement"
+
+
+def _detector():
+    db = HomoglyphDatabase()
+    db.add_pair("o", "о", source=SOURCE_UC)
+    db.add_pair("a", "а", source=SOURCE_UC)
+    db.add_pair("e", "е", source=SOURCE_UC)
+    db.add_pair("ж", "җ", source=SOURCE_UC)     # non-ASCII-only cluster
+    return PlagiarismDetector(db)
+
+
+def test_canonical_char_mapping():
+    detector = _detector()
+    assert detector.canonical_char("о") == "o"
+    assert detector.canonical_char("O") == "o"
+    assert detector.canonical_char("x") == "x"
+    assert detector.canonical_char("җ") in ("ж", "җ")
+    assert detector.canonical_char("中") == "中"
+
+
+def test_normalise_recovers_original_text():
+    detector = _detector()
+    assert detector.normalise(OBFUSCATED) == ORIGINAL
+
+
+def test_find_obfuscations_positions():
+    detector = _detector()
+    findings = detector.find_obfuscations(OBFUSCATED)
+    assert len(findings) == OBFUSCATED.count("о") + OBFUSCATED.count("а")
+    assert all(f.canonical in ("o", "a") for f in findings)
+    assert OBFUSCATED[findings[0].position] == findings[0].found
+    assert "stands in for" in findings[0].describe()
+    assert detector.find_obfuscations(ORIGINAL) == []
+
+
+def test_similarity_with_and_without_normalisation():
+    detector = _detector()
+    raw = detector.similarity(OBFUSCATED, ORIGINAL, normalise=False)
+    normalised = detector.similarity(OBFUSCATED, ORIGINAL, normalise=True)
+    assert normalised == pytest.approx(1.0)
+    assert raw < 0.8
+    assert detector.similarity(UNRELATED, ORIGINAL) < 0.2
+    assert detector.similarity("", "") == 1.0
+    assert detector.similarity("abc", "") == 0.0
+
+
+def test_compare_ranks_the_copied_source_first():
+    detector = _detector()
+    matches = detector.compare(OBFUSCATED, [UNRELATED, ORIGINAL])
+    assert matches[0].source_index == 1
+    assert matches[0].is_suspicious
+    assert matches[0].hidden_by_homoglyphs > 0.1
+    assert not matches[1].is_suspicious
+    assert len(matches[0].obfuscations) > 0
+
+
+def test_clean_copy_is_not_flagged_as_homoglyph_obfuscation():
+    detector = _detector()
+    matches = detector.compare(ORIGINAL, [ORIGINAL])
+    # Identical text is similar, but nothing was hidden by homoglyphs.
+    assert matches[0].normalised_similarity == pytest.approx(1.0)
+    assert matches[0].hidden_by_homoglyphs == pytest.approx(0.0)
+    assert not matches[0].is_suspicious
+
+
+def test_detector_works_with_simchar_database(union_db):
+    detector = PlagiarismDetector(union_db)
+    text = "meаsurement pаper".replace("a", "а")   # Cyrillic а
+    assert detector.normalise(text) == "measurement paper".replace("a", "a")
+    assert detector.similarity(text, "measurement paper") == pytest.approx(1.0)
+
+
+def test_ngram_size_validation():
+    with pytest.raises(ValueError):
+        PlagiarismDetector(HomoglyphDatabase(), ngram_size=0)

@@ -1,0 +1,51 @@
+"""Tests for the simulated port scanner."""
+
+from repro.dns.portscan import PortScanner, PortScanResult, PortScanSummary
+from repro.web.hosting import SyntheticWeb, WebsiteProfile
+
+
+def _web():
+    return SyntheticWeb([
+        WebsiteProfile("both.com", open_ports=frozenset({80, 443})),
+        WebsiteProfile("httponly.com", open_ports=frozenset({80})),
+        WebsiteProfile("httpsonly.com", open_ports=frozenset({443})),
+        WebsiteProfile("closed.com", open_ports=frozenset()),
+        WebsiteProfile("ssh.com", open_ports=frozenset({22})),
+    ])
+
+
+def test_scan_single_domain():
+    scanner = PortScanner(_web())
+    result = scanner.scan("both.com")
+    assert isinstance(result, PortScanResult)
+    assert result.http and result.https and result.reachable
+    assert scanner.scan("closed.com").open_ports == frozenset()
+    # Ports outside the scan set are ignored.
+    assert not scanner.scan("ssh.com").reachable
+
+
+def test_scan_unknown_domain_is_unreachable():
+    scanner = PortScanner(_web())
+    assert not scanner.scan("unknown.com").reachable
+
+
+def test_summary_counts_match_paper_table_shape():
+    scanner = PortScanner(_web())
+    summary = scanner.scan_all(["both.com", "httponly.com", "httpsonly.com", "closed.com"])
+    assert isinstance(summary, PortScanSummary)
+    assert summary.http_count == 2
+    assert summary.https_count == 2
+    assert summary.both_count == 1
+    assert summary.reachable_count == 3
+    assert set(summary.reachable_domains()) == {"both.com", "httponly.com", "httpsonly.com"}
+    rows = dict(summary.as_table_rows())
+    assert rows["TCP/80"] == 2
+    assert rows["TCP/443"] == 2
+    assert rows["TCP/80 & TCP/443"] == 1
+    assert rows["Total (unique)"] == 3
+
+
+def test_custom_port_list():
+    scanner = PortScanner(_web(), ports=(22,))
+    assert scanner.scan("ssh.com").reachable
+    assert not scanner.scan("both.com").reachable

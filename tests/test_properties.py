@@ -1,0 +1,194 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detection.algorithm import HomographMatcher
+from repro.fonts.glyph import Glyph
+from repro.fonts.synthetic import SyntheticFont
+from repro.homoglyph.database import SOURCE_SIMCHAR, HomoglyphDatabase, HomoglyphPair
+from repro.idn import punycode
+from repro.idn.idna_codec import IDNAError, to_ascii_label, to_unicode_label
+from repro.metrics.pixel import delta
+from repro.metrics.psnr import psnr_from_delta
+from repro.unicode.blocks import block_of
+from repro.unicode.idna import derived_property
+from repro.unicode.scripts import script_of
+
+_FONT = SyntheticFont()
+
+# --------------------------------------------------------------------------
+# Unicode substrate
+# --------------------------------------------------------------------------
+
+codepoints = st.integers(min_value=0, max_value=0x10FFFF).filter(
+    lambda cp: not (0xD800 <= cp <= 0xDFFF)
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(codepoints)
+def test_block_lookup_is_consistent(cp):
+    block = block_of(cp)
+    if block is not None:
+        assert block.start <= cp <= block.end
+
+
+@settings(max_examples=300, deadline=None)
+@given(codepoints)
+def test_derived_property_is_deterministic_and_total(cp):
+    assert derived_property(cp) is derived_property(cp)
+
+
+@settings(max_examples=200, deadline=None)
+@given(codepoints)
+def test_script_of_total(cp):
+    assert isinstance(script_of(cp), str)
+
+
+# --------------------------------------------------------------------------
+# Glyphs and metrics
+# --------------------------------------------------------------------------
+
+bitmaps = st.lists(st.integers(0, 1), min_size=64, max_size=64).map(
+    lambda bits: np.array(bits, dtype=np.uint8).reshape(8, 8)
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(bitmaps, bitmaps)
+def test_delta_is_a_metric(a_bits, b_bits):
+    a = Glyph(0x61, a_bits)
+    b = Glyph(0x62, b_bits)
+    assert delta(a, a) == 0
+    assert delta(a, b) == delta(b, a)
+    assert 0 <= delta(a, b) <= 64
+
+
+@settings(max_examples=100, deadline=None)
+@given(bitmaps, bitmaps, bitmaps)
+def test_delta_triangle_inequality(a_bits, b_bits, c_bits):
+    a, b, c = Glyph(1, a_bits), Glyph(2, b_bits), Glyph(3, c_bits)
+    assert delta(a, c) <= delta(a, b) + delta(b, c)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(1, 2048), st.sampled_from([16, 32, 64]))
+def test_psnr_decreases_with_delta(delta_value, size):
+    if delta_value + 1 <= size * size:
+        assert psnr_from_delta(delta_value, size) > psnr_from_delta(delta_value + 1, size)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.sampled_from("abcdefghijklmnopqrstuvwxyz"), st.sampled_from("abcdefghijklmnopqrstuvwxyz"))
+def test_synthetic_font_identity_vs_distinct(first, second):
+    ga, gb = _FONT.render(ord(first)), _FONT.render(ord(second))
+    if first == second:
+        assert delta(ga, gb) == 0
+    else:
+        assert delta(ga, gb) > 4      # distinct letters never collapse into homoglyphs
+
+
+# --------------------------------------------------------------------------
+# Punycode / IDNA round trips
+# --------------------------------------------------------------------------
+
+labels = st.text(
+    alphabet=st.characters(min_codepoint=ord("a"), max_codepoint=0x4FF,
+                           exclude_categories=("Cs", "Cc", "Cn")),
+    min_size=1, max_size=12,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(labels)
+def test_punycode_roundtrip_property(text):
+    assert punycode.decode(punycode.encode(text)) == text
+
+
+@settings(max_examples=200, deadline=None)
+@given(labels)
+def test_idna_label_roundtrip_property(text):
+    try:
+        alabel = to_ascii_label(text)
+    except IDNAError:
+        return
+    assert all(ord(ch) < 0x80 for ch in alabel)
+    if alabel.startswith("xn--"):
+        restored = to_unicode_label(alabel)
+        assert to_ascii_label(restored) == alabel
+
+
+# --------------------------------------------------------------------------
+# Homoglyph database invariants
+# --------------------------------------------------------------------------
+
+pair_chars = st.characters(min_codepoint=0x61, max_codepoint=0x2FF,
+                           exclude_categories=("Cs", "Cc", "Cn"))
+pairs = st.tuples(pair_chars, pair_chars).filter(lambda t: t[0] != t[1])
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(pairs, min_size=0, max_size=40))
+def test_database_symmetry_and_counts(pair_list):
+    db = HomoglyphDatabase()
+    for first, second in pair_list:
+        db.add(HomoglyphPair(first, second, frozenset({SOURCE_SIMCHAR})))
+    for first, second in pair_list:
+        assert db.are_homoglyphs(first, second)
+        assert db.are_homoglyphs(second, first)
+        assert second in db.homoglyphs_of(first)
+    assert db.pair_count <= len(pair_list)
+    assert db.character_count <= 2 * db.pair_count if db.pair_count else db.character_count == 0
+    # Serialisation roundtrip preserves everything.
+    restored = HomoglyphDatabase.from_json(db.to_json())
+    assert restored.pair_count == db.pair_count
+    assert {p.key for p in restored} == {p.key for p in db}
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(pairs, min_size=1, max_size=20), st.lists(pairs, min_size=1, max_size=20))
+def test_union_intersection_laws(first_list, second_list):
+    a = HomoglyphDatabase.from_pairs(
+        HomoglyphPair(x, y, frozenset({SOURCE_SIMCHAR})) for x, y in first_list
+    )
+    b = HomoglyphDatabase.from_pairs(
+        HomoglyphPair(x, y, frozenset({SOURCE_SIMCHAR})) for x, y in second_list
+    )
+    union = a.union(b)
+    intersection = a.intersection(b)
+    assert union.pair_count <= a.pair_count + b.pair_count
+    assert union.pair_count >= max(a.pair_count, b.pair_count)
+    assert intersection.pair_count <= min(a.pair_count, b.pair_count)
+    assert union.pair_count + intersection.pair_count == a.pair_count + b.pair_count
+
+
+# --------------------------------------------------------------------------
+# Matcher invariants
+# --------------------------------------------------------------------------
+
+ascii_labels = st.text(alphabet="abcdefgo", min_size=1, max_size=10)
+
+
+@settings(max_examples=150, deadline=None)
+@given(ascii_labels)
+def test_matcher_never_flags_identical_or_plain_ascii(label):
+    db = HomoglyphDatabase()
+    db.add_pair("o", "о", source=SOURCE_SIMCHAR)
+    matcher = HomographMatcher(db)
+    assert not matcher.is_homograph(label, label)
+
+
+@settings(max_examples=150, deadline=None)
+@given(ascii_labels)
+def test_matcher_detects_database_substitution(label):
+    db = HomoglyphDatabase()
+    db.add_pair("o", "о", source=SOURCE_SIMCHAR)
+    matcher = HomographMatcher(db)
+    if "o" not in label:
+        return
+    mutated = label.replace("o", "о", 1)
+    result = matcher.match(mutated, label)
+    assert result.is_homograph
+    assert result.substitution_count == mutated.count("о")

@@ -1,0 +1,76 @@
+"""Tests for the RFC 3492 Punycode implementation (cross-checked against the stdlib codec)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.idn import punycode
+
+# Sample strings from RFC 3492 section 7.1 and the paper.
+_KNOWN_CASES = [
+    ("bücher", "bcher-kva"),
+    ("阿里巴巴", "tsta8290bfzd"),              # paper Section 2.1 example
+    ("facébook", "facbook-dya"),               # paper Section 2.2 example
+    ("пример", "e1afmkfd"),
+    ("münchen", "mnchen-3ya"),
+    ("abc", "abc-"),
+]
+
+
+@pytest.mark.parametrize("unicode_text, expected", _KNOWN_CASES)
+def test_known_encodings(unicode_text, expected):
+    assert punycode.encode(unicode_text) == expected
+
+
+@pytest.mark.parametrize("unicode_text, expected", _KNOWN_CASES)
+def test_known_decodings(unicode_text, expected):
+    assert punycode.decode(expected) == unicode_text
+
+
+@pytest.mark.parametrize(
+    "text",
+    ["ليهمابتكلموشعربي؟", "他们为什么不说中文", "TạisaohọkhôngthểchỉnóitiếngViệt".lower(),
+     "ドメイン名例", "ひとつ屋根の下2", "MajiでKoiする5秒前".lower(), "-> $1.00 <-"],
+)
+def test_rfc3492_sample_vectors_roundtrip(text):
+    encoded = punycode.encode(text)
+    assert encoded == text.encode("punycode").decode("ascii")
+    assert punycode.decode(encoded) == text
+
+
+def test_decode_rejects_invalid_input():
+    with pytest.raises(punycode.PunycodeError):
+        punycode.decode("münchen")            # non-ASCII input
+    with pytest.raises(punycode.PunycodeError):
+        punycode.decode("abc-!")              # invalid digit
+    with pytest.raises(punycode.PunycodeError):
+        punycode.decode("999999999999999999") # overflow
+
+
+def test_decode_truncated_input():
+    encoded = punycode.encode("bücher")
+    with pytest.raises(punycode.PunycodeError):
+        punycode.decode(encoded[:-1] if not encoded.endswith("a") else encoded[:-2] + "k")
+
+
+def test_pure_ascii_round_trips_with_trailing_delimiter():
+    assert punycode.encode("example") == "example-"
+    assert punycode.decode("example-") == "example"
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(
+    alphabet=st.characters(min_codepoint=0x61, max_codepoint=0x2FFF,
+                           exclude_categories=("Cs",)),
+    min_size=1, max_size=16,
+))
+def test_roundtrip_matches_stdlib(text):
+    encoded = punycode.encode(text)
+    assert encoded == text.encode("punycode").decode("ascii")
+    assert punycode.decode(encoded) == text
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789üöäßéあ中о", min_size=1, max_size=24))
+def test_roundtrip_identity(text):
+    assert punycode.decode(punycode.encode(text)) == text

@@ -1,0 +1,69 @@
+"""Tests for detection reports (Tables 8-9 views)."""
+
+from repro.detection.algorithm import CharacterSubstitution
+from repro.detection.report import DetectionReport, HomographDetection
+from repro.homoglyph.database import SOURCE_SIMCHAR, SOURCE_UC
+
+
+def _detection(idn, reference, sources):
+    return HomographDetection(
+        idn=idn,
+        idn_unicode=idn.replace("xn--", "u-"),
+        reference=reference,
+        substitutions=(CharacterSubstitution(0, "о", "o"),),
+        sources=frozenset(sources),
+    )
+
+
+def _report():
+    report = DetectionReport()
+    report.add(_detection("xn--ggle-1.com", "google.com", {SOURCE_UC, SOURCE_SIMCHAR}))
+    report.add(_detection("xn--ggle-2.com", "google.com", {SOURCE_SIMCHAR}))
+    report.add(_detection("xn--amzn-1.com", "amazon.com", {SOURCE_SIMCHAR}))
+    report.add(_detection("xn--fb-1.com", "facebook.com", {SOURCE_UC}))
+    # One IDN matching two references.
+    report.add(_detection("xn--ggle-1.com", "googie.com", {SOURCE_UC}))
+    return report
+
+
+def test_counts_and_views():
+    report = _report()
+    assert len(report) == 5
+    assert len(report.detected_idns()) == 4
+    assert report.references_targeted() == ["amazon.com", "facebook.com", "googie.com", "google.com"]
+    assert report.top_targets(1) == [("google.com", 2)]
+    assert len(report.detections_for_reference("google.com")) == 2
+
+
+def test_count_by_database():
+    counts = _report().count_by_database()
+    # Unique IDNs per database: xn--ggle-1 appears twice but counts once.
+    assert counts["UC"] == 2
+    assert counts["SimChar"] == 3
+    assert counts["UC ∪ SimChar"] == 4
+    assert counts["UC ∪ SimChar"] >= max(counts["UC"], counts["SimChar"])
+
+
+def test_homograph_map_prefers_first_reference():
+    mapping = _report().homograph_map()
+    assert mapping["xn--ggle-1.com"] == "google.com"
+    assert mapping["xn--amzn-1.com"] == "amazon.com"
+
+
+def test_detection_flags_and_description():
+    detection = _detection("xn--x.com", "x.com", {SOURCE_UC})
+    assert detection.uses_uc and not detection.uses_simchar
+    assert "imitates x.com" in detection.describe()
+
+
+def test_summary_keys():
+    summary = _report().summary()
+    assert summary["detections"] == 5
+    assert summary["unique_idns"] == 4
+    assert "by_database" in summary and "top_targets" in summary
+
+
+def test_extend_and_iter():
+    report = DetectionReport()
+    report.extend([_detection("xn--a.com", "a.com", {SOURCE_UC})])
+    assert [d.idn for d in report] == ["xn--a.com"]

@@ -1,0 +1,104 @@
+"""Tests for the simulated DNS resolver and passive DNS."""
+
+from repro.dns.passive_dns import ClientPopulation, PassiveDNSCollector
+from repro.dns.records import RRType, ResourceRecord
+from repro.dns.resolver import AuthoritativeStore, ResponseCode, StubResolver
+
+
+def _store():
+    store = AuthoritativeStore()
+    store.add_many([
+        ResourceRecord("example.com", RRType.NS, "ns1.example.net"),
+        ResourceRecord("example.com", RRType.A, "203.0.113.1"),
+        ResourceRecord("mail.example.com", RRType.MX, "10 mx.example.com"),
+        ResourceRecord("noaddress.com", RRType.NS, "ns1.noaddress.com"),
+    ])
+    return store
+
+
+def test_store_lookup_and_exists():
+    store = _store()
+    assert store.exists("example.com")
+    assert not store.exists("missing.com")
+    assert len(store.lookup("example.com", RRType.NS)) == 1
+    assert store.lookup("example.com", RRType.MX) == []
+    assert "example.com" in store.names()
+    assert len(store) == 4
+
+
+def test_store_remove_name():
+    store = _store()
+    store.remove_name("example.com")
+    assert not store.exists("example.com")
+    assert store.lookup("example.com", RRType.A) == []
+    assert store.exists("noaddress.com")
+
+
+def test_resolver_answers_and_rcodes():
+    resolver = StubResolver(_store())
+    ok = resolver.query("example.com", RRType.A)
+    assert ok.rcode is ResponseCode.NOERROR and not ok.is_empty
+    nodata = resolver.query("noaddress.com", "A")
+    assert nodata.rcode is ResponseCode.NOERROR and nodata.is_empty
+    missing = resolver.query("missing.com", RRType.A)
+    assert missing.rcode is ResponseCode.NXDOMAIN and missing.is_empty
+
+
+def test_resolver_cache_and_counters():
+    resolver = StubResolver(_store())
+    resolver.query("example.com", RRType.A)
+    resolver.query("example.com", RRType.A)
+    assert resolver.queries_sent == 1
+    assert resolver.cache_hits == 1
+    resolver.clear_cache()
+    resolver.query("example.com", RRType.A)
+    assert resolver.queries_sent == 2
+
+
+def test_resolver_predicates():
+    resolver = StubResolver(_store())
+    assert resolver.has_ns("example.com")
+    assert resolver.has_a("example.com")
+    assert not resolver.has_a("noaddress.com")
+    assert not resolver.has_mx("example.com")
+    assert resolver.has_mx("mail.example.com")
+
+
+def test_passive_dns_observes_resolver():
+    resolver = StubResolver(_store())
+    collector = PassiveDNSCollector()
+    collector.attach_to(resolver)
+    resolver.query("example.com", RRType.A, use_cache=False)
+    resolver.query("example.com", RRType.A, use_cache=False)
+    resolver.query("example.com", RRType.NS, use_cache=False)   # non-A not counted
+    assert collector.resolution_count("example.com") == 2
+    assert collector.resolution_count("missing.com") == 0
+
+
+def test_passive_dns_bulk_and_top():
+    collector = PassiveDNSCollector()
+    collector.bulk_load({"a.com": 100, "b.com": 50, "c.com": 10})
+    collector.record_lookups("b.com", 75)
+    assert collector.top_domains(2) == [("b.com", 125), ("a.com", 100)]
+    assert collector.top_domains(5, within=["c.com"]) == [("c.com", 10)]
+    assert collector.total_observations() == 235
+    assert len(collector) == 3
+
+
+def test_client_population_distribution_is_deterministic():
+    population = ClientPopulation(seed=1)
+    domains = [f"d{i}.com" for i in range(50)]
+    first = population.lookup_counts(domains, total_lookups=10_000)
+    second = ClientPopulation(seed=1).lookup_counts(domains, total_lookups=10_000)
+    assert first == second
+    assert sum(first.values()) == 10_000
+    assert ClientPopulation().lookup_counts([], total_lookups=10) == {}
+
+
+def test_client_population_respects_popularity():
+    population = ClientPopulation(seed=2)
+    domains = ["popular.com", "obscure.com"]
+    counts = population.lookup_counts(
+        domains, total_lookups=10_000, popularity={"popular.com": 0.99, "obscure.com": 0.01}
+    )
+    assert counts["popular.com"] > counts["obscure.com"]

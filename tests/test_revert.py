@@ -1,0 +1,75 @@
+"""Tests for reverting homographs to their original domains (Section 6.4)."""
+
+from repro.detection.revert import HomographReverter
+from repro.homoglyph.database import SOURCE_SIMCHAR, SOURCE_UC, HomoglyphDatabase
+
+
+def _reverter():
+    db = HomoglyphDatabase()
+    db.add_pair("o", "о", source=SOURCE_UC)
+    db.add_pair("o", "ο", source=SOURCE_UC)
+    db.add_pair("e", "é", source=SOURCE_SIMCHAR)
+    db.add_pair("a", "а", source=SOURCE_UC)
+    db.add_pair("l", "ӏ", source=SOURCE_UC)
+    # A homoglyph pair between two non-ASCII characters only:
+    db.add_pair("ж", "җ", source=SOURCE_UC)
+    return HomographReverter(db)
+
+
+def test_ascii_alternatives():
+    reverter = _reverter()
+    assert reverter.ascii_alternatives("о") == ["o"]
+    assert reverter.ascii_alternatives("o") == ["o"]
+    assert reverter.ascii_alternatives("ж") == []
+
+
+def test_revert_single_substitution():
+    reverter = _reverter()
+    assert reverter.best_original("gоogle") == "google"
+    assert reverter.best_original("facébook") == "facebook"
+
+
+def test_revert_multiple_substitutions():
+    reverter = _reverter()
+    assert reverter.best_original("gооglе" .replace("е", "é")) == "google"
+    assert reverter.best_original("аmаzоn") == "amazon"
+
+
+def test_revert_label_candidates_ranked():
+    reverter = _reverter()
+    candidates = reverter.revert_label("gоogle")
+    assert candidates
+    assert candidates[0].original_label == "google"
+    assert candidates[0].is_fully_ascii
+    assert candidates[0].substitution_count == 1
+
+
+def test_unmappable_character_keeps_label_non_ascii():
+    reverter = _reverter()
+    best = reverter.best_original("жurnal")
+    # ж has no ASCII homoglyph, so no fully-ASCII original exists.
+    assert best is None or not all(c.isascii() for c in best)
+
+
+def test_pure_ascii_label_has_no_revert():
+    reverter = _reverter()
+    assert reverter.best_original("google") is None
+    assert reverter.revert_label("google") == []
+
+
+def test_targets_outside_reference():
+    reverter = _reverter()
+    labels = ["gоogle", "аllstate", "mуdomain".replace("у", "ο")]
+    mapping = reverter.targets_outside_reference(labels, {"google"})
+    assert "gоogle" not in mapping                     # reverts to a reference domain
+    assert mapping.get("аllstate") == "allstate"       # outside the reference list
+
+
+def test_max_candidates_bounds_combinatorics():
+    db = HomoglyphDatabase()
+    for partner in "оο0":
+        if partner != "0":
+            db.add_pair("o", partner, source=SOURCE_UC)
+    reverter = HomographReverter(db, max_candidates=3)
+    candidates = reverter.revert_label("оοоο")
+    assert len(candidates) <= 3

@@ -1,0 +1,125 @@
+"""Integration tests: the full measurement study over the small population.
+
+These tests assert the *shape* of the paper's findings (who wins, rough
+ratios), not absolute counts, because the synthetic population is three
+orders of magnitude smaller than the real .com zone.
+"""
+
+import pytest
+
+from repro.web.hosting import SiteCategory
+
+
+def test_dataset_table(study_results, population):
+    table = study_results.dataset_table
+    assert [row[0] for row in table] == ["zone file", "domainlists.io", "Total (union)"]
+    assert table[2][2] == study_results.idn_count
+    assert study_results.idn_count >= population.config.homograph_count * 0.8
+
+
+def test_language_table_shape(study_results):
+    languages = [row[0] for row in study_results.language_table]
+    assert "Chinese" in languages[:3]
+    fractions = [row[2] for row in study_results.language_table]
+    assert all(0 <= f <= 100 for f in fractions)
+    assert sum(fractions) <= 100.001
+    # Chinese is the most common language, as in the paper's Table 7.
+    assert study_results.language_table[0][0] == "Chinese"
+
+
+def test_detection_counts_shape(study_results, population):
+    counts = study_results.detection_counts
+    # SimChar detects several times more homographs than UC, and the union is
+    # at least as large as either (paper Table 8: 436 / 3110 / 3280).
+    assert counts["SimChar"] > counts["UC"]
+    assert counts["UC ∪ SimChar"] >= counts["SimChar"]
+    assert counts["UC ∪ SimChar"] >= 0.8 * population.config.homograph_count
+    # Detection should not invent homographs that were never injected
+    # (a small surplus is possible when a homograph matches two references).
+    assert counts["UC ∪ SimChar"] <= len(population.homographs) + 10
+
+
+def test_detection_finds_injected_homographs(study_results, population):
+    detected = set(study_results.detection_report.detected_idns())
+    injected = {h.domain_ascii for h in population.homographs}
+    recall = len(detected & injected) / len(injected)
+    assert recall >= 0.8
+    # Essentially everything detected was injected (no false positives on the
+    # synthetic population).
+    assert len(detected - injected) <= 2
+
+
+def test_top_targets_match_paper_ranking(study_results):
+    top = dict(study_results.top_targets)
+    assert "myetherwallet.com" in top or "google.com" in top
+    # The most-targeted domain has several homographs.
+    assert study_results.top_targets[0][1] >= 3
+
+
+def test_probe_and_portscan_funnel(study_results):
+    detected = len(study_results.detection_report.detected_idns())
+    assert study_results.ns_count <= detected
+    assert study_results.no_a_count <= study_results.ns_count
+    reachable = study_results.portscan.reachable_count
+    addressed = study_results.ns_count - study_results.no_a_count
+    assert reachable <= addressed
+    assert reachable > 0
+    assert study_results.portscan.http_count >= study_results.portscan.both_count
+    assert study_results.portscan.https_count >= study_results.portscan.both_count
+
+
+def test_popular_homographs_table(study_results):
+    rows = study_results.popular_homographs
+    assert rows, "expected at least one active popular homograph"
+    resolutions = [row.resolutions for row in rows]
+    assert resolutions == sorted(resolutions, reverse=True)
+    top = rows[0]
+    assert top.domain_unicode == "gmaıl.com"
+    assert top.category == SiteCategory.PHISHING.value
+    assert top.resolutions > 100_000
+
+
+def test_classification_table(study_results):
+    counts = study_results.classification.category_counts()
+    total = sum(counts.values())
+    assert total == study_results.portscan.reachable_count
+    # Parking and for-sale together form a large share (the paper: 42%).
+    business = counts.get(SiteCategory.PARKED.value, 0) + counts.get(SiteCategory.FOR_SALE.value, 0)
+    assert business >= 0.2 * total
+
+
+def test_redirect_intents(study_results):
+    intents = study_results.redirect_intents
+    if intents:
+        assert intents.get("Brand protection", 0) >= intents.get("Malicious website", 0)
+
+
+def test_blacklist_table_shape(study_results):
+    table = study_results.blacklist_table
+    assert set(table) == {"UC", "SimChar", "UC ∪ SimChar"}
+    for feeds in table.values():
+        assert set(feeds) == {"GSB", "Symantec", "hpHosts"}
+        assert feeds["hpHosts"] >= feeds["GSB"] >= feeds["Symantec"]
+    # More malicious homographs are caught when SimChar is part of the DB
+    # (paper Table 14).
+    assert table["UC ∪ SimChar"]["hpHosts"] >= table["UC"]["hpHosts"]
+
+
+def test_detection_timing_recorded(study_results):
+    timing = study_results.detection_timing
+    assert timing is not None
+    assert timing.total_seconds > 0
+    assert timing.seconds_per_reference < 1.0
+
+
+def test_summary_is_json_like(study_results):
+    summary = study_results.summary()
+    assert summary["idns"] == study_results.idn_count
+    assert isinstance(summary["categories"], dict)
+    assert isinstance(summary["blacklists"], dict)
+
+
+def test_revert_analysis_maps_to_ascii(study_results):
+    for homograph, original in study_results.reverted_outside_reference.items():
+        assert homograph != original
+        assert all(ord(ch) < 128 for ch in original)

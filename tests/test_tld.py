@@ -1,0 +1,78 @@
+"""Tests for per-TLD IDN registration policies."""
+
+import pytest
+
+from repro.idn.tld import IDNTable, REGISTRY_POLICIES, policy_for, register_policy
+
+
+def test_policy_lookup():
+    assert policy_for("com").tld == "com"
+    assert policy_for(".COM").tld == "com"
+    with pytest.raises(KeyError):
+        policy_for("nosuchtld")
+
+
+def test_com_policy_is_permissive():
+    com = policy_for("com")
+    assert com.permits_codepoint(ord("a"))
+    assert com.permits_codepoint(0x0430)      # Cyrillic
+    assert com.permits_codepoint(0x4E00)      # Han
+    assert com.permits_codepoint(0xAC00)      # Hangul
+    assert com.permits_codepoint(0x0ED0)      # Lao digit zero
+    assert com.permitted_block_count() > 40
+
+
+def test_jp_policy_blocks_latin_homoglyph_attack():
+    jp = policy_for("jp")
+    # The paper: "ácm.jp" cannot be registered because .jp permits no
+    # homoglyph of LDH.
+    assert not jp.permits_codepoint(ord("á"))
+    assert not jp.permits_codepoint(0x0430)
+    assert jp.permits_codepoint(0x3042)       # Hiragana
+    assert jp.permits_codepoint(0x4E00)       # CJK
+    assert jp.permits_label("ひらがな")
+    assert not jp.permits_label("ácm")
+    assert jp.permits_label("acm")            # plain LDH always allowed
+
+
+def test_policy_rejects_non_pvalid_even_in_permitted_block():
+    com = policy_for("com")
+    assert not com.permits_codepoint(ord("A"))     # uppercase not PVALID
+    assert not com.permits_codepoint(0x0378)       # unassigned
+
+
+def test_permits_domain_checks_tld_and_label():
+    com = policy_for("com")
+    assert com.permits_domain("xn--facbook-dya.com")
+    assert not com.permits_domain("xn--facbook-dya.net") or policy_for("net").permits_domain(
+        "xn--facbook-dya.net"
+    )
+    jp = policy_for("jp")
+    assert not jp.permits_domain("xn--facbook-dya.com")   # wrong TLD for policy
+
+
+def test_ru_policy_single_script():
+    ru = policy_for("ru")
+    assert ru.permits_label("пример")
+    assert not ru.permits_codepoint(0x4E00)
+    assert not ru.permits_codepoint(0x00E9)
+
+
+def test_register_policy_roundtrip():
+    table = IDNTable("example", frozenset({"Greek and Coptic"}), "test policy")
+    register_policy(table)
+    assert policy_for("example") is table
+    assert policy_for("example").permits_codepoint(0x03B1)
+    del REGISTRY_POLICIES["example"]
+
+
+def test_extra_codepoints_override():
+    table = IDNTable("x", frozenset(), extra_codepoints=frozenset({0x4E00}))
+    assert table.permits_codepoint(0x4E00)
+    assert not table.permits_codepoint(0x4E01)
+
+
+def test_invalid_label_not_permitted():
+    com = policy_for("com")
+    assert not com.permits_label("")
+    assert not com.permits_label("xn--zzzz!")

@@ -1,0 +1,90 @@
+"""Tests for the Unicode block table."""
+
+import pytest
+
+from repro.unicode.blocks import BLOCKS, block_name, block_of, blocks_in_plane, iter_blocks
+
+
+def test_basic_latin_block():
+    block = block_of(ord("a"))
+    assert block is not None
+    assert block.name == "Basic Latin"
+    assert block.start == 0x0000
+    assert block.end == 0x007F
+
+
+def test_block_contains_and_len():
+    block = block_of(0x0430)
+    assert block.name == "Cyrillic"
+    assert 0x0400 in block
+    assert 0x04FF in block
+    assert 0x0500 not in block
+    assert len(block) == 256
+
+
+@pytest.mark.parametrize(
+    "codepoint, expected",
+    [
+        (0x00E9, "Latin-1 Supplement"),
+        (0x0301, "Combining Diacritical Marks"),
+        (0x03B1, "Greek and Coptic"),
+        (0x05D0, "Hebrew"),
+        (0x0627, "Arabic"),
+        (0x0B32, "Oriya"),
+        (0x0E01, "Thai"),
+        (0x0ED0, "Lao"),
+        (0x13A0, "Cherokee"),
+        (0x1401, "Unified Canadian Aboriginal Syllabics"),
+        (0x3042, "Hiragana"),
+        (0x30A8, "Katakana"),
+        (0x4E00, "CJK Unified Ideographs"),
+        (0xA500, "Vai"),
+        (0xAC00, "Hangul Syllables"),
+        (0xFF41, "Halfwidth and Fullwidth Forms"),
+        (0x1F600, "Emoticons"),
+        (0x20000, "CJK Unified Ideographs Extension B"),
+    ],
+)
+def test_blocks_named_in_paper(codepoint, expected):
+    assert block_name(codepoint) == expected
+
+
+def test_block_ordering_no_overlaps():
+    previous_end = -1
+    for block in iter_blocks():
+        assert block.start > previous_end, f"{block.name} overlaps previous block"
+        assert block.end >= block.start
+        previous_end = block.end
+
+
+def test_block_of_unassigned_gap_returns_none():
+    # 0x08B5 region sits in a small unassigned gap between Arabic Extended-A
+    # parts in some versions; use a clearly uncovered code point instead:
+    assert block_of(0xE0200) is None
+    assert block_name(0xE0200) == "No Block"
+
+
+def test_block_of_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        block_of(0x110000)
+    with pytest.raises(ValueError):
+        block_of(-1)
+
+
+def test_plane_partition():
+    bmp = blocks_in_plane(0)
+    smp = blocks_in_plane(1)
+    assert all(b.end <= 0xFFFF for b in bmp)
+    assert all(0x10000 <= b.start <= 0x1FFFF for b in smp)
+    assert len(bmp) > 100
+    assert len(smp) > 30
+
+
+def test_codepoints_iterator_matches_length():
+    block = block_of(0x0530)  # Armenian
+    assert len(list(block.codepoints())) == len(block)
+
+
+def test_blocks_constant_is_sorted_tuple():
+    starts = [b.start for b in BLOCKS]
+    assert starts == sorted(starts)

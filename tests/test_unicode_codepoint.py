@@ -1,0 +1,81 @@
+"""Tests for the CodePoint model."""
+
+import pytest
+
+from repro.unicode.codepoint import CodePoint, codepoints_of, format_codepoint, unique_codepoints
+from repro.unicode.idna import DerivedProperty
+
+
+def test_from_char_and_basic_views():
+    cp = CodePoint.from_char("é")
+    assert cp.value == 0x00E9
+    assert cp.char == "é"
+    assert cp.hex == "U+00E9"
+    assert cp.name == "LATIN SMALL LETTER E WITH ACUTE"
+    assert cp.category == "Ll"
+    assert cp.block == "Latin-1 Supplement"
+    assert cp.script == "Latin"
+    assert cp.idna_property is DerivedProperty.PVALID
+    assert cp.is_pvalid
+    assert cp.is_bmp and cp.plane == 0
+
+
+def test_parse_formats():
+    assert CodePoint.parse("U+0061").value == 0x61
+    assert CodePoint.parse("0x61").value == 0x61
+    assert CodePoint.parse("97").value == 0x61
+    assert CodePoint.parse("a").value == 0x61
+    with pytest.raises(ValueError):
+        CodePoint.parse("not-a-codepoint")
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        CodePoint(0x110000)
+    with pytest.raises(ValueError):
+        CodePoint(-1)
+    with pytest.raises(ValueError):
+        CodePoint.from_char("ab")
+
+
+def test_decomposition_and_base_char():
+    e_acute = CodePoint.from_char("é")
+    assert e_acute.base_char == "e"
+    assert e_acute.combining_marks == ("́",)
+    o_multi = CodePoint.from_char("ộ")
+    assert o_multi.base_char == "o"
+    assert len(o_multi.combining_marks) == 2
+    plain = CodePoint.from_char("x")
+    assert plain.base_char == "x"
+    assert plain.combining_marks == ()
+
+
+def test_combining_mark_flag():
+    assert CodePoint(0x0301).is_combining
+    assert not CodePoint.from_char("a").is_combining
+
+
+def test_ordering_and_equality():
+    assert CodePoint(0x61) < CodePoint(0x62)
+    assert CodePoint(0x61) == CodePoint(ord("a"))
+    assert len({CodePoint(0x61), CodePoint(0x61)}) == 1
+
+
+def test_describe_mentions_key_facts():
+    description = CodePoint(0x0430).describe()
+    assert "U+0430" in description
+    assert "Cyrillic" in description
+    assert "PVALID" in description
+
+
+def test_codepoints_of_and_unique():
+    cps = codepoints_of("gоogle")
+    assert len(cps) == 6
+    assert cps[1].script == "Cyrillic"
+    unique = unique_codepoints(["aa", "ab"])
+    assert {cp.char for cp in unique} == {"a", "b"}
+
+
+def test_format_codepoint_width():
+    assert format_codepoint(0x61) == "U+0061"
+    assert format_codepoint(0x1F600) == "U+1F600"

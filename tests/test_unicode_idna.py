@@ -1,0 +1,92 @@
+"""Tests for the RFC 5892 derived-property computation."""
+
+import pytest
+
+from repro.unicode.idna import (
+    DerivedProperty,
+    classify_codepoints,
+    derived_property,
+    is_idna_permitted,
+    is_pvalid,
+    iter_pvalid,
+    pvalid_count,
+)
+
+
+@pytest.mark.parametrize("char", list("abcdefghijklmnopqrstuvwxyz0123456789-"))
+def test_ldh_is_pvalid(char):
+    assert is_pvalid(ord(char))
+
+
+@pytest.mark.parametrize("char", list("ABCDEFGHIJKLMNOPQRSTUVWXYZ"))
+def test_uppercase_ascii_is_not_pvalid(char):
+    # Uppercase folds to lowercase, hence unstable, hence DISALLOWED.
+    assert not is_pvalid(ord(char))
+
+
+@pytest.mark.parametrize(
+    "codepoint",
+    [0x00E9, 0x00DF, 0x0430, 0x03B1, 0x0585, 0x05D0, 0x0627, 0x3042, 0x30A8,
+     0x4E00, 0xAC00, 0x0B32, 0x0ED0, 0xA500],
+)
+def test_letters_used_in_idns_are_pvalid(codepoint):
+    assert is_pvalid(codepoint), hex(codepoint)
+
+
+@pytest.mark.parametrize(
+    "codepoint",
+    [0x0020, 0x002E, 0x00A0, 0x2028, 0x200B, 0xFEFF, 0x1F600, 0xFF01, 0x2160],
+)
+def test_symbols_and_spaces_are_not_pvalid(codepoint):
+    assert not is_pvalid(codepoint), hex(codepoint)
+
+
+def test_exceptions_from_rfc5892():
+    assert derived_property(0x00DF) is DerivedProperty.PVALID      # sharp s
+    assert derived_property(0x03C2) is DerivedProperty.PVALID      # final sigma
+    assert derived_property(0x00B7) is DerivedProperty.CONTEXTO    # middle dot
+    assert derived_property(0x200D) is DerivedProperty.CONTEXTJ    # ZWJ
+    assert derived_property(0x0640) is DerivedProperty.DISALLOWED  # tatweel
+    assert derived_property(0x302E) is DerivedProperty.DISALLOWED  # Hangul tone mark
+
+
+def test_unassigned_and_surrogates():
+    assert derived_property(0x0378) is DerivedProperty.UNASSIGNED
+    assert derived_property(0xD800) is DerivedProperty.DISALLOWED
+
+
+def test_contextual_acceptance_flag():
+    assert not is_idna_permitted(0x200D)
+    assert is_idna_permitted(0x200D, allow_contextual=True)
+    assert is_idna_permitted(0x0061)
+
+
+def test_fullwidth_letters_are_disallowed_but_mapped():
+    # Fullwidth 'a' normalises to 'a' (unstable), so it is not PVALID itself.
+    assert not is_pvalid(0xFF41)
+
+
+def test_derived_property_out_of_range():
+    with pytest.raises(ValueError):
+        derived_property(-1)
+    with pytest.raises(ValueError):
+        derived_property(0x110000)
+
+
+def test_iter_and_count_pvalid_on_latin1():
+    pvalid = list(iter_pvalid(0x0000, 0x00FF))
+    assert ord("a") in pvalid and ord("z") in pvalid
+    assert ord("A") not in pvalid
+    assert 0x00E9 in pvalid
+    assert pvalid_count(0x0000, 0x00FF) == len(pvalid)
+    # Lowercase a-z + digits + hyphen + the Latin-1 lowercase letters.
+    assert 60 <= len(pvalid) <= 80
+
+
+def test_classify_codepoints_histogram():
+    histogram = classify_codepoints([ord("a"), ord("A"), 0x0378, 0x200D, 0x00B7])
+    assert histogram[DerivedProperty.PVALID] == 1
+    assert histogram[DerivedProperty.DISALLOWED] == 1
+    assert histogram[DerivedProperty.UNASSIGNED] == 1
+    assert histogram[DerivedProperty.CONTEXTJ] == 1
+    assert histogram[DerivedProperty.CONTEXTO] == 1

@@ -1,0 +1,83 @@
+"""Tests for script classification and mixed-script detection."""
+
+import pytest
+
+from repro.unicode.scripts import (
+    HIGHLY_CONFUSABLE_SCRIPTS,
+    KNOWN_SCRIPTS,
+    dominant_script,
+    is_mixed_script,
+    script_of,
+    scripts_of_text,
+)
+
+
+@pytest.mark.parametrize(
+    "char, expected",
+    [
+        ("a", "Latin"),
+        ("Z", "Latin"),
+        ("é", "Latin"),
+        ("а", "Cyrillic"),
+        ("ο", "Greek"),
+        ("օ", "Armenian"),
+        ("ا", "Arabic"),
+        ("א", "Hebrew"),
+        ("あ", "Hiragana"),
+        ("エ", "Katakana"),
+        ("中", "Han"),
+        ("한", "Hangul"),
+        ("ท", "Thai"),
+        ("໐", "Lao"),
+        ("Ꭰ"[0], "Cherokee"),
+        ("5", "Common"),
+        ("-", "Common"),
+        ("́", "Inherited"),
+    ],
+)
+def test_script_of_single_characters(char, expected):
+    assert script_of(char) == expected
+
+
+def test_script_of_accepts_codepoints():
+    assert script_of(0x0430) == "Cyrillic"
+    assert script_of(0x4E00) == "Han"
+
+
+def test_script_of_rejects_multichar_and_out_of_range():
+    with pytest.raises(ValueError):
+        script_of("ab")
+    with pytest.raises(ValueError):
+        script_of(0x110000)
+
+
+def test_scripts_of_text_ignores_common_by_default():
+    assert scripts_of_text("google123") == {"Latin"}
+    assert scripts_of_text("123-") == set()
+    assert "Common" in scripts_of_text("google123", ignore_common=False)
+
+
+def test_mixed_script_detection():
+    assert not is_mixed_script("google")
+    assert not is_mixed_script("facébook")          # all Latin
+    assert is_mixed_script("gооgle")                 # Cyrillic о inside Latin
+    assert is_mixed_script("工業大学エ")              # Han + Katakana mix
+    assert not is_mixed_script("пример")             # pure Cyrillic
+
+
+def test_dominant_script():
+    assert dominant_script("google") == "Latin"
+    assert dominant_script("gооgle") == "Latin"      # 4 Latin vs 2 Cyrillic
+    assert dominant_script("ооgооо") == "Cyrillic"
+    assert dominant_script("1234-") == "Common"
+
+
+def test_known_scripts_cover_confusable_scripts():
+    assert HIGHLY_CONFUSABLE_SCRIPTS <= KNOWN_SCRIPTS
+    for name in ("Latin", "Han", "Hangul", "Hiragana", "Katakana", "Vai", "Oriya"):
+        assert name in KNOWN_SCRIPTS
+
+
+def test_fullwidth_latin_is_latin():
+    assert script_of("ａ") == "Latin"
+    assert script_of("ア") == "Katakana"

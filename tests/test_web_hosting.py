@@ -1,0 +1,77 @@
+"""Tests for the synthetic web hosting model."""
+
+from repro.dns.records import RRType
+from repro.dns.resolver import AuthoritativeStore
+from repro.web.hosting import RedirectIntent, SiteCategory, SyntheticWeb, WebsiteProfile
+
+
+def test_profile_normalisation_and_flags():
+    profile = WebsiteProfile("Example.COM.", category=SiteCategory.NORMAL)
+    assert profile.domain == "example.com"
+    assert profile.reachable
+    assert not profile.is_parked
+    parked = WebsiteProfile("parked.com", parking_ns="ns1.sedoparking.com")
+    assert parked.is_parked
+
+
+def test_unregistered_profile_clears_everything():
+    profile = WebsiteProfile("gone.com", registered=False)
+    assert not profile.has_ns and not profile.has_a
+    assert profile.open_ports == frozenset()
+    assert profile.category is SiteCategory.UNREGISTERED
+    assert not profile.reachable
+
+
+def test_profile_without_address_has_no_ports():
+    profile = WebsiteProfile("dark.com", has_a=False)
+    assert profile.open_ports == frozenset()
+
+
+def test_web_add_get_iterate():
+    web = SyntheticWeb([WebsiteProfile("a.com"), WebsiteProfile("b.com")])
+    assert len(web) == 2
+    assert "a.com" in web and "c.com" not in web
+    assert web.get("A.COM").domain == "a.com"
+    assert web.get("missing.com") is None
+    assert web.domains() == ["a.com", "b.com"]
+    assert {p.domain for p in web} == {"a.com", "b.com"}
+
+
+def test_open_ports_host_model():
+    web = SyntheticWeb([
+        WebsiteProfile("up.com", open_ports=frozenset({80})),
+        WebsiteProfile("down.com", registered=False),
+    ])
+    assert web.open_ports("up.com") == {80}
+    assert web.open_ports("down.com") == set()
+    assert web.open_ports("unknown.com") == set()
+
+
+def test_publish_dns():
+    web = SyntheticWeb([
+        WebsiteProfile("site.com", has_mx=True, nameservers=("ns1.host.net",)),
+        WebsiteProfile("parkedsite.com", parking_ns="ns1.sedoparking.com", nameservers=()),
+        WebsiteProfile("expired.com", registered=False),
+    ])
+    store = AuthoritativeStore()
+    web.publish_dns(store)
+    assert store.lookup("site.com", RRType.NS)[0].rdata == "ns1.host.net"
+    assert store.lookup("site.com", RRType.A)
+    assert store.lookup("site.com", RRType.MX)
+    assert store.lookup("parkedsite.com", RRType.NS)[0].rdata == "ns1.sedoparking.com"
+    assert not store.exists("expired.com")
+
+
+def test_lookup_counts_and_category_views():
+    web = SyntheticWeb([
+        WebsiteProfile("hot.com", lookups=100, category=SiteCategory.PHISHING),
+        WebsiteProfile("cold.com", lookups=0, category=SiteCategory.PARKED),
+    ])
+    assert web.lookup_counts() == {"hot.com": 100}
+    assert [p.domain for p in web.profiles_by_category(SiteCategory.PARKED)] == ["cold.com"]
+
+
+def test_redirect_intent_enum_values():
+    assert RedirectIntent.BRAND_PROTECTION.value == "Brand protection"
+    assert SiteCategory.PARKED.value == "Domain parking"
+    assert SiteCategory.FOR_SALE.value == "For sale"

@@ -1,0 +1,58 @@
+"""Tests for zone file handling."""
+
+import pytest
+
+from repro.dns.records import RRType, ResourceRecord
+from repro.dns.zonefile import ZoneFile
+
+
+def _zone():
+    zone = ZoneFile(tld="com")
+    zone.add_delegation("example.com", ["ns1.example.net", "ns2.example.net"])
+    zone.add_delegation("xn--facbook-dya.com", ["ns1.parked.example"])
+    zone.add_delegation("xn--tsta8290bfzd.com", ["ns1.cn.example"])
+    zone.add_record(ResourceRecord("ns1.example.net", RRType.A, "203.0.113.1"))
+    return zone
+
+
+def test_delegations_and_domains():
+    zone = _zone()
+    assert zone.domain_count() == 3
+    assert "example.com" in zone
+    assert "missing.com" not in zone
+    assert zone.nameservers_of("example.com") == ["ns1.example.net", "ns2.example.net"]
+    assert len(zone) == 3
+    assert sorted(zone) == zone.domains()
+
+
+def test_delegation_must_belong_to_zone():
+    zone = ZoneFile(tld="com")
+    with pytest.raises(ValueError):
+        zone.add_delegation("example.net", ["ns1.example.net"])
+
+
+def test_idn_extraction_and_fraction():
+    zone = _zone()
+    idns = zone.idns()
+    assert set(idns) == {"xn--facbook-dya.com", "xn--tsta8290bfzd.com"}
+    assert zone.idn_fraction() == pytest.approx(2 / 3)
+    assert ZoneFile(tld="com").idn_fraction() == 0.0
+
+
+def test_save_and_load_roundtrip(tmp_path):
+    zone = _zone()
+    path = tmp_path / "com.zone"
+    zone.save(path)
+    loaded = ZoneFile.load("com", path)
+    assert loaded.domains() == zone.domains()
+    assert loaded.nameservers_of("example.com") == zone.nameservers_of("example.com")
+
+
+def test_from_lines_skips_comments():
+    lines = [
+        "; comment",
+        "example.com.\t172800\tIN\tNS\tns1.example.net.",
+        "",
+    ]
+    zone = ZoneFile.from_lines("com", lines)
+    assert zone.domains() == ["example.com"]
