@@ -24,7 +24,8 @@ def test_table05_simchar_build_time(benchmark, simchar_builder):
         ("Pairs in SimChar", result.database.pair_count),
     ])
 
-    # The pairwise Δ computation dominates the build, as in the paper.
+    # Sparse filtering stays negligible next to the pairwise Δ scan, as in
+    # the paper.  (The packed popcount engine cut the pairwise step by ~20x,
+    # so unlike the paper it no longer dwarfs glyph rendering.)
     assert timings.pairwise_seconds > timings.sparse_filter_seconds
-    assert timings.pairwise_seconds >= timings.render_seconds * 0.5
     assert result.database.pair_count > 0

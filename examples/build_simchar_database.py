@@ -7,29 +7,49 @@ glyphs, and report the statistics behind Tables 1, 3, 4 and 5.  The result
 is written to ``simchar.json`` (and the UC∪SimChar union to ``union.json``)
 so other tools — e.g. a browser extension — can embed it.
 
+The pairwise scan (the paper's 10.9-hour step) is sharded across worker
+processes with ``--jobs`` and the built database can be persisted with
+``--cache-dir`` so subsequent runs load it in milliseconds.
+
 Run with::
 
-    python examples/build_simchar_database.py [output-directory]
+    python examples/build_simchar_database.py [output-directory] \
+        [--jobs N] [--cache-dir DIR] [--force]
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 from pathlib import Path
 
-from repro import SimCharBuilder, load_confusables
+from repro import SimCharBuilder, cached_build, load_confusables
+from repro.cli import positive_int
 from repro.homoglyph.blocks import compare_top_blocks
+from repro.homoglyph.cache import resolve_cache
 from repro.homoglyph.latin import latin_coverage_table
 
 
-def main(output_dir: str = ".") -> None:
-    output = Path(output_dir)
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("output_dir", nargs="?", default=".", help="output directory")
+    parser.add_argument("--jobs", "-j", type=positive_int, default=None,
+                        help="worker processes for the pairwise scan (default: CPU count)")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="persist/reuse the built database in this directory")
+    parser.add_argument("--force", action="store_true",
+                        help="rebuild even when a matching cache entry exists")
+    args = parser.parse_args(argv)
+
+    output = Path(args.output_dir)
     output.mkdir(parents=True, exist_ok=True)
 
-    print("Step I-III: building SimChar...")
-    builder = SimCharBuilder()
-    result = builder.build()
+    builder = SimCharBuilder(jobs=args.jobs)
+    cache = resolve_cache(args.cache_dir)
+    print(f"Step I-III: building SimChar ({builder.jobs} worker(s))...")
+    result, cache_hit = cached_build(builder, cache, force=args.force)
     simchar = result.database
+    if cache_hit:
+        print(f"  loaded from cache under {cache.cache_dir}")
 
     timings = result.timings
     print(f"  repertoire: {result.repertoire_size} IDNA-permitted code points")
@@ -67,4 +87,4 @@ def main(output_dir: str = ".") -> None:
 
 
 if __name__ == "__main__":
-    main(sys.argv[1] if len(sys.argv) > 1 else ".")
+    main()

@@ -20,12 +20,13 @@ Quickstart::
 
 from .detection.report import DetectionReport, HomographDetection
 from .detection.shamfinder import ShamFinder
+from .homoglyph.cache import SimCharCache, cached_build
 from .homoglyph.confusables import load_confusables
 from .homoglyph.database import HomoglyphDatabase, HomoglyphPair
 from .homoglyph.simchar import SimCharBuilder
 from .idn.domain import DomainName
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DetectionReport",
@@ -35,6 +36,8 @@ __all__ = [
     "HomoglyphDatabase",
     "HomoglyphPair",
     "SimCharBuilder",
+    "SimCharCache",
+    "cached_build",
     "DomainName",
     "__version__",
 ]

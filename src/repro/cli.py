@@ -22,6 +22,7 @@ from typing import Sequence
 
 from .countermeasure.warning import WarningGenerator
 from .detection.shamfinder import ShamFinder
+from .homoglyph.cache import cached_build, resolve_cache
 from .homoglyph.confusables import load_confusables
 from .homoglyph.database import HomoglyphDatabase
 from .homoglyph.simchar import SimCharBuilder
@@ -31,7 +32,15 @@ from .measurement.alexa import ReferenceList
 from .measurement.domainlists import ZoneConfig, generate_population
 from .measurement.study import MeasurementStudy
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "positive_int"]
+
+
+def positive_int(text: str) -> int:
+    """argparse type for 1-or-more integer options (``--jobs``)."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -46,6 +55,12 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--output", "-o", type=Path, required=True, help="output JSON path")
     build.add_argument("--threshold", type=int, default=4, help="pixel-difference threshold θ")
     build.add_argument("--no-uc", action="store_true", help="do not merge the UC confusables")
+    build.add_argument("--jobs", "-j", type=positive_int, default=None,
+                       help="worker processes for the pairwise scan (default: CPU count)")
+    build.add_argument("--cache-dir", type=Path, default=None,
+                       help="persist/reuse the built SimChar database in this directory")
+    build.add_argument("--force", action="store_true",
+                       help="rebuild even when a matching cache entry exists")
 
     detect = sub.add_parser("detect", help="detect homographs among candidate domains")
     detect.add_argument("candidates", nargs="*", help="candidate domain names")
@@ -53,16 +68,22 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--reference", nargs="*", default=None, help="reference domains")
     detect.add_argument("--reference-file", type=Path, help="file with one reference per line")
     detect.add_argument("--database", type=Path, help="homoglyph database JSON (default: build)")
+    detect.add_argument("--cache-dir", type=Path, default=None,
+                        help="SimChar build cache used when no --database is given")
     detect.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
     inspect = sub.add_parser("inspect", help="inspect a single domain")
     inspect.add_argument("domain", help="domain name (Unicode or xn-- form)")
     inspect.add_argument("--reference", nargs="*", default=None, help="reference domains")
+    inspect.add_argument("--cache-dir", type=Path, default=None,
+                         help="SimChar build cache directory")
 
     measure = sub.add_parser("measure", help="run the synthetic measurement study")
     measure.add_argument("--scale", type=float, default=0.05,
                          help="population scale relative to the default benchmark size")
     measure.add_argument("--seed", type=int, default=20190917)
+    measure.add_argument("--cache-dir", type=Path, default=None,
+                         help="SimChar build cache directory")
     measure.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
     return parser
@@ -74,22 +95,29 @@ def _load_lines(path: Path | None) -> list[str]:
     return [line.strip() for line in path.read_text(encoding="utf-8").splitlines() if line.strip()]
 
 
-def _default_finder(database_path: Path | None) -> ShamFinder:
+def _default_finder(database_path: Path | None, cache_dir: Path | None = None) -> ShamFinder:
     if database_path is not None:
         return ShamFinder(HomoglyphDatabase.load(database_path))
-    return ShamFinder.with_default_databases()
+    return ShamFinder.with_default_databases(cache_dir=cache_dir)
 
 
 def _cmd_build_db(args: argparse.Namespace) -> int:
-    builder = SimCharBuilder(threshold=args.threshold)
-    result = builder.build()
+    builder = SimCharBuilder(threshold=args.threshold, jobs=args.jobs)
+    cache = resolve_cache(args.cache_dir)
+    result, cache_hit = cached_build(builder, cache, force=args.force)
     database = result.database
     if not args.no_uc:
         uc = load_confusables().to_database().restricted_to_idna(name="UC∩IDNA")
         database = database.union(uc, name="UC∪SimChar")
     database.save(args.output)
     summary = {"output": str(args.output), **result.summary(),
-               "merged_pairs": database.pair_count}
+               "merged_pairs": database.pair_count,
+               "jobs": builder.jobs,
+               "cache": {
+                   "enabled": cache is not None,
+                   "hit": cache_hit,
+                   "dir": str(cache.cache_dir) if cache is not None else None,
+               }}
     print(json.dumps(summary, indent=2))
     return 0
 
@@ -102,7 +130,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     reference = list(args.reference or []) + _load_lines(args.reference_file)
     if not reference:
         reference = ReferenceList.top_sites(1000).domains()
-    finder = _default_finder(args.database)
+    finder = _default_finder(args.database, args.cache_dir)
     report = finder.detect(candidates, reference)
     if args.json:
         payload = [
@@ -136,7 +164,7 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     print(f"scripts:   {', '.join(sorted(name.scripts)) or 'none'}")
     print(f"mixed:     {name.is_mixed_script}")
     if name.has_idn_registrable_label:
-        finder = ShamFinder.with_default_databases()
+        finder = ShamFinder.with_default_databases(cache_dir=args.cache_dir)
         reference = args.reference or ReferenceList.top_sites(1000).domains()
         generator = WarningGenerator(finder.database, reference)
         warning = generator.warning_for(name)
@@ -149,7 +177,7 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 def _cmd_measure(args: argparse.Namespace) -> int:
     config = ZoneConfig.paper_scaled(scale=args.scale, seed=args.seed)
     population = generate_population(config)
-    finder = ShamFinder.with_default_databases()
+    finder = ShamFinder.with_default_databases(cache_dir=args.cache_dir)
     study = MeasurementStudy(population, finder)
     results = study.run()
     if args.json:

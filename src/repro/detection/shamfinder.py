@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from ..homoglyph.cache import cached_build, resolve_cache
 from ..homoglyph.confusables import load_confusables
 from ..homoglyph.database import SOURCE_SIMCHAR, SOURCE_UC, HomoglyphDatabase
 from ..homoglyph.simchar import SimCharBuilder
@@ -39,6 +40,10 @@ class DetectionTiming:
     reference_count: int
     idn_count: int
     total_seconds: float
+    #: Candidate IDNs dropped because they could not be parsed or their
+    #: registrable label failed to decode — junk tolerated in zone data, but
+    #: counted so a run over dirty input is auditable.
+    skipped_count: int = 0
 
     @property
     def seconds_per_reference(self) -> float:
@@ -72,10 +77,21 @@ class ShamFinder:
         *,
         font=None,
         simchar_builder: SimCharBuilder | None = None,
+        cache_dir=None,
+        force_rebuild: bool = False,
     ) -> "ShamFinder":
-        """Build a finder with UC ∪ SimChar, constructing SimChar if needed."""
+        """Build a finder with UC ∪ SimChar, constructing SimChar if needed.
+
+        When *cache_dir* is given (or ``SHAMFINDER_CACHE_DIR`` is set) the
+        SimChar build goes through the persistent artifact cache, so a warm
+        call loads the database in milliseconds instead of re-running the
+        pairwise scan.  ``force_rebuild=True`` ignores an existing entry but
+        still refreshes it.
+        """
         builder = simchar_builder if simchar_builder is not None else SimCharBuilder(font)
-        simchar = builder.build().database
+        cache = resolve_cache(cache_dir)
+        result, _hit = cached_build(builder, cache, force=force_rebuild)
+        simchar = result.database
         uc = load_confusables().to_database().restricted_to_idna(name="UC∩IDNA")
         union = simchar.union(uc, name="UC∪SimChar")
         return cls(union, uc_database=uc, simchar_database=simchar)
@@ -132,7 +148,13 @@ class ShamFinder:
         """Like :meth:`detect` but also returns the wall-clock timing."""
         started = time.perf_counter()
 
-        idn_names = [d if isinstance(d, DomainName) else DomainName(str(d)) for d in idns]
+        skipped = 0
+        idn_names: list[DomainName] = []
+        for item in idns:
+            try:
+                idn_names.append(item if isinstance(item, DomainName) else DomainName(str(item)))
+            except (IDNAError, ValueError):
+                skipped += 1
         reference_names = []
         for item in reference:
             try:
@@ -142,7 +164,11 @@ class ShamFinder:
 
         reference_labels: dict[str, list[DomainName]] = {}
         for ref in reference_names:
-            reference_labels.setdefault(ref.registrable_unicode, []).append(ref)
+            try:
+                label = ref.registrable_unicode
+            except IDNAError:
+                continue
+            reference_labels.setdefault(label, []).append(ref)
         index = self.matcher.build_reference_index(reference_labels)
 
         report = DetectionReport()
@@ -150,6 +176,7 @@ class ShamFinder:
             try:
                 label = idn.registrable_unicode
             except IDNAError:
+                skipped += 1
                 continue
             for match in self.matcher.match_with_index(label, index):
                 for ref in reference_labels.get(match.reference, ()):
@@ -161,6 +188,7 @@ class ShamFinder:
             reference_count=len(reference_names),
             idn_count=len(idn_names),
             total_seconds=time.perf_counter() - started,
+            skipped_count=skipped,
         )
         return report, timing
 

@@ -13,6 +13,7 @@ synthetic font (:mod:`repro.fonts.synthetic`) is only the fallback when no
 
 from __future__ import annotations
 
+import hashlib
 import os
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping
@@ -83,6 +84,7 @@ class HexFont:
     name: str = "unifont"
     glyph_size: int = GLYPH_SIZE
     _cells: dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+    _digest: str | None = field(default=None, repr=False, compare=False)
 
     # -- loading -------------------------------------------------------------
 
@@ -121,6 +123,25 @@ class HexFont:
 
     # -- font API --------------------------------------------------------------
 
+    def content_digest(self) -> str:
+        """Hex digest over every cell bitmap (identifies the exact glyph set).
+
+        Consumers that cache artifacts derived from the font (the SimChar
+        build cache) use this to invalidate when any glyph changes, not
+        just the sampled probe glyphs.  The digest is memoized and
+        invalidated by :meth:`add_cell`; mutating ``_cells`` directly
+        bypasses that and would serve a stale digest.
+        """
+        if self._digest is None:
+            hasher = hashlib.sha256()
+            for codepoint in sorted(self._cells):
+                hasher.update(codepoint.to_bytes(4, "big"))
+                cell = self._cells[codepoint]
+                hasher.update(bytes(cell.shape))
+                hasher.update(np.packbits(cell, axis=None).tobytes())
+            self._digest = hasher.hexdigest()[:16]
+        return self._digest
+
     def __contains__(self, codepoint: int) -> bool:
         return codepoint in self._cells
 
@@ -155,6 +176,7 @@ class HexFont:
         if array.shape not in ((16, 8), (16, 16)):
             raise ValueError("cell must be 16x8 or 16x16")
         self._cells[int(codepoint)] = array
+        self._digest = None   # glyph set changed; recompute on next request
 
     def to_lines(self) -> list[str]:
         """Serialise to ``.hex`` lines in code point order."""

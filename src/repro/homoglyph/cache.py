@@ -1,0 +1,316 @@
+"""Persistent artifact store for built SimChar databases.
+
+The paper builds SimChar once on a 24-thread server (10.9 hours for Step II)
+and then *serves* it — the database is an artifact, not something to
+recompute per process.  This module gives the reproduction the same shape:
+a built database is fingerprinted by everything that determines its content
+and persisted in a compact JSON-lines file, so a warm
+``ShamFinder.with_default_databases()`` loads in milliseconds instead of
+re-running the pairwise scan.
+
+The fingerprint covers:
+
+* the **font** (name, glyph size, and a digest of probe glyph bitmaps, so
+  swapping the ``.hex`` file under the same name still invalidates);
+* the **repertoire** (hash of the exact code point list);
+* the builder parameters **threshold** and **sparse_min_pixels**;
+* the cache **format version**, bumped whenever the on-disk layout changes.
+
+On-disk layout (one file per fingerprint, ``simchar-<digest>.jsonl``):
+line 1 is a header object (magic, version, fingerprint fields, build
+statistics); every following line is one pair as a compact JSON array
+``["0065", "00E9", 2, ["SimChar"]]``.  Corrupt or mismatched files are
+treated as cache misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import warnings
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from ..fonts.registry import FontProtocol
+from .database import HomoglyphDatabase, HomoglyphPair
+from .simchar import BuildTimings, SimCharBuilder, SimCharResult
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "CACHE_MAGIC",
+    "CACHE_DIR_ENV",
+    "CacheKey",
+    "SimCharCache",
+    "font_fingerprint",
+    "key_for_builder",
+    "cached_build",
+    "resolve_cache",
+]
+
+#: Bump when the on-disk layout changes; old files then read as misses.
+CACHE_FORMAT_VERSION = 1
+
+CACHE_MAGIC = "shamfinder-simchar-cache"
+
+#: Environment variable naming the default cache directory.
+CACHE_DIR_ENV = "SHAMFINDER_CACHE_DIR"
+
+#: Code points rendered to fingerprint the font's actual shapes.  Drawn from
+#: the confusion-prone sets the paper highlights (Latin vowels, lookalike
+#: consonants, digits, Cyrillic/Greek twins).
+_FONT_PROBE_CODEPOINTS: tuple[int, ...] = tuple(
+    ord(ch) for ch in "aceoswxyz0123456789lĳ"
+) + (0x043E, 0x0430, 0x03BF, 0x0455, 0x0501)
+
+
+def font_fingerprint(font: FontProtocol) -> str:
+    """Short digest identifying a font's identity and glyph shapes.
+
+    A font exposing ``content_digest()`` (e.g. :class:`HexFont`, the
+    user-supplied-file case) is fingerprinted by its *entire* glyph set, so
+    editing any glyph invalidates the cache.  Otherwise a fixed probe set
+    keeps fingerprinting cheap (a full render of the repertoire would cost
+    as much as the build's Step I); an edit to a code-defined font outside
+    both the probes and the coverage pattern can then escape detection —
+    use ``force=True``/``--force`` in that case.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"{font.name}:{font.glyph_size}".encode("utf-8"))
+    content_digest = getattr(font, "content_digest", None)
+    if callable(content_digest):
+        hasher.update(content_digest().encode("utf-8"))
+        return hasher.hexdigest()[:16]
+    for codepoint in _FONT_PROBE_CODEPOINTS:
+        if not font.covers(codepoint):
+            continue
+        hasher.update(codepoint.to_bytes(4, "big"))
+        hasher.update(font.render(codepoint).packed())
+    return hasher.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Everything that determines the content of a built SimChar database."""
+
+    font_id: str
+    repertoire_hash: str
+    threshold: int
+    sparse_min_pixels: int
+    format_version: int = CACHE_FORMAT_VERSION
+
+    @property
+    def digest(self) -> str:
+        """Stable hex digest used as the cache file name."""
+        canonical = json.dumps(asdict(self), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def key_for_builder(builder: SimCharBuilder) -> CacheKey:
+    """Compute the cache key of the database *builder* would produce.
+
+    The repertoire hash covers both the code point list and the font's
+    coverage pattern over it, so adding/removing glyphs from a font
+    invalidates even when the font's name and probe glyphs are unchanged.
+    """
+    repertoire = builder.repertoire()
+    rep_hasher = hashlib.sha256()
+    for codepoint in repertoire:
+        rep_hasher.update(codepoint.to_bytes(4, "big"))
+        rep_hasher.update(b"\x01" if builder.font.covers(codepoint) else b"\x00")
+    return CacheKey(
+        font_id=font_fingerprint(builder.font),
+        repertoire_hash=rep_hasher.hexdigest()[:16],
+        threshold=builder.threshold,
+        sparse_min_pixels=builder.sparse_min_pixels,
+    )
+
+
+class SimCharCache:
+    """Directory of persisted SimChar builds keyed by :class:`CacheKey`."""
+
+    def __init__(self, cache_dir: str | os.PathLike | None = None) -> None:
+        if cache_dir is None:
+            cache_dir = os.environ.get(CACHE_DIR_ENV) or (
+                Path.home() / ".cache" / "shamfinder"
+            )
+        self.cache_dir = Path(cache_dir)
+
+    def path_for(self, key: CacheKey) -> Path:
+        """Cache file path for *key* (the file may not exist yet)."""
+        return self.cache_dir / f"simchar-{key.digest}.jsonl"
+
+    # -- store --------------------------------------------------------------
+
+    def store(self, key: CacheKey, result: SimCharResult) -> Path:
+        """Persist a build result; returns the written path.
+
+        The file is written to a temp name and renamed so readers never see
+        a partially written cache entry.
+        """
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        header = {
+            "magic": CACHE_MAGIC,
+            "version": CACHE_FORMAT_VERSION,
+            "key": key.as_dict(),
+            "name": result.database.name,
+            "pair_count": result.database.pair_count,
+            "stats": {
+                "repertoire_size": result.repertoire_size,
+                "rendered_count": result.rendered_count,
+                "raw_pair_count": result.raw_pair_count,
+                "sparse_character_count": result.sparse_character_count,
+                "threshold": result.threshold,
+                "sparse_min_pixels": result.sparse_min_pixels,
+                "sparse_examples": list(result.sparse_examples),
+            },
+        }
+        fd, temp_name = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(header, ensure_ascii=False) + "\n")
+                for pair in result.database.pairs():
+                    row = [
+                        f"{ord(pair.first):04X}",
+                        f"{ord(pair.second):04X}",
+                        pair.delta,
+                        sorted(pair.sources),
+                    ]
+                    handle.write(json.dumps(row, ensure_ascii=False) + "\n")
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # -- load ---------------------------------------------------------------
+
+    def load(self, key: CacheKey) -> SimCharResult | None:
+        """Load the cached build for *key*, or ``None`` on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                header = json.loads(handle.readline())
+                if header.get("magic") != CACHE_MAGIC:
+                    return None
+                if header.get("version") != CACHE_FORMAT_VERSION:
+                    return None
+                if header.get("key") != key.as_dict():
+                    return None
+                database = HomoglyphDatabase(name=header.get("name", "SimChar"))
+                count = 0
+                for line in handle:
+                    if not line.strip():
+                        continue
+                    first_hex, second_hex, delta_value, sources = json.loads(line)
+                    database.add(
+                        HomoglyphPair(
+                            chr(int(first_hex, 16)),
+                            chr(int(second_hex, 16)),
+                            frozenset(sources),
+                            delta_value,
+                        )
+                    )
+                    count += 1
+                if count != header.get("pair_count"):
+                    return None
+                stats = header["stats"]
+                return SimCharResult(
+                    database=database,
+                    timings=BuildTimings(0.0, 0.0, 0.0),
+                    repertoire_size=stats["repertoire_size"],
+                    rendered_count=stats["rendered_count"],
+                    raw_pair_count=stats["raw_pair_count"],
+                    sparse_character_count=stats["sparse_character_count"],
+                    threshold=stats["threshold"],
+                    sparse_min_pixels=stats["sparse_min_pixels"],
+                    sparse_examples=tuple(stats.get("sparse_examples", ())),
+                    from_cache=True,
+                )
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            # Missing file, truncated line, bad JSON, wrong field types,
+            # or a header that parses but is not an object — all read as a
+            # miss so the caller rebuilds.
+            return None
+
+    # -- maintenance --------------------------------------------------------
+
+    def entries(self) -> list[Path]:
+        """Existing cache files, newest first."""
+        if not self.cache_dir.is_dir():
+            return []
+
+        def mtime(path: Path) -> float:
+            try:
+                return path.stat().st_mtime
+            except OSError:   # deleted concurrently — sort it last
+                return 0.0
+
+        return sorted(self.cache_dir.glob("simchar-*.jsonl"), key=mtime, reverse=True)
+
+    def clear(self) -> int:
+        """Delete all cache entries; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+def resolve_cache(cache_dir: str | os.PathLike | None) -> SimCharCache | None:
+    """Resolve the cache to use for implicit (non-CLI) call sites.
+
+    An explicit *cache_dir* always wins; otherwise the ``SHAMFINDER_CACHE_DIR``
+    environment variable enables caching.  With neither set this returns
+    ``None`` and callers rebuild in memory, which preserves the historical
+    no-side-effects behaviour of ``with_default_databases()``.
+    """
+    if cache_dir is not None:
+        return SimCharCache(cache_dir)
+    if os.environ.get(CACHE_DIR_ENV):
+        return SimCharCache(None)
+    return None
+
+
+def cached_build(
+    builder: SimCharBuilder,
+    cache: SimCharCache | None,
+    *,
+    force: bool = False,
+    name: str = "SimChar",
+) -> tuple[SimCharResult, bool]:
+    """Build through the cache: ``(result, was_cache_hit)``.
+
+    ``force=True`` skips the read (but still writes), and ``cache=None``
+    degrades to a plain in-memory build.
+    """
+    if cache is None:
+        return builder.build(name=name), False
+    key = key_for_builder(builder)
+    if not force:
+        cached = cache.load(key)
+        if cached is not None:
+            # The stored name reflects whoever built the entry; honour the
+            # caller's requested name on a hit.
+            cached.database.name = name
+            return cached, True
+    result = builder.build(name=name)
+    try:
+        cache.store(key, result)
+    except OSError as exc:
+        # The cache is an optimisation — never lose a completed build to an
+        # unwritable/full cache directory.
+        warnings.warn(f"could not persist SimChar build to {cache.cache_dir}: {exc}",
+                      stacklevel=2)
+    return result, False

@@ -18,13 +18,14 @@ seconds; the full repertoire can still be requested explicitly.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..fonts.glyph import Glyph
 from ..fonts.registry import FontProtocol, default_font
-from ..metrics.pixel import candidate_pairs_within
+from ..metrics.pixel import packed_candidate_pairs
 from ..unicode.ucd import idna_repertoire
 from .database import SOURCE_SIMCHAR, HomoglyphDatabase, HomoglyphPair
 
@@ -109,6 +110,9 @@ class SimCharResult:
     threshold: int
     sparse_min_pixels: int
     sparse_examples: tuple[int, ...] = field(default_factory=tuple)
+    #: True when the result was loaded from a cache rather than rebuilt
+    #: (timings are then zero — the scan never ran).
+    from_cache: bool = False
 
     def summary(self) -> dict:
         """Compact dictionary for reports/benches."""
@@ -140,14 +144,19 @@ class SimCharBuilder:
         repertoire: Sequence[int] | None = None,
         repertoire_blocks: Sequence[str] | None = None,
         limit_per_block: int | None = DEFAULT_LIMIT_PER_BLOCK,
+        jobs: int | None = None,
     ) -> None:
         if threshold < 0:
             raise ValueError("threshold must be non-negative")
         if sparse_min_pixels < 0:
             raise ValueError("sparse_min_pixels must be non-negative")
+        if jobs is not None and jobs < 1:
+            raise ValueError("jobs must be >= 1")
         self.font = font if font is not None else default_font()
         self.threshold = int(threshold)
         self.sparse_min_pixels = int(sparse_min_pixels)
+        #: Worker processes for the Step II pairwise scan (None = cpu count).
+        self.jobs = int(jobs) if jobs is not None else (os.cpu_count() or 1)
         self._explicit_repertoire = list(repertoire) if repertoire is not None else None
         self._repertoire_blocks = tuple(repertoire_blocks) if repertoire_blocks is not None else DEFAULT_REPERTOIRE_BLOCKS
         self._limit_per_block = limit_per_block
@@ -171,13 +180,22 @@ class SimCharBuilder:
         return glyphs
 
     def step_pairwise(self, glyphs: dict[int, Glyph]) -> list[tuple[int, int, int]]:
-        """Step II: all pairs ``(cp_a, cp_b, Δ)`` with ``Δ <= threshold``."""
+        """Step II: all pairs ``(cp_a, cp_b, Δ)`` with ``Δ <= threshold``.
+
+        Runs the bit-packed scan, sharded across ``self.jobs`` worker
+        processes.  The pair list is sorted by code point, so the output is
+        identical whatever the worker count.
+        """
         codepoints = sorted(glyphs)
         glyph_list = [glyphs[cp] for cp in codepoints]
-        pairs: list[tuple[int, int, int]] = []
-        for i, j, delta_value in candidate_pairs_within(glyph_list, self.threshold):
-            pairs.append((codepoints[i], codepoints[j], delta_value))
-        return pairs
+        # packed_candidate_pairs returns (i, j) sorted and codepoints is
+        # ascending, so the mapped pair list is already in code point order.
+        return [
+            (codepoints[i], codepoints[j], delta_value)
+            for i, j, delta_value in packed_candidate_pairs(
+                glyph_list, self.threshold, jobs=self.jobs
+            )
+        ]
 
     def step_filter_sparse(
         self,

@@ -28,7 +28,6 @@ from ..detection.report import DetectionReport
 from ..detection.shamfinder import DetectionTiming, ShamFinder
 from ..dns.passive_dns import PassiveDNSCollector
 from ..dns.portscan import PortScanner, PortScanSummary
-from ..dns.records import RRType
 from ..dns.resolver import AuthoritativeStore, StubResolver
 from ..idn.domain import DomainName
 from ..idn.idna_codec import IDNAError

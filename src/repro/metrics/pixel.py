@@ -9,14 +9,23 @@ to relate Δ to PSNR is ``MSE = Δ / N²`` because the pixels are binary.
 
 Besides the scalar metric, this module provides vectorised helpers used by
 the SimChar builder to evaluate millions of candidate pairs quickly:
-glyph stacking, blockwise pairwise distance computation, and the ink-count
+glyph stacking, blockwise pairwise distance computation, the ink-count
 pruning bound (two glyphs whose ink counts differ by more than θ cannot
-have Δ ≤ θ).
+have Δ ≤ θ), and a bit-packed scan engine.
+
+The packed engine stores each bitmap as a row of ``uint64`` words (64 pixels
+per word) so the inner Δ loop is ``popcount(a XOR b)`` — one machine word
+covers 64 pixels instead of one ``int16`` per pixel, which cuts per-pair
+cost by roughly 8x.  The scan is sharded over contiguous ranges of the
+ink-sorted glyph order so it can be fanned out across worker processes
+(the paper ran Step II on 15 workers for 10.9 hours; see
+:func:`packed_candidate_pairs`).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+import multiprocessing
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -29,6 +38,10 @@ __all__ = [
     "pairwise_deltas",
     "stack_glyphs",
     "candidate_pairs_within",
+    "pack_bitmap_rows",
+    "pack_glyphs",
+    "popcount_rows",
+    "packed_candidate_pairs",
 ]
 
 
@@ -133,6 +146,164 @@ def candidate_pairs_within(
                 j = int(chunk[hit])
                 a, b = (i, j) if i < j else (j, i)
                 yield a, b, int(diffs[hit])
+
+
+# -- bit-packed scan engine ---------------------------------------------------
+
+# numpy >= 2.0 exposes a hardware popcount; older versions fall back to a
+# byte-wise lookup table.
+_POPCOUNT_LUT = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint16)
+
+
+def pack_bitmap_rows(flat: np.ndarray) -> np.ndarray:
+    """Pack ``(n, pixels)`` binary rows into ``(n, words)`` uint64 rows.
+
+    Rows are padded with zero bits up to a multiple of 64, so XOR popcounts
+    over packed rows equal the pixel-difference Δ exactly.
+    """
+    flat = np.asarray(flat, dtype=np.uint8)
+    if flat.ndim != 2:
+        raise ValueError(f"expected a 2-D bit matrix, got shape {flat.shape}")
+    if flat.shape[0] == 0 or flat.shape[1] == 0:
+        return np.zeros((flat.shape[0], 0), dtype=np.uint64)
+    packed = np.packbits(flat, axis=1)
+    pad = (-packed.shape[1]) % 8
+    if pad:
+        packed = np.pad(packed, ((0, 0), (0, pad)))
+    return np.ascontiguousarray(packed).view(np.uint64)
+
+
+def pack_glyphs(glyphs: Sequence[Glyph]) -> np.ndarray:
+    """Pack glyph bitmaps into an ``(n, words)`` uint64 matrix."""
+    return pack_bitmap_rows(stack_glyphs(glyphs))
+
+
+def popcount_rows(words: np.ndarray) -> np.ndarray:
+    """Total set-bit count of each row of a uint64 matrix."""
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(words).sum(axis=1, dtype=np.int64)
+    as_bytes = words.view(np.uint8)
+    return _POPCOUNT_LUT[as_bytes].sum(axis=1, dtype=np.int64)
+
+
+def scan_packed_shard(
+    packed_sorted: np.ndarray,
+    ink_sorted: np.ndarray,
+    order: np.ndarray,
+    threshold: int,
+    start: int,
+    stop: int,
+) -> list[tuple[int, int, int]]:
+    """Scan positions ``[start, stop)`` of the ink-sorted glyph order.
+
+    Arguments are the bit-packed bitmaps and ink counts *already permuted*
+    into ascending-ink order, plus ``order`` mapping sorted position back to
+    the original glyph index.  Each position is compared (popcount of XOR)
+    only against later positions whose ink count lies within ``threshold``,
+    i.e. the same pruning window as :func:`candidate_pairs_within`.  The
+    function is self-contained so worker processes can run shards
+    independently; the union of all shards is the exact pair set.
+    """
+    pairs: list[tuple[int, int, int]] = []
+    n = len(ink_sorted)
+    for position in range(start, min(stop, n)):
+        end = int(np.searchsorted(ink_sorted, ink_sorted[position] + threshold, side="right"))
+        if end <= position + 1:
+            continue
+        diffs = popcount_rows(packed_sorted[position + 1:end] ^ packed_sorted[position])
+        hits = np.nonzero(diffs <= threshold)[0]
+        i = int(order[position])
+        for hit in hits:
+            j = int(order[position + 1 + int(hit)])
+            a, b = (i, j) if i < j else (j, i)
+            pairs.append((a, b, int(diffs[hit])))
+    return pairs
+
+
+# Worker-side state for the multiprocessing pool: the packed arrays are
+# shipped once per worker through the initializer instead of once per shard.
+_WORKER_STATE: dict = {}
+
+
+def _shard_worker_init(packed_sorted, ink_sorted, order, threshold) -> None:
+    _WORKER_STATE["args"] = (packed_sorted, ink_sorted, order, threshold)
+
+
+def _shard_worker(bounds: tuple[int, int]) -> list[tuple[int, int, int]]:
+    packed_sorted, ink_sorted, order, threshold = _WORKER_STATE["args"]
+    return scan_packed_shard(packed_sorted, ink_sorted, order, threshold, *bounds)
+
+
+def _pool_context():
+    """A fork pool context, or ``None`` where the start method is spawn.
+
+    Library code must not trigger spawn implicitly: an unguarded caller
+    (no ``if __name__ == "__main__"``) makes spawned workers re-import
+    ``__main__`` and crash during bootstrap, hanging the pool.  Forcing
+    fork where the platform chose spawn (macOS) is no better — forked
+    children can abort in threaded hosts.  So the pool runs only where
+    fork or forkserver is active (neither re-imports ``__main__``);
+    elsewhere the packed scan stays serial, which is still ~8x the legacy
+    per-pair cost.
+    """
+    method = multiprocessing.get_start_method(allow_none=True)
+    if method is None:
+        # Not yet fixed by the host application; peek at the platform
+        # default (first entry) without pinning the global context.
+        method = multiprocessing.get_all_start_methods()[0]
+    if method in ("fork", "forkserver"):
+        return multiprocessing.get_context(method)
+    return None
+
+
+def packed_candidate_pairs(
+    glyphs: Sequence[Glyph],
+    threshold: int,
+    *,
+    jobs: int = 1,
+    min_parallel_size: int = 256,
+) -> list[tuple[int, int, int]]:
+    """All ``(i, j, Δ)`` pairs with ``Δ <= threshold``, bit-packed scan.
+
+    Produces exactly the same pair set as :func:`candidate_pairs_within`
+    but with uint64/popcount arithmetic in the inner loop, and optionally
+    sharded across ``jobs`` worker processes.  The result is sorted by
+    ``(i, j)`` so serial and parallel runs are byte-identical.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    flat = stack_glyphs(glyphs)
+    n = flat.shape[0]
+    if n < 2:
+        return []
+    ink = flat.sum(axis=1, dtype=np.int64)
+    order = np.argsort(ink, kind="stable")
+    ink_sorted = ink[order]
+    packed_sorted = pack_bitmap_rows(flat[order])
+
+    context = _pool_context() if jobs > 1 else None
+    if context is None or n < min_parallel_size:
+        pairs = scan_packed_shard(packed_sorted, ink_sorted, order, threshold, 0, n)
+    else:
+        # Contiguous shards, several per worker so uneven pruning windows
+        # balance out.
+        shard_count = min(n, jobs * 8)
+        bounds = []
+        step = -(-n // shard_count)
+        for start in range(0, n, step):
+            bounds.append((start, min(start + step, n)))
+        with context.Pool(
+            processes=jobs,
+            initializer=_shard_worker_init,
+            initargs=(packed_sorted, ink_sorted, order, threshold),
+        ) as pool:
+            pairs = []
+            for shard_pairs in pool.imap_unordered(_shard_worker, bounds):
+                pairs.extend(shard_pairs)
+    pairs.sort()
+    return pairs
 
 
 def nearest_neighbours(

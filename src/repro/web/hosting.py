@@ -12,7 +12,7 @@ the DNS resolver, port scanner, crawler and blacklists through
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Iterable, Iterator
 

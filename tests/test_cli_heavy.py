@@ -41,6 +41,28 @@ def test_build_db_without_uc(tmp_path, capsys):
 
 
 @pytest.mark.slow
+def test_build_db_cache_round_trip(tmp_path, capsys):
+    output = tmp_path / "union.json"
+    cache_dir = tmp_path / "cache"
+    argv = ["build-db", "--output", str(output), "--cache-dir", str(cache_dir), "--jobs", "1"]
+
+    assert main(argv) == 0
+    cold = json.loads(capsys.readouterr().out)
+    assert cold["cache"] == {"enabled": True, "hit": False, "dir": str(cache_dir)}
+    assert cold["jobs"] == 1
+
+    assert main(argv) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["cache"]["hit"] is True
+    assert warm["pairs"] == cold["pairs"]
+    assert HomoglyphDatabase.load(output).pair_count == warm["merged_pairs"]
+
+    assert main(argv + ["--force"]) == 0
+    forced = json.loads(capsys.readouterr().out)
+    assert forced["cache"]["hit"] is False
+
+
+@pytest.mark.slow
 def test_measure_text_output(capsys):
     rc = main(["measure", "--scale", "0.01", "--seed", "7"])
     assert rc == 0

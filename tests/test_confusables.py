@@ -1,7 +1,5 @@
 """Tests for the UC confusables table and parser."""
 
-import pytest
-
 from repro.homoglyph.confusables import (
     EMBEDDED_CONFUSABLES,
     ConfusablesTable,

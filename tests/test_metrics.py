@@ -12,7 +12,11 @@ from repro.metrics.pixel import (
     delta_matrix,
     mse,
     nearest_neighbours,
+    pack_bitmap_rows,
+    pack_glyphs,
+    packed_candidate_pairs,
     pairwise_deltas,
+    popcount_rows,
     stack_glyphs,
 )
 from repro.metrics.psnr import psnr, psnr_from_delta
@@ -112,3 +116,69 @@ def test_nearest_neighbours():
     assert set(neighbours) == {0, 1, 2, 3}
     # The closest neighbour of glyph 0 is glyph 1 (Δ = 1).
     assert neighbours[0][0] == (1, 1)
+
+
+def test_pack_bitmap_rows_round_trip_popcount():
+    rng = np.random.default_rng(7)
+    flat = (rng.random((5, 32 * 32)) < 0.3).astype(np.uint8)
+    packed = pack_bitmap_rows(flat)
+    assert packed.dtype == np.uint64
+    assert packed.shape == (5, 16)                   # 1024 bits / 64
+    assert np.array_equal(popcount_rows(packed), flat.sum(axis=1))
+
+
+def test_pack_bitmap_rows_pads_odd_widths():
+    # 20 bits per row -> padded to one uint64 word; popcount unchanged.
+    flat = np.ones((3, 20), dtype=np.uint8)
+    packed = pack_bitmap_rows(flat)
+    assert packed.shape == (3, 1)
+    assert np.array_equal(popcount_rows(packed), [20, 20, 20])
+
+
+def test_packed_xor_popcount_equals_delta():
+    a = _glyph(0x61, [(0, 0), (1, 1), (5, 9)])
+    b = _glyph(0x62, [(0, 0), (2, 2)])
+    packed = pack_glyphs([a, b])
+    xor_counts = popcount_rows(packed[0:1] ^ packed[1:2])
+    assert int(xor_counts[0]) == delta(a, b)
+
+
+def test_packed_candidate_pairs_matches_legacy_scan():
+    rng = np.random.default_rng(11)
+    glyphs = [
+        Glyph(i, (rng.random((16, 16)) < 0.2).astype(np.uint8))
+        for i in range(40)
+    ]
+    for threshold in (0, 3, 10):
+        legacy = sorted(candidate_pairs_within(glyphs, threshold))
+        assert packed_candidate_pairs(glyphs, threshold, jobs=1) == legacy
+        assert packed_candidate_pairs(
+            glyphs, threshold, jobs=2, min_parallel_size=1
+        ) == legacy
+
+
+def test_packed_candidate_pairs_serial_on_spawn_platforms(monkeypatch):
+    # Where the start method is spawn, _pool_context returns None and the
+    # scan must stay serial (never spawn implicitly) with identical output.
+    from repro.metrics import pixel
+
+    rng = np.random.default_rng(13)
+    glyphs = [
+        Glyph(i, (rng.random((16, 16)) < 0.2).astype(np.uint8))
+        for i in range(30)
+    ]
+    want = packed_candidate_pairs(glyphs, 5, jobs=1)
+    monkeypatch.setattr(
+        pixel.multiprocessing, "get_start_method", lambda allow_none=False: "spawn"
+    )
+    assert pixel._pool_context() is None
+    assert packed_candidate_pairs(glyphs, 5, jobs=4, min_parallel_size=1) == want
+
+
+def test_packed_candidate_pairs_validation_and_edges():
+    assert packed_candidate_pairs([], 4) == []
+    assert packed_candidate_pairs([_glyph(0x61, [(0, 0)])], 4) == []
+    with pytest.raises(ValueError):
+        packed_candidate_pairs([], -1)
+    with pytest.raises(ValueError):
+        packed_candidate_pairs([], 4, jobs=0)

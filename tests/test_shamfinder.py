@@ -4,7 +4,7 @@ import pytest
 
 from repro.detection.shamfinder import ShamFinder
 from repro.homoglyph.database import SOURCE_SIMCHAR, SOURCE_UC, HomoglyphDatabase
-from repro.idn.domain import DomainName
+from repro.idn.domain import DomainName, IDNAError
 
 
 def test_extract_idns_filters_and_tolerates_junk():
@@ -93,3 +93,36 @@ def test_from_databases_requires_one():
 def test_invalid_references_are_skipped(finder):
     report = finder.detect(["xn--ggle-55da.com"], ["google.com", "bad domain!"])
     assert len(report) == 1
+
+
+def test_skipped_idns_are_counted(finder):
+    # A candidate whose registrable label fails to decode (junk zone data
+    # can smuggle such names past construction-time checks) must be skipped
+    # AND surface in the timing's skipped_count.
+    undecodable = DomainName.__new__(DomainName)
+    object.__setattr__(undecodable, "ascii", "xn--0.com")
+    with pytest.raises(IDNAError):
+        undecodable.registrable_unicode
+
+    report, timing = finder.detect_with_timing(
+        ["xn--ggle-55da.com", undecodable, "bad domain!"],
+        ["google.com"],
+    )
+    assert len(report) == 1
+    assert timing.idn_count == 2            # the unparseable string never made a DomainName
+    assert timing.skipped_count == 2        # one bad string + one undecodable label
+
+
+def test_undecodable_reference_does_not_crash_detection(finder):
+    undecodable = DomainName.__new__(DomainName)
+    object.__setattr__(undecodable, "ascii", "xn--0.com")
+    report, timing = finder.detect_with_timing(
+        ["xn--ggle-55da.com"], ["google.com", undecodable]
+    )
+    assert len(report) == 1
+    assert timing.reference_count == 2
+
+
+def test_skipped_count_zero_on_clean_input(finder):
+    _report, timing = finder.detect_with_timing(["xn--ggle-55da.com"], ["google.com"])
+    assert timing.skipped_count == 0

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.fonts.synthetic import SyntheticFont
 from repro.homoglyph.database import SOURCE_SIMCHAR
 from repro.homoglyph.simchar import (
     DEFAULT_SPARSE_MIN_PIXELS,

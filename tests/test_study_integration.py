@@ -5,8 +5,6 @@ ratios), not absolute counts, because the synthetic population is three
 orders of magnitude smaller than the real .com zone.
 """
 
-import pytest
-
 from repro.web.hosting import SiteCategory
 
 
