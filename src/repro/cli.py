@@ -9,7 +9,9 @@ Sub-commands:
 * ``inspect``   — describe a single domain (scripts, IDNA validity, warning
   dialog content if it looks like a homograph);
 * ``measure``   — run the full synthetic measurement study and print the
-  paper-shaped tables.
+  paper-shaped tables;
+* ``scan``      — streaming zone-scale scan: chunked input, sharded workers,
+  JSONL result sink with checkpoint/resume.
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ from typing import Sequence
 
 from .countermeasure.warning import WarningGenerator
 from .detection.shamfinder import ShamFinder
+from .detection.stream import ScanResumeError, ScanStats, StreamingScanner
 from .homoglyph.cache import cached_build, resolve_cache
 from .homoglyph.confusables import load_confusables
 from .homoglyph.database import HomoglyphDatabase
@@ -85,6 +88,29 @@ def build_parser() -> argparse.ArgumentParser:
     measure.add_argument("--cache-dir", type=Path, default=None,
                          help="SimChar build cache directory")
     measure.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    scan = sub.add_parser("scan", help="streaming scan of a domain-list file")
+    scan.add_argument("--input", "-i", type=Path, required=True,
+                      help="domain list, one name per line (# comments allowed)")
+    scan.add_argument("--output", "-o", type=Path, required=True,
+                      help="JSONL result sink (one detection per line)")
+    scan.add_argument("--reference", nargs="*", default=None, help="reference domains")
+    scan.add_argument("--reference-file", type=Path, help="file with one reference per line")
+    scan.add_argument("--database", type=Path, help="homoglyph database JSON (default: build)")
+    scan.add_argument("--cache-dir", type=Path, default=None,
+                      help="SimChar build cache used when no --database is given")
+    scan.add_argument("--jobs", "-j", type=positive_int, default=1,
+                      help="worker processes for the chunk shards")
+    scan.add_argument("--chunk-size", type=positive_int, default=2000,
+                      help="input lines per chunk (the checkpoint granularity)")
+    scan.add_argument("--checkpoint", type=Path, default=None,
+                      help="checkpoint file (default: <output>.checkpoint)")
+    scan.add_argument("--resume", action="store_true",
+                      help="continue a killed scan from its checkpoint")
+    scan.add_argument("--all-domains", action="store_true",
+                      help="match every input name, not only the xn-- IDNs")
+    scan.add_argument("--progress-every", type=positive_int, default=None,
+                      help="print a progress line every N chunks")
 
     return parser
 
@@ -208,6 +234,45 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scan(args: argparse.Namespace) -> int:
+    reference = list(args.reference or []) + _load_lines(args.reference_file)
+    if not reference:
+        reference = ReferenceList.top_sites(1000).domains()
+    finder = _default_finder(args.database, args.cache_dir)
+    scanner = StreamingScanner(
+        finder,
+        reference,
+        chunk_size=args.chunk_size,
+        jobs=args.jobs,
+        idn_only=not args.all_domains,
+    )
+
+    progress = None
+    if args.progress_every:
+        def progress(stats: ScanStats) -> None:
+            if stats.chunks_done % args.progress_every == 0:
+                print(
+                    f"chunk {stats.chunks_done}: {stats.domains_seen:,} domains, "
+                    f"{stats.detection_count:,} detections, "
+                    f"{stats.skipped_count:,} skipped",
+                    file=sys.stderr,
+                )
+
+    try:
+        stats = scanner.scan_file(
+            args.input,
+            args.output,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+            progress=progress,
+        )
+    except ScanResumeError as exc:
+        print(f"cannot resume: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps({"output": str(args.output), **stats.as_dict()}, indent=2))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point."""
     parser = build_parser()
@@ -217,6 +282,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "detect": _cmd_detect,
         "inspect": _cmd_inspect,
         "measure": _cmd_measure,
+        "scan": _cmd_scan,
     }
     return handlers[args.command](args)
 

@@ -92,6 +92,9 @@ class WarningGenerator:
             except (IDNAError, ValueError):
                 continue
             self.reference_labels[name.registrable_unicode] = name.ascii
+        # Built once: every warning lookup is then a skeleton hash-join
+        # instead of a scan over the reference list.
+        self._reference_index = self.matcher.build_skeleton_index(self.reference_labels)
 
     def warning_for(self, domain: str | DomainName) -> HomographWarning | None:
         """Generate the warning for a domain, or ``None`` when it looks benign."""
@@ -139,8 +142,7 @@ class WarningGenerator:
         )
 
     def _match_reference(self, label: str) -> str | None:
-        index = self.matcher.build_reference_index(self.reference_labels)
-        matches = self.matcher.match_with_index(label, index)
+        matches = self.matcher.match_with_skeleton_index(label, self._reference_index)
         return matches[0].reference if matches else None
 
 

@@ -1,18 +1,40 @@
-"""Detection core: Algorithm 1 matcher, ShamFinder framework, reverting, reports."""
+"""Detection core: Algorithm 1 matcher, skeleton index, streaming scan,
+ShamFinder framework, reverting, reports."""
 
-from .algorithm import CharacterSubstitution, HomographMatcher, MatchResult
+from .algorithm import CharacterSubstitution, HomographMatcher, MatchResult, fold_label
 from .report import DetectionReport, HomographDetection
 from .revert import HomographReverter, RevertedDomain
-from .shamfinder import DetectionTiming, ShamFinder
+from .shamfinder import DetectionTiming, PreparedReferences, ShamFinder
+from .skeleton import CharacterClasses, SkeletonIndex
+from .stream import (
+    ScanCheckpoint,
+    ScanResumeError,
+    ScanStats,
+    SinkError,
+    StreamingScanner,
+    read_sink,
+    recover_sink,
+)
 
 __all__ = [
     "CharacterSubstitution",
     "HomographMatcher",
     "MatchResult",
+    "fold_label",
     "DetectionReport",
     "HomographDetection",
     "HomographReverter",
     "RevertedDomain",
     "DetectionTiming",
+    "PreparedReferences",
     "ShamFinder",
+    "CharacterClasses",
+    "SkeletonIndex",
+    "ScanCheckpoint",
+    "ScanResumeError",
+    "ScanStats",
+    "SinkError",
+    "StreamingScanner",
+    "read_sink",
+    "recover_sink",
 ]

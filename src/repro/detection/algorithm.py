@@ -6,10 +6,21 @@ position, the characters either match exactly or form a pair in the
 homoglyph database — and at least one position differs (otherwise the two
 labels are simply identical).
 
-The matcher indexes reference labels by length so that a candidate is only
-compared against same-length references, which is the paper's main
-complexity reduction (|N||M||L| worst case, with the length restriction in
-practice).
+Two one-vs-many strategies are provided:
+
+* the **legacy length index** — compare the candidate against every
+  reference of the same length (the paper's pruning step);
+* the **skeleton index** (:mod:`.skeleton`) — map labels to canonical
+  skeletons via the union-find closure of the database and hash-join on
+  the skeleton, re-checking bucket hits with the exact position-wise test.
+  Byte-identical results, orders of magnitude fewer comparisons.
+
+Case is folded with :func:`fold_label`, a *length-preserving* lowercase:
+``str.lower()`` can change a label's length (U+0130 "İ" lowers to "i" plus
+a combining dot), which would make length pruning and reported substitution
+positions refer to the folded string instead of the original.  Characters
+whose lowercase expands are kept as-is, so positions in a
+:class:`MatchResult` are always valid indices into the original label.
 """
 
 from __future__ import annotations
@@ -18,8 +29,24 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..homoglyph.database import HomoglyphDatabase
+from .skeleton import CharacterClasses, SkeletonIndex
 
-__all__ = ["CharacterSubstitution", "MatchResult", "HomographMatcher"]
+__all__ = ["CharacterSubstitution", "MatchResult", "HomographMatcher", "fold_label"]
+
+
+def fold_label(label: str) -> str:
+    """Lowercase *label* without changing its length.
+
+    Characters whose lowercase mapping is longer than one character (e.g.
+    U+0130 "İ" → "i" + U+0307) are left unfolded, so every index into the
+    folded label is also a valid index into the original.
+    """
+    folded = label.lower()
+    if len(folded) == len(label):
+        return folded
+    return "".join(
+        lowered if len(lowered := char.lower()) == 1 else char for char in label
+    )
 
 
 @dataclass(frozen=True)
@@ -59,6 +86,14 @@ class HomographMatcher:
 
     def __init__(self, database: HomoglyphDatabase) -> None:
         self.database = database
+        self._classes: CharacterClasses | None = None
+
+    @property
+    def classes(self) -> CharacterClasses:
+        """Union-find closure of the database (built lazily, then cached)."""
+        if self._classes is None:
+            self._classes = CharacterClasses(self.database)
+        return self._classes
 
     # -- single-pair matching --------------------------------------------------
 
@@ -66,10 +101,14 @@ class HomographMatcher:
         """Match one candidate label against one reference label.
 
         Both labels are expected in Unicode (U-label) form with the TLD
-        already removed, as in the paper's Figure 2.
+        already removed, as in the paper's Figure 2.  Case is folded once,
+        length-preservingly, so substitution positions refer to the
+        original labels.
         """
-        candidate = candidate.lower()
-        reference = reference.lower()
+        return self._match_folded(fold_label(candidate), fold_label(reference))
+
+    def _match_folded(self, candidate: str, reference: str) -> MatchResult:
+        """Algorithm 1 core over labels that are already case-folded."""
         if len(candidate) != len(reference) or not candidate:
             return MatchResult(candidate, reference, False)
         if candidate == reference:
@@ -97,15 +136,45 @@ class HomographMatcher:
         references: Iterable[str],
     ) -> list[MatchResult]:
         """All references the candidate is a homograph of."""
-        index = self.build_reference_index(references)
-        return self.match_with_index(candidate, index)
+        index = self.build_skeleton_index(references)
+        return self.match_with_skeleton_index(candidate, index)
+
+    # -- skeleton-index path (the fast one) -------------------------------------
+
+    def build_skeleton_index(self, references: Iterable[str]) -> SkeletonIndex:
+        """Bucket reference labels by their canonical skeleton."""
+        index = SkeletonIndex(self.classes)
+        for reference in references:
+            index.add(fold_label(reference))
+        return index
+
+    def match_with_skeleton_index(
+        self,
+        candidate: str,
+        index: SkeletonIndex,
+    ) -> list[MatchResult]:
+        """Match a candidate via skeleton hash-join + exact re-check.
+
+        The union-find closure is coarser than the database (confusability
+        is not transitive), so every bucket hit is confirmed with
+        :meth:`_match_folded` before being reported.
+        """
+        folded = fold_label(candidate)
+        matches: list[MatchResult] = []
+        for reference in index.candidates_for(folded):
+            result = self._match_folded(folded, reference)
+            if result.is_homograph:
+                matches.append(result)
+        return matches
+
+    # -- legacy length-index path ---------------------------------------------
 
     @staticmethod
     def build_reference_index(references: Iterable[str]) -> dict[int, list[str]]:
         """Group reference labels by length (the paper's pruning step)."""
         index: dict[int, list[str]] = {}
         for reference in references:
-            reference = reference.lower()
+            reference = fold_label(reference)
             index.setdefault(len(reference), []).append(reference)
         return index
 
@@ -114,11 +183,11 @@ class HomographMatcher:
         candidate: str,
         reference_index: dict[int, list[str]],
     ) -> list[MatchResult]:
-        """Match a candidate against a pre-built length index."""
-        candidate = candidate.lower()
+        """Match a candidate against a pre-built length index (legacy scan)."""
+        candidate = fold_label(candidate)
         matches: list[MatchResult] = []
         for reference in reference_index.get(len(candidate), ()):
-            result = self.match(candidate, reference)
+            result = self._match_folded(candidate, reference)
             if result.is_homograph:
                 matches.append(result)
         return matches
@@ -130,7 +199,23 @@ class HomographMatcher:
         candidates: Sequence[str],
         references: Sequence[str],
     ) -> list[MatchResult]:
-        """All (candidate, reference) homograph matches (Algorithm 1's loops)."""
+        """All (candidate, reference) homograph matches, skeleton-indexed."""
+        index = self.build_skeleton_index(references)
+        results: list[MatchResult] = []
+        for candidate in candidates:
+            results.extend(self.match_with_skeleton_index(candidate, index))
+        return results
+
+    def find_homographs_pairwise(
+        self,
+        candidates: Sequence[str],
+        references: Sequence[str],
+    ) -> list[MatchResult]:
+        """Legacy pairwise scan (Algorithm 1's loops, length pruning only).
+
+        Kept as the ground truth the skeleton path is verified against by
+        the property suite and ``benchmarks/bench_scan.py``.
+        """
         index = self.build_reference_index(references)
         results: list[MatchResult] = []
         for candidate in candidates:

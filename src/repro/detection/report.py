@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Mapping
 
 from ..homoglyph.database import SOURCE_SIMCHAR, SOURCE_UC
 from .algorithm import CharacterSubstitution
@@ -45,6 +45,37 @@ class HomographDetection:
         """One-line human readable summary."""
         subs = "; ".join(s.describe() for s in self.substitutions) or "identical rendering"
         return f"{self.idn_unicode} imitates {self.reference} ({subs})"
+
+    def as_dict(self) -> dict:
+        """JSON-friendly representation (one streaming-sink/golden line)."""
+        return {
+            "idn": self.idn,
+            "unicode": self.idn_unicode,
+            "reference": self.reference,
+            "substitutions": [
+                {
+                    "position": s.position,
+                    "candidate": s.candidate_char,
+                    "reference": s.reference_char,
+                }
+                for s in self.substitutions
+            ],
+            "sources": sorted(self.sources),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "HomographDetection":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            idn=payload["idn"],
+            idn_unicode=payload["unicode"],
+            reference=payload["reference"],
+            substitutions=tuple(
+                CharacterSubstitution(s["position"], s["candidate"], s["reference"])
+                for s in payload.get("substitutions", ())
+            ),
+            sources=frozenset(payload.get("sources", ())),
+        )
 
 
 @dataclass
@@ -104,6 +135,10 @@ class DetectionReport:
         for detection in self.detections:
             mapping.setdefault(detection.idn, detection.reference)
         return mapping
+
+    def as_dicts(self) -> list[dict]:
+        """Every detection as a JSON-friendly dict, in insertion order."""
+        return [detection.as_dict() for detection in self.detections]
 
     def summary(self) -> dict:
         """Compact dictionary for benches and the CLI."""

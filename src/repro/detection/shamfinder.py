@@ -26,11 +26,30 @@ from ..homoglyph.database import SOURCE_SIMCHAR, SOURCE_UC, HomoglyphDatabase
 from ..homoglyph.simchar import SimCharBuilder
 from ..idn.domain import DomainName
 from ..idn.idna_codec import IDNAError
-from .algorithm import HomographMatcher, MatchResult
+from .algorithm import HomographMatcher, MatchResult, fold_label
 from .report import DetectionReport, HomographDetection
 from .revert import HomographReverter
+from .skeleton import SkeletonIndex
 
-__all__ = ["ShamFinder", "DetectionTiming"]
+__all__ = ["ShamFinder", "DetectionTiming", "PreparedReferences"]
+
+
+@dataclass(frozen=True)
+class PreparedReferences:
+    """Reference list preprocessed for repeated/streamed detection.
+
+    Built once per scan by :meth:`ShamFinder.prepare_references` and shipped
+    to every worker: the case-folded registrable label of each reference
+    mapped back to its domains, plus the skeleton hash-join index over
+    those labels.
+    """
+
+    #: case-folded registrable label → reference domains carrying it
+    labels: dict[str, tuple[DomainName, ...]]
+    #: skeleton hash-join index over the label keys
+    index: SkeletonIndex
+    #: number of reference domains that parsed (the paper's |M|)
+    domain_count: int
 
 
 @dataclass(frozen=True)
@@ -148,49 +167,81 @@ class ShamFinder:
         """Like :meth:`detect` but also returns the wall-clock timing."""
         started = time.perf_counter()
 
-        skipped = 0
-        idn_names: list[DomainName] = []
-        for item in idns:
-            try:
-                idn_names.append(item if isinstance(item, DomainName) else DomainName(str(item)))
-            except (IDNAError, ValueError):
-                skipped += 1
-        reference_names = []
+        prepared = self.prepare_references(reference)
+        detections, idn_count, skipped = self.detect_prepared(idns, prepared)
+        report = DetectionReport()
+        report.extend(detections)
+
+        timing = DetectionTiming(
+            reference_count=prepared.domain_count,
+            idn_count=idn_count,
+            total_seconds=time.perf_counter() - started,
+            skipped_count=skipped,
+        )
+        return report, timing
+
+    def prepare_references(
+        self,
+        reference: Sequence[str | DomainName],
+    ) -> PreparedReferences:
+        """Parse and index a reference list for repeated detection calls.
+
+        Invalid reference domains are dropped (as in :meth:`detect`);
+        labels are case-folded once and bucketed by skeleton so matching a
+        candidate is a hash lookup instead of a length-bucket scan.
+        """
+        reference_names: list[DomainName] = []
         for item in reference:
             try:
                 reference_names.append(item if isinstance(item, DomainName) else DomainName(str(item)))
             except (IDNAError, ValueError):
                 continue
 
-        reference_labels: dict[str, list[DomainName]] = {}
+        labels: dict[str, list[DomainName]] = {}
         for ref in reference_names:
             try:
-                label = ref.registrable_unicode
+                label = fold_label(ref.registrable_unicode)
             except IDNAError:
                 continue
-            reference_labels.setdefault(label, []).append(ref)
-        index = self.matcher.build_reference_index(reference_labels)
+            labels.setdefault(label, []).append(ref)
+        index = self.matcher.build_skeleton_index(labels)
+        return PreparedReferences(
+            labels={label: tuple(refs) for label, refs in labels.items()},
+            index=index,
+            domain_count=len(reference_names),
+        )
 
-        report = DetectionReport()
-        for idn in idn_names:
+    def detect_prepared(
+        self,
+        idns: Iterable[str | DomainName],
+        prepared: PreparedReferences,
+    ) -> tuple[list[HomographDetection], int, int]:
+        """Detection core over pre-indexed references.
+
+        Returns ``(detections, idn_count, skipped_count)`` — the unit of
+        work one streaming-scan chunk performs (:mod:`.stream`).
+        """
+        detections: list[HomographDetection] = []
+        idn_count = 0
+        skipped = 0
+        for item in idns:
+            try:
+                idn = item if isinstance(item, DomainName) else DomainName(str(item))
+            except (IDNAError, ValueError):
+                skipped += 1
+                continue
+            idn_count += 1
             try:
                 label = idn.registrable_unicode
             except IDNAError:
                 skipped += 1
                 continue
-            for match in self.matcher.match_with_index(label, index):
-                for ref in reference_labels.get(match.reference, ()):
+            for match in self.matcher.match_with_skeleton_index(label, prepared.index):
+                for ref in prepared.labels.get(match.reference, ()):
                     if ref.tld != idn.tld:
                         continue
-                    report.add(self._detection_from_match(idn, ref, match))
-
-        timing = DetectionTiming(
-            reference_count=len(reference_names),
-            idn_count=len(idn_names),
-            total_seconds=time.perf_counter() - started,
-            skipped_count=skipped,
-        )
-        return report, timing
+                    detections.append(self._detection_from_match(idn, ref, match))
+        return detections, idn_count, skipped
 
     def _detection_from_match(
         self,

@@ -1,0 +1,498 @@
+"""Streaming zone-scale homograph scan (the paper's Step III as a pipeline).
+
+The paper's framework runs in three steps: collect registered domains for a
+TLD (Step I), extract the IDNs (Step II), and compare each IDN against the
+reference list through the homoglyph database (Step III).  The measurement
+study applies that to ~967M registered domains across 1,400+ TLDs — far
+more than fits in one in-memory :meth:`ShamFinder.detect` call.  This
+module streams it instead:
+
+* **chunked iteration** — the input (a zone-file domain dump, one name per
+  line) is consumed in fixed-size chunks, so memory stays bounded no matter
+  how large the zone is;
+* **sharded matching** — chunks are fanned out over worker processes that
+  share one :class:`~.shamfinder.PreparedReferences` (case-folded labels +
+  skeleton hash-join index).  Workers are used only where the platform's
+  multiprocessing start method is ``fork``/``forkserver``, the same
+  discipline as the SimChar build engine (library code must never spawn
+  implicitly);
+* **JSONL result sink** — each detection is appended as one JSON object
+  per line (:meth:`HomographDetection.as_dict`), flushed chunk by chunk;
+* **checkpoint/resume** — after every chunk a small checkpoint file records
+  how much input was consumed and how many result lines are durable.  A
+  killed scan restarts with ``resume=True``: the sink is validated
+  (truncated or corrupt trailing lines are dropped and reported), the
+  consumed input is skipped, and counters continue where they left off.
+
+Steps II and III happen inside the workers: each chunk is filtered to the
+``xn--`` names (Step II) and matched against the prepared references
+(Step III), with unparsable junk counted in ``skipped_count`` exactly as
+the in-memory path does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+from ..metrics.pixel import fork_pool_context
+from .report import DetectionReport, HomographDetection
+from .shamfinder import PreparedReferences, ShamFinder
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "ScanStats",
+    "ScanCheckpoint",
+    "SinkRecovery",
+    "ScanResumeError",
+    "SinkError",
+    "StreamingScanner",
+    "recover_sink",
+    "read_sink",
+    "file_fingerprint",
+    "is_idn_candidate",
+]
+
+#: Bump when the checkpoint layout changes; old checkpoints then refuse to resume.
+CHECKPOINT_VERSION = 1
+
+
+class ScanResumeError(RuntimeError):
+    """Resuming is unsafe (input changed or the checkpoint is incompatible)."""
+
+
+class SinkError(ValueError):
+    """A result sink contains lines that do not parse as detections."""
+
+
+@dataclass
+class ScanStats:
+    """Progress counters of one streaming scan."""
+
+    domains_seen: int = 0          # non-blank, non-comment input names
+    idn_count: int = 0             # candidates that parsed and were matched
+    skipped_count: int = 0         # candidates dropped as unparsable junk
+    detection_count: int = 0       # result lines written (or collected)
+    chunks_done: int = 0
+    lines_done: int = 0            # raw input lines consumed
+    resumed_lines: int = 0         # raw input lines skipped by resume
+    recovered_drop: int = 0        # sink lines dropped during recovery
+    elapsed_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-friendly representation (printed by the ``scan`` CLI)."""
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class ScanCheckpoint:
+    """Durable progress marker written after every completed chunk."""
+
+    lines_done: int
+    chunks_done: int
+    detections_written: int
+    domains_seen: int
+    idn_count: int
+    skipped_count: int
+    input_fingerprint: str | None = None
+    version: int = CHECKPOINT_VERSION
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Atomically persist (write to a temp name, then rename)."""
+        path = Path(path)
+        temp = path.with_name(path.name + ".tmp")
+        temp.write_text(json.dumps(asdict(self), sort_keys=True), encoding="utf-8")
+        os.replace(temp, path)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "ScanCheckpoint | None":
+        """Read a checkpoint; missing or corrupt files read as ``None``."""
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+            if not isinstance(payload, dict):
+                return None
+            if payload.get("version") != CHECKPOINT_VERSION:
+                return None
+            return cls(**payload)
+        except (OSError, ValueError, TypeError):
+            return None
+
+
+@dataclass(frozen=True)
+class SinkRecovery:
+    """Outcome of validating an existing JSONL sink before resuming."""
+
+    valid_count: int               # detection lines kept
+    dropped_corrupt: int           # truncated/unparsable lines removed
+    dropped_uncheckpointed: int    # valid lines past the checkpoint removed
+    keep_bytes: int = 0            # byte length of the kept prefix
+
+    @property
+    def dropped(self) -> int:
+        """Total lines removed from the sink."""
+        return self.dropped_corrupt + self.dropped_uncheckpointed
+
+
+def _is_valid_sink_line(line: bytes) -> bool:
+    if not line.endswith(b"\n"):
+        return False               # partial write — the scan died mid-line
+    try:
+        payload = json.loads(line)
+    except ValueError:
+        return False
+    return isinstance(payload, dict) and "idn" in payload and "reference" in payload
+
+
+def recover_sink(
+    path: str | os.PathLike,
+    *,
+    expected_lines: int | None = None,
+    dry_run: bool = False,
+) -> SinkRecovery:
+    """Validate a sink file, truncating trailing damage (unless *dry_run*).
+
+    Keeps the longest prefix of well-formed detection lines, capped at
+    *expected_lines* (the checkpoint's durable count) when given — valid
+    lines past the checkpoint belong to a chunk that was flushed but never
+    checkpointed and would be re-emitted by the resumed scan.  With
+    ``dry_run=True`` the file is only inspected, never modified, so a
+    caller can refuse to proceed before any data is discarded.
+    """
+    path = Path(path)
+    if not path.exists():
+        return SinkRecovery(0, 0, 0)
+    valid = 0
+    keep_bytes = 0
+    dropped_corrupt = 0
+    dropped_uncheckpointed = 0
+    with open(path, "rb") as handle:
+        for line in handle:
+            if not _is_valid_sink_line(line):
+                dropped_corrupt += 1
+                break
+            if expected_lines is not None and valid >= expected_lines:
+                dropped_uncheckpointed += 1
+                continue
+            valid += 1
+            keep_bytes += len(line)
+        # Anything after a corrupt line is unaccounted for; count it too.
+        if dropped_corrupt:
+            dropped_corrupt += sum(1 for _ in handle)
+    total_bytes = path.stat().st_size
+    if not dry_run and keep_bytes != total_bytes:
+        with open(path, "r+b") as handle:
+            handle.truncate(keep_bytes)
+    return SinkRecovery(valid, dropped_corrupt, dropped_uncheckpointed, keep_bytes)
+
+
+def read_sink(path: str | os.PathLike) -> DetectionReport:
+    """Load a completed sink back into a :class:`DetectionReport`.
+
+    Raises :class:`SinkError` naming the first offending line when the file
+    contains truncated or corrupt entries — a completed scan's sink must be
+    fully well-formed, so damage here means the scan needs a resume pass.
+    """
+    report = DetectionReport()
+    with open(path, "rb") as handle:
+        for number, line in enumerate(handle, start=1):
+            if not _is_valid_sink_line(line):
+                raise SinkError(f"{path}: corrupt or truncated sink line {number}")
+            try:
+                report.add(HomographDetection.from_dict(json.loads(line)))
+            except (KeyError, TypeError) as exc:
+                raise SinkError(
+                    f"{path}: sink line {number} is not a detection: {exc}"
+                ) from exc
+    return report
+
+
+def file_fingerprint(path: str | os.PathLike) -> str:
+    """Cheap input identity: size plus a digest of the leading bytes."""
+    path = Path(path)
+    hasher = hashlib.sha256()
+    hasher.update(str(path.stat().st_size).encode("ascii"))
+    with open(path, "rb") as handle:
+        hasher.update(handle.read(65536))
+    return hasher.hexdigest()[:16]
+
+
+# Worker-side state: the finder and prepared references are shipped once per
+# worker through the pool initializer, not once per chunk.
+_WORKER_STATE: dict = {}
+
+
+def _scan_worker_init(finder: ShamFinder, prepared: PreparedReferences, idn_only: bool) -> None:
+    _WORKER_STATE["args"] = (finder, prepared, idn_only)
+
+
+def _scan_worker(chunk: list[str]) -> tuple[list[HomographDetection], int, int, int, int]:
+    finder, prepared, idn_only = _WORKER_STATE["args"]
+    return _process_chunk(finder, prepared, chunk, idn_only)
+
+
+def is_idn_candidate(domain: str) -> bool:
+    """Cheap Step II test: is the *registrable* label an A-label?
+
+    Matching happens on the registrable label (the paper's Figure 2), so
+    this mirrors ``ShamFinder.extract_idns``/``has_idn_registrable_label``
+    without paying a full parse — an ASCII name under an IDN TLD
+    (``example.xn--p1ai``) is *not* a candidate.
+    """
+    labels = domain.lower().rstrip(".").split(".")
+    registrable = labels[-2] if len(labels) >= 2 else labels[0]
+    return registrable.startswith("xn--")
+
+
+def _process_chunk(
+    finder: ShamFinder,
+    prepared: PreparedReferences,
+    lines: Sequence[str],
+    idn_only: bool,
+) -> tuple[list[HomographDetection], int, int, int, int]:
+    """Steps II + III over one chunk of raw input lines."""
+    domains = []
+    for raw in lines:
+        text = raw.strip()
+        if not text or text.startswith("#"):
+            continue
+        domains.append(text)
+    if idn_only:
+        candidates = [d for d in domains if is_idn_candidate(d)]
+    else:
+        candidates = domains
+    detections, idn_count, skipped = finder.detect_prepared(candidates, prepared)
+    return detections, len(lines), len(domains), idn_count, skipped
+
+
+def _chunked(lines: Iterable[str], chunk_size: int) -> Iterator[list[str]]:
+    chunk: list[str] = []
+    for line in lines:
+        chunk.append(line)
+        if len(chunk) >= chunk_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+class StreamingScanner:
+    """Chunked, sharded, resumable Step III scan over a domain stream."""
+
+    def __init__(
+        self,
+        finder: ShamFinder,
+        reference: Sequence[str],
+        *,
+        chunk_size: int = 2000,
+        jobs: int = 1,
+        idn_only: bool = True,
+    ) -> None:
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.finder = finder
+        self.prepared = finder.prepare_references(reference)
+        self.chunk_size = chunk_size
+        self.jobs = jobs
+        self.idn_only = idn_only
+
+    # -- in-memory scan (used by the measurement study) ------------------------
+
+    def scan_to_report(
+        self,
+        domains: Iterable[str],
+        *,
+        progress: Callable[[ScanStats], None] | None = None,
+    ) -> tuple[DetectionReport, ScanStats]:
+        """Stream *domains* and collect every detection in memory.
+
+        Same chunking and sharding as :meth:`scan`, without the sink and
+        checkpoint — the study-scale entry point.
+        """
+        report = DetectionReport()
+        stats = ScanStats()
+        started = time.perf_counter()
+        for detections, raw_lines in self._chunk_results(iter(domains), stats):
+            report.extend(detections)
+            stats.detection_count += len(detections)
+            stats.lines_done += raw_lines
+            stats.elapsed_seconds = time.perf_counter() - started
+            if progress is not None:
+                progress(stats)
+        stats.elapsed_seconds = time.perf_counter() - started
+        return report, stats
+
+    # -- sink-backed scan (the zone-scale entry point) -------------------------
+
+    def scan_file(
+        self,
+        input_path: str | os.PathLike,
+        output_path: str | os.PathLike,
+        *,
+        checkpoint_path: str | os.PathLike | None = None,
+        resume: bool = False,
+        progress: Callable[[ScanStats], None] | None = None,
+    ) -> ScanStats:
+        """Scan a domain-list file (one name per line) into a JSONL sink."""
+        fingerprint = file_fingerprint(input_path)
+        with open(input_path, "r", encoding="utf-8", errors="replace") as handle:
+            return self.scan(
+                handle,
+                output_path,
+                checkpoint_path=checkpoint_path,
+                resume=resume,
+                input_fingerprint=fingerprint,
+                progress=progress,
+            )
+
+    def scan(
+        self,
+        domains: Iterable[str],
+        output_path: str | os.PathLike,
+        *,
+        checkpoint_path: str | os.PathLike | None = None,
+        resume: bool = False,
+        input_fingerprint: str | None = None,
+        progress: Callable[[ScanStats], None] | None = None,
+    ) -> ScanStats:
+        """Stream *domains* into the JSONL sink at *output_path*.
+
+        With ``resume=True`` and a usable checkpoint, already-consumed
+        input is skipped and the sink is validated and extended; otherwise
+        the sink is started fresh.  The checkpoint lives next to the sink
+        (``<output>.checkpoint``) unless *checkpoint_path* says otherwise.
+        """
+        output_path = Path(output_path)
+        if checkpoint_path is None:
+            checkpoint_path = output_path.with_name(output_path.name + ".checkpoint")
+        checkpoint_path = Path(checkpoint_path)
+
+        stats = ScanStats()
+        started = time.perf_counter()
+        lines = iter(domains)
+
+        checkpoint = ScanCheckpoint.load(checkpoint_path) if resume else None
+        if resume and checkpoint is None and output_path.exists() and output_path.stat().st_size:
+            # No usable checkpoint but durable results exist: starting fresh
+            # would silently destroy them, so make the user decide.
+            raise ScanResumeError(
+                f"no usable checkpoint at {checkpoint_path} but {output_path} is "
+                "non-empty; re-run without --resume to overwrite it"
+            )
+        if checkpoint is not None:
+            if (
+                checkpoint.input_fingerprint is not None
+                and input_fingerprint is not None
+                and checkpoint.input_fingerprint != input_fingerprint
+            ):
+                raise ScanResumeError(
+                    f"input changed since the checkpoint at {checkpoint_path} was "
+                    "written; re-run without --resume to start over"
+                )
+            # Inspect read-only first: refuse (file untouched) when the
+            # damage reaches into the checkpointed prefix, truncate only
+            # when the resume actually proceeds.
+            recovery = recover_sink(
+                output_path, expected_lines=checkpoint.detections_written, dry_run=True,
+            )
+            if recovery.valid_count < checkpoint.detections_written:
+                raise ScanResumeError(
+                    f"sink {output_path} holds {recovery.valid_count} intact detections "
+                    f"but the checkpoint recorded {checkpoint.detections_written}; the "
+                    "sink was damaged inside the checkpointed prefix — re-run without "
+                    "--resume to start over"
+                )
+            if recovery.keep_bytes != output_path.stat().st_size:
+                with open(output_path, "r+b") as handle:
+                    handle.truncate(recovery.keep_bytes)
+            stats.recovered_drop = recovery.dropped
+            stats.lines_done = checkpoint.lines_done
+            stats.chunks_done = checkpoint.chunks_done
+            stats.detection_count = checkpoint.detections_written
+            stats.domains_seen = checkpoint.domains_seen
+            stats.idn_count = checkpoint.idn_count
+            stats.skipped_count = checkpoint.skipped_count
+            for _ in range(checkpoint.lines_done):
+                if next(lines, None) is None:
+                    break
+                stats.resumed_lines += 1
+            sink = open(output_path, "a", encoding="utf-8")
+        else:
+            sink = open(output_path, "w", encoding="utf-8")
+            try:
+                checkpoint_path.unlink()
+            except OSError:
+                pass
+
+        try:
+            for detections, raw_lines in self._chunk_results(lines, stats):
+                for detection in detections:
+                    sink.write(json.dumps(detection.as_dict(), ensure_ascii=False) + "\n")
+                sink.flush()
+                stats.detection_count += len(detections)
+                stats.lines_done += raw_lines
+                ScanCheckpoint(
+                    lines_done=stats.lines_done,
+                    chunks_done=stats.chunks_done,
+                    detections_written=stats.detection_count,
+                    domains_seen=stats.domains_seen,
+                    idn_count=stats.idn_count,
+                    skipped_count=stats.skipped_count,
+                    input_fingerprint=input_fingerprint,
+                ).save(checkpoint_path)
+                stats.elapsed_seconds = time.perf_counter() - started
+                if progress is not None:
+                    progress(stats)
+        finally:
+            sink.close()
+        stats.elapsed_seconds = time.perf_counter() - started
+        return stats
+
+    # -- shared chunk pipeline -------------------------------------------------
+
+    def _chunk_results(
+        self,
+        lines: Iterator[str],
+        stats: ScanStats,
+    ) -> Iterator[tuple[list[HomographDetection], int]]:
+        """Yield ``(detections, raw_line_count)`` per chunk, in input order.
+
+        Updates the seen/idn/skipped/chunk counters on *stats* as results
+        arrive; callers account for lines and detections themselves (the
+        sink path must only count a chunk's lines once its results are
+        durable).
+        """
+        chunks = _chunked(lines, self.chunk_size)
+        context = fork_pool_context() if self.jobs > 1 else None
+        if context is None:
+            for chunk in chunks:
+                result = _process_chunk(self.finder, self.prepared, chunk, self.idn_only)
+                yield self._account(result, stats)
+        else:
+            with context.Pool(
+                processes=self.jobs,
+                initializer=_scan_worker_init,
+                initargs=(self.finder, self.prepared, self.idn_only),
+            ) as pool:
+                # imap keeps results in submission order, which checkpoint
+                # consistency depends on.
+                for result in pool.imap(_scan_worker, chunks):
+                    yield self._account(result, stats)
+
+    @staticmethod
+    def _account(
+        result: tuple[list[HomographDetection], int, int, int, int],
+        stats: ScanStats,
+    ) -> tuple[list[HomographDetection], int]:
+        detections, raw_lines, domains_seen, idn_count, skipped = result
+        stats.domains_seen += domains_seen
+        stats.idn_count += idn_count
+        stats.skipped_count += skipped
+        stats.chunks_done += 1
+        return detections, raw_lines

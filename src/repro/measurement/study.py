@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 from ..detection.report import DetectionReport
 from ..detection.shamfinder import DetectionTiming, ShamFinder
+from ..detection.stream import ScanStats, StreamingScanner, is_idn_candidate
 from ..dns.passive_dns import PassiveDNSCollector
 from ..dns.portscan import PortScanner, PortScanSummary
 from ..dns.resolver import AuthoritativeStore, StubResolver
@@ -73,6 +74,8 @@ class StudyResults:
     blacklist_table: dict[str, dict[str, int]] = field(default_factory=dict)
     reverted_outside_reference: dict[str, str] = field(default_factory=dict)
     idn_count: int = 0
+    #: Populated when detection ran through the streaming scan pipeline.
+    scan_stats: ScanStats | None = None
 
     def summary(self) -> dict:
         """Compact dictionary used by the CLI and EXPERIMENTS.md generator."""
@@ -132,10 +135,16 @@ class MeasurementStudy:
         ]
 
     def extract_idns(self) -> list[str]:
-        """Step 2 of the framework over the union of the two lists."""
+        """Step 2 of the framework over the union of the two lists.
+
+        Uses the same registrable-label test as the streaming pipeline
+        (:func:`repro.detection.stream.is_idn_candidate`), so
+        ``run(streaming=True)`` and ``run()`` see the identical candidate
+        set.
+        """
         return [
             domain for domain in self.population.all_domains
-            if domain.split(".")[0].startswith("xn--")
+            if is_idn_candidate(domain)
         ]
 
     def detect_homographs(self) -> tuple[DetectionReport, DetectionTiming]:
@@ -143,6 +152,33 @@ class MeasurementStudy:
         idns = self.extract_idns()
         reference = self.population.reference.domains()
         return self.finder.detect_with_timing(idns, reference)
+
+    def detect_homographs_streaming(
+        self,
+        *,
+        chunk_size: int = 2000,
+        jobs: int = 1,
+    ) -> tuple[DetectionReport, DetectionTiming, ScanStats]:
+        """Step 3 through the streaming scan pipeline (the zone-scale path).
+
+        Chunked and optionally sharded over worker processes; returns the
+        same detections as :meth:`detect_homographs` plus the scan's
+        progress counters.
+        """
+        scanner = StreamingScanner(
+            self.finder,
+            self.population.reference.domains(),
+            chunk_size=chunk_size,
+            jobs=jobs,
+        )
+        report, stats = scanner.scan_to_report(self.population.all_domains)
+        timing = DetectionTiming(
+            reference_count=scanner.prepared.domain_count,
+            idn_count=stats.idn_count,
+            total_seconds=stats.elapsed_seconds,
+            skipped_count=stats.skipped_count,
+        )
+        return report, timing, stats
 
     def detection_database_comparison(self) -> dict[str, int]:
         """Table 8: homographs found with UC, SimChar and the union."""
@@ -231,14 +267,24 @@ class MeasurementStudy:
 
     # -- full pipeline -----------------------------------------------------------------
 
-    def run(self) -> StudyResults:
-        """Run every stage and collect the paper-shaped tables."""
+    def run(self, *, streaming: bool = False, chunk_size: int = 2000, jobs: int = 1) -> StudyResults:
+        """Run every stage and collect the paper-shaped tables.
+
+        With ``streaming=True`` the detection stage goes through the
+        chunked/sharded scan pipeline instead of one in-memory pass — same
+        detections, plus :attr:`StudyResults.scan_stats`.
+        """
         results = StudyResults()
         results.dataset_table = self.dataset_statistics()
         results.idn_count = len(self.extract_idns())
         results.language_table = self.language_statistics()
 
-        detection, timing = self.detect_homographs()
+        if streaming:
+            detection, timing, results.scan_stats = self.detect_homographs_streaming(
+                chunk_size=chunk_size, jobs=jobs,
+            )
+        else:
+            detection, timing = self.detect_homographs()
         results.detection_report = detection
         results.detection_timing = timing
         results.detection_counts = detection.count_by_database()

@@ -42,6 +42,7 @@ __all__ = [
     "pack_glyphs",
     "popcount_rows",
     "packed_candidate_pairs",
+    "fork_pool_context",
 ]
 
 
@@ -234,7 +235,7 @@ def _shard_worker(bounds: tuple[int, int]) -> list[tuple[int, int, int]]:
     return scan_packed_shard(packed_sorted, ink_sorted, order, threshold, *bounds)
 
 
-def _pool_context():
+def fork_pool_context():
     """A fork pool context, or ``None`` where the start method is spawn.
 
     Library code must not trigger spawn implicitly: an unguarded caller
@@ -283,7 +284,7 @@ def packed_candidate_pairs(
     ink_sorted = ink[order]
     packed_sorted = pack_bitmap_rows(flat[order])
 
-    context = _pool_context() if jobs > 1 else None
+    context = fork_pool_context() if jobs > 1 else None
     if context is None or n < min_parallel_size:
         pairs = scan_packed_shard(packed_sorted, ink_sorted, order, threshold, 0, n)
     else:

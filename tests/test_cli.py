@@ -90,3 +90,54 @@ def test_inspect_invalid_domain(capsys):
     rc = main(["inspect", "bad domain!"])
     assert rc == 2
     assert "invalid domain" in capsys.readouterr().err
+
+
+def test_parser_accepts_scan_options(tmp_path):
+    parser = build_parser()
+    args = parser.parse_args([
+        "scan", "-i", "zone.txt", "-o", "out.jsonl",
+        "--jobs", "4", "--chunk-size", "500", "--resume",
+        "--checkpoint", "cp.json", "--all-domains", "--progress-every", "2",
+    ])
+    assert args.command == "scan"
+    assert args.jobs == 4 and args.chunk_size == 500 and args.resume
+
+
+def test_scan_subcommand_end_to_end(tmp_path, capsys, union_db):
+    db_path = tmp_path / "db.json"
+    union_db.save(db_path)
+    input_path = tmp_path / "zone.txt"
+    input_path.write_text(
+        "xn--ggle-55da.com\nexample.com\n# comment\nxn--facbook-dya.com\n",
+        encoding="utf-8",
+    )
+    output_path = tmp_path / "results.jsonl"
+    rc = main([
+        "scan", "-i", str(input_path), "-o", str(output_path),
+        "--reference", "google.com", "facebook.com",
+        "--database", str(db_path),
+        "--chunk-size", "2",
+    ])
+    assert rc == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["detection_count"] == 2
+    assert stats["domains_seen"] == 3
+    lines = [json.loads(line) for line in output_path.read_text("utf-8").splitlines()]
+    assert {entry["reference"] for entry in lines} == {"google.com", "facebook.com"}
+    assert (tmp_path / "results.jsonl.checkpoint").exists()
+
+
+def test_scan_resume_refuses_changed_input(tmp_path, capsys, union_db):
+    db_path = tmp_path / "db.json"
+    union_db.save(db_path)
+    input_path = tmp_path / "zone.txt"
+    input_path.write_text("xn--ggle-55da.com\n", encoding="utf-8")
+    output_path = tmp_path / "results.jsonl"
+    base = ["scan", "-i", str(input_path), "-o", str(output_path),
+            "--reference", "google.com", "--database", str(db_path)]
+    assert main(base) == 0
+    capsys.readouterr()
+    input_path.write_text("xn--ggle-55da.com\nmore.com\n", encoding="utf-8")
+    rc = main(base + ["--resume"])
+    assert rc == 2
+    assert "cannot resume" in capsys.readouterr().err

@@ -1,6 +1,6 @@
 """Tests for Algorithm 1 (the homograph matcher)."""
 
-from repro.detection.algorithm import HomographMatcher
+from repro.detection.algorithm import HomographMatcher, fold_label
 from repro.homoglyph.database import SOURCE_UC, HomoglyphDatabase
 
 
@@ -89,3 +89,38 @@ def test_symmetry_of_database_pairs():
     matcher = _matcher()
     assert matcher.is_homograph("gоogle", "google")
     assert matcher.is_homograph("google", "gоogle")
+
+
+# -- length-preserving case folding (U+0130 regression) ------------------------
+
+
+def test_fold_label_preserves_length():
+    # str.lower() turns U+0130 "İ" into "i" + a combining dot (two chars);
+    # fold_label keeps such characters unfolded so indices stay valid.
+    assert len("İx".lower()) == 3
+    assert fold_label("İx") == "İx"
+    assert fold_label("GOOGLE") == "google"
+    assert fold_label("GОOGLE") == "gоogle"    # Cyrillic О folds too
+    assert fold_label("") == ""
+
+
+def test_expanding_case_fold_does_not_shift_positions():
+    db = HomoglyphDatabase()
+    db.add_pair("İ", "i", source=SOURCE_UC)
+    db.add_pair("o", "о", source=SOURCE_UC)
+    matcher = HomographMatcher(db)
+    # Before the fix, "İxо".lower() was 4 characters long, so the length
+    # check rejected the pair outright; now it matches, and the reported
+    # positions are valid indices into the *original* labels.
+    result = matcher.match("İxо", "ixo")
+    assert result.is_homograph
+    assert [s.position for s in result.substitutions] == [0, 2]
+    assert result.substitutions[0].candidate_char == "İ"
+    assert "İxо"[result.substitutions[0].position] == "İ"
+
+
+def test_uppercase_candidate_still_matches_after_fold_fix():
+    matcher = _matcher()
+    result = matcher.match("GОOGLE", "google")
+    assert result.is_homograph
+    assert result.substitutions[0].position == 1

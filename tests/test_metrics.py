@@ -158,7 +158,7 @@ def test_packed_candidate_pairs_matches_legacy_scan():
 
 
 def test_packed_candidate_pairs_serial_on_spawn_platforms(monkeypatch):
-    # Where the start method is spawn, _pool_context returns None and the
+    # Where the start method is spawn, fork_pool_context returns None and the
     # scan must stay serial (never spawn implicitly) with identical output.
     from repro.metrics import pixel
 
@@ -171,7 +171,7 @@ def test_packed_candidate_pairs_serial_on_spawn_platforms(monkeypatch):
     monkeypatch.setattr(
         pixel.multiprocessing, "get_start_method", lambda allow_none=False: "spawn"
     )
-    assert pixel._pool_context() is None
+    assert pixel.fork_pool_context() is None
     assert packed_candidate_pairs(glyphs, 5, jobs=4, min_parallel_size=1) == want
 
 

@@ -220,13 +220,13 @@ def test_unwritable_cache_degrades_to_in_memory_build(builder, tmp_path):
     assert result.database.pair_count > 0
 
 
-def test_pool_context_does_not_pin_global_start_method():
+def test_fork_pool_context_does_not_pin_global_start_method():
     import multiprocessing
 
-    from repro.metrics.pixel import _pool_context
+    from repro.metrics.pixel import fork_pool_context
 
     before = multiprocessing.get_start_method(allow_none=True)
-    _pool_context()
+    fork_pool_context()
     assert multiprocessing.get_start_method(allow_none=True) == before
 
 
