@@ -8,8 +8,9 @@ Sub-commands:
   domains given on the command line or in files;
 * ``inspect``   — describe a single domain (scripts, IDNA validity, warning
   dialog content if it looks like a homograph);
-* ``measure``   — run the full synthetic measurement study and print the
-  paper-shaped tables;
+* ``measure``   — run the full synthetic measurement study (detection plus
+  the concurrent enrichment pipeline, with ``--streaming``/``--jobs``/
+  ``--stages``/``--resume``) and print the paper-shaped tables;
 * ``scan``      — streaming zone-scale scan: chunked input, sharded workers,
   JSONL result sink with checkpoint/resume.
 """
@@ -33,6 +34,7 @@ from .idn.domain import DomainName
 from .idn.idna_codec import IDNAError
 from .measurement.alexa import ReferenceList
 from .measurement.domainlists import ZoneConfig, generate_population
+from .measurement.pipeline import PipelineError
 from .measurement.study import MeasurementStudy
 
 __all__ = ["main", "build_parser", "positive_int"]
@@ -88,6 +90,25 @@ def build_parser() -> argparse.ArgumentParser:
     measure.add_argument("--cache-dir", type=Path, default=None,
                          help="SimChar build cache directory")
     measure.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    measure.add_argument("--streaming", action="store_true",
+                         help="detect through the chunked streaming scan pipeline")
+    measure.add_argument("--jobs", "-j", type=positive_int, default=1,
+                         help="detection worker shards and enrichment executor threads")
+    measure.add_argument("--chunk-size", type=positive_int, default=2000,
+                         help="streaming-detection input lines per chunk")
+    measure.add_argument("--batch-size", type=positive_int, default=256,
+                         help="enrichment items per batch (stage checkpoint granularity)")
+    measure.add_argument("--stages", type=str, default=None,
+                         help="comma-separated enrichment stage subset "
+                              "(dns,portscan,popularity,classify,blacklist,revert); "
+                              "dependencies are pulled in automatically")
+    measure.add_argument("--output-dir", type=Path, default=None,
+                         help="directory for the detection sink and per-stage "
+                              "JSONL outputs + checkpoints")
+    measure.add_argument("--resume", action="store_true",
+                         help="continue an interrupted study from --output-dir checkpoints")
+    measure.add_argument("--legacy", action="store_true",
+                         help="run the serial pre-pipeline study implementation")
 
     scan = sub.add_parser("scan", help="streaming scan of a domain-list file")
     scan.add_argument("--input", "-i", type=Path, required=True,
@@ -201,13 +222,40 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 
 
 def _cmd_measure(args: argparse.Namespace) -> int:
+    if args.resume and args.output_dir is None:
+        print("--resume requires --output-dir", file=sys.stderr)
+        return 2
+    if args.legacy and (args.stages or args.output_dir or args.resume):
+        print("--legacy cannot be combined with --stages/--output-dir/--resume",
+              file=sys.stderr)
+        return 2
     config = ZoneConfig.paper_scaled(scale=args.scale, seed=args.seed)
     population = generate_population(config)
     finder = ShamFinder.with_default_databases(cache_dir=args.cache_dir)
     study = MeasurementStudy(population, finder)
-    results = study.run()
+    try:
+        if args.legacy:
+            results = study.run_legacy(streaming=args.streaming,
+                                       chunk_size=args.chunk_size, jobs=args.jobs)
+        else:
+            results = study.run(
+                streaming=args.streaming,
+                chunk_size=args.chunk_size,
+                jobs=args.jobs,
+                batch_size=args.batch_size,
+                stages=[s.strip() for s in args.stages.split(",") if s.strip()]
+                if args.stages else None,
+                output_dir=args.output_dir,
+                resume=args.resume,
+            )
+    except (PipelineError, ScanResumeError) as exc:
+        print(f"cannot run study: {exc}", file=sys.stderr)
+        return 2
     if args.json:
-        print(json.dumps(results.summary(), ensure_ascii=False, indent=2, default=str))
+        payload = results.summary()
+        if results.stage_timings:
+            payload["stage_timings"] = [t.as_dict() for t in results.stage_timings]
+        print(json.dumps(payload, ensure_ascii=False, indent=2, default=str))
         return 0
     print("== Dataset (Table 6) ==")
     for source, domains, idns in results.dataset_table:
@@ -231,6 +279,12 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     for database, feeds in results.blacklist_table.items():
         feed_text = ", ".join(f"{name}: {count}" for name, count in feeds.items())
         print(f"  {database:<14} {feed_text}")
+    if results.stage_timings:
+        print("== Enrichment stages ==")
+        for timing in results.stage_timings:
+            resumed = "  (resumed)" if timing.resumed else ""
+            print(f"  {timing.name:<12} {timing.batches:>4} batches "
+                  f"{timing.records:>6} records  {timing.seconds:8.3f}s{resumed}")
     return 0
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from typing import Iterable
 
 from ..homoglyph.database import HomoglyphDatabase
 
@@ -89,6 +90,10 @@ class HomographReverter:
                 return candidate.original_label
         return candidates[0].original_label if candidates else None
 
+    def best_originals(self, labels: Iterable[str]) -> list[str | None]:
+        """Batched :meth:`best_original`, in input order (pipeline API)."""
+        return [self.best_original(label) for label in labels]
+
     def targets_outside_reference(
         self,
         labels: list[str],
@@ -100,8 +105,7 @@ class HomographReverter:
         the labels whose best original falls outside the reference set.
         """
         result: dict[str, str] = {}
-        for label in labels:
-            original = self.best_original(label)
+        for label, original in zip(labels, self.best_originals(labels)):
             if original is not None and original not in reference_labels:
                 result[label] = original
         return result

@@ -54,6 +54,7 @@ __all__ = [
     "StreamingScanner",
     "recover_sink",
     "read_sink",
+    "iter_sink",
     "file_fingerprint",
     "is_idn_candidate",
 ]
@@ -190,6 +191,38 @@ def recover_sink(
     return SinkRecovery(valid, dropped_corrupt, dropped_uncheckpointed, keep_bytes)
 
 
+def iter_sink(
+    path: str | os.PathLike,
+    *,
+    chunk_size: int = 2000,
+) -> Iterator[list[HomographDetection]]:
+    """Stream a completed sink chunk-by-chunk without loading it whole.
+
+    Yields lists of at most *chunk_size* detections in file order — the
+    memory-bounded way the enrichment pipeline consumes zone-scale scan
+    results.  Raises :class:`SinkError` naming the first offending line when
+    the file contains truncated or corrupt entries.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    chunk: list[HomographDetection] = []
+    with open(path, "rb") as handle:
+        for number, line in enumerate(handle, start=1):
+            if not _is_valid_sink_line(line):
+                raise SinkError(f"{path}: corrupt or truncated sink line {number}")
+            try:
+                chunk.append(HomographDetection.from_dict(json.loads(line)))
+            except (KeyError, TypeError) as exc:
+                raise SinkError(
+                    f"{path}: sink line {number} is not a detection: {exc}"
+                ) from exc
+            if len(chunk) >= chunk_size:
+                yield chunk
+                chunk = []
+    if chunk:
+        yield chunk
+
+
 def read_sink(path: str | os.PathLike) -> DetectionReport:
     """Load a completed sink back into a :class:`DetectionReport`.
 
@@ -198,16 +231,8 @@ def read_sink(path: str | os.PathLike) -> DetectionReport:
     fully well-formed, so damage here means the scan needs a resume pass.
     """
     report = DetectionReport()
-    with open(path, "rb") as handle:
-        for number, line in enumerate(handle, start=1):
-            if not _is_valid_sink_line(line):
-                raise SinkError(f"{path}: corrupt or truncated sink line {number}")
-            try:
-                report.add(HomographDetection.from_dict(json.loads(line)))
-            except (KeyError, TypeError) as exc:
-                raise SinkError(
-                    f"{path}: sink line {number} is not a detection: {exc}"
-                ) from exc
+    for chunk in iter_sink(path):
+        report.extend(chunk)
     return report
 
 

@@ -62,6 +62,10 @@ class PassiveDNSCollector:
         observed = self._counts.get(domain.lower().rstrip("."), 0)
         return int(observed * self.sampling_rate) if self.sampling_rate != 1.0 else observed
 
+    def resolution_counts(self, domains: Iterable[str]) -> list[int]:
+        """Batched :meth:`resolution_count`, in input order (pipeline API)."""
+        return [self.resolution_count(domain) for domain in domains]
+
     def top_domains(self, limit: int = 10, *, within: Iterable[str] | None = None) -> list[tuple[str, int]]:
         """Top-N domains by resolution count, optionally restricted to a candidate set."""
         if within is None:

@@ -104,9 +104,14 @@ class PortScanner:
         open_ports = self.host_model.open_ports(domain)
         return PortScanResult(domain, frozenset(p for p in open_ports if p in set(self.ports)))
 
+    def scan_many(self, domains: Iterable[str]) -> list[PortScanResult]:
+        """Batched scan, results in input order (enrichment-pipeline API)."""
+        wanted = set(self.ports)
+        return [
+            PortScanResult(domain, frozenset(self.host_model.open_ports(domain) & wanted))
+            for domain in domains
+        ]
+
     def scan_all(self, domains: Iterable[str]) -> PortScanSummary:
         """Scan a set of domains and aggregate the results."""
-        summary = PortScanSummary()
-        for domain in domains:
-            summary.results.append(self.scan(domain))
-        return summary
+        return PortScanSummary(self.scan_many(domains))

@@ -77,6 +77,7 @@ class RecordSet:
 
     def __init__(self, records: Iterable[ResourceRecord] = ()) -> None:
         self._by_key: dict[tuple[str, RRType], list[ResourceRecord]] = {}
+        self._types_by_name: dict[str, set[RRType]] = {}
         for record in records:
             self.add(record)
 
@@ -85,6 +86,19 @@ class RecordSet:
         bucket = self._by_key.setdefault((record.name, record.rtype), [])
         if record not in bucket:
             bucket.append(record)
+        self._types_by_name.setdefault(record.name, set()).add(record.rtype)
+
+    def remove_name(self, name: str) -> int:
+        """Delete every record of an owner name; returns how many were removed.
+
+        O(record types of that name) thanks to the owner-name index, so
+        expiring many domains from a large set stays linear overall.
+        """
+        name = name.lower().rstrip(".")
+        removed = 0
+        for rtype in self._types_by_name.pop(name, ()):
+            removed += len(self._by_key.pop((name, rtype), ()))
+        return removed
 
     def lookup(self, name: str, rtype: RRType) -> list[ResourceRecord]:
         """All records of a type for a name (empty list when none)."""
@@ -92,7 +106,7 @@ class RecordSet:
 
     def names(self) -> set[str]:
         """All owner names present in the set."""
-        return {name for name, _ in self._by_key}
+        return set(self._types_by_name)
 
     def __len__(self) -> int:
         return sum(len(bucket) for bucket in self._by_key.values())

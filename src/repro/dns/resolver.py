@@ -47,16 +47,28 @@ class DNSResponse:
 
 
 class AuthoritativeStore:
-    """Record store for every simulated authoritative server."""
+    """Record store for every simulated authoritative server.
+
+    Every mutation bumps :attr:`generation`, so caches layered on top (the
+    :class:`StubResolver` answer cache, the enrichment pipeline's probe
+    memo) can detect that previously cached answers may be stale.
+    """
 
     def __init__(self) -> None:
         self._records = RecordSet()
         self._names: set[str] = set()
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter incremented by every mutation."""
+        return self._generation
 
     def add(self, record: ResourceRecord) -> None:
         """Publish a record."""
         self._records.add(record)
         self._names.add(record.name)
+        self._generation += 1
 
     def add_many(self, records: Iterable[ResourceRecord]) -> None:
         """Publish several records."""
@@ -66,9 +78,11 @@ class AuthoritativeStore:
     def remove_name(self, name: str) -> None:
         """Delete every record of a name (domain expiration)."""
         name = name.lower().rstrip(".")
+        if name not in self._names:
+            return
         self._names.discard(name)
-        filtered = RecordSet(r for r in self._records if r.name != name)
-        self._records = filtered
+        self._records.remove_name(name)
+        self._generation += 1
 
     def exists(self, name: str) -> bool:
         """True when any record exists for the name."""
@@ -98,6 +112,7 @@ class StubResolver:
     store: AuthoritativeStore
     observers: list[Callable[[str, RRType, DNSResponse], None]] = field(default_factory=list)
     _cache: dict[tuple[str, RRType], DNSResponse] = field(default_factory=dict, repr=False)
+    _cache_generation: int = field(default=-1, repr=False)
     queries_sent: int = 0
     cache_hits: int = 0
 
@@ -106,8 +121,18 @@ class StubResolver:
         self.observers.append(observer)
 
     def query(self, name: str, rtype: RRType | str = RRType.A, *, use_cache: bool = True) -> DNSResponse:
-        """Resolve a name, consulting the cache first."""
+        """Resolve a name, consulting the cache first.
+
+        Cached answers are only served while the authoritative store is
+        unchanged: any store mutation (expiration, new delegation) bumps its
+        generation and invalidates the whole cache, so an expire-then-reprobe
+        sequence sees the post-mutation truth.
+        """
         rtype = RRType.parse(rtype) if isinstance(rtype, str) else rtype
+        generation = self.store.generation
+        if generation != self._cache_generation:
+            self._cache.clear()
+            self._cache_generation = generation
         key = (name.lower().rstrip("."), rtype)
         if use_cache and key in self._cache:
             self.cache_hits += 1
@@ -140,6 +165,26 @@ class StubResolver:
     def has_mx(self, domain: str) -> bool:
         """True when the domain currently publishes an MX record."""
         return not self.query(domain, RRType.MX).is_empty
+
+    # -- batch APIs used by the enrichment pipeline -------------------------------
+
+    def query_many(self, names: Iterable[str], rtype: RRType | str = RRType.A) -> list[DNSResponse]:
+        """Resolve a batch of names for one record type, in input order."""
+        rtype = RRType.parse(rtype) if isinstance(rtype, str) else rtype
+        return [self.query(name, rtype) for name in names]
+
+    def registration_status(self, domains: Iterable[str]) -> list[tuple[bool, bool]]:
+        """Batched ``(has_ns, has_a)`` probe, in input order.
+
+        The A record is only queried for delegated domains, matching the
+        paper's Section 6.1 probing funnel (an expired domain is never
+        address-probed).
+        """
+        status: list[tuple[bool, bool]] = []
+        for domain in domains:
+            delegated = self.has_ns(domain)
+            status.append((delegated, self.has_a(domain) if delegated else False))
+        return status
 
     def clear_cache(self) -> None:
         """Drop every cached answer."""

@@ -8,6 +8,15 @@ from .domainlists import (
     ZoneConfig,
     generate_population,
 )
+from .pipeline import (
+    DetectionSummary,
+    EnrichmentStage,
+    GenerationCache,
+    PipelineError,
+    PipelineRunner,
+    StageResumeError,
+    StageTiming,
+)
 from .study import MeasurementStudy, PopularHomograph, StudyResults
 
 __all__ = [
@@ -19,6 +28,13 @@ __all__ = [
     "InjectedHomograph",
     "ZoneConfig",
     "generate_population",
+    "DetectionSummary",
+    "EnrichmentStage",
+    "GenerationCache",
+    "PipelineError",
+    "PipelineRunner",
+    "StageResumeError",
+    "StageTiming",
     "MeasurementStudy",
     "PopularHomograph",
     "StudyResults",

@@ -50,7 +50,8 @@ def render_markdown_report(results: StudyResults, *, title: str = "ShamFinder me
     ))
 
     sections.append("\n## Table 10 — registration probing and port scan")
-    funnel_rows = [("Detected homographs", len(results.detection_report.detected_idns())),
+    detected_count = results.detected_idn_count or len(results.detection_report.detected_idns())
+    funnel_rows = [("Detected homographs", detected_count),
                    ("With NS records", results.ns_count),
                    ("Without A records", results.no_a_count)]
     sections.append(_markdown_table(["stage", "number"],
@@ -96,5 +97,14 @@ def render_markdown_report(results: StudyResults, *, title: str = "ShamFinder me
         f"{len(results.reverted_outside_reference)} blacklisted homographs revert to an "
         f"original domain outside the reference head."
     )
+
+    if results.stage_timings:
+        sections.append("\n## Enrichment pipeline — per-stage timings")
+        sections.append(_markdown_table(
+            ["stage", "batches", "records", "seconds", "resumed"],
+            [(timing.name, timing.batches, timing.records,
+              f"{timing.seconds:.3f}", "yes" if timing.resumed else "")
+             for timing in results.stage_timings],
+        ))
 
     return "\n".join(sections) + "\n"

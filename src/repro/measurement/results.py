@@ -1,0 +1,80 @@
+"""Result objects of the Sections 5-6 measurement study.
+
+:class:`StudyResults` keeps every intermediate product of a measurement
+run, keyed by the paper's tables, so benches and the EXPERIMENTS.md
+generator can print the same rows the paper reports.  It lives apart from
+:mod:`repro.measurement.study` so the enrichment pipeline and its stage
+adapters can populate results without importing the study driver.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..detection.report import DetectionReport
+from ..detection.shamfinder import DetectionTiming
+from ..detection.stream import ScanStats
+from ..dns.portscan import PortScanSummary
+from ..web.classifier import ClassificationReport
+from .pipeline import StageTiming
+
+__all__ = ["PopularHomograph", "StudyResults"]
+
+
+@dataclass(frozen=True)
+class PopularHomograph:
+    """One row of the paper's Table 11."""
+
+    domain_unicode: str
+    domain_ascii: str
+    category: str
+    resolutions: int
+    has_mx: bool
+    had_mx_in_past: bool
+    web_link: bool
+    sns_link: bool
+
+
+@dataclass
+class StudyResults:
+    """Everything a measurement run produced, keyed by the paper's tables."""
+
+    dataset_table: list[tuple[str, int, int]] = field(default_factory=list)
+    language_table: list[tuple[str, int, float]] = field(default_factory=list)
+    detection_counts: dict[str, int] = field(default_factory=dict)
+    detection_report: DetectionReport = field(default_factory=DetectionReport)
+    detection_timing: DetectionTiming | None = None
+    top_targets: list[tuple[str, int]] = field(default_factory=list)
+    #: Unique detected IDNs; populated even when the detections themselves
+    #: stayed in a JSONL sink instead of :attr:`detection_report`.
+    detected_idn_count: int = 0
+    ns_count: int = 0
+    no_a_count: int = 0
+    portscan: PortScanSummary = field(default_factory=PortScanSummary)
+    popular_homographs: list[PopularHomograph] = field(default_factory=list)
+    classification: ClassificationReport = field(default_factory=ClassificationReport)
+    redirect_intents: Counter = field(default_factory=Counter)
+    blacklist_table: dict[str, dict[str, int]] = field(default_factory=dict)
+    reverted_outside_reference: dict[str, str] = field(default_factory=dict)
+    idn_count: int = 0
+    #: Populated when detection ran through the streaming scan pipeline.
+    scan_stats: ScanStats | None = None
+    #: Per-stage wall time and volume when the enrichment pipeline ran.
+    stage_timings: list[StageTiming] = field(default_factory=list)
+
+    def summary(self) -> dict:
+        """Compact dictionary used by the CLI and EXPERIMENTS.md generator."""
+        return {
+            "domains": self.dataset_table[-1][1] if self.dataset_table else 0,
+            "idns": self.idn_count,
+            "detections": self.detection_counts,
+            "top_targets": self.top_targets,
+            "with_ns": self.ns_count,
+            "without_a": self.no_a_count,
+            "reachable": self.portscan.reachable_count,
+            "categories": dict(self.classification.category_counts()),
+            "redirect_intents": dict(self.redirect_intents),
+            "blacklists": self.blacklist_table,
+            "reverted_outside_reference": len(self.reverted_outside_reference),
+        }

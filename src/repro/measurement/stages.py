@@ -1,0 +1,295 @@
+"""Stage adapters of the Sections 5-6 enrichment pipeline.
+
+Each class adapts one probing client (resolver, port scanner, passive DNS,
+website classifier, blacklist aggregator, homograph reverter) to the
+:class:`~repro.measurement.pipeline.EnrichmentStage` protocol, with the
+batched APIs added to those clients.  The records each stage emits are
+JSON-native, so they survive the per-stage JSONL sinks byte-identically.
+
+The adapters reproduce the legacy :class:`MeasurementStudy` stage methods
+exactly — same probe order, same tie-breaking, same dict insertion order —
+so a pipeline run and a legacy run produce byte-identical
+:meth:`StudyResults.summary` output.
+"""
+
+from __future__ import annotations
+
+from ..detection.revert import HomographReverter
+from ..dns.passive_dns import PassiveDNSCollector
+from ..dns.portscan import PortScanResult, PortScanSummary, PortScanner
+from ..dns.resolver import StubResolver
+from ..idn.domain import DomainName
+from ..idn.idna_codec import IDNAError
+from ..web.blacklist import BlacklistAggregator
+from ..web.classifier import ClassificationReport, ClassifiedSite, WebsiteClassifier
+from ..web.crawler import Crawler
+from ..web.hosting import RedirectIntent, SiteCategory, SyntheticWeb
+from .alexa import ReferenceList
+from .pipeline import GenerationCache, PipelineContext
+from .results import PopularHomograph
+
+__all__ = [
+    "DnsProbeStage",
+    "PortScanStage",
+    "PopularityStage",
+    "ClassifyStage",
+    "BlacklistStage",
+    "RevertStage",
+]
+
+
+class DnsProbeStage:
+    """NS/A probing of detected homographs (Section 6.1, Table 10 funnel)."""
+
+    name = "dns"
+    dependencies: tuple[str, ...] = ()
+    batchable = True
+
+    def __init__(self, resolver: StubResolver) -> None:
+        self.resolver = resolver
+        #: Memoized per-domain (has_ns, has_a), dropped whenever the
+        #: authoritative store mutates (expirations, new delegations).
+        self.cache = GenerationCache(lambda: resolver.store.generation)
+
+    def prepare(self, context: PipelineContext) -> list[str]:
+        return list(context.summary.detected_idns)
+
+    def enrich(self, batch: list[str]) -> list[dict]:
+        missing = [d for d in batch if self.cache.get(d) is None]
+        if missing:
+            for domain, status in zip(missing, self.resolver.registration_status(missing)):
+                self.cache.put(domain, status)
+        records = []
+        for domain in batch:
+            status = self.cache.get(domain)
+            if status is None:   # invalidated mid-batch: reprobe this domain
+                status = self.resolver.registration_status([domain])[0]
+            records.append({"domain": domain, "has_ns": status[0], "has_a": status[1]})
+        return records
+
+    def finalize(self, context: PipelineContext, records: list[dict]) -> None:
+        context.results.ns_count = sum(1 for r in records if r["has_ns"])
+        context.results.no_a_count = sum(
+            1 for r in records if r["has_ns"] and not r["has_a"]
+        )
+
+
+class PortScanStage:
+    """TCP/80 + TCP/443 scan of the addressed homographs (Table 10)."""
+
+    name = "portscan"
+    dependencies = ("dns",)
+    batchable = True
+
+    def __init__(self, scanner: PortScanner) -> None:
+        self.scanner = scanner
+
+    def prepare(self, context: PipelineContext) -> list[str]:
+        return [r["domain"] for r in context.records["dns"]
+                if r["has_ns"] and r["has_a"]]
+
+    def enrich(self, batch: list[str]) -> list[dict]:
+        return [
+            {"domain": result.domain, "open_ports": sorted(result.open_ports)}
+            for result in self.scanner.scan_many(batch)
+        ]
+
+    def finalize(self, context: PipelineContext, records: list[dict]) -> None:
+        context.results.portscan = PortScanSummary([
+            PortScanResult(r["domain"], frozenset(r["open_ports"])) for r in records
+        ])
+
+
+def _active_domains(context: PipelineContext) -> list[str]:
+    """Reachable homographs in scan order (input of Tables 11-13)."""
+    return [r["domain"] for r in context.records["portscan"] if r["open_ports"]]
+
+
+class PopularityStage:
+    """Passive-DNS resolution ranking of the active homographs (Table 11).
+
+    The ranking is global, so the stage is not batchable — it sees the whole
+    active set in one batch.
+    """
+
+    name = "popularity"
+    dependencies = ("portscan",)
+    batchable = False
+
+    def __init__(self, passive_dns: PassiveDNSCollector, web: SyntheticWeb,
+                 *, limit: int = 10) -> None:
+        self.passive_dns = passive_dns
+        self.web = web
+        self.limit = limit
+
+    def prepare(self, context: PipelineContext) -> list[str]:
+        return _active_domains(context)
+
+    def enrich(self, batch: list[str]) -> list[dict]:
+        rows = []
+        for domain, resolutions in self.passive_dns.top_domains(self.limit, within=batch):
+            profile = self.web.get(domain)
+            if profile is None:
+                continue
+            try:
+                unicode_form = DomainName(domain).unicode
+            except (IDNAError, ValueError):
+                unicode_form = domain
+            category = profile.category.value
+            if profile.category is SiteCategory.FOR_SALE:
+                category = "Sale"
+            rows.append({
+                "domain_unicode": unicode_form,
+                "domain_ascii": domain,
+                "category": category,
+                "resolutions": resolutions,
+                "has_mx": profile.has_mx,
+                "had_mx_in_past": profile.had_mx_in_past,
+                "web_link": profile.linked_on_web,
+                "sns_link": profile.linked_on_sns,
+            })
+        return rows
+
+    def finalize(self, context: PipelineContext, records: list[dict]) -> None:
+        context.results.popular_homographs = [PopularHomograph(**r) for r in records]
+
+
+class ClassifyStage:
+    """Website classification of the active homographs (Tables 12-13)."""
+
+    name = "classify"
+    dependencies = ("portscan",)
+    batchable = True
+
+    def __init__(self, web: SyntheticWeb, *, crawler: Crawler | None = None,
+                 blacklists: BlacklistAggregator | None = None) -> None:
+        self.web = web
+        self.crawler = crawler
+        self.blacklists = blacklists
+        self._classifier: WebsiteClassifier | None = None
+
+    def prepare(self, context: PipelineContext) -> list[str]:
+        self._classifier = WebsiteClassifier(
+            self.web,
+            crawler=self.crawler,
+            blacklists=self.blacklists,
+            reference_targets=context.summary.homograph_map,
+        )
+        return _active_domains(context)
+
+    def enrich(self, batch: list[str]) -> list[dict]:
+        assert self._classifier is not None, "prepare() must run before enrich()"
+        return [
+            {
+                "domain": site.domain,
+                "category": site.category.value,
+                "redirect_target": site.redirect_target,
+                "redirect_intent": (
+                    site.redirect_intent.value if site.redirect_intent is not None else None
+                ),
+                "parking_provider": site.parking_provider,
+            }
+            for site in self._classifier.classify_many(batch)
+        ]
+
+    def finalize(self, context: PipelineContext, records: list[dict]) -> None:
+        report = ClassificationReport([
+            ClassifiedSite(
+                domain=r["domain"],
+                category=SiteCategory(r["category"]),
+                redirect_target=r["redirect_target"],
+                redirect_intent=(
+                    RedirectIntent(r["redirect_intent"])
+                    if r["redirect_intent"] is not None else None
+                ),
+                parking_provider=r["parking_provider"],
+            )
+            for r in records
+        ])
+        context.results.classification = report
+        context.results.redirect_intents = report.redirect_intent_counts()
+
+
+class BlacklistStage:
+    """Blacklist feed hits of every detected homograph (Table 14)."""
+
+    name = "blacklist"
+    dependencies: tuple[str, ...] = ()
+    batchable = True
+
+    def __init__(self, blacklists: BlacklistAggregator) -> None:
+        self.blacklists = blacklists
+
+    def prepare(self, context: PipelineContext) -> list[str]:
+        return list(context.summary.detected_idns)
+
+    def enrich(self, batch: list[str]) -> list[dict]:
+        return [
+            {"domain": domain, "feeds": feeds}
+            for domain, feeds in zip(batch, self.blacklists.feeds_listing_many(batch))
+        ]
+
+    def finalize(self, context: PipelineContext, records: list[dict]) -> None:
+        flags = context.summary.database_flags
+        feed_names = self.blacklists.feed_names()
+        table: dict[str, dict[str, int]] = {}
+        selectors = (
+            ("UC", lambda uc, simchar: uc),
+            ("SimChar", lambda uc, simchar: simchar),
+            ("UC ∪ SimChar", lambda uc, simchar: True),
+        )
+        for database, selector in selectors:
+            counts = dict.fromkeys(feed_names, 0)
+            for record in records:
+                uc, simchar = flags.get(record["domain"], (False, False))
+                if not selector(uc, simchar):
+                    continue
+                for feed in record["feeds"]:
+                    counts[feed] += 1
+            table[database] = counts
+        context.results.blacklist_table = table
+
+
+class RevertStage:
+    """Homoglyph-reverting malicious homographs to their originals (§6.4)."""
+
+    name = "revert"
+    dependencies = ("blacklist",)
+    batchable = True
+
+    def __init__(self, reverter: HomographReverter, reference: ReferenceList,
+                 *, top_reference: int = 1000) -> None:
+        self.reverter = reverter
+        self.reference = reference
+        self.top_reference = top_reference
+        self._top_labels: set[str] = set()
+
+    def prepare(self, context: PipelineContext) -> list[str]:
+        self._top_labels = {
+            domain.rsplit(".", 1)[0]
+            for domain in self.reference.top(self.top_reference).domains()
+        }
+        malicious = sorted(
+            r["domain"] for r in context.records["blacklist"] if r["feeds"]
+        )
+        labels = []
+        for domain in malicious:
+            try:
+                labels.append(DomainName(domain).registrable_unicode)
+            except (IDNAError, ValueError):
+                continue
+        return labels
+
+    def enrich(self, batch: list[str]) -> list[dict]:
+        return [
+            {"label": label, "original": original}
+            for label, original in zip(batch, self.reverter.best_originals(batch))
+        ]
+
+    def finalize(self, context: PipelineContext, records: list[dict]) -> None:
+        reverted: dict[str, str] = {}
+        for record in records:
+            original = record["original"]
+            if original is not None and original not in self._top_labels:
+                reverted[record["label"]] = original
+        context.results.reverted_outside_reference = reverted

@@ -15,18 +15,26 @@ the paper's evaluation on a synthetic population:
 7. check every detected homograph against the blacklist feeds (Table 14);
 8. revert malicious homographs to the originals they imitate (Section 6.4).
 
-The result object keeps every intermediate product so benches and the
-EXPERIMENTS.md generator can print the same rows the paper reports.
+Steps 4-8 run through the pluggable enrichment pipeline
+(:mod:`repro.measurement.pipeline` + :mod:`repro.measurement.stages`):
+:meth:`MeasurementStudy.run` is a thin composition of the detection step
+and a :class:`PipelineRunner` over the default stage adapters, with
+concurrent batches, optional per-stage JSONL sinks, and checkpoint/resume.
+The pre-pipeline serial implementation is kept as
+:meth:`MeasurementStudy.run_legacy`; both produce byte-identical
+:meth:`StudyResults.summary` output.
 """
 
 from __future__ import annotations
 
+import os
 from collections import Counter
-from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
 
 from ..detection.report import DetectionReport
 from ..detection.shamfinder import DetectionTiming, ShamFinder
-from ..detection.stream import ScanStats, StreamingScanner, is_idn_candidate
+from ..detection.stream import ScanStats, StreamingScanner, is_idn_candidate, read_sink
 from ..dns.passive_dns import PassiveDNSCollector
 from ..dns.portscan import PortScanner, PortScanSummary
 from ..dns.resolver import AuthoritativeStore, StubResolver
@@ -37,61 +45,24 @@ from ..web.classifier import ClassificationReport, WebsiteClassifier
 from ..web.crawler import Crawler
 from ..web.hosting import SiteCategory
 from .domainlists import DomainPopulation
+from .pipeline import (
+    DetectionSummary,
+    EnrichmentStage,
+    PipelineRunner,
+    StageEvent,
+    select_stages,
+)
+from .results import PopularHomograph, StudyResults
+from .stages import (
+    BlacklistStage,
+    ClassifyStage,
+    DnsProbeStage,
+    PopularityStage,
+    PortScanStage,
+    RevertStage,
+)
 
 __all__ = ["PopularHomograph", "StudyResults", "MeasurementStudy"]
-
-
-@dataclass(frozen=True)
-class PopularHomograph:
-    """One row of the paper's Table 11."""
-
-    domain_unicode: str
-    domain_ascii: str
-    category: str
-    resolutions: int
-    has_mx: bool
-    had_mx_in_past: bool
-    web_link: bool
-    sns_link: bool
-
-
-@dataclass
-class StudyResults:
-    """Everything a measurement run produced, keyed by the paper's tables."""
-
-    dataset_table: list[tuple[str, int, int]] = field(default_factory=list)
-    language_table: list[tuple[str, int, float]] = field(default_factory=list)
-    detection_counts: dict[str, int] = field(default_factory=dict)
-    detection_report: DetectionReport = field(default_factory=DetectionReport)
-    detection_timing: DetectionTiming | None = None
-    top_targets: list[tuple[str, int]] = field(default_factory=list)
-    ns_count: int = 0
-    no_a_count: int = 0
-    portscan: PortScanSummary = field(default_factory=PortScanSummary)
-    popular_homographs: list[PopularHomograph] = field(default_factory=list)
-    classification: ClassificationReport = field(default_factory=ClassificationReport)
-    redirect_intents: Counter = field(default_factory=Counter)
-    blacklist_table: dict[str, dict[str, int]] = field(default_factory=dict)
-    reverted_outside_reference: dict[str, str] = field(default_factory=dict)
-    idn_count: int = 0
-    #: Populated when detection ran through the streaming scan pipeline.
-    scan_stats: ScanStats | None = None
-
-    def summary(self) -> dict:
-        """Compact dictionary used by the CLI and EXPERIMENTS.md generator."""
-        return {
-            "domains": self.dataset_table[-1][1] if self.dataset_table else 0,
-            "idns": self.idn_count,
-            "detections": self.detection_counts,
-            "top_targets": self.top_targets,
-            "with_ns": self.ns_count,
-            "without_a": self.no_a_count,
-            "reachable": self.portscan.reachable_count,
-            "categories": dict(self.classification.category_counts()),
-            "redirect_intents": dict(self.redirect_intents),
-            "blacklists": self.blacklist_table,
-            "reverted_outside_reference": len(self.reverted_outside_reference),
-        }
 
 
 class MeasurementStudy:
@@ -265,14 +236,123 @@ class MeasurementStudy:
                 continue
         return self.finder.reverter.targets_outside_reference(labels, top_labels)
 
+    # -- enrichment pipeline -----------------------------------------------------
+
+    def enrichment_stages(self) -> list[EnrichmentStage]:
+        """The default stage adapters wired over this study's clients.
+
+        New probes plug in here (or are passed straight to
+        :class:`PipelineRunner`) as one adapter each.
+        """
+        return [
+            DnsProbeStage(self.resolver),
+            PortScanStage(self.scanner),
+            PopularityStage(self.passive_dns, self.population.web),
+            ClassifyStage(
+                self.population.web,
+                crawler=self.crawler,
+                blacklists=self.population.blacklists,
+            ),
+            BlacklistStage(self.population.blacklists),
+            RevertStage(self.finder.reverter, self.population.reference),
+        ]
+
     # -- full pipeline -----------------------------------------------------------------
 
-    def run(self, *, streaming: bool = False, chunk_size: int = 2000, jobs: int = 1) -> StudyResults:
-        """Run every stage and collect the paper-shaped tables.
+    def run(
+        self,
+        *,
+        streaming: bool = False,
+        chunk_size: int = 2000,
+        jobs: int = 1,
+        batch_size: int = 256,
+        stages: list[str] | None = None,
+        output_dir: str | os.PathLike | None = None,
+        resume: bool = False,
+        keep_detections: bool = True,
+        progress: Callable[[StageEvent], None] | None = None,
+    ) -> StudyResults:
+        """Run detection plus the enrichment pipeline; paper-shaped tables.
 
-        With ``streaming=True`` the detection stage goes through the
-        chunked/sharded scan pipeline instead of one in-memory pass — same
-        detections, plus :attr:`StudyResults.scan_stats`.
+        * ``streaming=True`` routes detection through the chunked/sharded
+          scan pipeline; with an ``output_dir`` the detections additionally
+          go through a durable JSONL sink (``detections.jsonl``) that the
+          enrichment stages then consume chunk-by-chunk.
+        * ``jobs`` bounds both the detection worker shards and the shared
+          enrichment executor; ``batch_size`` is the intra-stage batch (and
+          stage checkpoint) granularity.
+        * ``stages`` selects a stage subset by name (dependencies are pulled
+          in automatically); unrun stages leave their results at defaults.
+        * With ``output_dir`` every stage persists ``stage_<name>.jsonl`` +
+          checkpoint; ``resume=True`` continues an interrupted run.
+        * ``keep_detections=False`` skips loading the sink back into
+          :attr:`StudyResults.detection_report` (zone-scale runs).
+        """
+        if resume and output_dir is None:
+            raise ValueError("resume=True requires an output_dir to resume from")
+
+        results = StudyResults()
+        results.dataset_table = self.dataset_statistics()
+        results.idn_count = len(self.extract_idns())
+        results.language_table = self.language_statistics()
+
+        if streaming and output_dir is not None:
+            output_dir = Path(output_dir)
+            output_dir.mkdir(parents=True, exist_ok=True)
+            sink = output_dir / "detections.jsonl"
+            scanner = StreamingScanner(
+                self.finder,
+                self.population.reference.domains(),
+                chunk_size=chunk_size,
+                jobs=jobs,
+            )
+            stats = scanner.scan(self.population.all_domains, sink, resume=resume)
+            results.scan_stats = stats
+            results.detection_timing = DetectionTiming(
+                reference_count=scanner.prepared.domain_count,
+                idn_count=stats.idn_count,
+                total_seconds=stats.elapsed_seconds,
+                skipped_count=stats.skipped_count,
+            )
+            if keep_detections:
+                # One sink pass serves both the report and its summary.
+                results.detection_report = read_sink(sink)
+                summary = DetectionSummary.from_report(results.detection_report)
+            else:
+                summary = DetectionSummary.from_sink(sink, chunk_size=chunk_size)
+        elif streaming:
+            detection, results.detection_timing, results.scan_stats = (
+                self.detect_homographs_streaming(chunk_size=chunk_size, jobs=jobs)
+            )
+            results.detection_report = detection
+            summary = DetectionSummary.from_report(detection)
+        else:
+            detection, results.detection_timing = self.detect_homographs()
+            results.detection_report = detection
+            summary = DetectionSummary.from_report(detection)
+
+        results.detection_counts = summary.count_by_database()
+        results.top_targets = summary.top_targets(5)
+        results.detected_idn_count = len(summary.detected_idns)
+
+        stage_objects = self.enrichment_stages()
+        if stages is not None:
+            stage_objects = select_stages(stage_objects, stages)
+        runner = PipelineRunner(
+            stage_objects,
+            jobs=jobs,
+            batch_size=batch_size,
+            output_dir=Path(output_dir) / "stages" if output_dir is not None else None,
+            resume=resume,
+        )
+        return runner.run(summary, results, progress=progress)
+
+    def run_legacy(self, *, streaming: bool = False, chunk_size: int = 2000, jobs: int = 1) -> StudyResults:
+        """The pre-pipeline serial implementation, kept for equivalence.
+
+        Probes one domain at a time with the full detection report in
+        memory; :meth:`run` must produce byte-identical
+        :meth:`StudyResults.summary` output.
         """
         results = StudyResults()
         results.dataset_table = self.dataset_statistics()
@@ -291,6 +371,7 @@ class MeasurementStudy:
         results.top_targets = detection.top_targets(5)
 
         detected = detection.detected_idns()
+        results.detected_idn_count = len(detected)
         with_ns, without_a, with_a = self.probe_registrations(detected)
         results.ns_count = len(with_ns)
         results.no_a_count = len(without_a)

@@ -89,6 +89,19 @@ class BlacklistAggregator:
         """Names of the feeds listing the domain."""
         return sorted(name for name, feed in self._feeds.items() if domain in feed)
 
+    def feeds_listing_many(self, domains: Iterable[str]) -> list[list[str]]:
+        """Batched :meth:`feeds_listing`, in input order (pipeline API).
+
+        Normalises each domain once instead of once per feed, so checking a
+        large candidate set against every feed stays O(domains · feeds) set
+        probes.
+        """
+        feeds = sorted(self._feeds.items())
+        return [
+            [name for name, feed in feeds if normalized in feed.entries]
+            for normalized in (d.lower().rstrip(".") for d in domains)
+        ]
+
     def hits_by_feed(self, domains: Iterable[str]) -> dict[str, list[str]]:
         """Per-feed hits over a candidate set (Table 14 columns)."""
         domains = list(domains)

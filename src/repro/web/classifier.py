@@ -150,12 +150,13 @@ class WebsiteClassifier:
 
     # -- campaigns -----------------------------------------------------------------
 
+    def classify_many(self, domains: Iterable[str]) -> list[ClassifiedSite]:
+        """Batched classification, results in input order (pipeline API)."""
+        return [self.classify(domain) for domain in domains]
+
     def classify_all(self, domains: Iterable[str]) -> ClassificationReport:
         """Classify a whole set of (active) domains."""
-        report = ClassificationReport()
-        for domain in domains:
-            report.sites.append(self.classify(domain))
-        return report
+        return ClassificationReport(self.classify_many(domains))
 
 
 def _is_empty_body(body: str) -> bool:

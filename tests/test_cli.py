@@ -92,6 +92,29 @@ def test_inspect_invalid_domain(capsys):
     assert "invalid domain" in capsys.readouterr().err
 
 
+def test_parser_accepts_measure_pipeline_options():
+    parser = build_parser()
+    args = parser.parse_args([
+        "measure", "--streaming", "--jobs", "4", "--batch-size", "64",
+        "--stages", "dns,classify", "--output-dir", "out", "--resume",
+    ])
+    assert args.streaming and args.resume
+    assert args.jobs == 4 and args.batch_size == 64
+    assert args.stages == "dns,classify"
+
+
+def test_measure_resume_requires_output_dir(capsys):
+    rc = main(["measure", "--resume"])
+    assert rc == 2
+    assert "--output-dir" in capsys.readouterr().err
+
+
+def test_measure_legacy_rejects_pipeline_options(capsys):
+    rc = main(["measure", "--legacy", "--stages", "dns"])
+    assert rc == 2
+    assert "--legacy" in capsys.readouterr().err
+
+
 def test_parser_accepts_scan_options(tmp_path):
     parser = build_parser()
     args = parser.parse_args([

@@ -79,3 +79,43 @@ def test_measure_json_output(capsys):
     payload = json.loads(capsys.readouterr().out)
     assert "detections" in payload and "blacklists" in payload
     assert payload["detections"]["UC ∪ SimChar"] >= payload["detections"]["UC"]
+    assert [t["name"] for t in payload["stage_timings"]] == [
+        "dns", "portscan", "popularity", "classify", "blacklist", "revert",
+    ]
+
+
+@pytest.mark.slow
+def test_measure_streaming_pipeline_with_stage_subset(tmp_path, capsys):
+    out_dir = tmp_path / "study"
+    rc = main(["measure", "--scale", "0.01", "--seed", "7", "--json",
+               "--streaming", "--jobs", "2", "--stages", "portscan,blacklist",
+               "--output-dir", str(out_dir)])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert {t["name"] for t in payload["stage_timings"]} == {
+        "dns", "portscan", "blacklist",
+    }
+    assert (out_dir / "detections.jsonl").exists()
+    assert (out_dir / "stages" / "stage_portscan.jsonl").exists()
+    assert not (out_dir / "stages" / "stage_classify.jsonl").exists()
+
+    # The same invocation with --resume skips everything already durable.
+    rc = main(["measure", "--scale", "0.01", "--seed", "7", "--json",
+               "--streaming", "--jobs", "2", "--stages", "portscan,blacklist",
+               "--output-dir", str(out_dir), "--resume"])
+    assert rc == 0
+    resumed = json.loads(capsys.readouterr().out)
+    assert all(t["resumed"] for t in resumed["stage_timings"])
+    assert resumed["with_ns"] == payload["with_ns"]
+    assert resumed["blacklists"] == payload["blacklists"]
+
+
+@pytest.mark.slow
+def test_measure_legacy_matches_pipeline(capsys):
+    argv = ["measure", "--scale", "0.01", "--seed", "7", "--json"]
+    assert main(argv) == 0
+    piped = json.loads(capsys.readouterr().out)
+    piped.pop("stage_timings")
+    assert main(argv + ["--legacy"]) == 0
+    legacy = json.loads(capsys.readouterr().out)
+    assert legacy == piped

@@ -56,3 +56,21 @@ def test_record_set_iteration_sorted():
         ResourceRecord("a.com", RRType.A, "203.0.113.1"),
     ])
     assert [r.name for r in records] == ["a.com", "b.com"]
+
+
+def test_record_set_remove_name_via_owner_index():
+    records = RecordSet([
+        ResourceRecord("a.com", RRType.NS, "ns1.a.net"),
+        ResourceRecord("a.com", RRType.NS, "ns2.a.net"),
+        ResourceRecord("a.com", RRType.A, "203.0.113.1"),
+        ResourceRecord("b.com", RRType.A, "203.0.113.2"),
+    ])
+    assert records.remove_name("A.COM.") == 3            # normalised, all types
+    assert len(records) == 1
+    assert records.names() == {"b.com"}
+    assert records.lookup("a.com", RRType.NS) == []
+    assert records.remove_name("a.com") == 0             # idempotent
+    # Re-adding after removal works and reindexes the owner.
+    records.add(ResourceRecord("a.com", RRType.A, "203.0.113.3"))
+    assert records.names() == {"a.com", "b.com"}
+    assert records.remove_name("a.com") == 1

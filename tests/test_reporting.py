@@ -22,6 +22,20 @@ def test_report_is_valid_markdown_tables(study_results):
             assert header.count("|") == line.count("|")
 
 
+def test_report_renders_stage_timings(study_results):
+    # The session results ran through the enrichment pipeline, so the
+    # per-stage timing table is present and names every stage.
+    report = render_markdown_report(study_results)
+    assert "Enrichment pipeline" in report
+    for stage in ("dns", "portscan", "popularity", "classify", "blacklist", "revert"):
+        assert f"| {stage} |" in report
+
+
+def test_report_without_stage_timings_omits_section(study):
+    report = render_markdown_report(study.run_legacy())
+    assert "Enrichment pipeline" not in report
+
+
 def test_report_mentions_headline_values(study_results):
     report = render_markdown_report(study_results)
     assert "UC ∪ SimChar" in report

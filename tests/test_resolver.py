@@ -64,6 +64,66 @@ def test_resolver_predicates():
     assert resolver.has_mx("mail.example.com")
 
 
+def test_store_generation_counts_mutations():
+    store = AuthoritativeStore()
+    assert store.generation == 0
+    store.add(ResourceRecord("a.com", RRType.NS, "ns1.a.net"))
+    first = store.generation
+    assert first > 0
+    store.remove_name("a.com")
+    assert store.generation > first
+    # Removing an absent name is a no-op and must not invalidate caches.
+    unchanged = store.generation
+    store.remove_name("never-there.com")
+    assert store.generation == unchanged
+
+
+def test_resolver_cache_invalidated_by_expiration():
+    # Regression: the resolver used to serve cached answers forever, so an
+    # expire-then-reprobe sequence between pipeline stages saw stale NS/A.
+    store = _store()
+    resolver = StubResolver(store)
+    assert resolver.has_ns("example.com")
+    assert resolver.has_a("example.com")
+    store.remove_name("example.com")
+    assert not resolver.has_ns("example.com")
+    assert not resolver.has_a("example.com")
+
+
+def test_resolver_cache_invalidated_by_new_records():
+    store = _store()
+    resolver = StubResolver(store)
+    assert not resolver.has_a("noaddress.com")
+    store.add(ResourceRecord("noaddress.com", RRType.A, "203.0.113.9"))
+    assert resolver.has_a("noaddress.com")
+
+
+def test_resolver_cache_still_hits_while_store_is_stable():
+    resolver = StubResolver(_store())
+    resolver.query("example.com", RRType.A)
+    resolver.query("example.com", RRType.A)
+    assert resolver.cache_hits == 1
+
+
+def test_resolver_batch_registration_status():
+    resolver = StubResolver(_store())
+    status = resolver.registration_status(
+        ["example.com", "noaddress.com", "missing.com"]
+    )
+    assert status == [(True, True), (True, False), (False, False)]
+    # An expired domain is never address-probed (the Section 6.1 funnel):
+    # only the two delegated domains got an A query.
+    a_queries = resolver.queries_sent - 3  # 3 NS queries above
+    assert a_queries == 2
+
+
+def test_query_many_orders_match_input():
+    resolver = StubResolver(_store())
+    responses = resolver.query_many(["example.com", "missing.com"], RRType.A)
+    assert [r.name for r in responses] == ["example.com", "missing.com"]
+    assert not responses[0].is_empty and responses[1].is_empty
+
+
 def test_passive_dns_observes_resolver():
     resolver = StubResolver(_store())
     collector = PassiveDNSCollector()
