@@ -12,7 +12,10 @@ Sub-commands:
   the concurrent enrichment pipeline, with ``--streaming``/``--jobs``/
   ``--stages``/``--resume``) and print the paper-shaped tables;
 * ``scan``      — streaming zone-scale scan: chunked input, sharded workers,
-  JSONL result sink with checkpoint/resume.
+  JSONL result sink with checkpoint/resume;
+* ``track``     — longitudinal day-over-day tracking of dated zone
+  snapshots: diff-driven incremental scans, persistent homograph timeline
+  store with checkpoint/resume (paper Tables 6-7, Section 6.4).
 """
 
 from __future__ import annotations
@@ -34,7 +37,9 @@ from .idn.domain import DomainName
 from .idn.idna_codec import IDNAError
 from .measurement.alexa import ReferenceList
 from .measurement.domainlists import ZoneConfig, generate_population
+from .measurement.longitudinal import DayReport, LongitudinalTracker, TrackResumeError
 from .measurement.pipeline import PipelineError
+from .measurement.reporting import render_tracking_report
 from .measurement.study import MeasurementStudy
 
 __all__ = ["main", "build_parser", "positive_int"]
@@ -132,6 +137,28 @@ def build_parser() -> argparse.ArgumentParser:
                       help="match every input name, not only the xn-- IDNs")
     scan.add_argument("--progress-every", type=positive_int, default=None,
                       help="print a progress line every N chunks")
+
+    track = sub.add_parser("track", help="longitudinal tracking of dated zone snapshots")
+    track.add_argument("--snapshot", "-s", action="append", required=True,
+                       metavar="DATE=PATH",
+                       help="dated zone snapshot (YYYY-MM-DD=zonefile); repeatable")
+    track.add_argument("--state-dir", type=Path, required=True,
+                       help="directory for the timeline store and checkpoint")
+    track.add_argument("--reference", nargs="*", default=None, help="reference domains")
+    track.add_argument("--reference-file", type=Path, help="file with one reference per line")
+    track.add_argument("--database", type=Path, help="homoglyph database JSON (default: build)")
+    track.add_argument("--cache-dir", type=Path, default=None,
+                       help="SimChar build cache used when no --database is given")
+    track.add_argument("--jobs", "-j", type=positive_int, default=1,
+                       help="worker processes for the per-day scan shards")
+    track.add_argument("--chunk-size", type=positive_int, default=2000,
+                       help="scan input lines per chunk")
+    track.add_argument("--resume", action="store_true",
+                       help="continue from the state-dir checkpoint, skipping "
+                            "already-processed dates")
+    track.add_argument("--report", type=Path, default=None,
+                       help="write the per-day markdown report to this path")
+    track.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
     return parser
 
@@ -327,6 +354,66 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_track(args: argparse.Namespace) -> int:
+    snapshots: list[tuple[str, str]] = []
+    for item in args.snapshot:
+        date, separator, path = item.partition("=")
+        if not separator or not date or not path:
+            print(f"--snapshot must be DATE=PATH, got {item!r}", file=sys.stderr)
+            return 2
+        snapshots.append((date, path))
+    reference = list(args.reference or []) + _load_lines(args.reference_file)
+    if not reference:
+        reference = ReferenceList.top_sites(1000).domains()
+    finder = _default_finder(args.database, args.cache_dir)
+    tracker = LongitudinalTracker(
+        finder,
+        reference,
+        args.state_dir,
+        chunk_size=args.chunk_size,
+        jobs=args.jobs,
+    )
+
+    def progress(report: DayReport) -> None:
+        print(
+            f"{report.date}: {report.idns:,} IDNs "
+            f"(+{report.added}/-{report.removed}), scanned {report.scanned:,}, "
+            f"{report.new_homographs} new / {report.retired_homographs} retired, "
+            f"{report.active_homographs} active"
+            + (" [full rescan]" if report.full_rescan else ""),
+            file=sys.stderr,
+        )
+
+    try:
+        result = tracker.track(snapshots, resume=args.resume, progress=progress)
+    except (TrackResumeError, ValueError) as exc:
+        print(f"cannot track: {exc}", file=sys.stderr)
+        return 2
+    if args.report is not None:
+        args.report.write_text(render_tracking_report(result), encoding="utf-8")
+    if args.json:
+        payload = {
+            "state_dir": str(args.state_dir),
+            "stats": result.stats.as_dict(),
+            "days": [report.as_dict() for report in result.day_reports],
+            "active": [entry.as_dict() for entry in result.timeline.active_entries()],
+        }
+        print(json.dumps(payload, ensure_ascii=False, indent=2))
+        return 0
+    print(f"== Tracking ({len(result.day_reports)} days) ==")
+    for report in result.day_reports:
+        print(f"  {report.date}  {report.idns:>8,} IDNs  +{report.added:<5} "
+              f"-{report.removed:<5} {report.new_homographs:>4} new  "
+              f"{report.retired_homographs:>4} retired  "
+              f"{report.active_homographs:>5} active")
+    print("== Active homographs ==")
+    for entry in result.timeline.active_entries():
+        revert = f"  reverts to {entry.revert}" if entry.revert else ""
+        print(f"  {entry.unicode:<28} imitates {', '.join(entry.references)} "
+              f"(first seen {entry.first_seen}){revert}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point."""
     parser = build_parser()
@@ -337,6 +424,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "inspect": _cmd_inspect,
         "measure": _cmd_measure,
         "scan": _cmd_scan,
+        "track": _cmd_track,
     }
     return handlers[args.command](args)
 

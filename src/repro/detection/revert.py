@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from ..homoglyph.database import HomoglyphDatabase
+from .algorithm import fold_label
 
 __all__ = ["RevertedDomain", "HomographReverter"]
 
@@ -59,8 +60,14 @@ class HomographReverter:
         The best candidates are those where every non-ASCII character could
         be mapped to an ASCII homoglyph; labels containing characters with
         no ASCII counterpart keep those characters unchanged.
+
+        Case is folded with the same length-preserving
+        :func:`~repro.detection.algorithm.fold_label` the matcher uses:
+        ``str.lower()`` can change the label's length (U+0130 "İ" lowers to
+        "i" plus a combining dot), which would misalign every subsequent
+        ``substituted_positions`` entry relative to the original label.
         """
-        label = label.lower()
+        label = fold_label(label)
         per_position: list[list[str]] = []
         substituted: list[int] = []
         for position, char in enumerate(label):

@@ -154,6 +154,7 @@ def recover_sink(
     *,
     expected_lines: int | None = None,
     dry_run: bool = False,
+    line_validator: Callable[[bytes], bool] | None = None,
 ) -> SinkRecovery:
     """Validate a sink file, truncating trailing damage (unless *dry_run*).
 
@@ -163,8 +164,14 @@ def recover_sink(
     checkpointed and would be re-emitted by the resumed scan.  With
     ``dry_run=True`` the file is only inspected, never modified, so a
     caller can refuse to proceed before any data is discarded.
+
+    *line_validator* overrides the well-formedness test, so other JSONL
+    sinks with the same durability discipline (the longitudinal timeline
+    store) can share the recovery logic.
     """
     path = Path(path)
+    if line_validator is None:
+        line_validator = _is_valid_sink_line
     if not path.exists():
         return SinkRecovery(0, 0, 0)
     valid = 0
@@ -173,7 +180,7 @@ def recover_sink(
     dropped_uncheckpointed = 0
     with open(path, "rb") as handle:
         for line in handle:
-            if not _is_valid_sink_line(line):
+            if not line_validator(line):
                 dropped_corrupt += 1
                 break
             if expected_lines is not None and valid >= expected_lines:
@@ -268,6 +275,10 @@ def is_idn_candidate(domain: str) -> bool:
     without paying a full parse — an ASCII name under an IDN TLD
     (``example.xn--p1ai``) is *not* a candidate.
     """
+    # Cheap substring reject for the ~99% non-IDN zone bulk, sparing them
+    # the rstrip/split label dissection below.
+    if "xn--" not in domain.lower():
+        return False
     labels = domain.lower().rstrip(".").split(".")
     registrable = labels[-2] if len(labels) >= 2 else labels[0]
     return registrable.startswith("xn--")

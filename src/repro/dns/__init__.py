@@ -4,9 +4,25 @@ from .passive_dns import ClientPopulation, PassiveDNSCollector
 from .portscan import PortScanner, PortScanResult, PortScanSummary
 from .records import DEFAULT_TTL, RecordSet, ResourceRecord, RRType
 from .resolver import AuthoritativeStore, DNSResponse, ResponseCode, StubResolver
+from .zonediff import (
+    DelegationChange,
+    ZoneDelta,
+    ZoneDeltaError,
+    apply_delta,
+    diff_delegations,
+    diff_zones,
+    read_delegations,
+)
 from .zonefile import ZoneFile
 
 __all__ = [
+    "DelegationChange",
+    "ZoneDelta",
+    "ZoneDeltaError",
+    "apply_delta",
+    "diff_delegations",
+    "diff_zones",
+    "read_delegations",
     "ClientPopulation",
     "PassiveDNSCollector",
     "PortScanner",

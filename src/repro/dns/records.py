@@ -73,20 +73,33 @@ class ResourceRecord:
 
 
 class RecordSet:
-    """A multiset of records grouped by ``(name, type)``."""
+    """A multiset of records grouped by ``(name, type)``.
+
+    Every mutation bumps :attr:`generation`, so views computed over the set
+    (the sorted domain list of a :class:`~repro.dns.zonefile.ZoneFile`) can
+    be memoized and invalidated without observing individual mutations —
+    the same idiom as :class:`~repro.dns.resolver.AuthoritativeStore`.
+    """
 
     def __init__(self, records: Iterable[ResourceRecord] = ()) -> None:
         self._by_key: dict[tuple[str, RRType], list[ResourceRecord]] = {}
         self._types_by_name: dict[str, set[RRType]] = {}
+        self._generation = 0
         for record in records:
             self.add(record)
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter incremented by every mutation."""
+        return self._generation
 
     def add(self, record: ResourceRecord) -> None:
         """Add a record (duplicates are ignored)."""
         bucket = self._by_key.setdefault((record.name, record.rtype), [])
         if record not in bucket:
             bucket.append(record)
-        self._types_by_name.setdefault(record.name, set()).add(record.rtype)
+            self._types_by_name.setdefault(record.name, set()).add(record.rtype)
+            self._generation += 1
 
     def remove_name(self, name: str) -> int:
         """Delete every record of an owner name; returns how many were removed.
@@ -98,6 +111,8 @@ class RecordSet:
         removed = 0
         for rtype in self._types_by_name.pop(name, ()):
             removed += len(self._by_key.pop((name, rtype), ()))
+        if removed:
+            self._generation += 1
         return removed
 
     def lookup(self, name: str, rtype: RRType) -> list[ResourceRecord]:

@@ -6,6 +6,11 @@ models a zone file as an ordered collection of delegations, supports the
 standard presentation format (parse/serialise), and offers the "extract
 registered domain names" and "extract IDNs" views the measurement pipeline
 needs (paper Section 5, Table 6).
+
+The sorted domain and IDN views are memoized against the record set's
+:attr:`~repro.dns.records.RecordSet.generation` counter, so ``len(zone)``
+and repeated iteration are O(1) after the first computation instead of
+re-sorting the whole record set on every call.
 """
 
 from __future__ import annotations
@@ -26,15 +31,28 @@ class ZoneFile:
 
     tld: str
     records: RecordSet = field(default_factory=RecordSet)
+    _view_generation: int = field(default=-1, init=False, repr=False, compare=False)
+    _domains_view: list[str] = field(default_factory=list, init=False, repr=False, compare=False)
+    _idns_view: list[str] = field(default_factory=list, init=False, repr=False, compare=False)
 
     # -- building -----------------------------------------------------------
 
     def add_delegation(self, domain: str, nameservers: Iterable[str], *, ttl: int = 172800) -> None:
-        """Add NS records delegating *domain* to *nameservers*."""
+        """Add NS records delegating *domain* to *nameservers*.
+
+        Nameserver names are normalized (lowercased, trailing dot stripped)
+        and deduplicated, so case-variant NS targets cannot create duplicate
+        records or make :meth:`nameservers_of` return inconsistent data.
+        """
         domain = domain.lower().rstrip(".")
         if not domain.endswith("." + self.tld):
             raise ValueError(f"{domain!r} does not belong to the .{self.tld} zone")
+        seen: set[str] = set()
         for ns in nameservers:
+            ns = ns.lower().rstrip(".")
+            if not ns or ns in seen:
+                continue
+            seen.add(ns)
             self.records.add(ResourceRecord(domain, RRType.NS, ns, ttl))
 
     def add_record(self, record: ResourceRecord) -> None:
@@ -43,34 +61,57 @@ class ZoneFile:
 
     # -- views ---------------------------------------------------------------
 
-    def domains(self) -> list[str]:
-        """All delegated (registered) domain names, sorted."""
-        return sorted(
+    def _refresh_views(self) -> None:
+        """Recompute the memoized domain/IDN views when the records changed."""
+        generation = self.records.generation
+        if generation == self._view_generation:
+            return
+        self._domains_view = sorted(
             name for name in self.records.names()
             if name.endswith("." + self.tld) and self.records.lookup(name, RRType.NS)
         )
+        suffix_length = len(self.tld) + 1
+        self._idns_view = [
+            domain for domain in self._domains_view
+            if is_ace_label(domain[:-suffix_length].split(".")[-1])
+        ]
+        self._view_generation = generation
+
+    def domains(self) -> list[str]:
+        """All delegated (registered) domain names, sorted."""
+        self._refresh_views()
+        return list(self._domains_view)
 
     def domain_count(self) -> int:
         """Number of delegated domains (Table 6 "Number of domain names")."""
-        return len(self.domains())
+        self._refresh_views()
+        return len(self._domains_view)
 
     def idns(self) -> list[str]:
         """Delegated domains whose registrable label is an A-label (Table 6 IDNs)."""
-        result = []
-        for domain in self.domains():
-            label = domain[: -(len(self.tld) + 1)].split(".")[-1]
-            if is_ace_label(label):
-                result.append(domain)
-        return result
+        self._refresh_views()
+        return list(self._idns_view)
 
     def idn_fraction(self) -> float:
         """Fraction of delegated domains that are IDNs."""
-        count = self.domain_count()
-        return len(self.idns()) / count if count else 0.0
+        self._refresh_views()
+        count = len(self._domains_view)
+        return len(self._idns_view) / count if count else 0.0
 
     def nameservers_of(self, domain: str) -> list[str]:
         """NS targets of a delegated domain."""
         return [record.rdata for record in self.records.lookup(domain, RRType.NS)]
+
+    def delegations(self) -> Iterator[tuple[str, tuple[str, ...]]]:
+        """Sorted ``(domain, nameservers)`` pairs of every delegation.
+
+        Nameserver tuples are sorted and deduplicated, so two zones with the
+        same delegations compare equal regardless of insertion order — the
+        canonical stream :mod:`repro.dns.zonediff` merges over.
+        """
+        self._refresh_views()
+        for domain in self._domains_view:
+            yield domain, tuple(sorted({ns.lower() for ns in self.nameservers_of(domain)}))
 
     def __contains__(self, domain: str) -> bool:
         return bool(self.records.lookup(domain.lower().rstrip("."), RRType.NS))

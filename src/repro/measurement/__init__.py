@@ -8,6 +8,16 @@ from .domainlists import (
     ZoneConfig,
     generate_population,
 )
+from .longitudinal import (
+    DayReport,
+    HomographTimeline,
+    LongitudinalTracker,
+    TimelineEntry,
+    TrackCheckpoint,
+    TrackResult,
+    TrackResumeError,
+    TrackStats,
+)
 from .pipeline import (
     DetectionSummary,
     EnrichmentStage,
@@ -28,6 +38,14 @@ __all__ = [
     "InjectedHomograph",
     "ZoneConfig",
     "generate_population",
+    "DayReport",
+    "HomographTimeline",
+    "LongitudinalTracker",
+    "TimelineEntry",
+    "TrackCheckpoint",
+    "TrackResult",
+    "TrackResumeError",
+    "TrackStats",
     "DetectionSummary",
     "EnrichmentStage",
     "GenerationCache",

@@ -3,13 +3,17 @@
 Turns a :class:`~repro.measurement.study.StudyResults` object into the
 paper-shaped tables as GitHub-flavoured markdown, so a measurement run can
 be archived or diffed directly against EXPERIMENTS.md.
+:func:`render_tracking_report` does the same for a longitudinal tracking
+run — the per-day Table 6/7-style churn rows plus the homograph timeline
+with its Section 6.4 revert targets.
 """
 
 from __future__ import annotations
 
+from .longitudinal import TrackResult
 from .study import StudyResults
 
-__all__ = ["render_markdown_report"]
+__all__ = ["render_markdown_report", "render_tracking_report"]
 
 
 def _markdown_table(headers: list[str], rows: list[tuple]) -> str:
@@ -106,5 +110,55 @@ def render_markdown_report(results: StudyResults, *, title: str = "ShamFinder me
               f"{timing.seconds:.3f}", "yes" if timing.resumed else "")
              for timing in results.stage_timings],
         ))
+
+    return "\n".join(sections) + "\n"
+
+
+def render_tracking_report(
+    result: TrackResult,
+    *,
+    title: str = "Longitudinal homograph tracking report",
+) -> str:
+    """Render a tracking run as a markdown document.
+
+    The per-day table follows the paper's Tables 6-7 (domain/IDN counts per
+    daily snapshot, plus the churn the diff observed); the timeline tables
+    list each homograph's lifecycle with its Section 6.4 revert target.
+    """
+    sections: list[str] = [f"# {title}", ""]
+
+    sections.append("## Per-day zone churn (Tables 6-7 over time)")
+    sections.append(_markdown_table(
+        ["date", "domains", "IDNs", "added", "removed", "NS-changed",
+         "scanned", "new", "retired", "active", "full rescan"],
+        [(report.date, f"{report.domains:,}", f"{report.idns:,}", report.added,
+          report.removed, report.ns_changed, f"{report.scanned:,}",
+          report.new_homographs, report.retired_homographs,
+          report.active_homographs, "yes" if report.full_rescan else "")
+         for report in result.day_reports],
+    ))
+
+    def _timeline_rows(entries):
+        return [
+            (entry.unicode, ", ".join(entry.references),
+             entry.revert or "", entry.first_seen, entry.last_seen,
+             entry.retired_on or "")
+            for entry in entries
+        ]
+
+    timeline = result.timeline
+    sections.append("\n## Active homographs")
+    sections.append(_markdown_table(
+        ["homograph", "imitates", "revert target (§6.4)",
+         "first seen", "last seen", "retired"],
+        _timeline_rows(timeline.active_entries()),
+    ))
+
+    sections.append("\n## Retired homographs")
+    sections.append(_markdown_table(
+        ["homograph", "imitates", "revert target (§6.4)",
+         "first seen", "last seen", "retired"],
+        _timeline_rows(timeline.retired_entries()),
+    ))
 
     return "\n".join(sections) + "\n"

@@ -150,6 +150,66 @@ def test_scan_subcommand_end_to_end(tmp_path, capsys, union_db):
     assert (tmp_path / "results.jsonl.checkpoint").exists()
 
 
+def test_parser_accepts_track_options():
+    parser = build_parser()
+    args = parser.parse_args([
+        "track", "-s", "2019-05-01=day1.zone", "-s", "2019-05-02=day2.zone",
+        "--state-dir", "state", "--jobs", "2", "--chunk-size", "100",
+        "--resume", "--report", "report.md",
+    ])
+    assert args.command == "track"
+    assert args.snapshot == ["2019-05-01=day1.zone", "2019-05-02=day2.zone"]
+    assert args.jobs == 2 and args.resume
+
+
+def test_track_rejects_malformed_snapshot_argument(tmp_path, capsys, union_db):
+    db_path = tmp_path / "db.json"
+    union_db.save(db_path)
+    rc = main(["track", "-s", "no-separator", "--state-dir", str(tmp_path / "state"),
+               "--database", str(db_path), "--reference", "google.com"])
+    assert rc == 2
+    assert "DATE=PATH" in capsys.readouterr().err
+
+
+def test_track_subcommand_end_to_end(tmp_path, capsys, union_db):
+    db_path = tmp_path / "db.json"
+    union_db.save(db_path)
+
+    def snapshot(date, domains):
+        path = tmp_path / f"{date}.zone"
+        path.write_text(
+            "".join(f"{d}.\t172800\tIN\tNS\tns1.host.net.\n" for d in domains),
+            encoding="utf-8",
+        )
+        return f"{date}={path}"
+
+    day1 = snapshot("2019-05-01", ["example.com", "xn--ggle-55da.com"])
+    day2 = snapshot("2019-05-02",
+                    ["example.com", "xn--ggle-55da.com", "xn--facbook-dya.com"])
+    state_dir = tmp_path / "state"
+    report_path = tmp_path / "report.md"
+    base = ["track", "-s", day1, "-s", day2, "--state-dir", str(state_dir),
+            "--reference", "google.com", "facebook.com",
+            "--database", str(db_path), "--report", str(report_path), "--json"]
+    rc = main(base)
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["stats"]["days_done"] == 2
+    assert [day["new_homographs"] for day in payload["days"]] == [1, 1]
+    assert {entry["idn"] for entry in payload["active"]} == {
+        "xn--ggle-55da.com", "xn--facbook-dya.com"}
+    assert (state_dir / "timeline.jsonl").exists()
+    assert (state_dir / "state.json").exists()
+    assert "Per-day zone churn" in report_path.read_text(encoding="utf-8")
+
+    # A second resumed invocation skips both processed days.
+    rc = main(base + ["--resume"])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["stats"]["days_resumed"] == 2
+    assert payload["stats"]["days_done"] == 0
+
+
 def test_scan_resume_refuses_changed_input(tmp_path, capsys, union_db):
     db_path = tmp_path / "db.json"
     union_db.save(db_path)

@@ -65,6 +65,27 @@ def test_targets_outside_reference():
     assert mapping.get("аllstate") == "allstate"       # outside the reference list
 
 
+def test_u0130_fold_preserves_substitution_positions():
+    # str.lower() turns U+0130 "İ" into "i" + a combining dot (two chars),
+    # which used to shift every later substituted position off by one.  The
+    # reverter now folds with the same length-preserving fold_label as the
+    # matcher (the PR-2 regression, mirrored for Section 6.4).
+    db = HomoglyphDatabase()
+    db.add_pair("İ", "i", source=SOURCE_UC)
+    db.add_pair("о", "o", source=SOURCE_UC)
+    reverter = HomographReverter(db)
+
+    label = "İxо"
+    assert len(label.lower()) == 4             # the hazard being guarded against
+    assert reverter.best_original(label) == "ixo"
+    best = reverter.revert_label(label)[0]
+    assert best.original_label == "ixo"
+    assert best.substituted_positions == (0, 2)
+    # Every substituted position indexes the *original* label's non-ASCII char.
+    for position in best.substituted_positions:
+        assert not label[position].isascii()
+
+
 def test_max_candidates_bounds_combinatorics():
     db = HomoglyphDatabase()
     for partner in "оο0":

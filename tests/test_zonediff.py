@@ -1,0 +1,155 @@
+"""Tests for zone snapshot diffing (dns/zonediff.py).
+
+The hypothesis property suite pins the algebra the longitudinal tracker
+relies on: ``apply(diff(a, b), a) == b``, a zone diffed with itself is
+empty, and the zone presentation format round-trips.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dns.zonediff import (
+    DelegationChange,
+    ZoneDelta,
+    ZoneDeltaError,
+    apply_delta,
+    diff_delegations,
+    diff_zones,
+    read_delegations,
+)
+from repro.dns.zonefile import ZoneFile
+
+# -- strategies ----------------------------------------------------------------
+
+_LABELS = st.text(alphabet="abcdxyz", min_size=1, max_size=8)
+_NAMESERVERS = st.sampled_from(
+    ["ns1.example.net", "ns2.example.net", "ns1.parked.example", "ns.other.org"]
+)
+
+#: domain -> nameserver set; the abstract content of one zone snapshot.
+_ZONE_MAPS = st.dictionaries(
+    _LABELS.map(lambda label: f"{label}.com"),
+    st.frozensets(_NAMESERVERS, min_size=1, max_size=3),
+    max_size=25,
+)
+
+
+def _build_zone(delegations: dict[str, frozenset[str]]) -> ZoneFile:
+    zone = ZoneFile(tld="com")
+    for domain, nameservers in delegations.items():
+        zone.add_delegation(domain, sorted(nameservers))
+    return zone
+
+
+# -- property suite --------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(_ZONE_MAPS)
+def test_diff_with_itself_is_empty(delegations):
+    zone = _build_zone(delegations)
+    delta = diff_zones(zone, zone)
+    assert delta.is_empty
+    assert len(delta) == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(_ZONE_MAPS, _ZONE_MAPS)
+def test_apply_diff_reconstructs_newer_zone(older_map, newer_map):
+    older = _build_zone(older_map)
+    newer = _build_zone(newer_map)
+    delta = diff_zones(older, newer)
+    rebuilt = apply_delta(older, delta)
+    assert list(rebuilt.delegations()) == list(newer.delegations())
+
+
+@settings(max_examples=60, deadline=None)
+@given(_ZONE_MAPS)
+def test_zone_lines_roundtrip(delegations):
+    zone = _build_zone(delegations)
+    loaded = ZoneFile.from_lines("com", zone.to_lines())
+    assert list(loaded.delegations()) == list(zone.delegations())
+    assert loaded.domains() == zone.domains()
+
+
+# -- unit tests -------------------------------------------------------------------
+
+
+def test_delta_classification():
+    older = _build_zone({
+        "stays.com": frozenset({"ns1.example.net"}),
+        "leaves.com": frozenset({"ns1.example.net"}),
+        "moves.com": frozenset({"ns1.example.net"}),
+    })
+    newer = _build_zone({
+        "stays.com": frozenset({"ns1.example.net"}),
+        "moves.com": frozenset({"ns2.example.net"}),
+        "arrives.com": frozenset({"ns1.parked.example"}),
+    })
+    delta = diff_zones(older, newer)
+    assert delta.added_domains == ["arrives.com"]
+    assert delta.removed_domains == ["leaves.com"]
+    assert delta.ns_changed_domains == ["moves.com"]
+    assert delta.added[0].is_added and not delta.added[0].is_removed
+    assert delta.removed[0].is_removed
+    assert delta.ns_changed[0].before == ("ns1.example.net",)
+    assert delta.ns_changed[0].after == ("ns2.example.net",)
+    assert len(delta) == 3
+
+
+def test_unsorted_stream_is_rejected():
+    sorted_side = [("a.com", ("ns1.example.net",)), ("b.com", ("ns1.example.net",))]
+    unsorted_side = list(reversed(sorted_side))
+    with pytest.raises(ZoneDeltaError, match="not strictly sorted"):
+        diff_delegations(unsorted_side, sorted_side)
+    with pytest.raises(ZoneDeltaError, match="not strictly sorted"):
+        diff_delegations(sorted_side, unsorted_side)
+
+
+def test_diff_zones_requires_matching_tld():
+    with pytest.raises(ZoneDeltaError, match="different TLDs"):
+        diff_zones(ZoneFile(tld="com"), ZoneFile(tld="net"))
+
+
+def test_apply_rejects_mismatched_delta():
+    zone = _build_zone({"exists.com": frozenset({"ns1.example.net"})})
+    conflicting_add = ZoneDelta(
+        (DelegationChange("exists.com", (), ("ns2.example.net",)),), (), ())
+    with pytest.raises(ZoneDeltaError, match="already delegated"):
+        apply_delta(zone, conflicting_add)
+    wrong_remove = ZoneDelta(
+        (), (DelegationChange("exists.com", ("ns9.example.net",), ()),), ())
+    with pytest.raises(ZoneDeltaError, match="does not match"):
+        apply_delta(zone, wrong_remove)
+    wrong_change = ZoneDelta(
+        (), (), (DelegationChange("missing.com", ("ns1.example.net",),
+                                  ("ns2.example.net",)),))
+    with pytest.raises(ZoneDeltaError, match="does not match"):
+        apply_delta(zone, wrong_change)
+
+
+def test_read_delegations_parses_only_ns_records(tmp_path):
+    zone = ZoneFile(tld="com")
+    zone.add_delegation("example.com", ["NS1.Example.NET.", "ns2.example.net"])
+    zone.add_delegation("xn--fiqs8s.com", ["ns1.cn.example"])
+    path = tmp_path / "com.zone"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("; header comment\n")
+        for line in zone.to_lines():
+            handle.write(line + "\n")
+        handle.write("ns1.example.net.\t3600\tIN\tA\t203.0.113.1\n")  # glue, skipped
+        handle.write("com.\t172800\tIN\tNS\ta.gtld-servers.net.\n")   # apex, skipped
+        handle.write("\n")
+    assert read_delegations(path) == [
+        ("example.com", ("ns1.example.net", "ns2.example.net")),
+        ("xn--fiqs8s.com", ("ns1.cn.example",)),
+    ]
+    # The light parser and the full ZoneFile agree (the apex NS owner is not
+    # a delegation for either, so the Table 6 domain counts match too).
+    assert read_delegations(path) == list(ZoneFile.load("com", path).delegations())
+    counts: dict[str, int] = {}
+    read_delegations(path, domain_filter=lambda d: False, counts=counts)
+    assert counts["domains"] == ZoneFile.load("com", path).domain_count()

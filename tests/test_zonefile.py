@@ -56,3 +56,54 @@ def test_from_lines_skips_comments():
     ]
     zone = ZoneFile.from_lines("com", lines)
     assert zone.domains() == ["example.com"]
+
+
+def test_nameservers_normalized_and_deduped():
+    zone = ZoneFile(tld="com")
+    # Case variants and trailing dots of the same NS target must collapse
+    # into one record instead of making nameservers_of inconsistent.
+    zone.add_delegation("example.com", [
+        "NS1.Example.NET.", "ns1.example.net", "ns1.example.net.",
+        "NS2.EXAMPLE.NET",
+    ])
+    assert zone.nameservers_of("example.com") == ["ns1.example.net", "ns2.example.net"]
+    assert len(zone.records.lookup("example.com", RRType.NS)) == 2
+    assert list(zone.delegations()) == [
+        ("example.com", ("ns1.example.net", "ns2.example.net")),
+    ]
+
+
+def test_views_memoized_until_records_change():
+    zone = _zone()
+    generation = zone.records.generation
+    first = zone.domains()
+    assert zone.records.generation == generation   # reading does not mutate
+    assert zone.domains() == first
+    assert len(zone) == 3                          # O(1) on the memoized view
+
+    zone.add_delegation("new.com", ["ns1.example.net"])
+    assert zone.records.generation > generation    # mutation bumps the counter
+    assert "new.com" in zone.domains()
+    assert len(zone) == 4
+    assert zone.idns() == ["xn--facbook-dya.com", "xn--tsta8290bfzd.com"]
+
+    zone.records.remove_name("new.com")
+    assert len(zone) == 3
+
+
+def test_noop_mutations_do_not_bump_generation():
+    zone = _zone()
+    generation = zone.records.generation
+    # Re-adding an identical delegation and removing a missing name change
+    # nothing, so the memoized views must stay valid.
+    zone.add_delegation("example.com", ["ns1.example.net"])
+    assert zone.records.remove_name("not-there.com") == 0
+    assert zone.records.generation == generation
+
+
+def test_direct_record_mutation_invalidates_views():
+    zone = _zone()
+    assert zone.domain_count() == 3
+    zone.records.add(ResourceRecord("direct.com", RRType.NS, "ns1.example.net"))
+    assert zone.domain_count() == 4
+    assert "direct.com" in zone.domains()
