@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 
-from bench_util import print_table
+from bench_util import print_table, record_bench
 
 from repro.detection.report import DetectionReport, HomographDetection
 from repro.detection.shamfinder import ShamFinder
@@ -171,6 +171,14 @@ def test_concurrent_enrichment_speedup():
     assert results.classification.sites == classification.sites
     assert results.blacklist_table == blacklist_table
     assert results.reverted_outside_reference == reverted
+
+    record_bench("enrichment", {
+        "homographs": HOMOGRAPH_COUNT,
+        "jobs": JOBS,
+        "serial_seconds": round(serial_seconds, 4),
+        "pipeline_seconds": round(pipeline_seconds, 4),
+        "pipeline_speedup": round(speedup, 2),
+    })
 
     assert results.ns_count > 0 and results.portscan.reachable_count > 0
     assert speedup >= MIN_SPEEDUP

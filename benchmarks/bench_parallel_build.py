@@ -19,7 +19,7 @@ from __future__ import annotations
 import os
 import time
 
-from bench_util import print_table
+from bench_util import print_table, record_bench
 
 from repro.homoglyph.cache import SimCharCache, cached_build
 from repro.homoglyph.simchar import SimCharBuilder
@@ -58,6 +58,15 @@ def test_parallel_build_speedup(font):
         headers=("path", "time", "speedup vs serial"),
     )
 
+    record_bench("parallel_build", {
+        "glyphs": len(glyph_list),
+        "legacy_seconds": round(legacy_seconds, 4),
+        "packed_seconds": round(packed_seconds, 4),
+        "parallel_seconds": round(parallel_seconds, 4),
+        "packed_speedup": round(legacy_seconds / packed_seconds, 2),
+        "parallel_speedup": round(legacy_seconds / parallel_seconds, 2),
+    })
+
     assert packed_serial == legacy
     assert packed_parallel == legacy
     # The packed engine must beat the serial path clearly even before
@@ -88,6 +97,13 @@ def test_warm_cache_speedup(font, tmp_path_factory):
         ("warm load", f"{warm_seconds:.3f} s", f"hit={warm_hit}"),
         ("speedup", f"{cold_seconds / warm_seconds:.1f}x", ""),
     ])
+
+    record_bench("simchar_cache", {
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "warm_speedup": round(cold_seconds / warm_seconds, 2),
+        "pairs": cold.database.pair_count,
+    })
 
     assert not cold_hit and warm_hit
     assert warm.database.to_json() == cold.database.to_json()

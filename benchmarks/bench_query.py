@@ -1,0 +1,191 @@
+"""Bench — online query service vs. batch matching, and warm-index cold start.
+
+The paper frames ShamFinder as a framework others can query
+("IdentifyHomographs").  This bench exercises the serving layer on a
+synthetic 100k-domain reference corpus (a realistic brand-protection mix:
+three quarters ASCII labels, one quarter internationalized labels with
+accented characters):
+
+* **cold start** — a full ``prepare_references`` build (per-reference IDNA
+  parse + case fold + skeletonisation) vs. loading the persisted
+  ``ReferenceIndex`` artifact.  The warm load must win by at least 10x.
+* **verdict identity** — ``OnlineDetector.query`` must return byte-identical
+  matches (reference, substitutions and all) to
+  ``HomographMatcher.find_homographs`` over the same references, and to the
+  batch ``detect_prepared`` path.
+* **query latency** — µs per query through the LRU cache and without it.
+
+Headline numbers land in ``BENCH_query.json`` (see ``bench_util.record_bench``)
+so CI tracks the trajectory across PRs.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from bench_util import print_table, record_bench
+
+from repro.detection.algorithm import HomographMatcher, fold_label
+from repro.detection.index import ReferenceIndexStore, cached_reference_index
+from repro.detection.service import OnlineDetector
+from repro.detection.shamfinder import ShamFinder
+from repro.homoglyph.database import SOURCE_SIMCHAR, SOURCE_UC, HomoglyphDatabase
+from repro.idn.idna_codec import to_ascii_label
+
+REFERENCE_COUNT = 100_000
+CANDIDATE_COUNT = 5_000
+IDN_REFERENCE_SHARE = 4          # every 4th reference label carries an accent
+MIN_COLD_START_SPEEDUP = 10.0
+
+#: Latin letters with Cyrillic/Greek lookalikes, chained so the union-find
+#: closure is coarser than the database and the exact re-check has work to do.
+_CONFUSABLES = {
+    "a": "аα",
+    "o": "оο",
+    "e": "е",
+    "p": "р",
+    "c": "с",
+    "y": "у",
+    "x": "х",
+    "i": "і",
+    "s": "ѕ",
+    "j": "ј",
+}
+
+_ALPHABET = "aoepcyxisjbdgklmnrtu"
+_ACCENTS = "áàâäéèêëíìîïóòôöúùûü"
+
+
+def _database() -> HomoglyphDatabase:
+    db = HomoglyphDatabase(name="bench")
+    for latin, lookalikes in _CONFUSABLES.items():
+        for twin in lookalikes:
+            db.add_pair(latin, twin, source=SOURCE_UC)
+    db.add_pair("а", "ӓ", source=SOURCE_SIMCHAR)
+    db.add_pair("о", "ӧ", source=SOURCE_SIMCHAR)
+    return db
+
+
+def _reference_corpus(seed: int = 20190917) -> list[str]:
+    """Deterministic 100k reference domains, one quarter internationalized."""
+    rng = random.Random(seed)
+    refs: list[str] = []
+    seen: set[str] = set()
+    while len(refs) < REFERENCE_COUNT:
+        length = rng.randint(5, 12)
+        label = "".join(rng.choice(_ALPHABET) for _ in range(length))
+        if len(refs) % IDN_REFERENCE_SHARE == 0:
+            position = rng.randrange(length)
+            label = label[:position] + rng.choice(_ACCENTS) + label[position + 1:]
+        if label in seen:
+            continue
+        seen.add(label)
+        refs.append(label + ".com")
+    return refs
+
+
+def _candidate_labels(references: list[str], seed: int = 7) -> list[str]:
+    """Candidate labels: ~30% homoglyph mutations of ASCII references, rest noise."""
+    rng = random.Random(seed)
+    ascii_refs = [r[:-4] for r in references if all(ord(ch) < 0x80 for ch in r)]
+    candidates: list[str] = []
+    for _ in range(CANDIDATE_COUNT):
+        if rng.random() < 0.3:
+            label = list(rng.choice(ascii_refs))
+            for _ in range(rng.randint(1, 2)):
+                position = rng.randrange(len(label))
+                twins = _CONFUSABLES.get(label[position])
+                if twins:
+                    label[position] = rng.choice(twins)
+            candidates.append("".join(label))
+        else:
+            candidates.append(
+                "".join(rng.choice(_ALPHABET) for _ in range(rng.randint(5, 12)))
+            )
+    return candidates
+
+
+def test_warm_index_cold_start_and_verdict_identity(tmp_path):
+    db = _database()
+    references = _reference_corpus()
+
+    # -- cold start: full prepare_references build (best of 2) ---------------
+    cold_seconds = float("inf")
+    for _ in range(2):
+        finder_cold = ShamFinder(db)
+        start = time.perf_counter()
+        prepared = finder_cold.prepare_references(references)
+        cold_seconds = min(cold_seconds, time.perf_counter() - start)
+
+    # -- warm start: load the persisted artifact (best of 3) -----------------
+    store = ReferenceIndexStore(tmp_path)
+    built, hit = cached_reference_index(ShamFinder(db), references, store)
+    assert not hit
+    warm_seconds = float("inf")
+    for _ in range(3):
+        finder_warm = ShamFinder(db)           # fresh process stand-in
+        start = time.perf_counter()
+        index, hit = cached_reference_index(finder_warm, references, store)
+        warm_seconds = min(warm_seconds, time.perf_counter() - start)
+        assert hit and index.from_cache
+    speedup = cold_seconds / warm_seconds
+
+    # -- identity: online verdicts == find_homographs == detect_prepared ----
+    candidates = _candidate_labels(references)
+    matcher = HomographMatcher(db)
+    batch_matches = matcher.find_homographs(candidates, [r[:-4] for r in references])
+
+    detector = OnlineDetector(finder_warm, index)
+    domains = [to_ascii_label(label) + ".com" for label in candidates]
+
+    uncached_start = time.perf_counter()
+    verdicts = detector.query_many(domains)
+    uncached_us = (time.perf_counter() - uncached_start) / len(domains) * 1e6
+
+    cached_start = time.perf_counter()
+    verdicts_cached = detector.query_many(domains)
+    cached_us = (time.perf_counter() - cached_start) / len(domains) * 1e6
+
+    online = [
+        (fold_label(candidate), detection.reference[:-4], detection.substitutions)
+        for candidate, verdict in zip(candidates, verdicts)
+        for detection in verdict.detections
+    ]
+    batch = [(m.candidate, m.reference, m.substitutions) for m in batch_matches]
+    assert online == batch                     # byte-identical matches
+    assert [v.as_dict() for v in verdicts_cached] == [v.as_dict() for v in verdicts]
+
+    prepared_detections, _count, _skipped = finder_cold.detect_prepared(domains, prepared)
+    loaded_detections, _count, _skipped = finder_warm.detect_prepared(domains, index.prepared)
+    online_detections = [d for v in verdicts for d in v.detections]
+    assert [d.as_dict() for d in online_detections] == [d.as_dict() for d in prepared_detections]
+    assert [d.as_dict() for d in loaded_detections] == [d.as_dict() for d in prepared_detections]
+
+    artifact_bytes = store.path_for(built.key).stat().st_size
+    print_table(
+        f"Online query service: {REFERENCE_COUNT:,} references, "
+        f"{len(domains):,} queries, {len(online_detections)} detections",
+        [
+            ("cold start (prepare_references)", f"{cold_seconds:.3f} s", "1.0x"),
+            ("warm start (index artifact load)", f"{warm_seconds:.3f} s", f"{speedup:.1f}x"),
+            ("artifact size", f"{artifact_bytes / 1e6:.1f} MB", ""),
+            ("query latency (uncached)", f"{uncached_us:.0f} µs", ""),
+            ("query latency (LRU cached)", f"{cached_us:.0f} µs", ""),
+        ],
+        headers=("path", "time", "speedup"),
+    )
+    record_bench("query", {
+        "reference_count": REFERENCE_COUNT,
+        "query_count": len(domains),
+        "detections": len(online_detections),
+        "cold_start_seconds": round(cold_seconds, 4),
+        "warm_start_seconds": round(warm_seconds, 4),
+        "cold_start_speedup": round(speedup, 2),
+        "artifact_bytes": artifact_bytes,
+        "query_us_uncached": round(uncached_us, 1),
+        "query_us_cached": round(cached_us, 1),
+        "verdicts_identical_to_batch": True,
+    })
+
+    assert speedup >= MIN_COLD_START_SPEEDUP

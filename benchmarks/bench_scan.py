@@ -21,7 +21,7 @@ from __future__ import annotations
 import random
 import time
 
-from bench_util import print_table
+from bench_util import print_table, record_bench
 
 from repro.detection.algorithm import HomographMatcher
 from repro.detection.shamfinder import ShamFinder
@@ -114,6 +114,15 @@ def test_skeleton_index_speedup():
         ],
         headers=("path", "time", "speedup"),
     )
+
+    record_bench("scan", {
+        "candidates": CANDIDATE_COUNT,
+        "references": REFERENCE_COUNT,
+        "matches": len(legacy),
+        "legacy_seconds": round(legacy_seconds, 4),
+        "indexed_seconds": round(indexed_seconds, 4),
+        "skeleton_speedup": round(speedup, 2),
+    })
 
     assert [(m.candidate, m.reference) for m in indexed] == [
         (m.candidate, m.reference) for m in legacy

@@ -22,7 +22,7 @@ import json
 import random
 import time
 
-from bench_util import print_table
+from bench_util import print_table, record_bench
 
 from repro.detection.shamfinder import ShamFinder
 from repro.detection.stream import StreamingScanner, is_idn_candidate
@@ -191,6 +191,15 @@ def test_incremental_tracking_speedup(tmp_path):
         ],
         headers=("path", "time", "speedup"),
     )
+
+    record_bench("track", {
+        "domains": DOMAIN_COUNT,
+        "days": DAYS,
+        "full_seconds": round(full_seconds, 4),
+        "incremental_seconds": round(incremental_seconds, 4),
+        "incremental_speedup": round(speedup, 2),
+        "active_homographs": len(result.timeline.active_entries()),
+    })
 
     for date, _path in snapshots[1:]:
         assert _canonical(result.detections_on(date)) == full_by_day[date]

@@ -2,7 +2,17 @@
 
 from __future__ import annotations
 
-__all__ = ["print_table"]
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+__all__ = ["print_table", "record_bench", "BENCH_JSON_DIR_ENV"]
+
+#: Directory the machine-readable bench results are written to; defaults to
+#: the current working directory (the repo root under CI).
+BENCH_JSON_DIR_ENV = "SHAMFINDER_BENCH_JSON_DIR"
 
 
 def print_table(title: str, rows, *, headers=None) -> None:
@@ -13,3 +23,24 @@ def print_table(title: str, rows, *, headers=None) -> None:
         print("  " + " | ".join(str(h) for h in headers))
     for row in rows:
         print("  " + " | ".join(str(cell) for cell in row))
+
+
+def record_bench(name: str, metrics: dict) -> Path:
+    """Write a bench's headline numbers to ``BENCH_<name>.json``.
+
+    The file is machine-readable so CI can track the perf trajectory across
+    PRs: one JSON object per bench with the headline metrics plus enough
+    environment context to interpret them.  Set ``SHAMFINDER_BENCH_JSON_DIR``
+    to redirect the output (default: current working directory).
+    """
+    directory = Path(os.environ.get(BENCH_JSON_DIR_ENV) or ".")
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    payload = {
+        "bench": name,
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        **metrics,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path

@@ -15,20 +15,31 @@ Sub-commands:
   JSONL result sink with checkpoint/resume;
 * ``track``     — longitudinal day-over-day tracking of dated zone
   snapshots: diff-driven incremental scans, persistent homograph timeline
-  store with checkpoint/resume (paper Tables 6-7, Section 6.4).
+  store with checkpoint/resume (paper Tables 6-7, Section 6.4);
+* ``query``     — one-shot online homograph queries against a load-once
+  reference index (optionally persisted in an ``--index-dir`` artifact);
+* ``serve``     — line-oriented query loop: read domains from stdin (or a
+  FIFO), emit one JSONL verdict per line.
+
+``scan`` and ``track`` accept the same ``--index-dir`` so long-running jobs
+reuse the prebuilt reference index instead of re-preparing it per run.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Sequence
 
 from .countermeasure.warning import WarningGenerator
+from .detection.index import ReferenceIndex, ReferenceIndexStore, cached_reference_index
+from .detection.service import OnlineDetector
 from .detection.shamfinder import ShamFinder
 from .detection.stream import ScanResumeError, ScanStats, StreamingScanner
+from .fonts.hexfont import HexFont
 from .homoglyph.cache import cached_build, resolve_cache
 from .homoglyph.confusables import load_confusables
 from .homoglyph.database import HomoglyphDatabase
@@ -42,7 +53,11 @@ from .measurement.pipeline import PipelineError
 from .measurement.reporting import render_tracking_report
 from .measurement.study import MeasurementStudy
 
-__all__ = ["main", "build_parser", "positive_int"]
+__all__ = ["main", "build_parser", "positive_int", "CLIError"]
+
+
+class CLIError(Exception):
+    """A user-facing CLI failure: printed as one line, never a traceback."""
 
 
 def positive_int(text: str) -> int:
@@ -78,9 +93,43 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--reference", nargs="*", default=None, help="reference domains")
     detect.add_argument("--reference-file", type=Path, help="file with one reference per line")
     detect.add_argument("--database", type=Path, help="homoglyph database JSON (default: build)")
+    detect.add_argument("--font", type=Path, default=None,
+                        help=".hex font file for the SimChar build (default: synthetic font)")
     detect.add_argument("--cache-dir", type=Path, default=None,
                         help="SimChar build cache used when no --database is given")
     detect.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    def add_online_options(command: argparse.ArgumentParser) -> None:
+        """Options shared by the two online-query subcommands."""
+        command.add_argument("--reference", nargs="*", default=None, help="reference domains")
+        command.add_argument("--reference-file", type=Path,
+                             help="file with one reference per line")
+        command.add_argument("--database", type=Path,
+                             help="homoglyph database JSON (default: build)")
+        command.add_argument("--font", type=Path, default=None,
+                             help=".hex font file for the SimChar build (default: synthetic font)")
+        command.add_argument("--cache-dir", type=Path, default=None,
+                             help="SimChar build cache used when no --database is given")
+        command.add_argument("--index-dir", type=Path, default=None,
+                             help="reference-index artifact store (load-once cold start)")
+        command.add_argument("--build-index", action="store_true",
+                             help="create the index dir if missing and force a rebuild "
+                                  "of its artifact")
+        command.add_argument("--revert", action="store_true",
+                             help="include the Section 6.4 recovered original in each verdict")
+        command.add_argument("--stats", action="store_true",
+                             help="print service statistics to stderr at end of run")
+
+    query = sub.add_parser("query", help="online homograph query for individual domains")
+    query.add_argument("domains", nargs="+", help="domain names to query")
+    add_online_options(query)
+    query.add_argument("--json", action="store_true", help="emit JSONL instead of text")
+
+    serve = sub.add_parser(
+        "serve", help="line-oriented query loop: domains in, JSONL verdicts out")
+    serve.add_argument("--input", "-i", type=Path, default=None,
+                       help="read domains from this file or FIFO (default: stdin)")
+    add_online_options(serve)
 
     inspect = sub.add_parser("inspect", help="inspect a single domain")
     inspect.add_argument("domain", help="domain name (Unicode or xn-- form)")
@@ -137,6 +186,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="match every input name, not only the xn-- IDNs")
     scan.add_argument("--progress-every", type=positive_int, default=None,
                       help="print a progress line every N chunks")
+    scan.add_argument("--index-dir", type=Path, default=None,
+                      help="reuse/persist the prepared reference index in this artifact store")
+    scan.add_argument("--build-index", action="store_true",
+                      help="create the index dir if missing and force a rebuild of its artifact")
 
     track = sub.add_parser("track", help="longitudinal tracking of dated zone snapshots")
     track.add_argument("--snapshot", "-s", action="append", required=True,
@@ -159,6 +212,10 @@ def build_parser() -> argparse.ArgumentParser:
     track.add_argument("--report", type=Path, default=None,
                        help="write the per-day markdown report to this path")
     track.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    track.add_argument("--index-dir", type=Path, default=None,
+                       help="reuse/persist the prepared reference index in this artifact store")
+    track.add_argument("--build-index", action="store_true",
+                       help="create the index dir if missing and force a rebuild of its artifact")
 
     return parser
 
@@ -166,13 +223,78 @@ def build_parser() -> argparse.ArgumentParser:
 def _load_lines(path: Path | None) -> list[str]:
     if path is None:
         return []
-    return [line.strip() for line in path.read_text(encoding="utf-8").splitlines() if line.strip()]
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise CLIError(f"cannot read {path}: {exc.strerror or exc}") from exc
+    return [line.strip() for line in text.splitlines() if line.strip()]
 
 
-def _default_finder(database_path: Path | None, cache_dir: Path | None = None) -> ShamFinder:
+def _load_font(font_path: Path | None):
+    """Load a ``.hex`` font file, or ``None`` for the default synthetic font."""
+    if font_path is None:
+        return None
+    try:
+        return HexFont.from_file(font_path)
+    except OSError as exc:
+        raise CLIError(f"cannot read font file {font_path}: {exc.strerror or exc}") from exc
+    except ValueError as exc:
+        raise CLIError(f"font file {font_path} is not a valid .hex font: {exc}") from exc
+
+
+def _default_finder(
+    database_path: Path | None,
+    cache_dir: Path | None = None,
+    font_path: Path | None = None,
+) -> ShamFinder:
     if database_path is not None:
-        return ShamFinder(HomoglyphDatabase.load(database_path))
-    return ShamFinder.with_default_databases(cache_dir=cache_dir)
+        try:
+            return ShamFinder(HomoglyphDatabase.load(database_path))
+        except OSError as exc:
+            raise CLIError(
+                f"cannot read homoglyph database {database_path}: {exc.strerror or exc}"
+            ) from exc
+        except (ValueError, KeyError, TypeError) as exc:
+            raise CLIError(
+                f"homoglyph database {database_path} is not a valid database file: {exc}"
+            ) from exc
+    return ShamFinder.with_default_databases(font=_load_font(font_path), cache_dir=cache_dir)
+
+
+def _resolve_reference(args: argparse.Namespace) -> list[str]:
+    reference = list(args.reference or []) + _load_lines(args.reference_file)
+    if not reference:
+        reference = ReferenceList.top_sites(1000).domains()
+    return reference
+
+
+def _resolve_index(
+    finder: ShamFinder,
+    reference: list[str],
+    index_dir: Path | None,
+    build_index: bool,
+) -> ReferenceIndex | None:
+    """Load-or-build the reference index through an ``--index-dir`` store.
+
+    A missing directory is only created under ``--build-index`` — a typo'd
+    path must not silently trigger a full index build somewhere new.
+    Returns ``None`` when no index dir was requested (in-memory prepare).
+    """
+    if index_dir is None:
+        return None
+    if not index_dir.exists():
+        if not build_index:
+            raise CLIError(
+                f"index directory {index_dir} does not exist "
+                "(pass --build-index to create it)"
+            )
+    elif not index_dir.is_dir():
+        raise CLIError(f"index directory {index_dir} is not a directory")
+    elif not os.access(index_dir, os.R_OK):
+        raise CLIError(f"index directory {index_dir} is not readable")
+    store = ReferenceIndexStore(index_dir)
+    index, _hit = cached_reference_index(finder, reference, store, force=build_index)
+    return index
 
 
 def _cmd_build_db(args: argparse.Namespace) -> int:
@@ -201,10 +323,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     if not candidates:
         print("no candidate domains given", file=sys.stderr)
         return 2
-    reference = list(args.reference or []) + _load_lines(args.reference_file)
-    if not reference:
-        reference = ReferenceList.top_sites(1000).domains()
-    finder = _default_finder(args.database, args.cache_dir)
+    reference = _resolve_reference(args)
+    finder = _default_finder(args.database, args.cache_dir, args.font)
     report = finder.detect(candidates, reference)
     if args.json:
         payload = [
@@ -223,6 +343,66 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             print("no homographs detected")
         for detection in report:
             print(detection.describe())
+    return 0
+
+
+def _online_detector(args: argparse.Namespace) -> OnlineDetector:
+    """Shared ``query``/``serve`` wiring: finder + index + detector."""
+    reference = _resolve_reference(args)
+    finder = _default_finder(args.database, args.cache_dir, args.font)
+    index = _resolve_index(finder, reference, args.index_dir, args.build_index)
+    if index is None:
+        return OnlineDetector.from_references(finder, reference, include_revert=args.revert)
+    return OnlineDetector(finder, index, include_revert=args.revert)
+
+
+def _render_verdict(verdict) -> str:
+    """One human-readable line per verdict (the non-``--json`` format)."""
+    if verdict.error is not None:
+        return f"{verdict.domain}: invalid ({verdict.error})"
+    if not verdict.is_homograph:
+        suffix = " [IDN]" if verdict.is_idn else ""
+        return f"{verdict.domain}: no homograph match{suffix}"
+    targets = ", ".join(sorted({d.reference for d in verdict.detections}))
+    revert = f"; reverts to {verdict.revert}" if verdict.revert else ""
+    return f"{verdict.domain}: homograph of {targets} ({verdict.unicode}){revert}"
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    detector = _online_detector(args)
+    verdicts = detector.query_many(args.domains)
+    for verdict in verdicts:
+        if args.json:
+            print(json.dumps(verdict.as_dict(), ensure_ascii=False))
+        else:
+            print(_render_verdict(verdict))
+    if args.stats:
+        print(json.dumps(detector.stats(), indent=2), file=sys.stderr)
+    return 0 if all(v.error is None for v in verdicts) else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    detector = _online_detector(args)
+    if args.input is None:
+        handle = sys.stdin
+    else:
+        try:
+            # line-buffered so a FIFO writer sees each verdict promptly
+            handle = open(args.input, "r", encoding="utf-8", errors="replace")
+        except OSError as exc:
+            raise CLIError(f"cannot read {args.input}: {exc.strerror or exc}") from exc
+    try:
+        for line in handle:
+            domain = line.strip()
+            if not domain or domain.startswith("#"):
+                continue
+            verdict = detector.query(domain)
+            print(json.dumps(verdict.as_dict(), ensure_ascii=False), flush=True)
+    finally:
+        if handle is not sys.stdin:
+            handle.close()
+    if args.stats:
+        print(json.dumps(detector.stats(), indent=2), file=sys.stderr)
     return 0
 
 
@@ -316,16 +496,16 @@ def _cmd_measure(args: argparse.Namespace) -> int:
 
 
 def _cmd_scan(args: argparse.Namespace) -> int:
-    reference = list(args.reference or []) + _load_lines(args.reference_file)
-    if not reference:
-        reference = ReferenceList.top_sites(1000).domains()
+    reference = _resolve_reference(args)
     finder = _default_finder(args.database, args.cache_dir)
+    index = _resolve_index(finder, reference, args.index_dir, args.build_index)
     scanner = StreamingScanner(
         finder,
         reference,
         chunk_size=args.chunk_size,
         jobs=args.jobs,
         idn_only=not args.all_domains,
+        prepared=index.prepared if index is not None else None,
     )
 
     progress = None
@@ -362,16 +542,16 @@ def _cmd_track(args: argparse.Namespace) -> int:
             print(f"--snapshot must be DATE=PATH, got {item!r}", file=sys.stderr)
             return 2
         snapshots.append((date, path))
-    reference = list(args.reference or []) + _load_lines(args.reference_file)
-    if not reference:
-        reference = ReferenceList.top_sites(1000).domains()
+    reference = _resolve_reference(args)
     finder = _default_finder(args.database, args.cache_dir)
+    index = _resolve_index(finder, reference, args.index_dir, args.build_index)
     tracker = LongitudinalTracker(
         finder,
         reference,
         args.state_dir,
         chunk_size=args.chunk_size,
         jobs=args.jobs,
+        prepared=index.prepared if index is not None else None,
     )
 
     def progress(report: DayReport) -> None:
@@ -421,12 +601,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "build-db": _cmd_build_db,
         "detect": _cmd_detect,
+        "query": _cmd_query,
+        "serve": _cmd_serve,
         "inspect": _cmd_inspect,
         "measure": _cmd_measure,
         "scan": _cmd_scan,
         "track": _cmd_track,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

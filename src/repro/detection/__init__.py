@@ -1,9 +1,18 @@
 """Detection core: Algorithm 1 matcher, skeleton index, streaming scan,
-ShamFinder framework, reverting, reports."""
+ShamFinder framework, persistable reference index, online query service,
+reverting, reports."""
 
 from .algorithm import CharacterSubstitution, HomographMatcher, MatchResult, fold_label
+from .index import (
+    IndexKey,
+    ReferenceIndex,
+    ReferenceIndexStore,
+    build_reference_index,
+    cached_reference_index,
+)
 from .report import DetectionReport, HomographDetection
 from .revert import HomographReverter, RevertedDomain
+from .service import OnlineDetector, QueryVerdict
 from .shamfinder import DetectionTiming, PreparedReferences, ShamFinder
 from .skeleton import CharacterClasses, SkeletonIndex
 from .stream import (
@@ -25,6 +34,13 @@ __all__ = [
     "HomographDetection",
     "HomographReverter",
     "RevertedDomain",
+    "IndexKey",
+    "ReferenceIndex",
+    "ReferenceIndexStore",
+    "build_reference_index",
+    "cached_reference_index",
+    "OnlineDetector",
+    "QueryVerdict",
     "DetectionTiming",
     "PreparedReferences",
     "ShamFinder",

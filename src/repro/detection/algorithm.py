@@ -29,24 +29,12 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..homoglyph.database import HomoglyphDatabase
+from ..idn.idna_codec import fold_label
 from .skeleton import CharacterClasses, SkeletonIndex
 
+# fold_label moved to repro.idn.idna_codec (so the IDNA layer can use it
+# without importing detection); re-exported here for compatibility.
 __all__ = ["CharacterSubstitution", "MatchResult", "HomographMatcher", "fold_label"]
-
-
-def fold_label(label: str) -> str:
-    """Lowercase *label* without changing its length.
-
-    Characters whose lowercase mapping is longer than one character (e.g.
-    U+0130 "İ" → "i" + U+0307) are left unfolded, so every index into the
-    folded label is also a valid index into the original.
-    """
-    folded = label.lower()
-    if len(folded) == len(label):
-        return folded
-    return "".join(
-        lowered if len(lowered := char.lower()) == 1 else char for char in label
-    )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,325 @@
+"""Persistable reference index — the serving-side artifact of Step III.
+
+The paper frames ShamFinder as a framework others can *query*
+("IdentifyHomographs"), but a query is only cheap once the reference list
+has been prepared: parsed, case-folded, and bucketed by skeleton
+(:class:`~.shamfinder.PreparedReferences`).  Re-running that warm-up per
+process is what makes "is this one domain a homograph?" cost a full build.
+
+This module snapshots the prepared state to disk with the same artifact
+idiom as the SimChar cache (:mod:`repro.homoglyph.cache`): the index is
+fingerprinted by everything that determines its content, corrupt or
+mismatched files read as misses (the caller rebuilds), and writes go
+through a temp-file rename so readers never see a partial artifact.
+
+The fingerprint covers:
+
+* the **homoglyph database** content digest — which transitively covers the
+  font digest, build threshold, and UC table that produced the database
+  (two databases with equal digests yield identical detection results);
+* the **reference list** (hash of the exact domains, in order — a
+  reordered list reads as a miss and rebuilds, which only costs time);
+* the artifact **format version**, bumped whenever the layout changes.
+
+On-disk layout (one file per fingerprint, ``refindex-<digest>.idx``):
+line 1 is a JSON header (magic, version, fingerprint fields, counts, and a
+checksum of the body); the body is four packed lines — folded labels,
+their reference-domain groups, bucket skeletons, bucket members — using
+C0 separators that cannot occur in IDNA labels.  The packed layout is what
+makes the cold start a *single load*: rebuilding the prepared state is two
+C-level ``dict(zip(str.split(...)))`` passes instead of a Python loop with
+IDNA parsing per reference (≥10x faster at 100k references;
+``benchmarks/bench_query.py`` asserts it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import warnings
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..idn.domain import DomainName
+from .shamfinder import PreparedReferences, ShamFinder
+from .skeleton import PACK_SEPARATOR, SkeletonIndex
+
+__all__ = [
+    "INDEX_FORMAT_VERSION",
+    "INDEX_MAGIC",
+    "IndexKey",
+    "ReferenceIndex",
+    "ReferenceIndexStore",
+    "reference_list_hash",
+    "key_for",
+    "build_reference_index",
+    "cached_reference_index",
+]
+
+#: Bump when the on-disk layout changes; old files then read as misses.
+INDEX_FORMAT_VERSION = 1
+
+INDEX_MAGIC = "shamfinder-reference-index"
+
+#: Separates the members of one body section (labels, skeletons) — the
+#: same byte the bucket/reference groups pack with, so the format has one
+#: load-bearing separator constant (change it only with a version bump).
+_FIELD_SEPARATOR = PACK_SEPARATOR
+#: Separates the groups of one body section (reference groups, buckets).
+_GROUP_SEPARATOR = "\x1e"
+
+
+def reference_list_hash(reference: Iterable[str | DomainName]) -> str:
+    """Stable identity of a raw reference list (order-sensitive).
+
+    Hashing in input order keeps the warm path linear with a single C-level
+    join; a reordered list therefore fingerprints differently and rebuilds,
+    which is always safe — just not free.
+    """
+    joined = "\n".join(str(item) for item in reference)
+    return hashlib.sha256(joined.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class IndexKey:
+    """Everything that determines the content of a prepared reference index."""
+
+    database_digest: str
+    reference_hash: str
+    format_version: int = INDEX_FORMAT_VERSION
+
+    @property
+    def digest(self) -> str:
+        """Stable hex digest used as the artifact file name."""
+        canonical = json.dumps(asdict(self), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def key_for(finder: ShamFinder, reference: Sequence[str | DomainName]) -> IndexKey:
+    """Compute the artifact key for *finder*'s database over *reference*."""
+    return IndexKey(
+        database_digest=finder.database.content_digest(),
+        reference_hash=reference_list_hash(reference),
+    )
+
+
+@dataclass(frozen=True)
+class ReferenceIndex:
+    """A prepared reference set bound to the fingerprint that produced it."""
+
+    prepared: PreparedReferences
+    key: IndexKey
+    #: True when this instance came off disk rather than a fresh build.
+    from_cache: bool = False
+
+    @property
+    def fingerprint(self) -> str:
+        """The artifact digest — what the query cache invalidates on."""
+        return self.key.digest
+
+    @property
+    def label_count(self) -> int:
+        """Number of distinct folded reference labels."""
+        return len(self.prepared.labels)
+
+    @property
+    def domain_count(self) -> int:
+        """Number of reference domains that parsed (the paper's |M|)."""
+        return self.prepared.domain_count
+
+
+def build_reference_index(
+    finder: ShamFinder,
+    reference: Sequence[str | DomainName],
+) -> ReferenceIndex:
+    """Prepare *reference* and bind the result to its fingerprint."""
+    prepared = finder.prepare_references(reference)
+    return ReferenceIndex(prepared=prepared, key=key_for(finder, reference))
+
+
+class ReferenceIndexStore:
+    """Directory of persisted reference indexes keyed by :class:`IndexKey`."""
+
+    def __init__(self, index_dir: str | os.PathLike) -> None:
+        self.index_dir = Path(index_dir)
+
+    def path_for(self, key: IndexKey) -> Path:
+        """Artifact file path for *key* (the file may not exist yet)."""
+        return self.index_dir / f"refindex-{key.digest}.idx"
+
+    # -- store --------------------------------------------------------------
+
+    def store(self, index: ReferenceIndex) -> Path:
+        """Persist a prepared index; returns the written path.
+
+        The file is written to a temp name and renamed so a concurrently
+        cold-starting reader never sees a partially written artifact.
+        """
+        self.index_dir.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(index.key)
+        prepared = index.prepared
+
+        labels = list(prepared.labels)                       # insertion order
+        groups = [prepared.labels[label] for label in labels]  # already packed
+        bucket_keys: list[str] = []
+        bucket_values: list[str] = []
+        for skeleton, members in prepared.index.buckets():
+            bucket_keys.append(skeleton)
+            bucket_values.append(PACK_SEPARATOR.join(members))
+        body = "\n".join([
+            _FIELD_SEPARATOR.join(labels),
+            _GROUP_SEPARATOR.join(groups),
+            _FIELD_SEPARATOR.join(bucket_keys),
+            _GROUP_SEPARATOR.join(bucket_values),
+        ])
+        header = {
+            "magic": INDEX_MAGIC,
+            "version": INDEX_FORMAT_VERSION,
+            "key": index.key.as_dict(),
+            "label_count": len(labels),
+            "bucket_count": len(bucket_keys),
+            "entry_count": len(prepared.index),
+            "domain_count": prepared.domain_count,
+            "body_sha256": hashlib.sha256(body.encode("utf-8")).hexdigest(),
+        }
+        fd, temp_name = tempfile.mkstemp(dir=self.index_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(header, ensure_ascii=False) + "\n")
+                handle.write(body)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # -- load ---------------------------------------------------------------
+
+    def load(self, key: IndexKey, finder: ShamFinder) -> ReferenceIndex | None:
+        """Load the artifact for *key*, or ``None`` on miss/corruption.
+
+        The character classes are rebuilt from *finder*'s database (cheap —
+        one union-find pass); everything per-reference — IDNA parse, case
+        fold, skeletonisation, bucketing — is adopted from the packed body
+        with C-level splits, which is where the cold-start win comes from.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                header = json.loads(handle.readline())
+                if header.get("magic") != INDEX_MAGIC:
+                    return None
+                if header.get("version") != INDEX_FORMAT_VERSION:
+                    return None
+                if header.get("key") != key.as_dict():
+                    return None
+                label_count = header["label_count"]
+                bucket_count = header["bucket_count"]
+                entry_count = header["entry_count"]
+                domain_count = header["domain_count"]
+                if not all(isinstance(n, int) for n in
+                           (label_count, bucket_count, entry_count, domain_count)):
+                    return None
+
+                body = handle.read()
+                digest = hashlib.sha256(body.encode("utf-8")).hexdigest()
+                if digest != header.get("body_sha256"):
+                    return None   # truncated or bit-rotted body
+                sections = body.split("\n")
+                if len(sections) != 4:
+                    return None
+                labels = sections[0].split(_FIELD_SEPARATOR) if sections[0] else []
+                groups = sections[1].split(_GROUP_SEPARATOR) if sections[1] else []
+                bucket_keys = sections[2].split(_FIELD_SEPARATOR) if sections[2] else []
+                bucket_values = sections[3].split(_GROUP_SEPARATOR) if sections[3] else []
+                if len(labels) != label_count or len(groups) != label_count:
+                    return None
+                if len(bucket_keys) != bucket_count or len(bucket_values) != bucket_count:
+                    return None
+
+                label_map = dict(zip(labels, groups))
+                packed_buckets = dict(zip(bucket_keys, bucket_values))
+                if len(label_map) != label_count or len(packed_buckets) != bucket_count:
+                    return None   # duplicate keys: not something store() writes
+                # Each bucket holds (separator count + 1) members, so the
+                # total is one C-level count over the whole section.
+                if sections[3].count(PACK_SEPARATOR) + bucket_count != entry_count:
+                    return None
+
+                index = SkeletonIndex.from_packed(
+                    finder.matcher.classes, packed_buckets, entry_count,
+                )
+                prepared = PreparedReferences(
+                    labels=label_map, index=index, domain_count=domain_count,
+                )
+                return ReferenceIndex(prepared=prepared, key=key, from_cache=True)
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            # Missing file, undecodable bytes, bad JSON, wrong field types —
+            # all read as a miss so the caller rebuilds.
+            return None
+
+    # -- maintenance --------------------------------------------------------
+
+    def entries(self) -> list[Path]:
+        """Existing artifact files, newest first."""
+        if not self.index_dir.is_dir():
+            return []
+
+        def mtime(path: Path) -> float:
+            try:
+                return path.stat().st_mtime
+            except OSError:   # deleted concurrently — sort it last
+                return 0.0
+
+        return sorted(self.index_dir.glob("refindex-*.idx"), key=mtime, reverse=True)
+
+    def clear(self) -> int:
+        """Delete all artifacts; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+def cached_reference_index(
+    finder: ShamFinder,
+    reference: Sequence[str | DomainName],
+    store: ReferenceIndexStore | None,
+    *,
+    force: bool = False,
+) -> tuple[ReferenceIndex, bool]:
+    """Prepare through the store: ``(index, was_cache_hit)``.
+
+    ``force=True`` skips the read (but still writes), and ``store=None``
+    degrades to a plain in-memory build — the same contract as the SimChar
+    cache's :func:`~repro.homoglyph.cache.cached_build`.
+    """
+    if store is None:
+        return build_reference_index(finder, reference), False
+    key = key_for(finder, reference)
+    if not force:
+        cached = store.load(key, finder)
+        if cached is not None:
+            return cached, True
+    index = build_reference_index(finder, reference)
+    try:
+        store.store(index)
+    except OSError as exc:
+        # The store is an optimisation — never lose a completed build to an
+        # unwritable/full index directory.
+        warnings.warn(f"could not persist reference index to {store.index_dir}: {exc}",
+                      stacklevel=2)
+    return index, False

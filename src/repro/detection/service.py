@@ -1,0 +1,251 @@
+"""Online homograph query service (the paper's "IdentifyHomographs" API).
+
+Batch scans answer "which of these millions of domains are homographs?";
+a serving layer answers "is *this* domain a homograph?" — many times, from
+many threads, in microseconds.  :class:`OnlineDetector` layers that on the
+skeleton hash-join:
+
+* the reference state is a load-once :class:`~.index.ReferenceIndex`
+  (built in-process or loaded from a :class:`~.index.ReferenceIndexStore`
+  artifact), shared read-only by every query;
+* per-label match results are memoised in a small thread-safe LRU keyed by
+  the *folded* registrable label, so repeated queries for the same label —
+  the common case for a service fronting live traffic — skip the join
+  entirely; the cache is invalidated when the index fingerprint changes;
+* verdicts are exactly what the batch path produces: the detection list is
+  byte-identical to :meth:`ShamFinder.detect_prepared` over the same
+  references (``benchmarks/bench_query.py`` asserts this against
+  :meth:`HomographMatcher.find_homographs`), with the optional Section 6.4
+  revert target inlined.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..idn.domain import DomainName
+from ..idn.idna_codec import IDNAError, fold_label
+from .index import ReferenceIndex, ReferenceIndexStore, build_reference_index, cached_reference_index
+from .report import HomographDetection
+from .shamfinder import ShamFinder
+
+__all__ = ["QueryVerdict", "OnlineDetector"]
+
+#: Cached per-label join outcome: each match paired with the reference
+#: domains (all TLDs) carrying the matched label.
+_LabelMatches = tuple
+
+
+@dataclass(frozen=True)
+class QueryVerdict:
+    """The answer to one ``query(domain)`` call."""
+
+    domain: str                     # input as given
+    ascii: str | None = None        # canonical ASCII form (None when unparsable)
+    unicode: str | None = None      # Unicode form
+    is_idn: bool = False            # registrable label is an A-label
+    detections: tuple[HomographDetection, ...] = ()
+    revert: str | None = None       # Section 6.4 recovered original (optional)
+    error: str | None = None        # parse failure, when the input was junk
+
+    @property
+    def is_homograph(self) -> bool:
+        """True when the domain imitates at least one reference domain."""
+        return bool(self.detections)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly representation (one ``serve`` output line)."""
+        payload: dict = {
+            "domain": self.domain,
+            "is_homograph": self.is_homograph,
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+            return payload
+        payload["ascii"] = self.ascii
+        payload["unicode"] = self.unicode
+        payload["is_idn"] = self.is_idn
+        payload["detections"] = [d.as_dict() for d in self.detections]
+        if self.revert is not None:
+            payload["revert"] = self.revert
+        return payload
+
+
+@dataclass
+class _ServiceStats:
+    queries: int = 0
+    cache_hits: int = 0
+    errors: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+
+class OnlineDetector:
+    """Load-once, query-many homograph detector, safe for concurrent readers.
+
+    The underlying index is immutable after construction; the only mutable
+    state is the LRU cache and the counters, both lock-protected, so one
+    detector instance can back a thread pool serving live traffic.
+    """
+
+    def __init__(
+        self,
+        finder: ShamFinder,
+        index: ReferenceIndex,
+        *,
+        cache_size: int = 4096,
+        include_revert: bool = False,
+    ) -> None:
+        if cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        self.finder = finder
+        self.index = index
+        self.cache_size = cache_size
+        self.include_revert = include_revert
+        self._cache: OrderedDict[str, _LabelMatches] = OrderedDict()
+        self._cache_lock = threading.Lock()
+        self._stats = _ServiceStats()
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_references(
+        cls,
+        finder: ShamFinder,
+        reference: Sequence[str | DomainName],
+        *,
+        store: ReferenceIndexStore | None = None,
+        force_rebuild: bool = False,
+        cache_size: int = 4096,
+        include_revert: bool = False,
+    ) -> "OnlineDetector":
+        """Build a detector, going through the artifact *store* when given.
+
+        With a store, a warm start loads the prepared index from disk
+        instead of re-running ``prepare_references`` — the cold-start path
+        ``benchmarks/bench_query.py`` measures.
+        """
+        if store is None:
+            index = build_reference_index(finder, reference)
+        else:
+            index, _hit = cached_reference_index(finder, reference, store, force=force_rebuild)
+        return cls(finder, index, cache_size=cache_size, include_revert=include_revert)
+
+    # -- queries ------------------------------------------------------------
+
+    def query(self, domain: str | DomainName) -> QueryVerdict:
+        """Answer "is this one domain a homograph?" for a single domain."""
+        text = str(domain)
+        with self._stats.lock:
+            self._stats.queries += 1
+        try:
+            name = domain if isinstance(domain, DomainName) else DomainName(text)
+            label = name.registrable_unicode
+        except (IDNAError, ValueError) as exc:
+            with self._stats.lock:
+                self._stats.errors += 1
+            return QueryVerdict(domain=text, error=str(exc))
+
+        matches = self._matches_for(label)
+        detections = []
+        for match, refs in matches:
+            for ref in refs:
+                if ref.rpartition(".")[2] != name.tld:
+                    continue
+                detections.append(self.finder._detection_from_match(name, ref, match))
+
+        revert = None
+        if self.include_revert and name.has_idn_registrable_label:
+            original = self.finder.reverter.best_original(label)
+            if original is not None and original != label:
+                revert = f"{original}.{name.tld}"
+
+        return QueryVerdict(
+            domain=text,
+            ascii=name.ascii,
+            unicode=name.unicode,
+            is_idn=name.has_idn_registrable_label,
+            detections=tuple(detections),
+            revert=revert,
+        )
+
+    def query_many(self, domains: Iterable[str | DomainName]) -> list[QueryVerdict]:
+        """Batched :meth:`query`, in input order."""
+        return [self.query(domain) for domain in domains]
+
+    # -- the per-label join cache -------------------------------------------
+
+    def _matches_for(self, label: str) -> _LabelMatches:
+        """Skeleton-join outcome for one registrable label, memoised.
+
+        Keyed by the *folded* label: two labels differing only in case fold
+        to the same key and — because the matcher folds before joining —
+        produce identical match lists, so sharing the entry is sound.
+        """
+        folded = fold_label(label)
+        index = self.index        # one consistent snapshot for this query
+        if self.cache_size:
+            with self._cache_lock:
+                cached = self._cache.get(folded)
+                if cached is not None:
+                    self._cache.move_to_end(folded)
+            if cached is not None:
+                # Counter taken outside the cache lock: stats() grabs the two
+                # locks in the opposite order, so nesting them would deadlock.
+                with self._stats.lock:
+                    self._stats.cache_hits += 1
+                return cached
+        prepared = index.prepared
+        matches = tuple(
+            (match, prepared.references_for(match.reference))
+            for match in self.finder.matcher.match_with_skeleton_index(label, prepared.index)
+        )
+        if self.cache_size:
+            with self._cache_lock:
+                # A reload_index() may have swapped the index (and cleared the
+                # cache) while this join ran; inserting would then re-seed the
+                # cache with a retired index's results, so drop the entry.
+                if self.index.fingerprint == index.fingerprint:
+                    self._cache[folded] = matches
+                    self._cache.move_to_end(folded)
+                    while len(self._cache) > self.cache_size:
+                        self._cache.popitem(last=False)
+        return matches
+
+    # -- index lifecycle ----------------------------------------------------
+
+    def reload_index(self, index: ReferenceIndex) -> bool:
+        """Swap in a new index; clears the result cache when it changed.
+
+        Returns True when the fingerprint differed (cache invalidated).
+        Queries running concurrently keep using whichever index object they
+        already grabbed — the swap is atomic from their point of view.
+        """
+        changed = index.fingerprint != self.index.fingerprint
+        self.index = index
+        if changed:
+            with self._cache_lock:
+                self._cache.clear()
+        return changed
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Service counters plus index identity (the ``--stats`` payload)."""
+        with self._stats.lock:
+            queries, hits, errors = self._stats.queries, self._stats.cache_hits, self._stats.errors
+        with self._cache_lock:
+            cached = len(self._cache)
+        return {
+            "queries": queries,
+            "cache_hits": hits,
+            "errors": errors,
+            "cached_labels": cached,
+            "cache_size": self.cache_size,
+            "index_fingerprint": self.index.fingerprint,
+            "index_from_cache": self.index.from_cache,
+            "reference_domains": self.index.domain_count,
+            "reference_labels": self.index.label_count,
+        }

@@ -29,27 +29,45 @@ from ..idn.idna_codec import IDNAError
 from .algorithm import HomographMatcher, MatchResult, fold_label
 from .report import DetectionReport, HomographDetection
 from .revert import HomographReverter
-from .skeleton import SkeletonIndex
+from .skeleton import PACK_SEPARATOR, SkeletonIndex
 
-__all__ = ["ShamFinder", "DetectionTiming", "PreparedReferences"]
+__all__ = ["ShamFinder", "DetectionTiming", "PreparedReferences", "REFERENCE_SEPARATOR"]
+
+#: Separator packing a label's reference domains into one string — the
+#: same C0 byte the skeleton buckets pack with, imported so the artifact
+#: layout has a single load-bearing constant.  Domains are LDH ASCII, so
+#: the separator can never collide with content; packed groups load from
+#: the index artifact with C-level ``str.split`` instead of per-entry
+#: object construction.
+REFERENCE_SEPARATOR = PACK_SEPARATOR
 
 
 @dataclass(frozen=True)
 class PreparedReferences:
     """Reference list preprocessed for repeated/streamed detection.
 
-    Built once per scan by :meth:`ShamFinder.prepare_references` and shipped
-    to every worker: the case-folded registrable label of each reference
-    mapped back to its domains, plus the skeleton hash-join index over
-    those labels.
+    Built once per scan by :meth:`ShamFinder.prepare_references` (or loaded
+    from a :mod:`.index` artifact) and shipped to every worker: the
+    case-folded registrable label of each reference mapped back to the
+    domains carrying it, plus the skeleton hash-join index over those
+    labels.
     """
 
-    #: case-folded registrable label → reference domains carrying it
-    labels: dict[str, tuple[DomainName, ...]]
+    #: case-folded registrable label → that label's reference domains in
+    #: canonical ASCII form, packed with :data:`REFERENCE_SEPARATOR` (use
+    #: :meth:`references_for` rather than reading this directly)
+    labels: dict[str, str]
     #: skeleton hash-join index over the label keys
     index: SkeletonIndex
     #: number of reference domains that parsed (the paper's |M|)
     domain_count: int
+
+    def references_for(self, folded_label: str) -> tuple[str, ...]:
+        """The reference domains (canonical ASCII) carrying *folded_label*."""
+        group = self.labels.get(folded_label)
+        if not group:
+            return ()
+        return tuple(group.split(REFERENCE_SEPARATOR))
 
 
 @dataclass(frozen=True)
@@ -197,16 +215,16 @@ class ShamFinder:
             except (IDNAError, ValueError):
                 continue
 
-        labels: dict[str, list[DomainName]] = {}
+        labels: dict[str, list[str]] = {}
         for ref in reference_names:
             try:
                 label = fold_label(ref.registrable_unicode)
             except IDNAError:
                 continue
-            labels.setdefault(label, []).append(ref)
+            labels.setdefault(label, []).append(ref.ascii)
         index = self.matcher.build_skeleton_index(labels)
         return PreparedReferences(
-            labels={label: tuple(refs) for label, refs in labels.items()},
+            labels={label: REFERENCE_SEPARATOR.join(refs) for label, refs in labels.items()},
             index=index,
             domain_count=len(reference_names),
         )
@@ -237,8 +255,8 @@ class ShamFinder:
                 skipped += 1
                 continue
             for match in self.matcher.match_with_skeleton_index(label, prepared.index):
-                for ref in prepared.labels.get(match.reference, ()):
-                    if ref.tld != idn.tld:
+                for ref in prepared.references_for(match.reference):
+                    if ref.rpartition(".")[2] != idn.tld:
                         continue
                     detections.append(self._detection_from_match(idn, ref, match))
         return detections, idn_count, skipped
@@ -246,9 +264,10 @@ class ShamFinder:
     def _detection_from_match(
         self,
         idn: DomainName,
-        reference: DomainName,
+        reference: str,
         match: MatchResult,
     ) -> HomographDetection:
+        """Materialise one detection; *reference* is a canonical ASCII domain."""
         sources: set[str] = set()
         for substitution in match.substitutions:
             pair = self.database.get(substitution.candidate_char, substitution.reference_char)
@@ -259,7 +278,7 @@ class ShamFinder:
         return HomographDetection(
             idn=idn.ascii,
             idn_unicode=idn.unicode,
-            reference=reference.ascii,
+            reference=reference,
             substitutions=match.substitutions,
             sources=frozenset(sources),
         )

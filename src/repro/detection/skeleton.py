@@ -26,7 +26,7 @@ while doing orders of magnitude fewer comparisons.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from typing import Iterable, Iterator, Mapping
 
 from ..homoglyph.database import HomoglyphDatabase
 
@@ -101,23 +101,67 @@ class CharacterClasses:
         return len(self._representative)
 
 
+#: Separator for lazily-unpacked bucket members (see
+#: :meth:`SkeletonIndex.from_packed`).  Folded labels are domain labels, so
+#: a C0 control can never collide with content.
+PACK_SEPARATOR = "\x1f"
+
+
 class SkeletonIndex:
     """Reference labels bucketed by skeleton for O(1) candidate lookup.
 
     Labels are stored pre-case-folded in insertion order, preserving the
     multiplicity and relative order of the legacy length-bucket scan so
     both paths return identical match lists.
+
+    A bucket value is either a ``list`` of labels or — for an index loaded
+    from a packed artifact (:mod:`.index`) — a :data:`PACK_SEPARATOR`-joined
+    string that is split on first access.  Unpacking is idempotent, so the
+    index stays safe for concurrent readers; mutation (``add``) is not
+    concurrency-safe, same as before.
     """
 
     def __init__(self, classes: CharacterClasses) -> None:
         self.classes = classes
-        self._buckets: dict[str, list[str]] = {}
+        self._buckets: dict[str, list[str] | str] = {}
         self._size = 0
+
+    @classmethod
+    def from_packed(
+        cls,
+        classes: CharacterClasses,
+        packed_buckets: dict[str, str],
+        size: int,
+    ) -> "SkeletonIndex":
+        """Adopt artifact-loaded buckets wholesale (trusted input).
+
+        *packed_buckets* maps each skeleton to its members joined with
+        :data:`PACK_SEPARATOR`; *size* is the total member count.  Buckets
+        stay packed until first probed, so a warm start pays two C-level
+        ``dict`` builds instead of a Python loop over every label.
+        """
+        index = cls(classes)
+        index._buckets = packed_buckets
+        index._size = size
+        return index
+
+    def _bucket(self, skeleton: str) -> list[str] | None:
+        bucket = self._buckets.get(skeleton)
+        if type(bucket) is str:
+            # Lazily unpack an artifact bucket.  The replacement is
+            # idempotent, so a concurrent-reader race is benign.
+            bucket = bucket.split(PACK_SEPARATOR)
+            self._buckets[skeleton] = bucket
+        return bucket
 
     def add(self, folded_label: str) -> None:
         """Index one (already case-folded) reference label."""
         skeleton = self.classes.skeletonize(folded_label)
-        self._buckets.setdefault(skeleton, []).append(folded_label)
+        bucket = self._bucket(skeleton)
+        if bucket is None:
+            self._buckets[skeleton] = [folded_label]
+        else:
+            bucket.append(folded_label)
         self._size += 1
 
     def extend(self, folded_labels: Iterable[str]) -> None:
@@ -127,7 +171,13 @@ class SkeletonIndex:
 
     def candidates_for(self, folded_label: str) -> list[str]:
         """References that could match *folded_label* (superset of matches)."""
-        return self._buckets.get(self.classes.skeletonize(folded_label), [])
+        bucket = self._bucket(self.classes.skeletonize(folded_label))
+        return bucket if bucket is not None else []
+
+    def buckets(self) -> Iterator[tuple[str, list[str]]]:
+        """Yield ``(skeleton, members)`` in insertion order (serialisation view)."""
+        for skeleton in list(self._buckets):
+            yield skeleton, list(self._bucket(skeleton))
 
     @property
     def bucket_count(self) -> int:

@@ -327,13 +327,16 @@ class StreamingScanner:
         chunk_size: int = 2000,
         jobs: int = 1,
         idn_only: bool = True,
+        prepared: PreparedReferences | None = None,
     ) -> None:
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.finder = finder
-        self.prepared = finder.prepare_references(reference)
+        # A caller holding a prebuilt index (a loaded ReferenceIndex
+        # artifact) passes its prepared state to skip the per-run warm-up.
+        self.prepared = prepared if prepared is not None else finder.prepare_references(reference)
         self.chunk_size = chunk_size
         self.jobs = jobs
         self.idn_only = idn_only

@@ -16,6 +16,7 @@ to clients such as the warning UI.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from collections import Counter
@@ -184,6 +185,22 @@ class HomoglyphDatabase:
     def pairs(self) -> list[HomoglyphPair]:
         """All pairs in deterministic (code point) order."""
         return [self._pairs[key] for key in sorted(self._pairs)]
+
+    def content_digest(self) -> str:
+        """Short digest of the exact pair set (sources and Δ included).
+
+        Two databases with the same digest produce identical detection
+        results, so artifacts derived from a database (the reference index)
+        use this as their fingerprint component — it transitively covers
+        whatever built the database (font, threshold, UC version).
+        """
+        hasher = hashlib.sha256()
+        for pair in self.pairs():
+            hasher.update(
+                f"{ord(pair.first):04X}:{ord(pair.second):04X}:"
+                f"{pair.delta}:{','.join(sorted(pair.sources))}\n".encode("utf-8")
+            )
+        return hasher.hexdigest()[:16]
 
     # -- set algebra --------------------------------------------------------
 

@@ -25,6 +25,7 @@ from . import punycode
 __all__ = [
     "ACE_PREFIX",
     "IDNAError",
+    "fold_label",
     "is_ace_label",
     "to_ascii_label",
     "to_unicode_label",
@@ -48,6 +49,24 @@ class IDNAError(ValueError):
 def is_ace_label(label: str) -> bool:
     """True when *label* carries the ``xn--`` ACE prefix."""
     return label.lower().startswith(ACE_PREFIX)
+
+
+def fold_label(label: str) -> str:
+    """Lowercase *label* without changing its length.
+
+    ``str.lower()`` can change a label's length (U+0130 "İ" lowers to "i"
+    plus a combining dot), which breaks every consumer that indexes into
+    the original label — length pruning, substitution positions, warning
+    annotations.  Characters whose lowercase mapping expands are kept
+    as-is, so every index into the folded label is also a valid index into
+    the original.
+    """
+    folded = label.lower()
+    if len(folded) == len(label):
+        return folded
+    return "".join(
+        lowered if len(lowered := char.lower()) == 1 else char for char in label
+    )
 
 
 def _check_hyphens(label: str, *, is_alabel: bool) -> None:
@@ -113,12 +132,23 @@ def to_ascii_label(label: str, *, validate: bool = True) -> str:
 
 
 def to_unicode_label(label: str) -> str:
-    """Convert a single label to its U-label (Unicode) form."""
-    label = label.strip().lower()
+    """Convert a single label to its U-label (Unicode) form.
+
+    Non-ACE labels are case-folded with the length-preserving
+    :func:`fold_label` — plain ``str.lower()`` could change their length,
+    misaligning position-indexed consumers (matcher substitutions, warning
+    annotations) relative to the input.
+    """
+    label = label.strip()
     if not label:
         raise IDNAError("empty label")
     if not is_ace_label(label):
-        return label
+        return fold_label(label)
+    label = label.lower()      # an ACE label is pure ASCII, so this is length-safe
+    if len(label) > _MAX_LABEL_OCTETS:
+        # A real A-label never exceeds 63 octets; crafted oversized payloads
+        # would otherwise reach the (quadratic) Punycode decoder.
+        raise IDNAError(f"A-label exceeds {_MAX_LABEL_OCTETS} octets: {label[:80]!r}...")
     encoded = label[len(ACE_PREFIX):]
     if not encoded:
         raise IDNAError("empty A-label payload")

@@ -10,7 +10,7 @@ uses as a cross-check.
 
 from __future__ import annotations
 
-__all__ = ["encode", "decode", "PunycodeError"]
+__all__ = ["encode", "decode", "PunycodeError", "MAX_DECODE_LENGTH"]
 
 # Bootstring parameters for Punycode (RFC 3492 section 5).
 _BASE = 36
@@ -22,6 +22,13 @@ _INITIAL_BIAS = 72
 _INITIAL_N = 0x80
 _DELIMITER = "-"
 _MAXINT = 0x7FFFFFFF
+
+#: Default input-length cap for :func:`decode`.  Decoding is quadratic in
+#: the number of deltas (every delta is an ``insert`` into the output), so a
+#: crafted input of a few hundred kilobytes can stall a process for minutes.
+#: Real IDNA labels are at most 63 octets; the cap is generous enough for
+#: any sane non-IDNA use while keeping the worst case in the milliseconds.
+MAX_DECODE_LENGTH = 4096
 
 
 class PunycodeError(ValueError):
@@ -68,6 +75,15 @@ def encode(text: str) -> str:
     extended part), matching the reference algorithm.
     """
     codepoints = [ord(ch) for ch in text]
+    for cp in codepoints:
+        if 0xD800 <= cp <= 0xDFFF:
+            # A lone surrogate would encode "successfully" into a string the
+            # decoder (and any RFC-conforming one) must then reject.
+            raise PunycodeError(f"surrogate code point U+{cp:04X} cannot be encoded")
+        if cp < 0x20:
+            # Symmetric with decode(): a C0 control would land verbatim in
+            # the basic part, producing output our own decoder rejects.
+            raise PunycodeError(f"control character cannot be encoded: {chr(cp)!r}")
     basic = [cp for cp in codepoints if cp < 0x80]
     output = [chr(cp) for cp in basic]
 
@@ -118,14 +134,30 @@ def encode(text: str) -> str:
     return "".join(output)
 
 
-def decode(text: str) -> str:
+def decode(text: str, *, max_length: int | None = MAX_DECODE_LENGTH) -> str:
     """Decode a Punycode string (without ``xn--``) back into Unicode.
 
     Follows RFC 3492 section 6.2 with the overflow checks the RFC requires.
+    Extended-part digits are case-insensitive (``TSTA8290BFZD`` decodes the
+    same as ``tsta8290bfzd``); the case of basic code points is preserved.
+
+    Inputs longer than *max_length* are rejected: the insertion sort at the
+    heart of Bootstring makes decoding quadratic, so unbounded attacker-
+    controlled input is a denial-of-service vector (pass ``max_length=None``
+    to lift the cap).  C0 control characters are rejected outright — they
+    are never valid extended digits and a basic part containing them is
+    junk, not a label.
     """
+    if max_length is not None and len(text) > max_length:
+        raise PunycodeError(
+            f"Punycode input of {len(text)} characters exceeds the {max_length}-character cap"
+        )
     for ch in text:
-        if ord(ch) >= 0x80:
+        cp = ord(ch)
+        if cp >= 0x80:
             raise PunycodeError(f"non-ASCII character in Punycode input: {ch!r}")
+        if cp < 0x20:
+            raise PunycodeError(f"control character in Punycode input: {ch!r}")
 
     delimiter_index = text.rfind(_DELIMITER)
     if delimiter_index >= 0:

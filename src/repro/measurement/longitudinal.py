@@ -413,13 +413,18 @@ class LongitudinalTracker:
         *,
         chunk_size: int = 2000,
         jobs: int = 1,
+        prepared=None,
     ) -> None:
         self.finder = finder
         self.reference = list(reference)
         self.reference_fingerprint = reference_fingerprint(self.reference)
         self.state_dir = Path(state_dir)
+        # *prepared* (a PreparedReferences, e.g. from a loaded ReferenceIndex
+        # artifact) skips the per-run reference warm-up; the reference
+        # fingerprint above still guards resume correctness.
         self.scanner = StreamingScanner(
             finder, self.reference, chunk_size=chunk_size, jobs=jobs, idn_only=True,
+            prepared=prepared,
         )
 
     @property

@@ -224,3 +224,138 @@ def test_scan_resume_refuses_changed_input(tmp_path, capsys, union_db):
     rc = main(base + ["--resume"])
     assert rc == 2
     assert "cannot resume" in capsys.readouterr().err
+
+
+# -- query / serve ------------------------------------------------------------
+
+
+def _saved_db(tmp_path, union_db):
+    db_path = tmp_path / "db.json"
+    union_db.save(db_path)
+    return db_path
+
+
+def test_query_text_and_exit_codes(tmp_path, capsys, union_db):
+    db_path = _saved_db(tmp_path, union_db)
+    rc = main(["query", "xn--ggle-55da.com", "example.com",
+               "--reference", "google.com", "--database", str(db_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "homograph of google.com" in out
+    assert "no homograph match" in out
+
+
+def test_query_json_includes_detections_and_revert(tmp_path, capsys, union_db):
+    db_path = _saved_db(tmp_path, union_db)
+    rc = main(["query", "xn--ggle-55da.com", "--revert", "--json",
+               "--reference", "google.com", "--database", str(db_path)])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["is_homograph"] is True
+    assert payload["detections"][0]["reference"] == "google.com"
+    assert payload["revert"] == "google.com"
+
+
+def test_query_invalid_domain_sets_exit_code(tmp_path, capsys, union_db):
+    db_path = _saved_db(tmp_path, union_db)
+    rc = main(["query", "..", "--reference", "google.com", "--database", str(db_path)])
+    assert rc == 1
+    assert "invalid" in capsys.readouterr().out
+
+
+def test_query_stats_on_stderr(tmp_path, capsys, union_db):
+    db_path = _saved_db(tmp_path, union_db)
+    rc = main(["query", "xn--ggle-55da.com", "xn--GGLE-55da.com", "--stats",
+               "--reference", "google.com", "--database", str(db_path)])
+    assert rc == 0
+    stats = json.loads(capsys.readouterr().err)
+    assert stats["queries"] == 2
+    assert stats["cache_hits"] == 1
+
+
+def test_query_index_dir_builds_and_reuses_artifact(tmp_path, capsys, union_db):
+    db_path = _saved_db(tmp_path, union_db)
+    index_dir = tmp_path / "index"
+    base = ["query", "xn--ggle-55da.com", "--reference", "google.com",
+            "--database", str(db_path), "--index-dir", str(index_dir), "--stats"]
+
+    # Missing dir without --build-index: one-line error, no traceback.
+    assert main(base) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "--build-index" in err
+
+    assert main(base + ["--build-index"]) == 0
+    stats = json.loads(capsys.readouterr().err)
+    assert stats["index_from_cache"] is False
+    assert list(index_dir.glob("refindex-*.idx"))
+
+    assert main(base) == 0
+    stats = json.loads(capsys.readouterr().err)
+    assert stats["index_from_cache"] is True
+
+
+def test_query_missing_database_is_one_line_error(tmp_path, capsys):
+    rc = main(["query", "example.com", "--reference", "google.com",
+               "--database", str(tmp_path / "missing.json")])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert err.count("\n") == 1
+
+
+def test_detect_missing_font_is_one_line_error(tmp_path, capsys):
+    rc = main(["detect", "example.com", "--reference", "google.com",
+               "--font", str(tmp_path / "missing.hex")])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: cannot read font file")
+    assert err.count("\n") == 1
+
+
+def test_serve_reads_file_and_emits_jsonl(tmp_path, capsys, union_db):
+    db_path = _saved_db(tmp_path, union_db)
+    input_path = tmp_path / "domains.txt"
+    input_path.write_text(
+        "xn--ggle-55da.com\n# comment\n\nexample.com\n", encoding="utf-8")
+    rc = main(["serve", "-i", str(input_path), "--reference", "google.com",
+               "--database", str(db_path), "--stats"])
+    assert rc == 0
+    captured = capsys.readouterr()
+    lines = [json.loads(line) for line in captured.out.splitlines()]
+    assert len(lines) == 2
+    assert lines[0]["is_homograph"] is True
+    assert lines[1]["is_homograph"] is False
+    assert json.loads(captured.err)["queries"] == 2
+
+
+def test_serve_missing_input_is_one_line_error(tmp_path, capsys, union_db):
+    db_path = _saved_db(tmp_path, union_db)
+    rc = main(["serve", "-i", str(tmp_path / "missing.txt"),
+               "--reference", "google.com", "--database", str(db_path)])
+    assert rc == 2
+    assert capsys.readouterr().err.startswith("error: cannot read")
+
+
+def test_scan_reuses_index_dir(tmp_path, capsys, union_db):
+    db_path = _saved_db(tmp_path, union_db)
+    input_path = tmp_path / "zone.txt"
+    input_path.write_text("xn--ggle-55da.com\nexample.com\n", encoding="utf-8")
+    index_dir = tmp_path / "index"
+    base = ["scan", "-i", str(input_path), "-o", str(tmp_path / "out.jsonl"),
+            "--reference", "google.com", "--database", str(db_path),
+            "--index-dir", str(index_dir)]
+
+    assert main(base) == 2                      # missing dir: clear error
+    assert "--build-index" in capsys.readouterr().err
+
+    assert main(base + ["--build-index"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["detection_count"] == 1
+    assert list(index_dir.glob("refindex-*.idx"))
+
+    # Warm run: same results through the loaded artifact.
+    assert main(["scan", "-i", str(input_path), "-o", str(tmp_path / "out2.jsonl"),
+                 "--reference", "google.com", "--database", str(db_path),
+                 "--index-dir", str(index_dir)]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["detection_count"] == 1

@@ -100,3 +100,43 @@ def test_domain_total_length_limit():
     long_domain = ".".join(["a" * 60] * 5)
     with pytest.raises(IDNAError):
         encode_domain(long_domain)
+
+
+# -- robustness: oversized A-labels, length-preserving fold --------------------
+
+
+def test_to_unicode_label_rejects_oversized_ace_labels():
+    # A real A-label never exceeds 63 octets; a crafted multi-kilobyte
+    # payload used to reach the quadratic Punycode decoder.
+    with pytest.raises(IDNAError, match="63 octets"):
+        to_unicode_label("xn--" + "a" * 500_000)
+
+
+def test_to_unicode_label_accepts_mixed_case_ace():
+    assert to_unicode_label("XN--TSTA8290BFZD") == "阿里巴巴"
+    assert to_unicode_label("xn--BCHER-kva") == "bücher"
+
+
+def test_to_unicode_label_is_length_preserving_for_unicode_input():
+    from repro.idn.idna_codec import fold_label
+
+    # U+0130 "İ" lowers to two characters under str.lower(); the non-ACE
+    # path must keep the label's length so position-indexed consumers
+    # (matcher substitutions, warning annotations) stay aligned.
+    label = "İstanbul"
+    folded = to_unicode_label(label)
+    assert len(folded) == len(label)
+    assert folded == fold_label(label) == "İstanbul".replace("Stanbul", "stanbul")
+    assert folded[1:] == "stanbul"
+    assert folded[0] == "İ"                      # kept unfolded, not expanded
+    assert to_unicode_label("GOOGLE") == "google"   # plain folding still applies
+
+
+def test_fold_label_exported_from_idn_layer():
+    from repro.detection.algorithm import fold_label as detection_fold
+    from repro.idn.idna_codec import fold_label
+
+    assert detection_fold is fold_label
+    assert fold_label("ẞ") == "ß"                # single-char lowercase is fine
+    assert fold_label("ß") == "ß"                # and ß itself never expands
+    assert len(fold_label("İX")) == 2

@@ -74,3 +74,110 @@ def test_roundtrip_matches_stdlib(text):
 @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789üöäßéあ中о", min_size=1, max_size=24))
 def test_roundtrip_identity(text):
     assert punycode.decode(punycode.encode(text)) == text
+
+
+# -- mixed-case ACE input (RFC 3492 digits are case-insensitive) ---------------
+
+
+@pytest.mark.parametrize("unicode_text, expected", _KNOWN_CASES)
+def test_decode_accepts_uppercase_extended_digits(unicode_text, expected):
+    # Upper-case only the extended part (after the last delimiter); the
+    # basic part is payload whose case the decoder must preserve.
+    basic, delimiter, extended = expected.rpartition("-")
+    mixed = basic + delimiter + extended.upper()
+    assert punycode.decode(mixed) == unicode_text
+
+
+def test_decode_preserves_basic_code_point_case():
+    # The extended digits fold; the basic code points do not.
+    assert punycode.decode("Bcher-KVA") == "Bücher"
+    assert punycode.decode("BCHER-kva") == "BüCHER"
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(
+    alphabet=st.characters(min_codepoint=0xE0, max_codepoint=0x2FFF, exclude_categories=("Cs",)),
+    min_size=1, max_size=16,
+))
+def test_decode_is_case_insensitive_on_extended_part(text):
+    encoded = punycode.encode(text)
+    assert punycode.decode(encoded.upper()) == text
+    assert punycode.decode(encoded.swapcase()) == text
+
+
+# -- adversarial input ---------------------------------------------------------
+
+
+def test_decode_rejects_oversized_input_instead_of_hanging():
+    # Decoding is quadratic in the delta count (insertion sort); a crafted
+    # few-hundred-KB payload used to stall for minutes.  The cap turns that
+    # into an immediate, typed error.
+    with pytest.raises(punycode.PunycodeError, match="cap"):
+        punycode.decode("a" * (punycode.MAX_DECODE_LENGTH + 1))
+
+
+def test_decode_cap_can_be_lifted_or_tightened():
+    text = "a" * (punycode.MAX_DECODE_LENGTH + 1)
+    assert len(punycode.decode(text, max_length=None)) == len(text)
+    with pytest.raises(punycode.PunycodeError):
+        punycode.decode("abcd-1ga", max_length=4)
+
+
+def test_decode_rejects_control_characters():
+    for bad in ("\x00abc", "a-b\x01c", "abc\n", "\tabc-def"):
+        with pytest.raises(punycode.PunycodeError):
+            punycode.decode(bad)
+
+
+def test_decode_rejects_oversized_deltas_with_typed_errors():
+    # Each of these drives a different overflow/range check; all must raise
+    # PunycodeError (never a bare ValueError/OverflowError) and terminate
+    # promptly.
+    for bad in ("99999999", "9" * 64, "zzzz" * 512, "a" * 10 + "9" * 30):
+        with pytest.raises(punycode.PunycodeError):
+            punycode.decode(bad)
+
+
+def test_decode_rejects_surrogate_range_output():
+    # stdlib's codec happily emits lone surrogates; RFC-valid labels cannot
+    # contain them, so our decoder treats them as out-of-range.
+    with pytest.raises(punycode.PunycodeError, match="out of range"):
+        punycode.decode("-9c0c")
+
+
+def test_encode_rejects_control_characters():
+    # Symmetric with decode(): a C0 control would otherwise encode into a
+    # basic part our own decoder rejects.
+    for bad in ("a\tb", "line\nbreak", "\x00"):
+        with pytest.raises(punycode.PunycodeError, match="control"):
+            punycode.encode(bad)
+
+
+def test_encode_rejects_lone_surrogates():
+    # Encoding a surrogate used to "succeed", producing a string the decoder
+    # (ours and any RFC-conforming one) must then reject.
+    with pytest.raises(punycode.PunycodeError, match="surrogate"):
+        punycode.encode("\ud800")
+    with pytest.raises(punycode.PunycodeError, match="surrogate"):
+        punycode.encode("ok\udfffok")
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(alphabet=st.characters(min_codepoint=0x20, max_codepoint=0x7E), max_size=32))
+def test_decode_arbitrary_printable_ascii_never_raises_bare_exceptions(text):
+    # Any printable-ASCII input either decodes or raises PunycodeError —
+    # nothing else, and never a hang.
+    try:
+        punycode.decode(text)
+    except punycode.PunycodeError:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.binary(max_size=32))
+def test_decode_arbitrary_bytes_never_raise_bare_exceptions(data):
+    text = data.decode("latin-1")
+    try:
+        punycode.decode(text)
+    except punycode.PunycodeError:
+        pass

@@ -1,0 +1,195 @@
+"""Tests for the persistable reference-index artifact (detection/index.py)."""
+
+import json
+
+import pytest
+
+from repro.detection.index import (
+    INDEX_FORMAT_VERSION,
+    IndexKey,
+    ReferenceIndexStore,
+    build_reference_index,
+    cached_reference_index,
+    key_for,
+    reference_list_hash,
+)
+from repro.detection.shamfinder import ShamFinder
+from repro.homoglyph.database import SOURCE_UC, HomoglyphDatabase
+from repro.idn.idna_codec import to_ascii_label
+
+
+@pytest.fixture()
+def small_finder():
+    db = HomoglyphDatabase(name="idx-test")
+    db.add_pair("o", "о", source=SOURCE_UC)   # Cyrillic о
+    db.add_pair("a", "а", source=SOURCE_UC)   # Cyrillic а
+    db.add_pair("e", "е", source=SOURCE_UC)   # Cyrillic е
+    return ShamFinder(db)
+
+
+REFERENCE = ["google.com", "amazon.com", "paypal.com", "apple.net", "google.net"]
+
+HOMOGRAPHS = [
+    to_ascii_label("gооgle") + ".com",
+    to_ascii_label("аmazon") + ".com",
+    to_ascii_label("applе") + ".net",
+]
+
+
+def _detect(finder, prepared):
+    detections, idn_count, skipped = finder.detect_prepared(HOMOGRAPHS + ["benign.com"], prepared)
+    return [d.as_dict() for d in detections], idn_count, skipped
+
+
+# -- fingerprinting -----------------------------------------------------------
+
+
+def test_reference_hash_tracks_content_and_order():
+    assert reference_list_hash(["a.com", "b.com"]) == reference_list_hash(["a.com", "b.com"])
+    assert reference_list_hash(["a.com"]) != reference_list_hash(["a.com", "b.com"])
+    # Order-sensitive by design: a reordered list rebuilds (safe, just not free).
+    assert reference_list_hash(["a.com", "b.com"]) != reference_list_hash(["b.com", "a.com"])
+
+
+def test_key_changes_with_database_and_references(small_finder):
+    key = key_for(small_finder, REFERENCE)
+    assert key == key_for(small_finder, list(REFERENCE))
+    assert key != key_for(small_finder, REFERENCE[:-1])
+
+    other_db = HomoglyphDatabase(name="other")
+    other_db.add_pair("o", "о", source=SOURCE_UC)
+    assert key != key_for(ShamFinder(other_db), REFERENCE)
+
+
+def test_database_digest_ignores_name_but_not_pairs():
+    first = HomoglyphDatabase(name="one")
+    second = HomoglyphDatabase(name="two")
+    for db in (first, second):
+        db.add_pair("o", "о", source=SOURCE_UC)
+    assert first.content_digest() == second.content_digest()
+    second.add_pair("a", "а", source=SOURCE_UC)
+    assert first.content_digest() != second.content_digest()
+
+
+# -- round trip ---------------------------------------------------------------
+
+
+def test_store_load_round_trip_is_detection_identical(tmp_path, small_finder):
+    store = ReferenceIndexStore(tmp_path)
+    built, hit = cached_reference_index(small_finder, REFERENCE, store)
+    assert not hit and not built.from_cache
+
+    loaded, hit = cached_reference_index(small_finder, REFERENCE, store)
+    assert hit and loaded.from_cache
+    assert loaded.fingerprint == built.fingerprint
+    assert loaded.domain_count == built.domain_count
+    assert sorted(loaded.prepared.labels) == sorted(built.prepared.labels)
+    assert _detect(small_finder, loaded.prepared) == _detect(small_finder, built.prepared)
+
+
+def test_loaded_references_are_canonical(tmp_path, small_finder):
+    store = ReferenceIndexStore(tmp_path)
+    store.store(build_reference_index(small_finder, REFERENCE))
+    loaded = store.load(key_for(small_finder, REFERENCE), small_finder)
+    refs = [ref for label in loaded.prepared.labels
+            for ref in loaded.prepared.references_for(label)]
+    assert sorted(refs) == sorted(REFERENCE)
+    # tld filtering (used by detect_prepared) must survive the round trip
+    assert {r.rpartition(".")[2] for r in refs} == {"com", "net"}
+
+
+def test_store_none_degrades_to_in_memory_build(small_finder):
+    index, hit = cached_reference_index(small_finder, REFERENCE, None)
+    assert not hit and not index.from_cache
+    assert index.domain_count == len(REFERENCE)
+
+
+def test_force_rebuild_skips_read_but_refreshes(tmp_path, small_finder):
+    store = ReferenceIndexStore(tmp_path)
+    first, _ = cached_reference_index(small_finder, REFERENCE, store)
+    path = store.path_for(first.key)
+    before = path.stat().st_mtime_ns
+    forced, hit = cached_reference_index(small_finder, REFERENCE, store, force=True)
+    assert not hit and not forced.from_cache
+    assert path.stat().st_mtime_ns >= before
+    # And the refreshed artifact still loads.
+    assert store.load(first.key, small_finder) is not None
+
+
+# -- corruption -> rebuild ----------------------------------------------------
+
+
+def _stored_path(tmp_path, finder):
+    store = ReferenceIndexStore(tmp_path)
+    index = build_reference_index(finder, REFERENCE)
+    return store, index, store.store(index)
+
+
+def test_missing_artifact_is_a_miss(tmp_path, small_finder):
+    store = ReferenceIndexStore(tmp_path)
+    assert store.load(key_for(small_finder, REFERENCE), small_finder) is None
+
+
+def test_truncated_artifact_is_a_miss(tmp_path, small_finder):
+    store, index, path = _stored_path(tmp_path, small_finder)
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+    assert store.load(index.key, small_finder) is None
+    # cached_reference_index transparently rebuilds and re-persists
+    rebuilt, hit = cached_reference_index(small_finder, REFERENCE, store)
+    assert not hit
+    assert store.load(index.key, small_finder) is not None
+
+
+def test_garbage_header_is_a_miss(tmp_path, small_finder):
+    store, index, path = _stored_path(tmp_path, small_finder)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    path.write_text("not json at all\n" + "\n".join(lines[1:]) + "\n", encoding="utf-8")
+    assert store.load(index.key, small_finder) is None
+
+
+def test_wrong_magic_or_version_is_a_miss(tmp_path, small_finder):
+    store, index, path = _stored_path(tmp_path, small_finder)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    header = json.loads(lines[0])
+
+    header["magic"] = "something-else"
+    path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n", encoding="utf-8")
+    assert store.load(index.key, small_finder) is None
+
+    header["magic"] = "shamfinder-reference-index"
+    header["version"] = INDEX_FORMAT_VERSION + 1
+    path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n", encoding="utf-8")
+    assert store.load(index.key, small_finder) is None
+
+
+def test_mismatched_key_is_a_miss(tmp_path, small_finder):
+    store, index, path = _stored_path(tmp_path, small_finder)
+    other_key = IndexKey(database_digest="0" * 16, reference_hash=index.key.reference_hash)
+    # Pretend the same file answers for a different key (e.g. copied around).
+    path.rename(store.path_for(other_key))
+    assert store.load(other_key, small_finder) is None
+
+
+def test_label_count_mismatch_is_a_miss(tmp_path, small_finder):
+    store, index, path = _stored_path(tmp_path, small_finder)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    path.write_text("\n".join(lines[:-1]) + "\n", encoding="utf-8")  # drop one entry
+    assert store.load(index.key, small_finder) is None
+
+
+def test_unwritable_store_degrades_to_a_warning(tmp_path, small_finder):
+    target = tmp_path / "blocked"
+    target.write_text("a file, not a directory", encoding="utf-8")
+    store = ReferenceIndexStore(target)
+    with pytest.warns(UserWarning, match="could not persist reference index"):
+        index, hit = cached_reference_index(small_finder, REFERENCE, store)
+    assert not hit
+    assert index.domain_count == len(REFERENCE)
+
+
+def test_entries_and_clear(tmp_path, small_finder):
+    store, index, path = _stored_path(tmp_path, small_finder)
+    assert store.entries() == [path]
+    assert store.clear() == 1
+    assert store.entries() == []

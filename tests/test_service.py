@@ -1,0 +1,244 @@
+"""Tests for the online query service (detection/service.py), including
+concurrent-reader behaviour of the shared SkeletonIndex."""
+
+import threading
+
+import pytest
+
+from repro.detection.algorithm import HomographMatcher, fold_label
+from repro.detection.index import ReferenceIndexStore, build_reference_index
+from repro.detection.service import OnlineDetector
+from repro.detection.shamfinder import ShamFinder
+from repro.homoglyph.database import SOURCE_UC, HomoglyphDatabase
+from repro.idn.idna_codec import to_ascii_label
+
+
+@pytest.fixture()
+def small_finder():
+    db = HomoglyphDatabase(name="svc-test")
+    db.add_pair("o", "о", source=SOURCE_UC)
+    db.add_pair("a", "а", source=SOURCE_UC)
+    db.add_pair("e", "е", source=SOURCE_UC)
+    return ShamFinder(db)
+
+
+REFERENCE = ["google.com", "amazon.com", "paypal.com", "google.net"]
+
+
+@pytest.fixture()
+def detector(small_finder):
+    return OnlineDetector.from_references(small_finder, REFERENCE)
+
+
+def _homograph(label: str, tld: str = "com") -> str:
+    return f"{to_ascii_label(label)}.{tld}"
+
+
+# -- verdicts -----------------------------------------------------------------
+
+
+def test_query_matches_batch_detection(small_finder, detector):
+    domains = [_homograph("gооgle"), _homograph("аmazon"), "benign.com", _homograph("pаypаl")]
+    prepared = small_finder.prepare_references(REFERENCE)
+    batch, _count, _skipped = small_finder.detect_prepared(domains, prepared)
+    online = [d for v in detector.query_many(domains) for d in v.detections]
+    assert [d.as_dict() for d in online] == [d.as_dict() for d in batch]
+
+
+def test_query_filters_by_tld(detector):
+    assert detector.query(_homograph("gооgle", "com")).is_homograph
+    assert detector.query(_homograph("gооgle", "net")).is_homograph
+    assert not detector.query(_homograph("gооgle", "org")).is_homograph
+
+
+def test_query_unparsable_domain_reports_error(detector):
+    verdict = detector.query("..")
+    assert verdict.error is not None
+    assert not verdict.is_homograph
+    assert verdict.as_dict() == {"domain": "..", "is_homograph": False, "error": verdict.error}
+    assert detector.stats()["errors"] == 1
+
+
+def test_identical_label_is_not_a_homograph(detector):
+    assert not detector.query("google.com").is_homograph
+
+
+def test_revert_target_inlined_when_enabled(small_finder):
+    detector = OnlineDetector.from_references(small_finder, REFERENCE, include_revert=True)
+    verdict = detector.query(_homograph("gооgle"))
+    assert verdict.revert == "google.com"
+    payload = verdict.as_dict()
+    assert payload["revert"] == "google.com"
+    # benign ASCII input: no revert, and the key is omitted entirely
+    assert "revert" not in detector.query("benign.com").as_dict()
+
+
+def test_verdict_json_round_trips(detector):
+    import json
+
+    verdict = detector.query(_homograph("gооgle"))
+    payload = json.loads(json.dumps(verdict.as_dict(), ensure_ascii=False))
+    assert payload["is_homograph"] is True
+    assert payload["detections"][0]["reference"] == "google.com"
+
+
+# -- the LRU cache ------------------------------------------------------------
+
+
+def test_cache_hits_counted_and_shared_across_case(detector):
+    upper = _homograph("gооgle").upper()
+    detector.query(_homograph("gооgle"))
+    detector.query(upper)                      # same folded label -> hit
+    stats = detector.stats()
+    assert stats["queries"] == 2
+    assert stats["cache_hits"] == 1
+    assert stats["cached_labels"] == 1
+
+
+def test_cache_eviction_keeps_size_bounded(small_finder):
+    detector = OnlineDetector.from_references(small_finder, REFERENCE, cache_size=2)
+    for i in range(10):
+        detector.query(f"label{i}.com")
+    assert detector.stats()["cached_labels"] <= 2
+
+
+def test_cache_disabled_with_size_zero(small_finder):
+    detector = OnlineDetector.from_references(small_finder, REFERENCE, cache_size=0)
+    detector.query(_homograph("gооgle"))
+    detector.query(_homograph("gооgle"))
+    stats = detector.stats()
+    assert stats["cache_hits"] == 0
+    assert stats["cached_labels"] == 0
+
+
+def test_negative_cache_size_rejected(small_finder):
+    index = build_reference_index(small_finder, REFERENCE)
+    with pytest.raises(ValueError):
+        OnlineDetector(small_finder, index, cache_size=-1)
+
+
+def test_reload_index_invalidates_cache_on_fingerprint_change(small_finder, detector):
+    detector.query(_homograph("gооgle"))
+    assert detector.stats()["cached_labels"] == 1
+
+    same = build_reference_index(small_finder, REFERENCE)
+    assert detector.reload_index(same) is False          # same fingerprint: cache kept
+    assert detector.stats()["cached_labels"] == 1
+
+    changed = build_reference_index(small_finder, REFERENCE + ["new.com"])
+    assert detector.reload_index(changed) is True        # new fingerprint: cache dropped
+    assert detector.stats()["cached_labels"] == 0
+    assert detector.stats()["index_fingerprint"] == changed.fingerprint
+
+
+def test_reload_mid_query_does_not_reseed_cache_with_old_index(small_finder):
+    # A query that computed its matches against the old index must not
+    # insert them after reload_index() swapped the index and cleared the
+    # cache — that would serve retired-reference verdicts indefinitely.
+    detector = OnlineDetector.from_references(small_finder, REFERENCE)
+    changed = build_reference_index(small_finder, REFERENCE + ["other.com"])
+    original = detector.finder.matcher.match_with_skeleton_index
+
+    def reload_mid_join(label, index):
+        result = original(label, index)
+        detector.reload_index(changed)
+        return result
+
+    detector.finder.matcher.match_with_skeleton_index = reload_mid_join
+    try:
+        assert detector.query(_homograph("gооgle")).is_homograph
+    finally:
+        detector.finder.matcher.match_with_skeleton_index = original
+    assert detector.stats()["cached_labels"] == 0    # dropped, not stale-seeded
+    # And the next query re-joins against the new index and caches normally.
+    assert detector.query(_homograph("gооgle")).is_homograph
+    assert detector.stats()["cached_labels"] == 1
+
+
+def test_detector_from_store_cold_start(tmp_path, small_finder):
+    store = ReferenceIndexStore(tmp_path)
+    OnlineDetector.from_references(small_finder, REFERENCE, store=store)  # builds + persists
+    warm = OnlineDetector.from_references(small_finder, REFERENCE, store=store)
+    assert warm.index.from_cache
+    assert warm.query(_homograph("gооgle")).is_homograph
+
+
+# -- concurrency --------------------------------------------------------------
+
+
+def _run_threads(worker, thread_count=8):
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(thread_count)
+
+    def wrapped(seed: int) -> None:
+        try:
+            barrier.wait()
+            worker(seed)
+        except BaseException as exc:   # noqa: BLE001 - surfaced to the test
+            errors.append(exc)
+
+    threads = [threading.Thread(target=wrapped, args=(i,)) for i in range(thread_count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors
+
+
+def test_skeleton_index_safe_under_concurrent_readers(small_finder):
+    matcher = HomographMatcher(small_finder.database)
+    labels = [f"label{i}" for i in range(50)] + ["google", "amazon", "paypal"]
+    index = matcher.build_skeleton_index(labels)
+    expected = {label: matcher.match_with_skeleton_index(fold_label(label), index)
+                for label in ("gооgle", "аmazon", "benign", "pаypаl")}
+
+    def worker(seed: int) -> None:
+        for _ in range(200):
+            for label, want in expected.items():
+                got = matcher.match_with_skeleton_index(fold_label(label), index)
+                assert got == want
+
+    _run_threads(worker)
+
+
+def test_online_detector_concurrent_queries_match_serial(small_finder):
+    detector = OnlineDetector.from_references(small_finder, REFERENCE, cache_size=3)
+    domains = [_homograph("gооgle"), _homograph("аmazon"), "benign.com",
+               _homograph("pаypаl"), _homograph("gооgle", "net"), "other.net"]
+    serial = {d: detector.query(d).as_dict() for d in domains}
+
+    def worker(seed: int) -> None:
+        ordered = domains[seed % len(domains):] + domains[: seed % len(domains)]
+        for _ in range(50):
+            for domain in ordered:
+                assert detector.query(domain).as_dict() == serial[domain]
+
+    _run_threads(worker)
+    stats = detector.stats()
+    assert stats["queries"] == 8 * 50 * len(domains) + len(domains)
+    assert stats["cached_labels"] <= 3
+
+
+def test_concurrent_reload_does_not_corrupt_results(small_finder):
+    detector = OnlineDetector.from_references(small_finder, REFERENCE)
+    grown = build_reference_index(small_finder, REFERENCE + ["extra.com"])
+    original = build_reference_index(small_finder, REFERENCE)
+    stop = threading.Event()
+
+    def reloader() -> None:
+        while not stop.is_set():
+            detector.reload_index(grown)
+            detector.reload_index(original)
+
+    flipper = threading.Thread(target=reloader)
+    flipper.start()
+    try:
+        for _ in range(300):
+            verdict = detector.query(_homograph("gооgle"))
+            # Whichever index the query grabbed, the verdict is well-formed
+            # and google.com is a member of both reference sets.
+            assert verdict.is_homograph
+            assert verdict.detections[0].reference == "google.com"
+    finally:
+        stop.set()
+        flipper.join()
