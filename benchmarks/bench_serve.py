@@ -1,0 +1,259 @@
+"""Bench — the asyncio serving layer: latency, throughput, worker scaling.
+
+``bench_query.py`` established that one in-process query costs ~35µs; this
+bench measures what the *network* layer on top of it delivers, because the
+ROADMAP's serving milestone ("heavy traffic from millions of users") is
+about the frontend, not the join:
+
+* **verdict byte-identity** — every JSONL reply line a concurrent client
+  receives must be byte-for-byte what ``OnlineDetector`` (and therefore
+  the batch ``detect_prepared`` path — the equivalence bench_query pins)
+  produces for that domain, fingerprint stamp and all.  Batching,
+  pipelining and worker processes must not perturb a single byte.
+* **closed-loop latency / throughput** — N concurrent clients, one
+  in-flight query each: p99 round-trip must stay under a stated budget
+  while aggregate throughput stays above a stated floor.  The round trip
+  includes the micro-batch flush window, so this bounds the tax the
+  batcher charges a single query.
+* **worker scaling** — executing batches on a 4-process
+  :class:`~repro.serving.server.WorkerPool` must beat 1 process by ≥2x
+  (asserted where ≥4 CPUs exist).  Workers attach to the packed index
+  artifact by ``mmap`` — the attach is also timed and must be far
+  cheaper than the dict build it replaces (that is what makes N workers
+  N× cheap, not N× expensive, to start).
+
+Headline numbers land in ``BENCH_serve.json`` via ``bench_util.record_bench``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+
+from bench_query import _candidate_labels, _database, _reference_corpus
+from bench_util import print_table, record_bench
+
+from repro.detection.index import ReferenceIndexStore, cached_reference_index
+from repro.detection.service import OnlineDetector
+from repro.detection.shamfinder import ShamFinder
+from repro.metrics.pixel import fork_pool_context
+from repro.serving import HomographServer, ServeConfig, WorkerPool, encode_reply, verdict_reply
+
+REFERENCE_COUNT = 20_000         # slice of bench_query's deterministic corpus
+CLIENTS = 8
+QUERIES_PER_CLIENT = 150
+P99_BUDGET_MS = 75.0             # closed-loop round trip, batch window included
+MIN_QPS = 300.0                  # aggregate across the closed-loop clients
+BATCH_WINDOW = 0.002
+
+WORKER_FLEET = 4                 # the 4-vs-1 scaling comparison
+MIN_WORKER_SPEEDUP = 2.0         # asserted when >= 4 CPUs are available
+SCALE_BATCHES = 48
+SCALE_BATCH_SIZE = 128
+
+
+def _unique_domains(references: list[str], count: int) -> list[str]:
+    """Distinct ASCII-form candidate domains (LRU never short-circuits)."""
+    from repro.idn.idna_codec import to_ascii_label
+
+    seen: set[str] = set()
+    domains: list[str] = []
+    seed = 100
+    while len(domains) < count:
+        for label in _candidate_labels(references, seed=seed):
+            if label in seen:
+                continue
+            seen.add(label)
+            domains.append(to_ascii_label(label) + ".com")
+            if len(domains) == count:
+                break
+        seed += 1
+    return domains
+
+
+async def _closed_loop_client(
+    host: str,
+    port: int,
+    domains: list[str],
+    client_id: int,
+    out: list,
+) -> None:
+    """One client, one in-flight query at a time; records (domain, id, raw, seconds)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for offset, domain in enumerate(domains):
+            request_id = client_id * 1_000_000 + offset
+            line = json.dumps({"domain": domain, "id": request_id}) + "\n"
+            start = time.perf_counter()
+            writer.write(line.encode())
+            await writer.drain()
+            raw = await reader.readline()
+            out.append((domain, request_id, raw, time.perf_counter() - start))
+    finally:
+        writer.close()
+        await writer.wait_closed()
+
+
+async def _drive_server(server: HomographServer, per_client: list[list[str]]) -> list:
+    host, port = await server.start()
+    replies: list = []
+    try:
+        await asyncio.gather(*(
+            _closed_loop_client(host, port, domains, client_id, replies)
+            for client_id, domains in enumerate(per_client)
+        ))
+    finally:
+        await server.shutdown()
+    return replies
+
+
+def _pool_batch_seconds(
+    finder: ShamFinder,
+    index,
+    workers: int,
+    batches: list[tuple[list[str], list[int]]],
+) -> float:
+    """Wall seconds to push all *batches* through a *workers*-process pool."""
+    pool = WorkerPool(
+        finder, index.prepared.path, index.fingerprint, workers=workers,
+    )
+    try:
+        pool.warm(hold_seconds=0.05)
+        start = time.perf_counter()
+        futures = [
+            pool.submit(domains, ids, index.fingerprint, pool.index_path)
+            for domains, ids in batches
+        ]
+        for future in futures:
+            future.result()
+        return time.perf_counter() - start
+    finally:
+        pool.close()
+
+
+def test_serving_latency_identity_and_worker_scaling(tmp_path):
+    db = _database()
+    references = _reference_corpus()[:REFERENCE_COUNT]
+    finder = ShamFinder(db)
+
+    # The store artifact the server (and every worker) attaches to.
+    store = ReferenceIndexStore(tmp_path)
+    build_start = time.perf_counter()
+    built, hit = cached_reference_index(finder, references, store)
+    build_seconds = time.perf_counter() - build_start
+    assert not hit
+
+    attach_start = time.perf_counter()
+    index = store.load_path(store.path_for(built.key), finder)
+    attach_seconds = time.perf_counter() - attach_start
+    assert index is not None and index.mapped
+    # "No per-worker rebuild": the mmap attach a worker pays is a small
+    # fraction of the dict build it replaces.
+    assert attach_seconds < build_seconds / 5
+
+    # -- closed-loop latency + byte-identity over the inline server ----------
+    total_queries = CLIENTS * QUERIES_PER_CLIENT
+    domains = _unique_domains(references, total_queries)
+    per_client = [
+        domains[i * QUERIES_PER_CLIENT:(i + 1) * QUERIES_PER_CLIENT]
+        for i in range(CLIENTS)
+    ]
+
+    detector = OnlineDetector(finder, index)
+    server = HomographServer(detector, ServeConfig(batch_window=BATCH_WINDOW))
+    wall_start = time.perf_counter()
+    replies = asyncio.run(_drive_server(server, per_client))
+    wall_seconds = time.perf_counter() - wall_start
+
+    assert len(replies) == total_queries
+    stats = server.stats()
+    assert stats["rejected"] == 0 and stats["batch_errors"] == 0
+
+    # Byte-identity: each reply line is exactly what the detector produces.
+    reference_detector = OnlineDetector(finder, index, cache_size=0)
+    expected_verdicts = {
+        domain: verdict
+        for domain, verdict in zip(
+            domains, reference_detector.query_many(domains, index=index),
+        )
+    }
+    detections = 0
+    for domain, request_id, raw, _seconds in replies:
+        verdict = expected_verdicts[domain]
+        expected = encode_reply(
+            verdict_reply(verdict.as_dict(), index.fingerprint, request_id)
+        )
+        assert raw == expected
+        detections += len(verdict.detections)
+
+    latencies = sorted(seconds for _, _, _, seconds in replies)
+    p50_ms = latencies[len(latencies) // 2] * 1e3
+    p99_ms = latencies[int(len(latencies) * 0.99)] * 1e3
+    qps = total_queries / wall_seconds
+    mean_batch = stats["batched_requests"] / max(1, stats["batches"])
+
+    # -- worker scaling: 4-process pool vs 1-process pool ---------------------
+    cpus = os.cpu_count() or 1
+    fork_ok = fork_pool_context() is not None
+    speedup = None
+    one_worker_qps = fleet_qps = None
+    if fork_ok:
+        scale_domains = _unique_domains(references, SCALE_BATCHES * SCALE_BATCH_SIZE)
+        batches = []
+        for i in range(SCALE_BATCHES):
+            chunk = scale_domains[i * SCALE_BATCH_SIZE:(i + 1) * SCALE_BATCH_SIZE]
+            batches.append((chunk, list(range(i * SCALE_BATCH_SIZE,
+                                              (i + 1) * SCALE_BATCH_SIZE))))
+        scale_queries = SCALE_BATCHES * SCALE_BATCH_SIZE
+        one_seconds = _pool_batch_seconds(finder, index, 1, batches)
+        fleet_seconds = _pool_batch_seconds(finder, index, WORKER_FLEET, batches)
+        one_worker_qps = scale_queries / one_seconds
+        fleet_qps = scale_queries / fleet_seconds
+        speedup = one_seconds / fleet_seconds
+
+    print_table(
+        f"Serving layer: {REFERENCE_COUNT:,} references, {CLIENTS} clients × "
+        f"{QUERIES_PER_CLIENT} queries, {detections} detections",
+        [
+            ("index build (store miss)", f"{build_seconds:.3f} s", ""),
+            ("worker mmap attach", f"{attach_seconds * 1e3:.1f} ms",
+             f"{build_seconds / attach_seconds:.0f}x cheaper"),
+            ("closed-loop p50 / p99", f"{p50_ms:.1f} / {p99_ms:.1f} ms",
+             f"budget {P99_BUDGET_MS:.0f} ms"),
+            ("aggregate throughput", f"{qps:.0f} qps", f"floor {MIN_QPS:.0f}"),
+            ("mean batch size", f"{mean_batch:.1f}", ""),
+            ("pool qps 1 worker", f"{one_worker_qps:.0f}" if one_worker_qps else "n/a", ""),
+            (f"pool qps {WORKER_FLEET} workers", f"{fleet_qps:.0f}" if fleet_qps else "n/a",
+             f"{speedup:.2f}x" if speedup else f"(fork unavailable, cpus={cpus})"),
+        ],
+        headers=("metric", "value", "note"),
+    )
+    record_bench("serve", {
+        "reference_count": REFERENCE_COUNT,
+        "clients": CLIENTS,
+        "queries": total_queries,
+        "detections": detections,
+        "build_seconds": round(build_seconds, 4),
+        "attach_seconds": round(attach_seconds, 5),
+        "p50_ms": round(p50_ms, 2),
+        "p99_ms": round(p99_ms, 2),
+        "p99_budget_ms": P99_BUDGET_MS,
+        "qps": round(qps, 1),
+        "mean_batch_size": round(mean_batch, 2),
+        "batches": stats["batches"],
+        "cpus": cpus,
+        "pool_qps_1_worker": round(one_worker_qps, 1) if one_worker_qps else None,
+        f"pool_qps_{WORKER_FLEET}_workers": round(fleet_qps, 1) if fleet_qps else None,
+        "worker_speedup": round(speedup, 2) if speedup else None,
+        "verdicts_identical_to_batch": True,
+    })
+
+    assert p99_ms <= P99_BUDGET_MS
+    assert qps >= MIN_QPS
+    if fork_ok and cpus >= WORKER_FLEET:
+        assert speedup >= MIN_WORKER_SPEEDUP, (
+            f"{WORKER_FLEET} workers only {speedup:.2f}x over 1 "
+            f"(cpus={cpus}; mmap-shared index should scale)"
+        )

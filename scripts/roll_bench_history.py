@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Roll the current ``BENCH_*.json`` results into ``BENCH_HISTORY.json``.
+
+The smoke benches write one machine-readable ``BENCH_<name>.json`` each
+(see ``benchmarks/bench_util.record_bench``).  This script appends a
+snapshot of all of them to the committed roll-up that tracks the perf
+trajectory across PRs — format documented in
+``docs/ARCHITECTURE.md#bench-results``.
+
+Rules:
+
+* the history is append-only: existing entries are validated and never
+  rewritten; a malformed history file is an error, not an overwrite;
+* an append whose metrics are identical to the last entry is skipped
+  (re-rolling the same results is a no-op);
+* entries are stamped with UTC time and, when available, the current
+  git commit.
+
+Usage::
+
+    python scripts/roll_bench_history.py --bench-dir bench-results
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+HISTORY_VERSION = 1
+
+
+def load_history(path: Path) -> dict:
+    """Load and validate an existing history file (fresh skeleton if absent)."""
+    if not path.exists():
+        return {"version": HISTORY_VERSION, "entries": []}
+    try:
+        history = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+    if (
+        not isinstance(history, dict)
+        or history.get("version") != HISTORY_VERSION
+        or not isinstance(history.get("entries"), list)
+        or not all(
+            isinstance(e, dict) and isinstance(e.get("benches"), dict)
+            for e in history["entries"]
+        )
+    ):
+        raise SystemExit(f"error: {path} is not a version-{HISTORY_VERSION} bench history")
+    return history
+
+
+def collect_benches(bench_dir: Path) -> dict[str, dict]:
+    """Read every ``BENCH_*.json`` in *bench_dir*, keyed by bench name."""
+    benches: dict[str, dict] = {}
+    for path in sorted(bench_dir.glob("BENCH_*.json")):
+        if path.name == "BENCH_HISTORY.json":
+            continue  # the roll-up lives beside the results it rolls up
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"error: cannot read {path}: {exc}")
+        if not isinstance(payload, dict):
+            raise SystemExit(f"error: {path} does not hold a JSON object")
+        name = payload.get("bench") or path.stem.removeprefix("BENCH_")
+        benches[name] = payload
+    return benches
+
+
+def current_commit() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except OSError:
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def roll(bench_dir: Path, history_path: Path, *, commit: str | None = None) -> bool:
+    """Append a snapshot; returns True when an entry was written."""
+    history = load_history(history_path)
+    benches = collect_benches(bench_dir)
+    if not benches:
+        raise SystemExit(f"error: no BENCH_*.json files in {bench_dir}")
+    if history["entries"] and history["entries"][-1]["benches"] == benches:
+        return False
+    history["entries"].append({
+        "recorded": datetime.datetime.now(datetime.timezone.utc)
+        .replace(microsecond=0).isoformat(),
+        "commit": commit if commit is not None else current_commit(),
+        "benches": benches,
+    })
+    history_path.write_text(
+        json.dumps(history, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench-dir", type=Path, default=Path("."),
+                        help="directory holding the BENCH_*.json files (default: .)")
+    parser.add_argument("--history", type=Path, default=Path("BENCH_HISTORY.json"),
+                        help="history file to append to (default: BENCH_HISTORY.json)")
+    parser.add_argument("--commit", default=None,
+                        help="commit id to stamp (default: git rev-parse --short HEAD)")
+    args = parser.parse_args(argv)
+    if roll(args.bench_dir, args.history, commit=args.commit):
+        print(f"appended entry to {args.history}")
+    else:
+        print(f"{args.history} already up to date (identical metrics)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

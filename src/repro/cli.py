@@ -18,8 +18,11 @@ Sub-commands:
   store with checkpoint/resume (paper Tables 6-7, Section 6.4);
 * ``query``     — one-shot online homograph queries against a load-once
   reference index (optionally persisted in an ``--index-dir`` artifact);
-* ``serve``     — line-oriented query loop: read domains from stdin (or a
-  FIFO), emit one JSONL verdict per line.
+* ``serve``     — online query service: by default a line-oriented loop
+  (domains from stdin or a FIFO, one JSONL verdict per line); with
+  ``--listen HOST:PORT`` a concurrent asyncio JSONL/HTTP server with
+  micro-batching, backpressure, mmap-shared worker processes, and hot
+  index reload (see ``docs/OPERATIONS.md``).
 
 ``scan`` and ``track`` accept the same ``--index-dir`` so long-running jobs
 reuse the prebuilt reference index instead of re-preparing it per run.
@@ -35,7 +38,12 @@ from pathlib import Path
 from typing import Sequence
 
 from .countermeasure.warning import WarningGenerator
-from .detection.index import ReferenceIndex, ReferenceIndexStore, cached_reference_index
+from .detection.index import (
+    ReferenceIndex,
+    ReferenceIndexStore,
+    build_reference_index,
+    cached_reference_index,
+)
 from .detection.service import OnlineDetector
 from .detection.shamfinder import ShamFinder
 from .detection.stream import ScanResumeError, ScanStats, StreamingScanner
@@ -126,10 +134,25 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--json", action="store_true", help="emit JSONL instead of text")
 
     serve = sub.add_parser(
-        "serve", help="line-oriented query loop: domains in, JSONL verdicts out")
+        "serve", help="online query service: stdin/FIFO loop or --listen TCP server")
     serve.add_argument("--input", "-i", type=Path, default=None,
                        help="read domains from this file or FIFO (default: stdin)")
     add_online_options(serve)
+    serve.add_argument("--listen", metavar="HOST:PORT", default=None,
+                       help="serve JSONL-over-TCP (+ minimal HTTP) on this address "
+                            "instead of the stdin loop; PORT 0 picks a free port")
+    serve.add_argument("--workers", type=positive_int, default=None,
+                       help="worker processes executing query batches against the "
+                            "mmap-shared index (requires --listen and --index-dir; "
+                            "default: in-process execution)")
+    serve.add_argument("--batch-window", type=float, default=0.005, metavar="SECONDS",
+                       help="how long the batcher waits to coalesce queued queries "
+                            "into one query_many call (default: 0.005)")
+    serve.add_argument("--max-batch", type=positive_int, default=256,
+                       help="largest coalesced batch (default: 256)")
+    serve.add_argument("--max-pending", type=positive_int, default=1024,
+                       help="bound on queued queries before new ones are rejected "
+                            "with a retry-after error (default: 1024)")
 
     inspect = sub.add_parser("inspect", help="inspect a single domain")
     inspect.add_argument("domain", help="domain name (Unicode or xn-- form)")
@@ -273,12 +296,15 @@ def _resolve_index(
     reference: list[str],
     index_dir: Path | None,
     build_index: bool,
+    *,
+    mmap_load: bool = False,
 ) -> ReferenceIndex | None:
     """Load-or-build the reference index through an ``--index-dir`` store.
 
     A missing directory is only created under ``--build-index`` — a typo'd
     path must not silently trigger a full index build somewhere new.
     Returns ``None`` when no index dir was requested (in-memory prepare).
+    ``mmap_load`` prefers the zero-copy mmap attach (the serving path).
     """
     if index_dir is None:
         return None
@@ -293,7 +319,9 @@ def _resolve_index(
     elif not os.access(index_dir, os.R_OK):
         raise CLIError(f"index directory {index_dir} is not readable")
     store = ReferenceIndexStore(index_dir)
-    index, _hit = cached_reference_index(finder, reference, store, force=build_index)
+    index, _hit = cached_reference_index(
+        finder, reference, store, force=build_index, mmap_load=mmap_load,
+    )
     return index
 
 
@@ -381,7 +409,95 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0 if all(v.error is None for v in verdicts) else 1
 
 
+def _parse_listen(text: str) -> tuple[str, int]:
+    """``HOST:PORT`` (or bare ``PORT``) → ``(host, port)``."""
+    host, _, port_text = text.rpartition(":")
+    if not host:
+        host = "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise CLIError(f"--listen expects HOST:PORT, got {text!r}") from None
+    if not 0 <= port <= 65535:
+        raise CLIError(f"--listen port out of range: {port}")
+    return host, port
+
+
+def _cmd_serve_listen(args: argparse.Namespace) -> int:
+    """The ``serve --listen`` network server (see docs/OPERATIONS.md)."""
+    import asyncio
+
+    from .serving import HomographServer, ServeConfig, WorkerPool
+
+    host, port = _parse_listen(args.listen)
+    workers = args.workers or 0
+    if workers and args.index_dir is None:
+        raise CLIError("--workers requires --index-dir "
+                       "(worker processes attach to the packed index artifact)")
+    if args.batch_window < 0:
+        raise CLIError("--batch-window must be >= 0")
+    reference = _resolve_reference(args)
+    finder = _default_finder(args.database, args.cache_dir, args.font)
+    index = _resolve_index(finder, reference, args.index_dir, args.build_index,
+                           mmap_load=True)
+    if index is None:
+        detector = OnlineDetector.from_references(finder, reference,
+                                                  include_revert=args.revert)
+    else:
+        detector = OnlineDetector(finder, index, include_revert=args.revert)
+
+    pool = None
+    if workers:
+        if not detector.index.mapped:
+            raise CLIError("--workers needs an mmap-able index artifact "
+                           "(rebuild the --index-dir with --build-index)")
+        try:
+            pool = WorkerPool(finder, detector.index.prepared.path,
+                              detector.index.fingerprint,
+                              workers=workers, include_revert=args.revert)
+            pool.warm()
+        except Exception as exc:
+            if pool is not None:
+                pool.close()
+            raise CLIError(f"worker pool failed to start: {exc}") from exc
+
+    def reloader() -> ReferenceIndex:
+        # Re-resolve the reference list so an edited --reference-file is
+        # picked up, then rebuild/reload through the store when one exists.
+        fresh = _resolve_reference(args)
+        if args.index_dir is not None:
+            store = ReferenceIndexStore(args.index_dir)
+            new_index, _hit = cached_reference_index(
+                finder, fresh, store, mmap_load=True,
+            )
+            return new_index
+        return build_reference_index(finder, fresh)
+
+    config = ServeConfig(host=host, port=port, batch_window=args.batch_window,
+                         max_batch=args.max_batch, max_pending=args.max_pending,
+                         workers=workers)
+    server = HomographServer(detector, config, pool=pool, reloader=reloader)
+
+    async def _run() -> None:
+        bound_host, bound_port = await server.start()
+        print(json.dumps({
+            "listening": f"{bound_host}:{bound_port}",
+            "workers": workers,
+            "fingerprint": server.fingerprint,
+        }), file=sys.stderr, flush=True)
+        await server.run()
+
+    asyncio.run(_run())
+    if args.stats:
+        print(json.dumps(server.stats(), indent=2), file=sys.stderr)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.listen is not None:
+        return _cmd_serve_listen(args)
+    if args.workers:
+        raise CLIError("--workers requires --listen")
     detector = _online_detector(args)
     if args.input is None:
         handle = sys.stdin

@@ -5,6 +5,8 @@ reverting, reports."""
 from .algorithm import CharacterSubstitution, HomographMatcher, MatchResult, fold_label
 from .index import (
     IndexKey,
+    MmapPreparedReferences,
+    MmapSkeletonIndex,
     ReferenceIndex,
     ReferenceIndexStore,
     build_reference_index,
@@ -35,6 +37,8 @@ __all__ = [
     "HomographReverter",
     "RevertedDomain",
     "IndexKey",
+    "MmapPreparedReferences",
+    "MmapSkeletonIndex",
     "ReferenceIndex",
     "ReferenceIndexStore",
     "build_reference_index",

@@ -22,30 +22,50 @@ The fingerprint covers:
 * the artifact **format version**, bumped whenever the layout changes.
 
 On-disk layout (one file per fingerprint, ``refindex-<digest>.idx``):
-line 1 is a JSON header (magic, version, fingerprint fields, counts, and a
-checksum of the body); the body is four packed lines — folded labels,
-their reference-domain groups, bucket skeletons, bucket members — using
-C0 separators that cannot occur in IDNA labels.  The packed layout is what
-makes the cold start a *single load*: rebuilding the prepared state is two
-C-level ``dict(zip(str.split(...)))`` passes instead of a Python loop with
-IDNA parsing per reference (≥10x faster at 100k references;
-``benchmarks/bench_query.py`` asserts it).
+line 1 is a JSON header (magic, version, fingerprint fields, counts,
+per-section byte lengths, and a checksum of the body); the body is eight
+packed sections — folded labels, their reference-domain groups, bucket
+skeletons, bucket members, plus four fixed-width offset directories —
+using C0 separators that cannot occur in IDNA labels.  The whole file is
+UTF-8 text.
+
+Two load paths share that one artifact:
+
+* :meth:`ReferenceIndexStore.load` — the *dict build*: two C-level
+  ``dict(zip(str.split(...)))`` passes over sections 0-3 instead of a
+  Python loop with IDNA parsing per reference (≥10x faster than
+  ``prepare_references`` at 100k references; ``benchmarks/bench_query.py``
+  asserts it).  The body checksum is always verified.
+* :meth:`ReferenceIndexStore.load_mmap` — the *zero-copy map*: the file is
+  ``mmap``-ed and sections 0-3 are probed in place by binary search over
+  the sorted keys, using the offset directories (sections 4-7) for O(1)
+  record addressing.  Opening costs one header parse, not an O(n) body
+  scan, so N serving worker processes share one page-cache copy of the
+  index instead of each paying the dict build
+  (``benchmarks/bench_serve.py`` asserts the per-worker win).
+
+Format version 1 files (the pre-mmap four-section layout) are still read:
+:meth:`ReferenceIndexStore.load` falls back to the version-1 artifact for
+the same database/reference fingerprint and
+:func:`cached_reference_index` transparently rewrites it in the current
+format, so an existing store upgrades in place without a rebuild.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import mmap
 import os
 import tempfile
 import warnings
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from ..idn.domain import DomainName
 from .shamfinder import PreparedReferences, ShamFinder
-from .skeleton import PACK_SEPARATOR, SkeletonIndex
+from .skeleton import PACK_SEPARATOR, CharacterClasses, SkeletonIndex
 
 __all__ = [
     "INDEX_FORMAT_VERSION",
@@ -53,14 +73,17 @@ __all__ = [
     "IndexKey",
     "ReferenceIndex",
     "ReferenceIndexStore",
+    "MmapPreparedReferences",
+    "MmapSkeletonIndex",
     "reference_list_hash",
     "key_for",
     "build_reference_index",
     "cached_reference_index",
 ]
 
-#: Bump when the on-disk layout changes; old files then read as misses.
-INDEX_FORMAT_VERSION = 1
+#: Bump when the on-disk layout changes; old files then read as misses
+#: (version 1 is grandfathered through the explicit fallback parser).
+INDEX_FORMAT_VERSION = 2
 
 INDEX_MAGIC = "shamfinder-reference-index"
 
@@ -70,6 +93,11 @@ INDEX_MAGIC = "shamfinder-reference-index"
 _FIELD_SEPARATOR = PACK_SEPARATOR
 #: Separates the groups of one body section (reference groups, buckets).
 _GROUP_SEPARATOR = "\x1e"
+
+#: Width of one offset-directory entry: a zero-padded decimal byte offset.
+#: Fixed width keeps the file pure text while giving the mmap reader O(1)
+#: random access into the directories (10 digits cover bodies up to ~10GB).
+_OFFSET_WIDTH = 10
 
 
 def reference_list_hash(reference: Iterable[str | DomainName]) -> str:
@@ -113,10 +141,13 @@ def key_for(finder: ShamFinder, reference: Sequence[str | DomainName]) -> IndexK
 class ReferenceIndex:
     """A prepared reference set bound to the fingerprint that produced it."""
 
-    prepared: PreparedReferences
+    prepared: "PreparedReferences | MmapPreparedReferences"
     key: IndexKey
     #: True when this instance came off disk rather than a fresh build.
     from_cache: bool = False
+    #: True when the prepared state is an :class:`MmapPreparedReferences`
+    #: probing the artifact in place rather than materialised dicts.
+    mapped: bool = False
 
     @property
     def fingerprint(self) -> str:
@@ -143,6 +174,180 @@ def build_reference_index(
     return ReferenceIndex(prepared=prepared, key=key_for(finder, reference))
 
 
+# -- mmap readers -------------------------------------------------------------
+
+
+class _PackedSection:
+    """One sorted, separator-joined artifact section probed in place.
+
+    Records live in ``buf[start:start+length]`` joined by *separator*; the
+    offset directory at ``dir_start`` holds each record's END byte offset
+    (relative to the section start) as a fixed-width decimal, so record
+    *i* is ``buf[off(i-1)+1 : off(i)]`` — O(1) addressing, no
+    materialisation.  Keys compare as raw UTF-8 bytes, whose order equals
+    code-point order, so binary search agrees with the writer's
+    ``sorted()``.
+    """
+
+    __slots__ = ("buf", "start", "length", "dir_start", "count")
+
+    def __init__(self, buf, start: int, length: int, dir_start: int, count: int) -> None:
+        self.buf = buf
+        self.start = start
+        self.length = length
+        self.dir_start = dir_start
+        self.count = count
+
+    def _end_offset(self, i: int) -> int:
+        pos = self.dir_start + i * _OFFSET_WIDTH
+        return int(self.buf[pos:pos + _OFFSET_WIDTH])
+
+    def record_bytes(self, i: int) -> bytes:
+        lo = 0 if i == 0 else self._end_offset(i - 1) + 1
+        return bytes(self.buf[self.start + lo:self.start + self._end_offset(i)])
+
+    def find(self, key: bytes) -> int:
+        """Index of *key*, or -1 — binary search over the sorted records."""
+        lo, hi = 0, self.count - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            record = self.record_bytes(mid)
+            if record == key:
+                return mid
+            if record < key:
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return -1
+
+    def records(self) -> Iterator[str]:
+        for i in range(self.count):
+            yield self.record_bytes(i).decode("utf-8")
+
+
+class _MmapLabelView:
+    """Read-only mapping view over the label section of a mapped artifact.
+
+    Supports what the query path and the store actually use of
+    ``PreparedReferences.labels``: ``len``, ``get``, containment, and
+    iteration — each ``get`` is one binary search on the mapped file.
+    """
+
+    __slots__ = ("_keys", "_values")
+
+    def __init__(self, keys: _PackedSection, values: _PackedSection) -> None:
+        self._keys = keys
+        self._values = values
+
+    def __len__(self) -> int:
+        return self._keys.count
+
+    def __iter__(self) -> Iterator[str]:
+        return self._keys.records()
+
+    def __contains__(self, label: object) -> bool:
+        return isinstance(label, str) and self._keys.find(label.encode("utf-8")) >= 0
+
+    def get(self, label: str, default=None):
+        i = self._keys.find(label.encode("utf-8"))
+        if i < 0:
+            return default
+        return self._values.record_bytes(i).decode("utf-8")
+
+
+class MmapSkeletonIndex:
+    """Read-only skeleton hash-join index probing a mapped artifact.
+
+    Duck-types the probe surface of :class:`~.skeleton.SkeletonIndex`
+    (``classes``, :meth:`candidates_for`, ``buckets``, ``len``); mutation
+    is not supported — rebuild and store a fresh artifact instead.
+    """
+
+    def __init__(
+        self,
+        classes: CharacterClasses,
+        keys: _PackedSection,
+        values: _PackedSection,
+        size: int,
+    ) -> None:
+        self.classes = classes
+        self._keys = keys
+        self._values = values
+        self._size = size
+
+    def candidates_for(self, folded_label: str) -> list[str]:
+        """References that could match *folded_label* (superset of matches)."""
+        skeleton = self.classes.skeletonize(folded_label)
+        i = self._keys.find(skeleton.encode("utf-8"))
+        if i < 0:
+            return []
+        return self._values.record_bytes(i).decode("utf-8").split(PACK_SEPARATOR)
+
+    def buckets(self) -> Iterator[tuple[str, list[str]]]:
+        """Yield ``(skeleton, members)`` in stored (sorted) order."""
+        for i in range(self._keys.count):
+            yield (
+                self._keys.record_bytes(i).decode("utf-8"),
+                self._values.record_bytes(i).decode("utf-8").split(PACK_SEPARATOR),
+            )
+
+    @property
+    def bucket_count(self) -> int:
+        return self._keys.count
+
+    def __len__(self) -> int:
+        return self._size
+
+
+class MmapPreparedReferences:
+    """Prepared references probing the artifact through ``mmap`` in place.
+
+    Duck-types the query surface of
+    :class:`~.shamfinder.PreparedReferences` (``labels``, ``index``,
+    ``domain_count``, :meth:`references_for`) without materialising any
+    dict: opening is one header parse, every probe is a binary search on
+    the shared page-cache copy of the file.  This is what lets N serving
+    worker processes attach to one index with no per-worker build
+    (:mod:`repro.serving`).
+
+    Instances hold the underlying map open for their lifetime; they are
+    safe for concurrent readers and fork-inherited children, and
+    :meth:`close` (or GC) releases the map.
+    """
+
+    def __init__(
+        self,
+        buf: mmap.mmap,
+        labels: _MmapLabelView,
+        index: MmapSkeletonIndex,
+        domain_count: int,
+        path: Path,
+    ) -> None:
+        self._buf = buf
+        self.labels = labels
+        self.index = index
+        self.domain_count = domain_count
+        #: The artifact file backing the map (what serving workers reopen).
+        self.path = path
+
+    def references_for(self, folded_label: str) -> tuple[str, ...]:
+        """The reference domains (canonical ASCII) carrying *folded_label*."""
+        group = self.labels.get(folded_label)
+        if not group:
+            return ()
+        return tuple(group.split(PACK_SEPARATOR))
+
+    def close(self) -> None:
+        """Release the underlying map (idempotent)."""
+        try:
+            self._buf.close()
+        except (BufferError, ValueError):  # still referenced / already closed
+            pass
+
+
+# -- the artifact store -------------------------------------------------------
+
+
 class ReferenceIndexStore:
     """Directory of persisted reference indexes keyed by :class:`IndexKey`."""
 
@@ -160,32 +365,42 @@ class ReferenceIndexStore:
 
         The file is written to a temp name and renamed so a concurrently
         cold-starting reader never sees a partially written artifact.
+        Sections are sorted by key so the mmap reader can binary search;
+        per-bucket member order is preserved, so detection results are
+        byte-identical whichever way the artifact is loaded.
         """
         self.index_dir.mkdir(parents=True, exist_ok=True)
         path = self.path_for(index.key)
         prepared = index.prepared
 
-        labels = list(prepared.labels)                       # insertion order
-        groups = [prepared.labels[label] for label in labels]  # already packed
-        bucket_keys: list[str] = []
-        bucket_values: list[str] = []
-        for skeleton, members in prepared.index.buckets():
-            bucket_keys.append(skeleton)
-            bucket_values.append(PACK_SEPARATOR.join(members))
-        body = "\n".join([
+        label_view = prepared.labels
+        labels = sorted(label_view)
+        groups = [label_view.get(label) for label in labels]
+        buckets = {skeleton: members for skeleton, members in prepared.index.buckets()}
+        bucket_keys = sorted(buckets)
+        bucket_values = [PACK_SEPARATOR.join(buckets[key]) for key in bucket_keys]
+        entry_count = sum(len(members) for members in buckets.values())
+
+        sections = [
             _FIELD_SEPARATOR.join(labels),
             _GROUP_SEPARATOR.join(groups),
             _FIELD_SEPARATOR.join(bucket_keys),
             _GROUP_SEPARATOR.join(bucket_values),
-        ])
+            _offset_directory(labels),
+            _offset_directory(groups),
+            _offset_directory(bucket_keys),
+            _offset_directory(bucket_values),
+        ]
+        body = "\n".join(sections)
         header = {
             "magic": INDEX_MAGIC,
             "version": INDEX_FORMAT_VERSION,
-            "key": index.key.as_dict(),
+            "key": asdict(index.key),
             "label_count": len(labels),
             "bucket_count": len(bucket_keys),
-            "entry_count": len(prepared.index),
+            "entry_count": entry_count,
             "domain_count": prepared.domain_count,
+            "section_bytes": [len(s.encode("utf-8")) for s in sections],
             "body_sha256": hashlib.sha256(body.encode("utf-8")).hexdigest(),
         }
         fd, temp_name = tempfile.mkstemp(dir=self.index_dir, suffix=".tmp")
@@ -211,32 +426,32 @@ class ReferenceIndexStore:
         one union-find pass); everything per-reference — IDNA parse, case
         fold, skeletonisation, bucketing — is adopted from the packed body
         with C-level splits, which is where the cold-start win comes from.
+        When the current-format artifact is missing, the version-1 file for
+        the same database/reference fingerprint is tried as a fallback.
         """
+        loaded = self._load_current(key, finder)
+        if loaded is not None:
+            return loaded
+        return self._load_v1(key, finder)
+
+    def _load_current(self, key: IndexKey, finder: ShamFinder) -> ReferenceIndex | None:
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                header = json.loads(handle.readline())
-                if header.get("magic") != INDEX_MAGIC:
-                    return None
-                if header.get("version") != INDEX_FORMAT_VERSION:
-                    return None
-                if header.get("key") != key.as_dict():
-                    return None
-                label_count = header["label_count"]
-                bucket_count = header["bucket_count"]
-                entry_count = header["entry_count"]
-                domain_count = header["domain_count"]
-                if not all(isinstance(n, int) for n in
-                           (label_count, bucket_count, entry_count, domain_count)):
+                header = _checked_header(json.loads(handle.readline()), key)
+                if header is None:
                     return None
 
                 body = handle.read()
                 digest = hashlib.sha256(body.encode("utf-8")).hexdigest()
-                if digest != header.get("body_sha256"):
+                if digest != header["body_sha256"]:
                     return None   # truncated or bit-rotted body
                 sections = body.split("\n")
-                if len(sections) != 4:
+                if len(sections) != 8:
                     return None
+                label_count = header["label_count"]
+                bucket_count = header["bucket_count"]
+                entry_count = header["entry_count"]
                 labels = sections[0].split(_FIELD_SEPARATOR) if sections[0] else []
                 groups = sections[1].split(_GROUP_SEPARATOR) if sections[1] else []
                 bucket_keys = sections[2].split(_FIELD_SEPARATOR) if sections[2] else []
@@ -259,12 +474,183 @@ class ReferenceIndexStore:
                     finder.matcher.classes, packed_buckets, entry_count,
                 )
                 prepared = PreparedReferences(
-                    labels=label_map, index=index, domain_count=domain_count,
+                    labels=label_map, index=index, domain_count=header["domain_count"],
                 )
                 return ReferenceIndex(prepared=prepared, key=key, from_cache=True)
         except (OSError, ValueError, KeyError, TypeError, AttributeError):
             # Missing file, undecodable bytes, bad JSON, wrong field types —
             # all read as a miss so the caller rebuilds.
+            return None
+
+    def load_mmap(
+        self,
+        key: IndexKey,
+        finder: ShamFinder,
+        *,
+        verify: bool = False,
+    ) -> ReferenceIndex | None:
+        """Map the artifact for *key* in place, or ``None`` on miss.
+
+        Unlike :meth:`load`, nothing per-reference is materialised: the
+        file is ``mmap``-ed and probed by binary search, so opening costs a
+        header parse regardless of index size.  The body checksum is only
+        recomputed under ``verify=True`` (an O(n) pass) — a serving parent
+        typically verifies once and lets its forked/reattached workers
+        trust the same inode.  Structural invariants (section lengths,
+        directory widths, terminal offsets) are always checked, so a
+        truncated file still reads as a miss.
+        """
+        return self._open_mmap(self.path_for(key), finder, expect_key=key, verify=verify)
+
+    def load_path(
+        self,
+        path: str | os.PathLike,
+        finder: ShamFinder,
+        *,
+        verify: bool = False,
+    ) -> ReferenceIndex | None:
+        """Map an artifact by file path, taking the key from its header.
+
+        The serving worker-pool attach path: the parent hands workers the
+        artifact *path* plus the expected fingerprint, and each worker maps
+        the same inode zero-copy (:mod:`repro.serving.server`).
+        """
+        return self._open_mmap(Path(path), finder, expect_key=None, verify=verify)
+
+    def _open_mmap(
+        self,
+        path: Path,
+        finder: ShamFinder,
+        *,
+        expect_key: IndexKey | None,
+        verify: bool,
+    ) -> ReferenceIndex | None:
+        try:
+            with open(path, "rb") as handle:
+                buf = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except (OSError, ValueError):   # missing file or empty file
+            return None
+        try:
+            newline = buf.find(b"\n")
+            if newline < 0:
+                buf.close()
+                return None
+            header = json.loads(buf[:newline].decode("utf-8"))
+            key = expect_key
+            if key is None:
+                key = IndexKey(**header.get("key", {}))
+            header = _checked_header(header, key)
+            if header is None:
+                buf.close()
+                return None
+            section_bytes = header["section_bytes"]
+            if (not isinstance(section_bytes, list) or len(section_bytes) != 8
+                    or not all(isinstance(n, int) and n >= 0 for n in section_bytes)):
+                buf.close()
+                return None
+            body_start = newline + 1
+            # 8 sections + 7 joining newlines must exactly cover the body.
+            if body_start + sum(section_bytes) + 7 != len(buf):
+                buf.close()
+                return None
+            if verify:
+                digest = hashlib.sha256(buf[body_start:]).hexdigest()
+                if digest != header["body_sha256"]:
+                    buf.close()
+                    return None
+
+            starts = []
+            position = body_start
+            for length in section_bytes:
+                starts.append(position)
+                position += length + 1
+            label_count = header["label_count"]
+            bucket_count = header["bucket_count"]
+            for count, data_i, dir_i in ((label_count, 0, 4), (label_count, 1, 5),
+                                         (bucket_count, 2, 6), (bucket_count, 3, 7)):
+                if section_bytes[dir_i] != count * _OFFSET_WIDTH:
+                    buf.close()
+                    return None
+                if count and int(
+                    buf[starts[dir_i] + (count - 1) * _OFFSET_WIDTH:
+                        starts[dir_i] + count * _OFFSET_WIDTH]
+                ) != section_bytes[data_i]:
+                    buf.close()   # directory disagrees with its section
+                    return None
+
+            def section(count: int, data_i: int, dir_i: int) -> _PackedSection:
+                return _PackedSection(buf, starts[data_i], section_bytes[data_i],
+                                      starts[dir_i], count)
+
+            labels = _MmapLabelView(section(label_count, 0, 4), section(label_count, 1, 5))
+            index = MmapSkeletonIndex(
+                finder.matcher.classes,
+                section(bucket_count, 2, 6),
+                section(bucket_count, 3, 7),
+                header["entry_count"],
+            )
+            prepared = MmapPreparedReferences(
+                buf, labels, index, header["domain_count"], path,
+            )
+            return ReferenceIndex(prepared=prepared, key=key, from_cache=True, mapped=True)
+        except (ValueError, KeyError, TypeError, AttributeError):
+            buf.close()
+            return None
+
+    def _load_v1(self, key: IndexKey, finder: ShamFinder) -> ReferenceIndex | None:
+        """Backward-compat read of a format-version-1 artifact.
+
+        Version 1 used the same fingerprint fields with ``format_version:
+        1`` (hence a different file name) and a four-section body with no
+        offset directories.  A hit returns the index under the *v1* key;
+        :func:`cached_reference_index` rewrites it in the current format so
+        the fallback is paid at most once per store.
+        """
+        v1_key = IndexKey(database_digest=key.database_digest,
+                          reference_hash=key.reference_hash, format_version=1)
+        path = self.path_for(v1_key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                header = json.loads(handle.readline())
+                if header.get("magic") != INDEX_MAGIC or header.get("version") != 1:
+                    return None
+                if header.get("key") != v1_key.as_dict():
+                    return None
+                label_count = header["label_count"]
+                bucket_count = header["bucket_count"]
+                entry_count = header["entry_count"]
+                domain_count = header["domain_count"]
+                if not all(isinstance(n, int) for n in
+                           (label_count, bucket_count, entry_count, domain_count)):
+                    return None
+                body = handle.read()
+                if hashlib.sha256(body.encode("utf-8")).hexdigest() != header.get("body_sha256"):
+                    return None
+                sections = body.split("\n")
+                if len(sections) != 4:
+                    return None
+                labels = sections[0].split(_FIELD_SEPARATOR) if sections[0] else []
+                groups = sections[1].split(_GROUP_SEPARATOR) if sections[1] else []
+                bucket_keys = sections[2].split(_FIELD_SEPARATOR) if sections[2] else []
+                bucket_values = sections[3].split(_GROUP_SEPARATOR) if sections[3] else []
+                if len(labels) != label_count or len(groups) != label_count:
+                    return None
+                if len(bucket_keys) != bucket_count or len(bucket_values) != bucket_count:
+                    return None
+                label_map = dict(zip(labels, groups))
+                packed_buckets = dict(zip(bucket_keys, bucket_values))
+                if len(label_map) != label_count or len(packed_buckets) != bucket_count:
+                    return None
+                if sections[3].count(PACK_SEPARATOR) + bucket_count != entry_count:
+                    return None
+                index = SkeletonIndex.from_packed(
+                    finder.matcher.classes, packed_buckets, entry_count,
+                )
+                prepared = PreparedReferences(
+                    labels=label_map, index=index, domain_count=domain_count,
+                )
+                return ReferenceIndex(prepared=prepared, key=v1_key, from_cache=True)
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
             return None
 
     # -- maintenance --------------------------------------------------------
@@ -294,25 +680,77 @@ class ReferenceIndexStore:
         return removed
 
 
+def _offset_directory(records: list[str]) -> str:
+    """Fixed-width END byte offsets of *records* within their joined section."""
+    parts: list[str] = []
+    position = 0
+    for record in records:
+        position += len(record.encode("utf-8"))
+        parts.append(f"{position:0{_OFFSET_WIDTH}d}")
+        position += 1   # the joining separator byte
+    return "".join(parts)
+
+
+def _checked_header(header: dict, key: IndexKey) -> dict | None:
+    """Validate a current-format header against *key*; None on any mismatch."""
+    if not isinstance(header, dict):
+        return None
+    if header.get("magic") != INDEX_MAGIC:
+        return None
+    if header.get("version") != INDEX_FORMAT_VERSION:
+        return None
+    if header.get("key") != key.as_dict():
+        return None
+    for field in ("label_count", "bucket_count", "entry_count", "domain_count"):
+        if not isinstance(header.get(field), int) or header[field] < 0:
+            return None
+    if not isinstance(header.get("body_sha256"), str):
+        return None
+    return header
+
+
 def cached_reference_index(
     finder: ShamFinder,
     reference: Sequence[str | DomainName],
     store: ReferenceIndexStore | None,
     *,
     force: bool = False,
+    mmap_load: bool = False,
 ) -> tuple[ReferenceIndex, bool]:
     """Prepare through the store: ``(index, was_cache_hit)``.
 
     ``force=True`` skips the read (but still writes), and ``store=None``
     degrades to a plain in-memory build — the same contract as the SimChar
-    cache's :func:`~repro.homoglyph.cache.cached_build`.
+    cache's :func:`~repro.homoglyph.cache.cached_build`.  A hit served by
+    the version-1 fallback is transparently rewritten in the current
+    format.  ``mmap_load=True`` prefers the zero-copy map (with a full
+    checksum verification, since this is the first open) and falls back to
+    the dict build when only a v1 artifact exists.
     """
     if store is None:
         return build_reference_index(finder, reference), False
     key = key_for(finder, reference)
     if not force:
+        if mmap_load:
+            mapped = store.load_mmap(key, finder, verify=True)
+            if mapped is not None:
+                return mapped, True
         cached = store.load(key, finder)
         if cached is not None:
+            if cached.key.format_version != INDEX_FORMAT_VERSION:
+                upgraded = ReferenceIndex(prepared=cached.prepared, key=key, from_cache=True)
+                try:
+                    store.store(upgraded)
+                except OSError as exc:
+                    warnings.warn(
+                        f"could not upgrade reference index in {store.index_dir}: {exc}",
+                        stacklevel=2,
+                    )
+                cached = upgraded
+            if mmap_load:
+                mapped = store.load_mmap(key, finder, verify=True)
+                if mapped is not None:
+                    return mapped, True
             return cached, True
     index = build_reference_index(finder, reference)
     try:
@@ -322,4 +760,9 @@ def cached_reference_index(
         # unwritable/full index directory.
         warnings.warn(f"could not persist reference index to {store.index_dir}: {exc}",
                       stacklevel=2)
+        return index, False
+    if mmap_load:
+        mapped = store.load_mmap(key, finder, verify=True)
+        if mapped is not None:
+            return mapped, False
     return index, False

@@ -62,7 +62,7 @@ class HomographReverter:
         no ASCII counterpart keep those characters unchanged.
 
         Case is folded with the same length-preserving
-        :func:`~repro.detection.algorithm.fold_label` the matcher uses:
+        :func:`~repro.idn.idna_codec.fold_label` the matcher uses:
         ``str.lower()`` can change the label's length (U+0130 "İ" lowers to
         "i" plus a combining dot), which would misalign every subsequent
         ``substituted_positions`` entry relative to the original label.

@@ -6,8 +6,9 @@ many threads, in microseconds.  :class:`OnlineDetector` layers that on the
 skeleton hash-join:
 
 * the reference state is a load-once :class:`~.index.ReferenceIndex`
-  (built in-process or loaded from a :class:`~.index.ReferenceIndexStore`
-  artifact), shared read-only by every query;
+  (built in-process, loaded from a :class:`~.index.ReferenceIndexStore`
+  artifact, or ``mmap``-attached zero-copy), shared read-only by every
+  query;
 * per-label match results are memoised in a small thread-safe LRU keyed by
   the *folded* registrable label, so repeated queries for the same label —
   the common case for a service fronting live traffic — skip the join
@@ -17,6 +18,12 @@ skeleton hash-join:
   references (``benchmarks/bench_query.py`` asserts this against
   :meth:`HomographMatcher.find_homographs`), with the optional Section 6.4
   revert target inlined.
+
+The network layer on top of this class lives in :mod:`repro.serving`; the
+hooks it relies on are :meth:`OnlineDetector.reload_index` /
+:meth:`~OnlineDetector.reload_from_store` (hot index swap without
+dropping in-flight queries) and :meth:`~OnlineDetector.drain` (graceful
+shutdown barrier).
 """
 
 from __future__ import annotations
@@ -28,7 +35,12 @@ from typing import Iterable, Sequence
 
 from ..idn.domain import DomainName
 from ..idn.idna_codec import IDNAError, fold_label
-from .index import ReferenceIndex, ReferenceIndexStore, build_reference_index, cached_reference_index
+from .index import (
+    ReferenceIndex,
+    ReferenceIndexStore,
+    build_reference_index,
+    cached_reference_index,
+)
 from .report import HomographDetection
 from .shamfinder import ShamFinder
 
@@ -79,6 +91,7 @@ class _ServiceStats:
     queries: int = 0
     cache_hits: int = 0
     errors: int = 0
+    reloads: int = 0
     lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
 
@@ -86,8 +99,16 @@ class OnlineDetector:
     """Load-once, query-many homograph detector, safe for concurrent readers.
 
     The underlying index is immutable after construction; the only mutable
-    state is the LRU cache and the counters, both lock-protected, so one
-    detector instance can back a thread pool serving live traffic.
+    state is the LRU cache, the counters, and the in-flight gauge — all
+    lock-protected — so one detector instance can back a thread pool (or
+    the :mod:`repro.serving` asyncio frontend) serving live traffic.
+
+    Hot reload: :meth:`reload_index` swaps the index atomically.  A query
+    pins whichever :class:`~.index.ReferenceIndex` object it started with,
+    so every verdict is computed against exactly one index generation —
+    never a torn mix — and the LRU is cleared when the fingerprint
+    changes.  :meth:`drain` waits for in-flight queries, which is what a
+    graceful server shutdown sequences on.
     """
 
     def __init__(
@@ -107,6 +128,8 @@ class OnlineDetector:
         self._cache: OrderedDict[str, _LabelMatches] = OrderedDict()
         self._cache_lock = threading.Lock()
         self._stats = _ServiceStats()
+        self._inflight = 0
+        self._idle = threading.Condition()
 
     # -- construction -------------------------------------------------------
 
@@ -120,73 +143,111 @@ class OnlineDetector:
         force_rebuild: bool = False,
         cache_size: int = 4096,
         include_revert: bool = False,
+        mmap_load: bool = False,
     ) -> "OnlineDetector":
         """Build a detector, going through the artifact *store* when given.
 
         With a store, a warm start loads the prepared index from disk
         instead of re-running ``prepare_references`` — the cold-start path
-        ``benchmarks/bench_query.py`` measures.
+        ``benchmarks/bench_query.py`` measures.  ``mmap_load=True``
+        additionally prefers the zero-copy ``mmap`` attach (the serving
+        worker path; requires a store).
         """
         if store is None:
             index = build_reference_index(finder, reference)
         else:
-            index, _hit = cached_reference_index(finder, reference, store, force=force_rebuild)
+            index, _hit = cached_reference_index(
+                finder, reference, store, force=force_rebuild, mmap_load=mmap_load,
+            )
         return cls(finder, index, cache_size=cache_size, include_revert=include_revert)
 
     # -- queries ------------------------------------------------------------
 
-    def query(self, domain: str | DomainName) -> QueryVerdict:
-        """Answer "is this one domain a homograph?" for a single domain."""
+    def query(
+        self,
+        domain: str | DomainName,
+        *,
+        index: ReferenceIndex | None = None,
+    ) -> QueryVerdict:
+        """Answer "is this one domain a homograph?" for a single domain.
+
+        *index* pins the query to a specific index generation (the serving
+        layer uses this to keep a whole batch on one fingerprint across a
+        concurrent :meth:`reload_index`); by default the current index is
+        snapshotted once at entry.
+        """
         text = str(domain)
-        with self._stats.lock:
-            self._stats.queries += 1
+        snapshot = index if index is not None else self.index
+        with self._idle:
+            self._inflight += 1
         try:
-            name = domain if isinstance(domain, DomainName) else DomainName(text)
-            label = name.registrable_unicode
-        except (IDNAError, ValueError) as exc:
             with self._stats.lock:
-                self._stats.errors += 1
-            return QueryVerdict(domain=text, error=str(exc))
+                self._stats.queries += 1
+            try:
+                name = domain if isinstance(domain, DomainName) else DomainName(text)
+                label = name.registrable_unicode
+            except (IDNAError, ValueError) as exc:
+                with self._stats.lock:
+                    self._stats.errors += 1
+                return QueryVerdict(domain=text, error=str(exc))
 
-        matches = self._matches_for(label)
-        detections = []
-        for match, refs in matches:
-            for ref in refs:
-                if ref.rpartition(".")[2] != name.tld:
-                    continue
-                detections.append(self.finder._detection_from_match(name, ref, match))
+            matches = self._matches_for(label, snapshot)
+            detections = []
+            for match, refs in matches:
+                for ref in refs:
+                    if ref.rpartition(".")[2] != name.tld:
+                        continue
+                    detections.append(self.finder._detection_from_match(name, ref, match))
 
-        revert = None
-        if self.include_revert and name.has_idn_registrable_label:
-            original = self.finder.reverter.best_original(label)
-            if original is not None and original != label:
-                revert = f"{original}.{name.tld}"
+            revert = None
+            if self.include_revert and name.has_idn_registrable_label:
+                original = self.finder.reverter.best_original(label)
+                if original is not None and original != label:
+                    revert = f"{original}.{name.tld}"
 
-        return QueryVerdict(
-            domain=text,
-            ascii=name.ascii,
-            unicode=name.unicode,
-            is_idn=name.has_idn_registrable_label,
-            detections=tuple(detections),
-            revert=revert,
-        )
+            return QueryVerdict(
+                domain=text,
+                ascii=name.ascii,
+                unicode=name.unicode,
+                is_idn=name.has_idn_registrable_label,
+                detections=tuple(detections),
+                revert=revert,
+            )
+        finally:
+            with self._idle:
+                self._inflight -= 1
+                if self._inflight == 0:
+                    self._idle.notify_all()
 
-    def query_many(self, domains: Iterable[str | DomainName]) -> list[QueryVerdict]:
-        """Batched :meth:`query`, in input order."""
-        return [self.query(domain) for domain in domains]
+    def query_many(
+        self,
+        domains: Iterable[str | DomainName],
+        *,
+        index: ReferenceIndex | None = None,
+    ) -> list[QueryVerdict]:
+        """Batched :meth:`query`, in input order.
+
+        With *index* pinned, every verdict in the batch comes from the same
+        index generation even if :meth:`reload_index` runs mid-batch — the
+        consistency contract the micro-batching server relies on.
+        """
+        snapshot = index if index is not None else self.index
+        return [self.query(domain, index=snapshot) for domain in domains]
 
     # -- the per-label join cache -------------------------------------------
 
-    def _matches_for(self, label: str) -> _LabelMatches:
+    def _matches_for(self, label: str, index: ReferenceIndex) -> _LabelMatches:
         """Skeleton-join outcome for one registrable label, memoised.
 
         Keyed by the *folded* label: two labels differing only in case fold
         to the same key and — because the matcher folds before joining —
-        produce identical match lists, so sharing the entry is sound.
+        produce identical match lists, so sharing the entry is sound.  The
+        LRU only serves and admits entries for the *current* index: a query
+        pinned to a retired generation bypasses it entirely.
         """
         folded = fold_label(label)
-        index = self.index        # one consistent snapshot for this query
-        if self.cache_size:
+        current = index.fingerprint == self.index.fingerprint
+        if self.cache_size and current:
             with self._cache_lock:
                 cached = self._cache.get(folded)
                 if cached is not None:
@@ -202,7 +263,7 @@ class OnlineDetector:
             (match, prepared.references_for(match.reference))
             for match in self.finder.matcher.match_with_skeleton_index(label, prepared.index)
         )
-        if self.cache_size:
+        if self.cache_size and current:
             with self._cache_lock:
                 # A reload_index() may have swapped the index (and cleared the
                 # cache) while this join ran; inserting would then re-seed the
@@ -221,31 +282,69 @@ class OnlineDetector:
 
         Returns True when the fingerprint differed (cache invalidated).
         Queries running concurrently keep using whichever index object they
-        already grabbed — the swap is atomic from their point of view.
+        pinned — the swap is atomic from their point of view, and none are
+        dropped or torn across generations.
         """
         changed = index.fingerprint != self.index.fingerprint
         self.index = index
         if changed:
             with self._cache_lock:
                 self._cache.clear()
+            with self._stats.lock:
+                self._stats.reloads += 1
         return changed
+
+    def reload_from_store(
+        self,
+        store: ReferenceIndexStore,
+        reference: Sequence[str | DomainName],
+        *,
+        force_rebuild: bool = False,
+        mmap_load: bool = False,
+    ) -> bool:
+        """Rebuild/reload the index for *reference* through *store* and swap.
+
+        The hot-reload hook the server's SIGHUP / admin endpoint calls: the
+        new index is fully built or loaded **before** the swap, so queries
+        keep being served from the old generation until the new one is
+        ready.  Returns True when the fingerprint changed.
+        """
+        index, _hit = cached_reference_index(
+            self.finder, reference, store, force=force_rebuild, mmap_load=mmap_load,
+        )
+        return self.reload_index(index)
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Wait until no queries are in flight; True when idle was reached.
+
+        New queries are *not* blocked — the caller (e.g. the serving layer
+        on shutdown) is expected to stop submitting first, then drain.
+        """
+        with self._idle:
+            return self._idle.wait_for(lambda: self._inflight == 0, timeout=timeout)
 
     # -- introspection ------------------------------------------------------
 
     def stats(self) -> dict:
         """Service counters plus index identity (the ``--stats`` payload)."""
         with self._stats.lock:
-            queries, hits, errors = self._stats.queries, self._stats.cache_hits, self._stats.errors
+            queries, hits, errors, reloads = (
+                self._stats.queries, self._stats.cache_hits,
+                self._stats.errors, self._stats.reloads,
+            )
         with self._cache_lock:
             cached = len(self._cache)
         return {
             "queries": queries,
             "cache_hits": hits,
             "errors": errors,
+            "reloads": reloads,
             "cached_labels": cached,
             "cache_size": self.cache_size,
+            "inflight": self._inflight,
             "index_fingerprint": self.index.fingerprint,
             "index_from_cache": self.index.from_cache,
+            "index_mapped": self.index.mapped,
             "reference_domains": self.index.domain_count,
             "reference_labels": self.index.label_count,
         }

@@ -91,7 +91,24 @@ class DetectionTiming:
 
 
 class ShamFinder:
-    """End-to-end IDN homograph detector."""
+    """End-to-end IDN homograph detector (the paper's framework object).
+
+    Binds one homoglyph database (usually UC ∪ SimChar, see
+    :meth:`with_default_databases`) to the Step III matcher and the
+    Section 6.4 reverter.  The two detection idioms are:
+
+    * one-shot: :meth:`detect` / :meth:`detect_with_timing` — prepare the
+      reference list and match candidates in a single call;
+    * prepared: :meth:`prepare_references` once, then
+      :meth:`detect_prepared` per batch — the shape every higher layer
+      (``StreamingScanner``, ``OnlineDetector``, the serving workers)
+      builds on, and the state the ``refindex-*.idx`` artifact persists
+      (:mod:`repro.detection.index`).
+
+    All detection paths produce byte-identical
+    :class:`~.report.HomographDetection` results; the subsystem map in
+    ``docs/ARCHITECTURE.md`` shows how they relate.
+    """
 
     def __init__(
         self,

@@ -317,7 +317,24 @@ def _chunked(lines: Iterable[str], chunk_size: int) -> Iterator[list[str]]:
 
 
 class StreamingScanner:
-    """Chunked, sharded, resumable Step III scan over a domain stream."""
+    """Chunked, sharded, resumable Step III scan over a domain stream.
+
+    Built for zone-scale inputs that don't fit one in-memory report:
+    domains are consumed in ``chunk_size`` slices, matched against the
+    prepared reference index (optionally across ``jobs`` fork-only worker
+    shards), and appended to a JSONL sink with an atomic per-chunk
+    checkpoint.  :meth:`scan` resumes an interrupted run byte-identically:
+    trailing damage past the checkpoint is truncated and reported, while
+    damage inside the checkpointed prefix, a changed input file, or a lost
+    checkpoint against a non-empty sink refuse with
+    :class:`ScanResumeError` rather than risk silent double-counting (the
+    recovery matrix is tabulated in ``docs/OPERATIONS.md``).
+
+    Pass ``prepared=`` (e.g. from a loaded
+    :class:`~repro.detection.index.ReferenceIndex`) to skip the per-run
+    reference warm-up; ``idn_only=True`` applies the paper's Step II
+    filter so only IDN candidates reach the matcher.
+    """
 
     def __init__(
         self,

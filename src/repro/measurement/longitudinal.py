@@ -403,7 +403,21 @@ def _parse_snapshots(
 
 
 class LongitudinalTracker:
-    """Maintains the homograph timeline across daily zone snapshots."""
+    """Maintains the homograph timeline across daily zone snapshots.
+
+    The paper's Section 6 longitudinal study as a subsystem: each call to
+    :meth:`track` diffs consecutive dated zone snapshots
+    (:mod:`repro.dns.zonediff`), scans only the newly-added IDNs with a
+    :class:`~repro.detection.stream.StreamingScanner`, and appends
+    appear/retire/day events to an append-only ``timeline.jsonl`` replayed
+    into a :class:`HomographTimeline` (first/last seen, retirements,
+    ``detections_on(date)`` — Tables 6-7).  An atomic per-day
+    :class:`TrackCheckpoint` (``state.json``) makes interrupted runs
+    resumable with the same refuse-on-prefix-damage contract as the
+    scanner; a changed reference list is detected by fingerprint and
+    forces a full rescan.  State-dir layout and recovery semantics are in
+    ``docs/OPERATIONS.md``.
+    """
 
     def __init__(
         self,

@@ -1,0 +1,38 @@
+"""Network serving layer for online homograph detection.
+
+Wraps :class:`~repro.detection.service.OnlineDetector` in an asyncio
+JSONL-over-TCP + minimal-HTTP server with micro-batching, bounded-queue
+backpressure, mmap-shared worker processes, hot index reload, and
+graceful drain.  See ``docs/OPERATIONS.md`` for running it and
+``docs/ARCHITECTURE.md`` for how it fits the pipeline.
+"""
+
+from .protocol import (
+    MAX_HTTP_BODY_BYTES,
+    MAX_LINE_BYTES,
+    ProtocolError,
+    Request,
+    encode_reply,
+    error_reply,
+    http_response,
+    overload_reply,
+    parse_line,
+    verdict_reply,
+)
+from .server import HomographServer, ServeConfig, WorkerPool
+
+__all__ = [
+    "HomographServer",
+    "ServeConfig",
+    "WorkerPool",
+    "ProtocolError",
+    "Request",
+    "parse_line",
+    "verdict_reply",
+    "error_reply",
+    "overload_reply",
+    "encode_reply",
+    "http_response",
+    "MAX_LINE_BYTES",
+    "MAX_HTTP_BODY_BYTES",
+]

@@ -1,0 +1,209 @@
+"""Wire formats of the homograph serving frontend.
+
+One listening socket speaks two protocols, told apart by the first bytes
+of the connection:
+
+* **JSONL-over-TCP** — the native protocol.  The client writes one request
+  per line; the server writes one JSON reply per line, *in request order*
+  per connection (so a pipelining client maps replies back positionally,
+  or by echoed ``id``).  A request line is either
+
+  - a bare domain name (``xn--ggle-55da.com``), or
+  - a JSON object ``{"domain": ..., "id": ...}`` (the optional ``id`` is
+    echoed verbatim in the reply), or
+  - a control object ``{"op": "stats" | "ping" | "reload"}``.
+
+  Blank lines and ``#`` comments are ignored — the same framing as the
+  CLI's stdin/FIFO loop, so ``shamfinder serve`` pipelines port over
+  unchanged.  A malformed line produces one ``{"error": ...}`` reply and
+  the connection *survives*; an overloaded server produces
+  ``{"error": "overloaded", "retry_after": ...}`` instead of buffering
+  without bound.
+
+* **minimal HTTP/1.0** — for clients that only speak HTTP.  ``POST
+  /query`` takes a JSON array of domains (or newline-separated text) and
+  returns a JSON array of verdicts; ``GET /stats`` returns the server
+  counters; ``POST /reload`` triggers a hot index reload.  Overload maps
+  to ``503`` with a ``Retry-After`` header.  Connections close after one
+  exchange.
+
+Every verdict reply is the :meth:`QueryVerdict.as_dict()
+<repro.detection.service.QueryVerdict.as_dict>` payload plus the
+``fingerprint`` of the index generation that produced it — the handle the
+hot-reload consistency tests (and clients pinning a view of the
+reference list) key on.
+
+This module is pure parsing/encoding — no I/O — so the framing is unit
+testable without a socket (``tests/test_serving.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "MAX_HTTP_BODY_BYTES",
+    "OPS",
+    "ProtocolError",
+    "Request",
+    "parse_line",
+    "verdict_reply",
+    "error_reply",
+    "overload_reply",
+    "encode_reply",
+    "is_http_preamble",
+    "parse_http_request_line",
+    "parse_http_headers",
+    "http_response",
+]
+
+#: Longest accepted JSONL request line (domains are ≤253 octets; the slack
+#: covers JSON wrapping and generous ids).  Longer lines get an error
+#: reply, not a dropped connection.
+MAX_LINE_BYTES = 8192
+
+#: Longest accepted HTTP request body (a ``POST /query`` bulk batch).
+MAX_HTTP_BODY_BYTES = 1_000_000
+
+#: Recognised control operations.
+OPS = frozenset({"stats", "ping", "reload"})
+
+_HTTP_METHODS = (b"GET ", b"POST ", b"HEAD ", b"PUT ", b"DELETE ", b"OPTIONS ")
+
+
+class ProtocolError(ValueError):
+    """A malformed request; the message is safe to echo to the client."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parsed JSONL request line."""
+
+    domain: str | None = None      # set for query requests
+    id: object = None              # echoed verbatim when present
+    op: str | None = None          # set for control requests
+
+    @property
+    def is_query(self) -> bool:
+        return self.domain is not None
+
+
+def parse_line(line: str) -> Request | None:
+    """Parse one JSONL request line; ``None`` for blanks/comments.
+
+    Raises :class:`ProtocolError` on garbage — the server turns that into
+    one error reply and keeps the connection open.
+    """
+    text = line.strip()
+    if not text or text.startswith("#"):
+        return None
+    if not text.startswith("{"):
+        return Request(domain=text)
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"malformed JSON request: {exc.msg}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("JSON request must be an object")
+    op = payload.get("op")
+    if op is not None:
+        if op not in OPS:
+            raise ProtocolError(f"unknown op {op!r} (expected one of {sorted(OPS)})")
+        return Request(op=op, id=payload.get("id"))
+    domain = payload.get("domain")
+    if not isinstance(domain, str) or not domain:
+        raise ProtocolError('JSON request must carry a non-empty "domain" (or an "op")')
+    return Request(domain=domain, id=payload.get("id"))
+
+
+# -- replies ------------------------------------------------------------------
+
+
+def verdict_reply(verdict: dict, fingerprint: str, request_id: object = None) -> dict:
+    """A verdict payload stamped with its index generation (and ``id``)."""
+    reply = dict(verdict)
+    reply["fingerprint"] = fingerprint
+    if request_id is not None:
+        reply["id"] = request_id
+    return reply
+
+
+def error_reply(message: str, request_id: object = None) -> dict:
+    """A per-request failure the connection survives."""
+    reply: dict = {"error": message}
+    if request_id is not None:
+        reply["id"] = request_id
+    return reply
+
+
+def overload_reply(retry_after: float, request_id: object = None) -> dict:
+    """The backpressure rejection: retry later instead of queueing forever."""
+    reply: dict = {"error": "overloaded", "retry_after": round(retry_after, 4)}
+    if request_id is not None:
+        reply["id"] = request_id
+    return reply
+
+
+def encode_reply(reply: dict | str) -> bytes:
+    """One reply as a JSONL line (pre-encoded worker strings pass through)."""
+    if isinstance(reply, str):
+        return reply.encode("utf-8") + b"\n"
+    return json.dumps(reply, ensure_ascii=False).encode("utf-8") + b"\n"
+
+
+# -- minimal HTTP -------------------------------------------------------------
+
+
+def is_http_preamble(first_line: bytes) -> bool:
+    """True when the first connection bytes look like an HTTP request line."""
+    return first_line.startswith(_HTTP_METHODS)
+
+
+def parse_http_request_line(first_line: bytes) -> tuple[str, str]:
+    """``b"POST /query HTTP/1.1"`` → ``("POST", "/query")``."""
+    parts = first_line.decode("latin-1").strip().split()
+    if len(parts) < 2:
+        raise ProtocolError("malformed HTTP request line")
+    return parts[0].upper(), parts[1]
+
+
+def parse_http_headers(lines: list[bytes]) -> dict[str, str]:
+    """Case-insensitive header map from raw header lines (blank line excluded)."""
+    headers: dict[str, str] = {}
+    for raw in lines:
+        name, separator, value = raw.decode("latin-1").partition(":")
+        if separator:
+            headers[name.strip().lower()] = value.strip()
+    return headers
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def http_response(
+    status: int,
+    body: dict | list | bytes,
+    *,
+    content_type: str = "application/json",
+    extra_headers: dict[str, str] | None = None,
+) -> bytes:
+    """A complete one-shot HTTP/1.0 response (``Connection: close``)."""
+    if not isinstance(body, bytes):
+        body = json.dumps(body, ensure_ascii=False).encode("utf-8") + b"\n"
+    head = [
+        f"HTTP/1.0 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        head.append(f"{name}: {value}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body

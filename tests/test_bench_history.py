@@ -1,0 +1,91 @@
+"""Tests for ``scripts/roll_bench_history.py`` and the committed roll-up.
+
+The history format is documented in ``docs/ARCHITECTURE.md``; these
+tests pin the script's contract (append-only, idempotent on identical
+metrics, refuse malformed input) and that the committed
+``BENCH_HISTORY.json`` actually follows the format.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "roll_bench_history.py"
+
+spec = importlib.util.spec_from_file_location("roll_bench_history", SCRIPT)
+roll_bench_history = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(roll_bench_history)
+
+
+def _write_bench(directory: Path, name: str, metrics: dict) -> None:
+    payload = {"bench": name, "python": "3.11", "platform": "linux", **metrics}
+    (directory / f"BENCH_{name}.json").write_text(
+        json.dumps(payload), encoding="utf-8"
+    )
+
+
+def test_seeds_fresh_history(tmp_path: Path) -> None:
+    _write_bench(tmp_path, "serve", {"p99_ms": 6.5})
+    _write_bench(tmp_path, "query", {"speedup": 12.0})
+    history_path = tmp_path / "BENCH_HISTORY.json"
+
+    assert roll_bench_history.roll(tmp_path, history_path, commit="abc123") is True
+
+    history = json.loads(history_path.read_text(encoding="utf-8"))
+    assert history["version"] == roll_bench_history.HISTORY_VERSION
+    [entry] = history["entries"]
+    assert entry["commit"] == "abc123"
+    assert entry["recorded"].endswith("+00:00")
+    assert set(entry["benches"]) == {"serve", "query"}
+    assert entry["benches"]["serve"]["p99_ms"] == 6.5
+
+
+def test_identical_metrics_do_not_append(tmp_path: Path) -> None:
+    _write_bench(tmp_path, "serve", {"p99_ms": 6.5})
+    history_path = tmp_path / "BENCH_HISTORY.json"
+    assert roll_bench_history.roll(tmp_path, history_path, commit="a") is True
+    assert roll_bench_history.roll(tmp_path, history_path, commit="b") is False
+    history = json.loads(history_path.read_text(encoding="utf-8"))
+    assert len(history["entries"]) == 1
+
+
+def test_changed_metrics_append_and_keep_old_entries(tmp_path: Path) -> None:
+    _write_bench(tmp_path, "serve", {"p99_ms": 6.5})
+    history_path = tmp_path / "BENCH_HISTORY.json"
+    roll_bench_history.roll(tmp_path, history_path, commit="a")
+    _write_bench(tmp_path, "serve", {"p99_ms": 4.2})
+    assert roll_bench_history.roll(tmp_path, history_path, commit="b") is True
+
+    history = json.loads(history_path.read_text(encoding="utf-8"))
+    first, second = history["entries"]
+    assert first["benches"]["serve"]["p99_ms"] == 6.5
+    assert second["benches"]["serve"]["p99_ms"] == 4.2
+
+
+def test_refuses_malformed_history(tmp_path: Path) -> None:
+    _write_bench(tmp_path, "serve", {"p99_ms": 6.5})
+    history_path = tmp_path / "BENCH_HISTORY.json"
+    history_path.write_text('{"version": 99, "entries": "nope"}', encoding="utf-8")
+    with pytest.raises(SystemExit):
+        roll_bench_history.roll(tmp_path, history_path)
+    # the malformed file is left untouched, never overwritten
+    assert json.loads(history_path.read_text(encoding="utf-8"))["version"] == 99
+
+
+def test_refuses_empty_bench_dir(tmp_path: Path) -> None:
+    with pytest.raises(SystemExit):
+        roll_bench_history.roll(tmp_path, tmp_path / "BENCH_HISTORY.json")
+
+
+def test_committed_history_is_valid() -> None:
+    history = roll_bench_history.load_history(REPO_ROOT / "BENCH_HISTORY.json")
+    assert history["entries"], "committed BENCH_HISTORY.json must be seeded"
+    for entry in history["entries"]:
+        assert entry["benches"], "every entry snapshots at least one bench"
+        for name, payload in entry["benches"].items():
+            assert payload.get("bench") == name

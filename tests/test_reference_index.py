@@ -1,12 +1,16 @@
 """Tests for the persistable reference-index artifact (detection/index.py)."""
 
+import hashlib
 import json
+from dataclasses import asdict
 
 import pytest
 
 from repro.detection.index import (
     INDEX_FORMAT_VERSION,
+    INDEX_MAGIC,
     IndexKey,
+    MmapPreparedReferences,
     ReferenceIndexStore,
     build_reference_index,
     cached_reference_index,
@@ -14,6 +18,7 @@ from repro.detection.index import (
     reference_list_hash,
 )
 from repro.detection.shamfinder import ShamFinder
+from repro.detection.skeleton import PACK_SEPARATOR
 from repro.homoglyph.database import SOURCE_UC, HomoglyphDatabase
 from repro.idn.idna_codec import to_ascii_label
 
@@ -193,3 +198,169 @@ def test_entries_and_clear(tmp_path, small_finder):
     assert store.entries() == [path]
     assert store.clear() == 1
     assert store.entries() == []
+
+
+# -- mmap load path (format v2) ----------------------------------------------
+
+
+def test_mmap_load_is_detection_identical(tmp_path, small_finder):
+    store, index, path = _stored_path(tmp_path, small_finder)
+    mapped = store.load_mmap(index.key, small_finder, verify=True)
+    assert mapped is not None and mapped.mapped and mapped.from_cache
+    assert mapped.fingerprint == index.fingerprint
+    assert isinstance(mapped.prepared, MmapPreparedReferences)
+    assert mapped.prepared.path == path
+
+    # Same label/bucket content through the mapping view...
+    assert sorted(mapped.prepared.labels) == sorted(index.prepared.labels)
+    assert mapped.label_count == index.label_count
+    assert mapped.domain_count == index.domain_count
+    for label in index.prepared.labels:
+        assert label in mapped.prepared.labels
+        assert mapped.prepared.references_for(label) == tuple(
+            index.prepared.references_for(label))
+    assert "no-such-label" not in mapped.prepared.labels
+    assert mapped.prepared.references_for("no-such-label") == ()
+
+    # ...and byte-identical detections through the probe surface.
+    assert _detect(small_finder, mapped.prepared) == _detect(small_finder, index.prepared)
+    mapped.prepared.close()
+
+
+def test_mmap_skeleton_index_probe_surface(tmp_path, small_finder):
+    store, index, path = _stored_path(tmp_path, small_finder)
+    mapped = store.load_mmap(index.key, small_finder)
+    probe = mapped.prepared.index
+    assert len(probe) == len(index.prepared.index)
+    assert probe.bucket_count == len(dict(index.prepared.index.buckets()))
+    assert dict(probe.buckets()) == dict(index.prepared.index.buckets())
+    # candidates_for goes through skeletonize + binary search on the map.
+    for label in index.prepared.labels:
+        assert sorted(probe.candidates_for(label)) == sorted(
+            index.prepared.index.candidates_for(label))
+    assert probe.candidates_for("zzzzzz-unbucketed") == []
+    mapped.prepared.close()
+
+
+def test_load_path_takes_key_from_header(tmp_path, small_finder):
+    store, index, path = _stored_path(tmp_path, small_finder)
+    mapped = store.load_path(path, small_finder)
+    assert mapped is not None and mapped.mapped
+    assert mapped.key == index.key
+    assert store.load_path(tmp_path / "refindex-missing.idx", small_finder) is None
+
+
+def test_mmap_structural_corruption_is_a_miss(tmp_path, small_finder):
+    store, index, path = _stored_path(tmp_path, small_finder)
+    data = path.read_bytes()
+
+    path.write_bytes(data[:-3])               # truncated: section math breaks
+    assert store.load_mmap(index.key, small_finder) is None
+
+    # A directory whose terminal offset disagrees with its section length
+    # (the file ends with the last directory's fixed-width final entry).
+    corrupted = bytearray(data)
+    corrupted[-1] = ord("9") if corrupted[-1] != ord("9") else ord("8")
+    path.write_bytes(bytes(corrupted))
+    assert store.load_mmap(index.key, small_finder) is None
+
+
+def test_mmap_verify_catches_bit_rot(tmp_path, small_finder):
+    store, index, path = _stored_path(tmp_path, small_finder)
+    data = bytearray(path.read_bytes())
+    # Flip one letter inside the first label record: structurally sound,
+    # so only the checksum pass can notice.
+    body_at = data.find(b"\n") + 1
+    data[body_at] = ord("q") if data[body_at] != ord("q") else ord("z")
+    path.write_bytes(bytes(data))
+    assert store.load_mmap(index.key, small_finder, verify=True) is None
+    # Without verification the open trusts the structure — that is the
+    # documented tradeoff that makes worker attach O(header).
+    lax = store.load_mmap(index.key, small_finder, verify=False)
+    assert lax is not None
+    lax.prepared.close()
+
+
+def test_cached_reference_index_mmap_load(tmp_path, small_finder):
+    store = ReferenceIndexStore(tmp_path)
+    built, hit = cached_reference_index(small_finder, REFERENCE, store, mmap_load=True)
+    assert not hit and built.mapped            # fresh build, re-opened as a map
+    again, hit = cached_reference_index(small_finder, REFERENCE, store, mmap_load=True)
+    assert hit and again.mapped
+    assert again.fingerprint == built.fingerprint
+    assert _detect(small_finder, again.prepared) == _detect(small_finder, built.prepared)
+
+
+# -- format-version-1 fallback ------------------------------------------------
+
+
+def _write_v1_artifact(store: ReferenceIndexStore, finder, reference):
+    """Write a pre-mmap four-section artifact exactly as PR 5 stored it."""
+    index = build_reference_index(finder, reference)
+    prepared = index.prepared
+    labels = list(prepared.labels)
+    groups = [prepared.labels[label] for label in labels]
+    buckets = dict(prepared.index.buckets())
+    sections = [
+        PACK_SEPARATOR.join(labels),
+        "\x1e".join(groups),
+        PACK_SEPARATOR.join(buckets),
+        "\x1e".join(PACK_SEPARATOR.join(members) for members in buckets.values()),
+    ]
+    body = "\n".join(sections)
+    v1_key = IndexKey(database_digest=index.key.database_digest,
+                      reference_hash=index.key.reference_hash, format_version=1)
+    header = {
+        "magic": INDEX_MAGIC,
+        "version": 1,
+        "key": asdict(v1_key),
+        "label_count": len(labels),
+        "bucket_count": len(buckets),
+        "entry_count": sum(len(members) for members in buckets.values()),
+        "domain_count": prepared.domain_count,
+        "body_sha256": hashlib.sha256(body.encode("utf-8")).hexdigest(),
+    }
+    store.index_dir.mkdir(parents=True, exist_ok=True)
+    path = store.path_for(v1_key)
+    path.write_text(json.dumps(header, ensure_ascii=False) + "\n" + body,
+                    encoding="utf-8")
+    return index, v1_key, path
+
+
+def test_v1_artifact_is_read_via_fallback(tmp_path, small_finder):
+    store = ReferenceIndexStore(tmp_path)
+    built, v1_key, path = _write_v1_artifact(store, small_finder, REFERENCE)
+    key = key_for(small_finder, REFERENCE)
+    assert key.format_version == INDEX_FORMAT_VERSION
+    assert store.path_for(key) != path         # different digest, different file
+
+    loaded = store.load(key, small_finder)
+    assert loaded is not None and loaded.from_cache
+    assert loaded.key == v1_key                # served under the v1 identity
+    assert _detect(small_finder, loaded.prepared) == _detect(small_finder, built.prepared)
+
+
+def test_v1_hit_upgrades_to_current_format(tmp_path, small_finder):
+    store = ReferenceIndexStore(tmp_path)
+    built, v1_key, v1_path = _write_v1_artifact(store, small_finder, REFERENCE)
+
+    index, hit = cached_reference_index(small_finder, REFERENCE, store)
+    assert hit                                 # the fallback counts as a hit...
+    assert index.key.format_version == INDEX_FORMAT_VERSION
+    current_path = store.path_for(index.key)
+    assert current_path.exists()               # ...and was rewritten in-format
+    assert _detect(small_finder, index.prepared) == _detect(small_finder, built.prepared)
+
+    # From now on the current-format artifact answers directly — including
+    # through the mmap path, which never reads v1 bodies.
+    mapped, hit = cached_reference_index(small_finder, REFERENCE, store, mmap_load=True)
+    assert hit and mapped.mapped
+    assert _detect(small_finder, mapped.prepared) == _detect(small_finder, built.prepared)
+
+
+def test_corrupt_v1_fallback_is_a_miss(tmp_path, small_finder):
+    store = ReferenceIndexStore(tmp_path)
+    _built, _v1_key, path = _write_v1_artifact(store, small_finder, REFERENCE)
+    data = path.read_text(encoding="utf-8")
+    path.write_text(data[: len(data) - 5], encoding="utf-8")
+    assert store.load(key_for(small_finder, REFERENCE), small_finder) is None
