@@ -1,0 +1,178 @@
+"""Bench — pluggable database sources: identity, fingerprints, throughput.
+
+The registry (:mod:`repro.homoglyph.registry`) made the SimChar ∪ UC
+composition selectable (``--databases simchar,uc,invisible``).  This bench
+pins the two contracts that make the selection safe to expose:
+
+* **default identity** — a finder built through the registry with the
+  default ``simchar,uc`` selection must produce detection dicts
+  byte-identical to the legacy ``with_default_databases()`` path, and its
+  reference-index fingerprint must not move (warm artifacts stay warm);
+* **fingerprint sensitivity** — adding the ``invisible`` source changes the
+  ``key_for`` digest even though the pair-database digest is unchanged
+  (the invisible table contributes no pairs), so a reference index built
+  for one source set can never be served for another.
+
+It also measures what the selection costs: per-source build time, union
+time, and the invisible-scan throughput the strip-and-rematch check adds
+per candidate label.
+
+Headline numbers land in ``BENCH_databases.json`` (see
+``bench_util.record_bench``) so CI tracks the trajectory across PRs.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from bench_util import print_table, record_bench
+
+from repro.detection.index import key_for
+from repro.detection.shamfinder import ShamFinder
+from repro.fonts.synthetic import SyntheticFont
+from repro.homoglyph.invisible import default_invisible_table
+from repro.homoglyph.registry import BuildContext, default_registry
+from repro.homoglyph.simchar import SimCharBuilder
+from repro.idn import punycode
+from repro.idn.idna_codec import to_ascii_label
+
+CANDIDATE_COUNT = 2_000
+INVISIBLE_SCAN_LABELS = 50_000
+
+_ALPHABET = "aoepcyxisjbdgklmnrtu"
+_CONFUSABLES = {"a": "а", "o": "о", "e": "е", "p": "р", "c": "с"}
+_INVISIBLES = "​‌‍⁠"
+
+#: Small mixed Latin/Cyrillic/Greek repertoire so the SimChar source builds
+#: in milliseconds while still contributing real pairs to the union.
+_REPERTOIRE = [ord(ch) for ch in "aoebcp"] + [0x0430, 0x043E, 0x0435, 0x0440, 0x0441, 0x03BF]
+
+
+def _context(cache_dir) -> BuildContext:
+    return BuildContext(
+        simchar_builder=SimCharBuilder(SyntheticFont(), repertoire=_REPERTOIRE, jobs=1),
+        cache_dir=cache_dir,
+    )
+
+
+def _references(seed: int = 20190917, count: int = 500) -> list[str]:
+    rng = random.Random(seed)
+    refs: set[str] = set()
+    while len(refs) < count:
+        refs.add("".join(rng.choice(_ALPHABET) for _ in range(rng.randint(5, 10))) + ".com")
+    return sorted(refs)
+
+
+def _candidates(references: list[str], seed: int = 7) -> list[str]:
+    """~40% homoglyph mutations, ~20% invisible-payload mutations, rest noise."""
+    rng = random.Random(seed)
+    labels = [r[:-4] for r in references]
+    out: list[str] = []
+    for _ in range(CANDIDATE_COUNT):
+        roll = rng.random()
+        if roll < 0.4:
+            label = list(rng.choice(labels))
+            for _ in range(rng.randint(1, 2)):
+                position = rng.randrange(len(label))
+                twin = _CONFUSABLES.get(label[position])
+                if twin:
+                    label[position] = twin
+            out.append(to_ascii_label("".join(label)) + ".com")
+        elif roll < 0.6:
+            label = rng.choice(labels)
+            position = rng.randrange(1, len(label))
+            payload = label[:position] + rng.choice(_INVISIBLES) + label[position:]
+            # several invisible characters are IDNA-DISALLOWED: register the
+            # raw Punycode form, exactly how such domains reach a resolver
+            out.append("xn--" + punycode.encode(payload) + ".com")
+        else:
+            out.append("".join(rng.choice(_ALPHABET) for _ in range(rng.randint(5, 10))) + ".com")
+    return out
+
+
+def test_database_selection_identity_and_fingerprints(tmp_path):
+    registry = default_registry()
+    references = _references()
+    candidates = _candidates(references)
+
+    # -- per-source build + union timings ------------------------------------
+    timings = {}
+    for selection in (["simchar"], ["uc"], ["simchar", "uc"], ["simchar", "uc", "invisible"]):
+        start = time.perf_counter()
+        built = registry.build(selection, context=_context(tmp_path / "cache"))
+        timings[",".join(selection)] = time.perf_counter() - start
+        assert len(built.database) > 0
+
+    # -- default identity: registry selection == legacy path -----------------
+    legacy = ShamFinder.with_default_databases(
+        simchar_builder=SimCharBuilder(SyntheticFont(), repertoire=_REPERTOIRE, jobs=1),
+        cache_dir=tmp_path / "cache",
+    )
+    selected = ShamFinder.with_default_databases(
+        simchar_builder=SimCharBuilder(SyntheticFont(), repertoire=_REPERTOIRE, jobs=1),
+        cache_dir=tmp_path / "cache",
+        databases=["simchar", "uc"],
+    )
+    legacy_report = legacy.detect(candidates, references)
+    selected_report = selected.detect(candidates, references)
+    assert selected_report.as_dicts() == legacy_report.as_dicts()   # byte-identical
+    assert selected.source_config == "" == legacy.source_config
+    assert key_for(selected, references) == key_for(legacy, references)
+
+    # -- fingerprint sensitivity ---------------------------------------------
+    extended = ShamFinder.with_default_databases(
+        simchar_builder=SimCharBuilder(SyntheticFont(), repertoire=_REPERTOIRE, jobs=1),
+        cache_dir=tmp_path / "cache",
+        databases=["simchar", "uc", "invisible"],
+    )
+    assert extended.database.content_digest() == selected.database.content_digest()
+    assert key_for(extended, references).digest != key_for(selected, references).digest
+
+    extended_report = extended.detect(candidates, references)
+    invisible_detections = [d for d in extended_report if d.uses_invisible]
+    assert invisible_detections, "corpus must exercise the invisible source"
+    assert all(d.sources for d in extended_report)
+    # the classic detections are unchanged by enabling the extra source
+    classic = [d.as_dict() for d in extended_report if not d.uses_invisible]
+    assert classic == legacy_report.as_dicts()
+
+    # -- invisible-scan throughput -------------------------------------------
+    table = default_invisible_table()
+    rng = random.Random(11)
+    scan_labels = ["".join(rng.choice(_ALPHABET) for _ in range(10))
+                   for _ in range(INVISIBLE_SCAN_LABELS)]
+    start = time.perf_counter()
+    hits = sum(1 for label in scan_labels if table.findings(label))
+    scan_seconds = time.perf_counter() - start
+    assert hits == 0                                   # clean corpus: pure overhead
+    labels_per_second = INVISIBLE_SCAN_LABELS / scan_seconds
+
+    print_table(
+        f"Database sources: {len(references)} references, {len(candidates):,} candidates, "
+        f"{len(extended_report)} detections with invisible",
+        [
+            ("build simchar", f"{timings['simchar'] * 1e3:.1f} ms", ""),
+            ("build uc", f"{timings['uc'] * 1e3:.1f} ms", ""),
+            ("build simchar,uc (union)", f"{timings['simchar,uc'] * 1e3:.1f} ms", ""),
+            ("build +invisible", f"{timings['simchar,uc,invisible'] * 1e3:.1f} ms", ""),
+            ("default verdicts identical", "yes", ""),
+            ("invisible detections", str(len(invisible_detections)), ""),
+            ("invisible scan", f"{labels_per_second / 1e3:.0f}k labels/s", ""),
+        ],
+        headers=("metric", "value", ""),
+    )
+    record_bench("databases", {
+        "reference_count": len(references),
+        "candidate_count": len(candidates),
+        "build_simchar_ms": round(timings["simchar"] * 1e3, 2),
+        "build_uc_ms": round(timings["uc"] * 1e3, 2),
+        "build_union_ms": round(timings["simchar,uc"] * 1e3, 2),
+        "build_with_invisible_ms": round(timings["simchar,uc,invisible"] * 1e3, 2),
+        "default_verdicts_identical_to_legacy": True,
+        "fingerprint_changes_with_sources": True,
+        "detections_default": len(legacy_report),
+        "detections_with_invisible": len(extended_report),
+        "invisible_detections": len(invisible_detections),
+        "invisible_scan_labels_per_second": round(labels_per_second),
+    })

@@ -1,5 +1,7 @@
 """Downstream applications of the homoglyph database (paper Section 9)."""
 
 from .plagiarism import DocumentMatch, ObfuscatedCharacter, PlagiarismDetector
+from .sanitizer import SanitizedText, TextSanitizer
 
-__all__ = ["DocumentMatch", "ObfuscatedCharacter", "PlagiarismDetector"]
+__all__ = ["DocumentMatch", "ObfuscatedCharacter", "PlagiarismDetector",
+           "SanitizedText", "TextSanitizer"]

@@ -1,0 +1,98 @@
+"""Text sanitisation: strip invisible characters, normalise homoglyphs.
+
+The plagiarism application (:mod:`.plagiarism`) already knows how to fold
+homoglyph substitutions back onto canonical ASCII; the invisible-character
+table (:mod:`repro.homoglyph.invisible`) knows which characters render as
+nothing.  :class:`TextSanitizer` composes the two into the entry point the
+paper's Section 9 sketches for "other promising security applications":
+given untrusted text — a display name, a chat message, a filename — return
+what the text *looks like*, plus an audit trail of everything that was
+hidden in it.
+
+Sanitisation order matters: invisible characters are removed first (they
+would otherwise sit between a homoglyph and its neighbours and survive
+normalisation untouched), then each remaining character is mapped onto the
+canonical member of its confusable cluster via the plagiarism detector's
+:meth:`~.plagiarism.PlagiarismDetector.canonical_char` seam.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..homoglyph.database import HomoglyphDatabase
+from ..homoglyph.invisible import (
+    InvisibleFinding,
+    InvisibleTable,
+    default_invisible_table,
+)
+from .plagiarism import ObfuscatedCharacter, PlagiarismDetector
+
+__all__ = ["SanitizedText", "TextSanitizer"]
+
+
+@dataclass(frozen=True)
+class SanitizedText:
+    """The outcome of sanitising one piece of text."""
+
+    original: str
+    #: original with the invisible payload removed (homoglyphs untouched)
+    stripped: str
+    #: stripped form with every homoglyph folded to its canonical character
+    normalised: str
+    #: invisible characters/combining stacks found (positions index into
+    #: the original text)
+    invisibles: tuple[InvisibleFinding, ...] = ()
+    #: homoglyph stand-ins found (positions index into the stripped form)
+    obfuscations: tuple[ObfuscatedCharacter, ...] = ()
+
+    @property
+    def is_clean(self) -> bool:
+        """True when the text hid nothing (sanitised == original, modulo case)."""
+        return not self.invisibles and not self.obfuscations
+
+    def as_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "original": self.original,
+            "stripped": self.stripped,
+            "normalised": self.normalised,
+            "is_clean": self.is_clean,
+            "invisibles": [f.as_dict() for f in self.invisibles],
+            "obfuscations": [
+                {"position": o.position, "found": o.found, "canonical": o.canonical}
+                for o in self.obfuscations
+            ],
+        }
+
+
+class TextSanitizer:
+    """Strip invisible characters and fold homoglyphs in untrusted text."""
+
+    def __init__(
+        self,
+        database: HomoglyphDatabase,
+        *,
+        invisible_table: InvisibleTable | None = None,
+        ngram_size: int = 3,
+    ) -> None:
+        self.invisible_table = (invisible_table if invisible_table is not None
+                                else default_invisible_table())
+        self._detector = PlagiarismDetector(database, ngram_size=ngram_size)
+
+    def sanitize(self, text: str) -> SanitizedText:
+        """Full sanitisation pass: strip, then normalise, with findings."""
+        invisibles = self.invisible_table.findings(text)
+        stripped = self.invisible_table.strip(text) if invisibles else text
+        obfuscations = tuple(self._detector.find_obfuscations(stripped))
+        return SanitizedText(
+            original=text,
+            stripped=stripped,
+            normalised=self._detector.normalise(stripped),
+            invisibles=invisibles,
+            obfuscations=obfuscations,
+        )
+
+    def clean(self, text: str) -> str:
+        """Just the sanitised (stripped + normalised) form."""
+        return self.sanitize(text).normalised

@@ -51,6 +51,11 @@ from .fonts.hexfont import HexFont
 from .homoglyph.cache import cached_build, resolve_cache
 from .homoglyph.confusables import load_confusables
 from .homoglyph.database import HomoglyphDatabase
+from .homoglyph.registry import (
+    BuildContext,
+    UnknownSourceError,
+    default_registry,
+)
 from .homoglyph.simchar import SimCharBuilder
 from .idn.domain import DomainName
 from .idn.idna_codec import IDNAError
@@ -88,6 +93,9 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--output", "-o", type=Path, required=True, help="output JSON path")
     build.add_argument("--threshold", type=int, default=4, help="pixel-difference threshold θ")
     build.add_argument("--no-uc", action="store_true", help="do not merge the UC confusables")
+    build.add_argument("--databases", metavar="NAMES", default=None,
+                       help="comma-separated database sources to union "
+                            "(simchar,uc,invisible; default: simchar,uc)")
     build.add_argument("--jobs", "-j", type=positive_int, default=None,
                        help="worker processes for the pairwise scan (default: CPU count)")
     build.add_argument("--cache-dir", type=Path, default=None,
@@ -105,6 +113,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help=".hex font file for the SimChar build (default: synthetic font)")
     detect.add_argument("--cache-dir", type=Path, default=None,
                         help="SimChar build cache used when no --database is given")
+    detect.add_argument("--databases", metavar="NAMES", default=None,
+                        help="comma-separated database sources to union "
+                             "(simchar,uc,invisible; default: simchar,uc)")
     detect.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
     def add_online_options(command: argparse.ArgumentParser) -> None:
@@ -118,6 +129,9 @@ def build_parser() -> argparse.ArgumentParser:
                              help=".hex font file for the SimChar build (default: synthetic font)")
         command.add_argument("--cache-dir", type=Path, default=None,
                              help="SimChar build cache used when no --database is given")
+        command.add_argument("--databases", metavar="NAMES", default=None,
+                             help="comma-separated database sources to union "
+                                  "(simchar,uc,invisible; default: simchar,uc)")
         command.add_argument("--index-dir", type=Path, default=None,
                              help="reference-index artifact store (load-once cold start)")
         command.add_argument("--build-index", action="store_true",
@@ -197,6 +211,9 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--database", type=Path, help="homoglyph database JSON (default: build)")
     scan.add_argument("--cache-dir", type=Path, default=None,
                       help="SimChar build cache used when no --database is given")
+    scan.add_argument("--databases", metavar="NAMES", default=None,
+                      help="comma-separated database sources to union "
+                           "(simchar,uc,invisible; default: simchar,uc)")
     scan.add_argument("--jobs", "-j", type=positive_int, default=1,
                       help="worker processes for the chunk shards")
     scan.add_argument("--chunk-size", type=positive_int, default=2000,
@@ -265,12 +282,36 @@ def _load_font(font_path: Path | None):
         raise CLIError(f"font file {font_path} is not a valid .hex font: {exc}") from exc
 
 
+def _parse_databases(text: str | None) -> list[str] | None:
+    """``--databases`` value → validated source-name list (None passthrough)."""
+    if text is None:
+        return None
+    names = [token.strip().lower() for token in text.split(",") if token.strip()]
+    if not names:
+        raise CLIError("--databases expects a comma-separated list of source names")
+    registry = default_registry()
+    for name in names:
+        if name not in registry:
+            raise CLIError(
+                f"unknown database source {name!r} "
+                f"(known: {', '.join(registry.names())})"
+            )
+    return names
+
+
 def _default_finder(
     database_path: Path | None,
     cache_dir: Path | None = None,
     font_path: Path | None = None,
+    databases: str | None = None,
 ) -> ShamFinder:
+    selection = _parse_databases(databases)
     if database_path is not None:
+        if selection is not None:
+            raise CLIError(
+                "--database and --databases are mutually exclusive "
+                "(a database file already fixes the pair set)"
+            )
         try:
             return ShamFinder(HomoglyphDatabase.load(database_path))
         except OSError as exc:
@@ -281,7 +322,12 @@ def _default_finder(
             raise CLIError(
                 f"homoglyph database {database_path} is not a valid database file: {exc}"
             ) from exc
-    return ShamFinder.with_default_databases(font=_load_font(font_path), cache_dir=cache_dir)
+    try:
+        return ShamFinder.with_default_databases(
+            font=_load_font(font_path), cache_dir=cache_dir, databases=selection,
+        )
+    except (UnknownSourceError, ValueError) as exc:
+        raise CLIError(str(exc)) from exc
 
 
 def _resolve_reference(args: argparse.Namespace) -> list[str]:
@@ -326,6 +372,30 @@ def _resolve_index(
 
 
 def _cmd_build_db(args: argparse.Namespace) -> int:
+    if args.databases is not None and args.no_uc:
+        raise CLIError("--databases and --no-uc are mutually exclusive "
+                       "(select the sources explicitly instead)")
+    selection = _parse_databases(args.databases)
+    if selection is not None:
+        builder = SimCharBuilder(threshold=args.threshold, jobs=args.jobs)
+        registry = default_registry()
+        try:
+            built = registry.build(selection, context=BuildContext(
+                simchar_builder=builder, cache_dir=args.cache_dir,
+                force_rebuild=args.force,
+            ))
+        except (UnknownSourceError, ValueError) as exc:
+            raise CLIError(str(exc)) from exc
+        built.database.save(args.output)
+        summary = {"output": str(args.output),
+                   "databases": list(built.selection),
+                   "source_config": built.source_config,
+                   "merged_pairs": built.database.pair_count,
+                   "invisible_codepoints": (len(built.invisible)
+                                            if built.invisible is not None else 0),
+                   "jobs": builder.jobs}
+        print(json.dumps(summary, indent=2))
+        return 0
     builder = SimCharBuilder(threshold=args.threshold, jobs=args.jobs)
     cache = resolve_cache(args.cache_dir)
     result, cache_hit = cached_build(builder, cache, force=args.force)
@@ -352,7 +422,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         print("no candidate domains given", file=sys.stderr)
         return 2
     reference = _resolve_reference(args)
-    finder = _default_finder(args.database, args.cache_dir, args.font)
+    finder = _default_finder(args.database, args.cache_dir, args.font, args.databases)
     report = finder.detect(candidates, reference)
     if args.json:
         payload = [
@@ -377,7 +447,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
 def _online_detector(args: argparse.Namespace) -> OnlineDetector:
     """Shared ``query``/``serve`` wiring: finder + index + detector."""
     reference = _resolve_reference(args)
-    finder = _default_finder(args.database, args.cache_dir, args.font)
+    finder = _default_finder(args.database, args.cache_dir, args.font, args.databases)
     index = _resolve_index(finder, reference, args.index_dir, args.build_index)
     if index is None:
         return OnlineDetector.from_references(finder, reference, include_revert=args.revert)
@@ -437,7 +507,7 @@ def _cmd_serve_listen(args: argparse.Namespace) -> int:
     if args.batch_window < 0:
         raise CLIError("--batch-window must be >= 0")
     reference = _resolve_reference(args)
-    finder = _default_finder(args.database, args.cache_dir, args.font)
+    finder = _default_finder(args.database, args.cache_dir, args.font, args.databases)
     index = _resolve_index(finder, reference, args.index_dir, args.build_index,
                            mmap_load=True)
     if index is None:
@@ -613,7 +683,7 @@ def _cmd_measure(args: argparse.Namespace) -> int:
 
 def _cmd_scan(args: argparse.Namespace) -> int:
     reference = _resolve_reference(args)
-    finder = _default_finder(args.database, args.cache_dir)
+    finder = _default_finder(args.database, args.cache_dir, None, args.databases)
     index = _resolve_index(finder, reference, args.index_dir, args.build_index)
     scanner = StreamingScanner(
         finder,

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..homoglyph.database import HomoglyphDatabase
+from ..homoglyph.invisible import InvisibleFinding, InvisibleTable
 from ..idn.idna_codec import fold_label
 from .skeleton import CharacterClasses, SkeletonIndex
 
@@ -62,6 +63,10 @@ class MatchResult:
     reference: str
     is_homograph: bool
     substitutions: tuple[CharacterSubstitution, ...] = ()
+    #: Invisible characters found in (and stripped from) the candidate
+    #: before it matched — empty for the classic equal-length path.
+    #: Positions index into the folded candidate label.
+    invisibles: tuple[InvisibleFinding, ...] = ()
 
     @property
     def substitution_count(self) -> int:
@@ -70,10 +75,25 @@ class MatchResult:
 
 
 class HomographMatcher:
-    """Implements Algorithm 1 over a homoglyph database."""
+    """Implements Algorithm 1 over a homoglyph database.
 
-    def __init__(self, database: HomoglyphDatabase) -> None:
+    With an *invisible_table* (the ``invisible`` database source selected),
+    the skeleton-index path additionally runs the strip-and-rematch check:
+    candidates carrying zero-width/bidi/combining-stack payloads are
+    stripped and compared again, so a label that *renders* as a reference
+    is caught even though its code point length differs.  The legacy
+    pairwise paths (:meth:`match`, :meth:`match_with_index`) implement the
+    paper's equal-length Algorithm 1 only and never consult the table.
+    """
+
+    def __init__(
+        self,
+        database: HomoglyphDatabase,
+        *,
+        invisible_table: InvisibleTable | None = None,
+    ) -> None:
         self.database = database
+        self.invisible_table = invisible_table
         self._classes: CharacterClasses | None = None
 
     @property
@@ -153,6 +173,45 @@ class HomographMatcher:
             result = self._match_folded(folded, reference)
             if result.is_homograph:
                 matches.append(result)
+        if self.invisible_table is not None:
+            matches.extend(self._match_invisible(folded, index))
+        return matches
+
+    def _match_invisible(self, folded: str, index: SkeletonIndex) -> list[MatchResult]:
+        """Strip-and-rematch check for invisible-character homographs.
+
+        The candidate's invisible payload (zero-width characters, bidi
+        controls, combining stacks) is removed and the stripped form is
+        re-joined against the index.  A stripped form *equal* to a
+        reference is a homograph with no substitutions — the pure-payload
+        attack; a stripped form matching through the database combines
+        both vectors.  Substitution positions are mapped back onto the
+        original folded label, and the findings ride on the result.
+
+        No overlap with the classic path is possible: stripping removes at
+        least one character, so the stripped form only matches references
+        shorter than the ones the equal-length comparison considered.
+        """
+        findings = self.invisible_table.findings(folded)
+        if not findings:
+            return []
+        stripped, positions = self.invisible_table.strip_with_positions(folded)
+        if not stripped:
+            return []
+        matches: list[MatchResult] = []
+        for reference in index.candidates_for(stripped):
+            if reference == stripped:
+                matches.append(MatchResult(folded, reference, True, (), findings))
+                continue
+            result = self._match_folded(stripped, reference)
+            if not result.is_homograph:
+                continue
+            remapped = tuple(
+                CharacterSubstitution(positions[s.position], s.candidate_char,
+                                      s.reference_char)
+                for s in result.substitutions
+            )
+            matches.append(MatchResult(folded, reference, True, remapped, findings))
         return matches
 
     # -- legacy length-index path ---------------------------------------------

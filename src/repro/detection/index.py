@@ -118,15 +118,25 @@ class IndexKey:
     database_digest: str
     reference_hash: str
     format_version: int = INDEX_FORMAT_VERSION
+    #: Source-selection config (:attr:`ShamFinder.source_config`): ``""``
+    #: for the historical SimChar∪UC default and then **omitted** from the
+    #: canonical form, so every digest and artifact header produced before
+    #: source selection existed stays byte-identical; any other selection
+    #: (e.g. enabling ``invisible``) fingerprints — and caches —
+    #: differently.
+    sources: str = ""
 
     @property
     def digest(self) -> str:
         """Stable hex digest used as the artifact file name."""
-        canonical = json.dumps(asdict(self), sort_keys=True)
+        canonical = json.dumps(self.as_dict(), sort_keys=True)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
 
     def as_dict(self) -> dict:
-        return asdict(self)
+        payload = asdict(self)
+        if not payload["sources"]:
+            del payload["sources"]
+        return payload
 
 
 def key_for(finder: ShamFinder, reference: Sequence[str | DomainName]) -> IndexKey:
@@ -134,6 +144,7 @@ def key_for(finder: ShamFinder, reference: Sequence[str | DomainName]) -> IndexK
     return IndexKey(
         database_digest=finder.database.content_digest(),
         reference_hash=reference_list_hash(reference),
+        sources=getattr(finder, "source_config", "") or "",
     )
 
 
@@ -395,7 +406,7 @@ class ReferenceIndexStore:
         header = {
             "magic": INDEX_MAGIC,
             "version": INDEX_FORMAT_VERSION,
-            "key": asdict(index.key),
+            "key": index.key.as_dict(),
             "label_count": len(labels),
             "bucket_count": len(bucket_keys),
             "entry_count": entry_count,
@@ -606,6 +617,10 @@ class ReferenceIndexStore:
         :func:`cached_reference_index` rewrites it in the current format so
         the fallback is paid at most once per store.
         """
+        if key.sources:
+            # Version-1 artifacts predate source selection: only the default
+            # SimChar∪UC composition may adopt one.
+            return None
         v1_key = IndexKey(database_digest=key.database_digest,
                           reference_hash=key.reference_hash, format_version=1)
         path = self.path_for(v1_key)

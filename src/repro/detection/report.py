@@ -15,7 +15,8 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
-from ..homoglyph.database import SOURCE_SIMCHAR, SOURCE_UC
+from ..homoglyph.database import SOURCE_INVISIBLE, SOURCE_SIMCHAR, SOURCE_UC
+from ..homoglyph.invisible import InvisibleFinding
 from .algorithm import CharacterSubstitution
 
 __all__ = ["HomographDetection", "DetectionReport"]
@@ -30,6 +31,9 @@ class HomographDetection:
     reference: str           # the targeted reference domain (e.g. google.com)
     substitutions: tuple[CharacterSubstitution, ...] = ()
     sources: frozenset[str] = frozenset()
+    #: Invisible characters stripped before the match (empty on the classic
+    #: equal-length path; see :mod:`repro.homoglyph.invisible`).
+    invisibles: tuple[InvisibleFinding, ...] = ()
 
     @property
     def uses_uc(self) -> bool:
@@ -41,14 +45,26 @@ class HomographDetection:
         """True when at least one substitution is covered by SimChar."""
         return SOURCE_SIMCHAR in self.sources
 
+    @property
+    def uses_invisible(self) -> bool:
+        """True when the match went through invisible-character stripping."""
+        return SOURCE_INVISIBLE in self.sources
+
     def describe(self) -> str:
         """One-line human readable summary."""
-        subs = "; ".join(s.describe() for s in self.substitutions) or "identical rendering"
+        parts = [s.describe() for s in self.substitutions]
+        parts.extend(f.describe() for f in self.invisibles)
+        subs = "; ".join(parts) or "identical rendering"
         return f"{self.idn_unicode} imitates {self.reference} ({subs})"
 
     def as_dict(self) -> dict:
-        """JSON-friendly representation (one streaming-sink/golden line)."""
-        return {
+        """JSON-friendly representation (one streaming-sink/golden line).
+
+        The ``invisibles`` key is only present when there are findings, so
+        classic detections serialise byte-identically to before the
+        invisible source existed (golden fixtures enforce this).
+        """
+        payload = {
             "idn": self.idn,
             "unicode": self.idn_unicode,
             "reference": self.reference,
@@ -62,6 +78,9 @@ class HomographDetection:
             ],
             "sources": sorted(self.sources),
         }
+        if self.invisibles:
+            payload["invisibles"] = [f.as_dict() for f in self.invisibles]
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "HomographDetection":
@@ -75,6 +94,9 @@ class HomographDetection:
                 for s in payload.get("substitutions", ())
             ),
             sources=frozenset(payload.get("sources", ())),
+            invisibles=tuple(
+                InvisibleFinding.from_dict(f) for f in payload.get("invisibles", ())
+            ),
         )
 
 
@@ -116,14 +138,23 @@ class DetectionReport:
         return counts.most_common(limit)
 
     def count_by_database(self) -> dict[str, int]:
-        """Unique IDNs detected with UC only, SimChar only, and the union (Table 8)."""
+        """Unique IDNs detected per database source (Table 8).
+
+        The ``Invisible`` row only appears when the invisible source
+        contributed, keeping the classic three-row table byte-stable for
+        runs on the default SimChar∪UC selection.
+        """
         uc_idns = {d.idn for d in self.detections if d.uses_uc}
         simchar_idns = {d.idn for d in self.detections if d.uses_simchar}
-        return {
+        counts = {
             "UC": len(uc_idns),
             "SimChar": len(simchar_idns),
             "UC ∪ SimChar": len(uc_idns | simchar_idns),
         }
+        invisible_idns = {d.idn for d in self.detections if d.uses_invisible}
+        if invisible_idns:
+            counts["Invisible"] = len(invisible_idns)
+        return counts
 
     def detections_for_reference(self, reference: str) -> list[HomographDetection]:
         """All homographs of one reference domain."""

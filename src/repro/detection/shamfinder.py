@@ -20,9 +20,14 @@ import time
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from ..homoglyph.cache import cached_build, resolve_cache
-from ..homoglyph.confusables import load_confusables
-from ..homoglyph.database import SOURCE_SIMCHAR, SOURCE_UC, HomoglyphDatabase
+from ..homoglyph.database import (
+    SOURCE_INVISIBLE,
+    SOURCE_SIMCHAR,
+    SOURCE_UC,
+    HomoglyphDatabase,
+)
+from ..homoglyph.invisible import InvisibleTable
+from ..homoglyph.registry import BuildContext, DatabaseRegistry, default_registry
 from ..homoglyph.simchar import SimCharBuilder
 from ..idn.domain import DomainName
 from ..idn.idna_codec import IDNAError
@@ -116,11 +121,22 @@ class ShamFinder:
         *,
         uc_database: HomoglyphDatabase | None = None,
         simchar_database: HomoglyphDatabase | None = None,
+        invisible_table: InvisibleTable | None = None,
+        source_config: str = "",
     ) -> None:
         self.database = database
         self.uc_database = uc_database
         self.simchar_database = simchar_database
-        self.matcher = HomographMatcher(database)
+        #: Curated invisible-character table, set when the ``invisible``
+        #: source is selected; enables the strip-and-rematch check in the
+        #: matcher's skeleton path.
+        self.invisible_table = invisible_table
+        #: Fingerprint component naming the selected database sources —
+        #: ``""`` for the historical default (SimChar ∪ UC), so existing
+        #: reference-index artifacts keep their digests (see
+        #: :mod:`repro.homoglyph.registry`).
+        self.source_config = source_config
+        self.matcher = HomographMatcher(database, invisible_table=invisible_table)
         self.reverter = HomographReverter(database)
 
     # -- construction ----------------------------------------------------------
@@ -133,22 +149,34 @@ class ShamFinder:
         simchar_builder: SimCharBuilder | None = None,
         cache_dir=None,
         force_rebuild: bool = False,
+        databases: Sequence[str] | None = None,
+        registry: DatabaseRegistry | None = None,
     ) -> "ShamFinder":
-        """Build a finder with UC ∪ SimChar, constructing SimChar if needed.
+        """Build a finder from registered database sources (default UC ∪ SimChar).
 
-        When *cache_dir* is given (or ``SHAMFINDER_CACHE_DIR`` is set) the
-        SimChar build goes through the persistent artifact cache, so a warm
-        call loads the database in milliseconds instead of re-running the
-        pairwise scan.  ``force_rebuild=True`` ignores an existing entry but
-        still refreshes it.
+        *databases* selects the sources by name (``simchar``, ``uc``,
+        ``invisible`` in the default registry; ``None`` means the historical
+        SimChar ∪ UC).  When *cache_dir* is given (or
+        ``SHAMFINDER_CACHE_DIR`` is set) the SimChar build goes through the
+        persistent artifact cache, so a warm call loads the database in
+        milliseconds instead of re-running the pairwise scan.
+        ``force_rebuild=True`` ignores an existing entry but still
+        refreshes it.
         """
-        builder = simchar_builder if simchar_builder is not None else SimCharBuilder(font)
-        cache = resolve_cache(cache_dir)
-        result, _hit = cached_build(builder, cache, force=force_rebuild)
-        simchar = result.database
-        uc = load_confusables().to_database().restricted_to_idna(name="UC∩IDNA")
-        union = simchar.union(uc, name="UC∪SimChar")
-        return cls(union, uc_database=uc, simchar_database=simchar)
+        registry = registry if registry is not None else default_registry()
+        built = registry.build(databases, context=BuildContext(
+            font=font,
+            simchar_builder=simchar_builder,
+            cache_dir=cache_dir,
+            force_rebuild=force_rebuild,
+        ))
+        return cls(
+            built.database,
+            uc_database=built.per_source.get("uc"),
+            simchar_database=built.per_source.get("simchar"),
+            invisible_table=built.invisible,
+            source_config=built.source_config,
+        )
 
     @classmethod
     def from_databases(cls, *databases: HomoglyphDatabase) -> "ShamFinder":
@@ -290,7 +318,9 @@ class ShamFinder:
             pair = self.database.get(substitution.candidate_char, substitution.reference_char)
             if pair is not None:
                 sources.update(pair.sources)
-        if not match.substitutions:
+        if match.invisibles:
+            sources.add(SOURCE_INVISIBLE)
+        elif not match.substitutions:
             sources.add(SOURCE_SIMCHAR)
         return HomographDetection(
             idn=idn.ascii,
@@ -298,6 +328,7 @@ class ShamFinder:
             reference=reference,
             substitutions=match.substitutions,
             sources=frozenset(sources),
+            invisibles=match.invisibles,
         )
 
     # -- filtered views (Table 8 compares detection with UC only / SimChar only) -------

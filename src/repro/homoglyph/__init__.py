@@ -1,9 +1,36 @@
-"""Homoglyph databases: SimChar construction, UC confusables, union database."""
+"""Homoglyph databases: SimChar construction, UC confusables, invisible
+characters, and the pluggable source registry composing them."""
 
 from .blocks import BlockComparison, block_abbreviations, compare_top_blocks
-from .confusables import ConfusablesTable, load_confusables, parse_confusables
-from .database import SOURCE_SIMCHAR, SOURCE_UC, HomoglyphDatabase, HomoglyphPair
+from .confusables import (
+    ConfusablesTable,
+    SkippedEntries,
+    load_confusables,
+    parse_confusables,
+)
+from .database import (
+    SOURCE_INVISIBLE,
+    SOURCE_SIMCHAR,
+    SOURCE_UC,
+    HomoglyphDatabase,
+    HomoglyphPair,
+)
+from .invisible import (
+    INVISIBLE_TABLE_VERSION,
+    InvisibleFinding,
+    InvisibleTable,
+    default_invisible_table,
+)
 from .latin import LatinCoverageRow, latin_coverage_table, most_vulnerable_letters
+from .registry import (
+    DEFAULT_SOURCES,
+    BuildContext,
+    DatabaseRegistry,
+    RegistryBuild,
+    SourceBuild,
+    UnknownSourceError,
+    default_registry,
+)
 from .simchar import (
     DEFAULT_REPERTOIRE_BLOCKS,
     DEFAULT_SPARSE_MIN_PIXELS,
@@ -18,15 +45,28 @@ __all__ = [
     "block_abbreviations",
     "compare_top_blocks",
     "ConfusablesTable",
+    "SkippedEntries",
     "load_confusables",
     "parse_confusables",
+    "SOURCE_INVISIBLE",
     "SOURCE_SIMCHAR",
     "SOURCE_UC",
     "HomoglyphDatabase",
     "HomoglyphPair",
+    "INVISIBLE_TABLE_VERSION",
+    "InvisibleFinding",
+    "InvisibleTable",
+    "default_invisible_table",
     "LatinCoverageRow",
     "latin_coverage_table",
     "most_vulnerable_letters",
+    "DEFAULT_SOURCES",
+    "BuildContext",
+    "DatabaseRegistry",
+    "RegistryBuild",
+    "SourceBuild",
+    "UnknownSourceError",
+    "default_registry",
     "DEFAULT_REPERTOIRE_BLOCKS",
     "DEFAULT_SPARSE_MIN_PIXELS",
     "DEFAULT_THRESHOLD",

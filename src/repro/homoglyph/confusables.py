@@ -21,6 +21,8 @@ of single-character pairs, which is what the detection algorithm consumes.
 from __future__ import annotations
 
 import os
+import warnings
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Mapping
 
@@ -30,6 +32,7 @@ __all__ = [
     "parse_confusables",
     "load_confusables",
     "ConfusablesTable",
+    "SkippedEntries",
     "EMBEDDED_CONFUSABLES",
 ]
 
@@ -276,12 +279,52 @@ FF53 ; 0073 ; MA # FULLWIDTH LATIN SMALL LETTER S -> s
 """
 
 
+@dataclass(frozen=True)
+class SkippedEntries:
+    """What :func:`parse_confusables` dropped, and why.
+
+    The real ``confusables.txt`` contains thousands of multi-character
+    *source* sequences (ligatures like ﬁ → fi) that the per-character
+    detection algorithm cannot use; dropping them is correct, but doing so
+    silently made a truncated or mis-formatted file indistinguishable from
+    a healthy one.  The counts put a number on every skip reason.
+    """
+
+    #: entry lines that failed to parse (bad hex, too few fields, invalid
+    #: or surrogate code points)
+    malformed: int = 0
+    #: well-formed entries whose source is a multi-character sequence
+    multi_char_source: int = 0
+    #: non-comment, non-blank lines considered (kept + skipped)
+    entry_lines: int = 0
+
+    @property
+    def total(self) -> int:
+        """Every dropped entry line, regardless of reason."""
+        return self.malformed + self.multi_char_source
+
+    @property
+    def dropped_fraction(self) -> float:
+        """Share of entry lines dropped (0.0 for an empty input)."""
+        if self.entry_lines == 0:
+            return 0.0
+        return self.total / self.entry_lines
+
+
 class ConfusablesTable:
     """Parsed confusable mappings with TR#39 skeleton semantics."""
 
-    def __init__(self, mapping: Mapping[str, str], *, name: str = "UC") -> None:
+    def __init__(
+        self,
+        mapping: Mapping[str, str],
+        *,
+        name: str = "UC",
+        skipped: SkippedEntries | None = None,
+    ) -> None:
         self.name = name
         self._mapping = dict(mapping)
+        #: Parser drop counts for the input this table came from.
+        self.skipped = skipped if skipped is not None else SkippedEntries()
 
     # -- TR39 operations ----------------------------------------------------
 
@@ -350,35 +393,56 @@ def parse_confusables(lines: Iterable[str], *, name: str = "UC") -> ConfusablesT
     """Parse ``confusables.txt``-formatted lines into a :class:`ConfusablesTable`.
 
     Malformed lines are skipped (the real file contains BOMs, comments and
-    blank lines; robustness against stray garbage is intentional).
+    blank lines; robustness against stray garbage is intentional) — but
+    never silently: every drop is counted on the returned table's
+    ``skipped`` record, split by reason, so a caller can tell a healthy
+    file from a mangled one.
     """
     mapping: dict[str, str] = {}
+    malformed = 0
+    multi_char_source = 0
+    entry_lines = 0
     for raw in lines:
         line = raw.split("#", 1)[0].strip().lstrip("﻿")
         if not line:
             continue
+        entry_lines += 1
         parts = [part.strip() for part in line.split(";")]
         if len(parts) < 2:
+            malformed += 1
             continue
         try:
             source_cps = [int(token, 16) for token in parts[0].split()]
             target_cps = [int(token, 16) for token in parts[1].split()]
         except ValueError:
+            malformed += 1
             continue
         if not source_cps or not target_cps:
+            malformed += 1
             continue
         if any(cp > 0x10FFFF or 0xD800 <= cp <= 0xDFFF for cp in source_cps + target_cps):
+            malformed += 1
             continue
         if len(source_cps) != 1:
-            # Multi-character sources exist in the real file but are not
-            # usable by the per-character detection algorithm.
+            # Multi-character sources exist in the real file (ligatures such
+            # as ﬁ → fi) but are not usable by the per-character detection
+            # algorithm.
+            multi_char_source += 1
             continue
         source = chr(source_cps[0])
         target = "".join(chr(cp) for cp in target_cps)
         if source == target:
             continue
         mapping[source] = target
-    return ConfusablesTable(mapping, name=name)
+    skipped = SkippedEntries(malformed=malformed,
+                             multi_char_source=multi_char_source,
+                             entry_lines=entry_lines)
+    return ConfusablesTable(mapping, name=name, skipped=skipped)
+
+
+#: A loaded file dropping more than this share of its entry lines triggers
+#: a :class:`UserWarning` — the signal a truncated/mis-encoded file gives.
+_DROP_WARN_FRACTION = 0.10
 
 
 def load_confusables(path: str | os.PathLike | None = None, *, name: str = "UC") -> ConfusablesTable:
@@ -395,5 +459,17 @@ def load_confusables(path: str | os.PathLike | None = None, *, name: str = "UC")
             path = candidate
     if path is not None:
         with open(path, "r", encoding="utf-8-sig") as handle:
-            return parse_confusables(handle, name=name)
+            table = parse_confusables(handle, name=name)
+        dropped = table.skipped.dropped_fraction
+        if dropped > _DROP_WARN_FRACTION:
+            warnings.warn(
+                f"confusables file {path} dropped {table.skipped.total} of "
+                f"{table.skipped.entry_lines} entry lines "
+                f"({dropped:.0%}: {table.skipped.malformed} malformed, "
+                f"{table.skipped.multi_char_source} multi-character sources) — "
+                "a real confusables.txt loses its ligature entries by design, "
+                "but this share suggests truncation or a wrong file",
+                stacklevel=2,
+            )
+        return table
     return parse_confusables(EMBEDDED_CONFUSABLES.splitlines(), name=name)

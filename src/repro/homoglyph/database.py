@@ -26,10 +26,15 @@ from typing import Iterable, Iterator, Mapping
 from ..unicode.blocks import block_name
 from ..unicode.idna import is_pvalid
 
-__all__ = ["HomoglyphPair", "HomoglyphDatabase", "SOURCE_UC", "SOURCE_SIMCHAR"]
+__all__ = ["HomoglyphPair", "HomoglyphDatabase", "SOURCE_UC", "SOURCE_SIMCHAR",
+           "SOURCE_INVISIBLE"]
 
 SOURCE_UC = "UC"
 SOURCE_SIMCHAR = "SimChar"
+#: Provenance tag of the curated invisible-character table
+#: (:mod:`repro.homoglyph.invisible`) — attached to detections whose match
+#: went through invisible stripping rather than a pair substitution.
+SOURCE_INVISIBLE = "Invisible"
 
 _ASCII_LOWER = "abcdefghijklmnopqrstuvwxyz"
 

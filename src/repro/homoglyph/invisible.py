@@ -1,0 +1,246 @@
+"""Curated invisible-character table (the "invisible" database source).
+
+Homograph vectors the pairwise Algorithm 1 never sees: characters that
+render as *nothing* — zero-width joiners/spaces, bidi controls, invisible
+operators — and combining-mark stacks that pile diacritics onto a base
+letter until the addition is imperceptible.  An attacker inserts them into
+a label, the label length changes, and the position-wise comparison (which
+requires equal lengths) goes blind.
+
+The table is seeded from the same knowledge the IDNA layer already
+encodes: RFC 5892's JoinControl set (``_JOIN_CONTROL`` in
+:mod:`repro.unicode.idna` — ZWNJ/ZWJ are CONTEXTJ, i.e. *registerable* in
+context) and the default-ignorable ranges (``_DEFAULT_IGNORABLE`` — the
+0x200B zero-width run, the 0x2060 word-joiner/invisible-operator run, BOM,
+soft hyphen, variation selectors).  Registries differ in how strictly they
+enforce the contextual rules, and a raw ``xn--`` label decodes *without*
+derived-property validation, so these characters do reach the detector.
+
+Detection works by *stripping*: remove every table character (and collapse
+combining-mark stacks), then re-run the candidate against the reference
+index.  A candidate that equals a reference after stripping — or matches
+it through the homoglyph database — is a homograph whose invisible payload
+is reported as :class:`InvisibleFinding` records.
+"""
+
+from __future__ import annotations
+
+import unicodedata
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from ..unicode.idna import _DEFAULT_IGNORABLE, _JOIN_CONTROL
+
+__all__ = [
+    "INVISIBLE_TABLE_VERSION",
+    "InvisibleFinding",
+    "InvisibleTable",
+    "default_invisible_table",
+]
+
+#: Bump when the curated code point set or the stripping semantics change;
+#: the registry folds this into the source-selection fingerprint so cached
+#: reference indexes built against an older table read as misses.
+INVISIBLE_TABLE_VERSION = 1
+
+#: Combining-mark general categories (nonspacing / enclosing marks).
+_MARK_CATEGORIES = {"Mn", "Me"}
+
+#: Minimum run length of consecutive combining marks treated as a stack.
+#: A single diacritic is a legitimate orthographic device (café); two or
+#: more stacked on one base are the attack pattern.
+_STACK_THRESHOLD = 2
+
+
+def _curated_codepoints() -> dict[int, str]:
+    """The curated code point → category mapping the default table uses."""
+    table: dict[int, str] = {}
+
+    # Zero-width characters: render as nothing in any position.  ZWNJ/ZWJ
+    # come from RFC 5892 JoinControl (CONTEXTJ — registerable in context);
+    # the rest are default-ignorables that survive a raw punycode decode.
+    zero_width = set(_JOIN_CONTROL) | {
+        0x200B,  # ZERO WIDTH SPACE
+        0x2060,  # WORD JOINER
+        0xFEFF,  # ZERO WIDTH NO-BREAK SPACE (BOM)
+        0x034F,  # COMBINING GRAPHEME JOINER
+        0x180E,  # MONGOLIAN VOWEL SEPARATOR
+    }
+    for cp in zero_width:
+        table[cp] = "zero-width"
+
+    # Bidirectional controls: reorder the *display* of surrounding text
+    # (an RLO turns "gepj.com" into something rendering as "moc.jpeg").
+    bidi = (
+        {0x200E, 0x200F, 0x061C}          # LRM, RLM, ALM
+        | set(range(0x202A, 0x202F))       # LRE, RLE, PDF, LRO, RLO
+        | set(range(0x2066, 0x206A))       # LRI, RLI, FSI, PDI
+    )
+    for cp in bidi:
+        table[cp] = "bidi-control"
+
+    # Invisible mathematical operators (function application, times, ...).
+    for cp in range(0x2061, 0x2065):
+        table[cp] = "invisible-operator"
+
+    # Conditionally visible: renders only at a line break, never inline.
+    table[0x00AD] = "soft-hyphen"
+
+    # Variation selectors: modify the *previous* glyph, no glyph of their
+    # own.  Mongolian free variation selectors behave the same way.
+    for cp in range(0xFE00, 0xFE10):
+        table[cp] = "variation-selector"
+    for cp in range(0x180B, 0x180E):
+        table[cp] = "variation-selector"
+
+    # Everything curated above (except JoinControl) should already be in
+    # the IDNA layer's default-ignorable knowledge — the assertion keeps
+    # the two tables from drifting apart silently.
+    drifted = {
+        cp for cp, category in table.items()
+        if category in {"zero-width", "bidi-control", "invisible-operator",
+                        "soft-hyphen", "variation-selector"}
+        and cp not in _DEFAULT_IGNORABLE and cp not in _JOIN_CONTROL
+        and cp not in {0x200E, 0x200F, 0x061C} and not 0x202A <= cp <= 0x202E
+    }
+    assert not drifted, f"invisible table drifted from IDNA knowledge: {drifted}"
+    return table
+
+
+@dataclass(frozen=True)
+class InvisibleFinding:
+    """One invisible character (or combining stack member) in a label."""
+
+    position: int      # index into the original (folded) label
+    char: str
+    category: str      # zero-width | bidi-control | invisible-operator |
+                       # soft-hyphen | variation-selector | combining-stack
+
+    def describe(self) -> str:
+        """Human-readable description used by reports and the warning UI."""
+        try:
+            name = unicodedata.name(self.char)
+        except ValueError:
+            name = "unnamed"
+        return (
+            f"position {self.position}: invisible U+{ord(self.char):04X} "
+            f"({name}, {self.category})"
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-friendly representation (one golden-fixture entry)."""
+        return {
+            "position": self.position,
+            "char": self.char,
+            "category": self.category,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "InvisibleFinding":
+        """Inverse of :meth:`as_dict`."""
+        return cls(payload["position"], payload["char"], payload["category"])
+
+
+class InvisibleTable:
+    """A set of invisible code points with scan/strip operations.
+
+    Instances are immutable after construction and picklable — the serving
+    worker pool ships the finder (and therefore its table) into worker
+    processes via the executor initializer.
+    """
+
+    def __init__(
+        self,
+        codepoints: Mapping[int, str] | None = None,
+        *,
+        name: str = "Invisible",
+        version: int = INVISIBLE_TABLE_VERSION,
+    ) -> None:
+        self.name = name
+        self.version = version
+        self._codepoints = dict(codepoints if codepoints is not None
+                                else _curated_codepoints())
+
+    def __len__(self) -> int:
+        return len(self._codepoints)
+
+    def __contains__(self, char: str) -> bool:
+        return len(char) == 1 and ord(char) in self._codepoints
+
+    def category_of(self, char: str) -> str | None:
+        """The table category of *char*, or ``None`` when not listed."""
+        if len(char) != 1:
+            return None
+        return self._codepoints.get(ord(char))
+
+    def content_digest(self) -> str:
+        """Stable identity of the exact code point set (fingerprint input)."""
+        import hashlib
+
+        hasher = hashlib.sha256()
+        for cp in sorted(self._codepoints):
+            hasher.update(f"{cp:04X}:{self._codepoints[cp]}\n".encode("utf-8"))
+        hasher.update(f"v{self.version}".encode("utf-8"))
+        return hasher.hexdigest()[:16]
+
+    # -- scanning -------------------------------------------------------------
+
+    def _iter_findings(self, text: str) -> Iterator[InvisibleFinding]:
+        run_start = -1   # start of the current combining-mark run, or -1
+        for position, char in enumerate(text):
+            category = self._codepoints.get(ord(char))
+            if category is not None:
+                yield InvisibleFinding(position, char, category)
+                # A table character interrupts any combining run.
+                run_start = -1
+                continue
+            if unicodedata.category(char) in _MARK_CATEGORIES:
+                if run_start < 0:
+                    run_start = position
+                elif position - run_start + 1 == _STACK_THRESHOLD:
+                    # The run just became a stack: report every member,
+                    # including the ones already passed over.
+                    for member in range(run_start, position + 1):
+                        yield InvisibleFinding(member, text[member], "combining-stack")
+                elif position - run_start + 1 > _STACK_THRESHOLD:
+                    yield InvisibleFinding(position, char, "combining-stack")
+            else:
+                run_start = -1
+
+    def findings(self, text: str) -> tuple[InvisibleFinding, ...]:
+        """All invisible characters and combining-stack members in *text*.
+
+        Findings come back in position order.  A *single* combining mark is
+        not a finding — only runs of :data:`_STACK_THRESHOLD` or more.
+        """
+        return tuple(sorted(self._iter_findings(text), key=lambda f: f.position))
+
+    # -- stripping -------------------------------------------------------------
+
+    def strip(self, text: str) -> str:
+        """Remove the invisible payload of *text* (stripped form)."""
+        stripped, _ = self.strip_with_positions(text)
+        return stripped
+
+    def strip_with_positions(self, text: str) -> tuple[str, list[int]]:
+        """Strip and return ``(stripped, positions)``.
+
+        ``positions[i]`` is the index in *text* that ``stripped[i]`` came
+        from, so substitution positions found against the stripped form can
+        be mapped back onto the original label.
+        """
+        drop = {finding.position for finding in self._iter_findings(text)}
+        kept: list[str] = []
+        positions: list[int] = []
+        for position, char in enumerate(text):
+            if position in drop:
+                continue
+            kept.append(char)
+            positions.append(position)
+        return "".join(kept), positions
+
+
+def default_invisible_table() -> InvisibleTable:
+    """The curated default table (module-level singleton semantics not
+    required — construction is cheap and instances are value-like)."""
+    return InvisibleTable()

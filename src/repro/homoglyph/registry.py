@@ -1,0 +1,230 @@
+"""Pluggable homoglyph-database source registry.
+
+The detector historically hardcoded one composition: SimChar ∪ UC
+(:meth:`ShamFinder.with_default_databases`).  This module turns the
+composition into data: every database *source* — SimChar, the UTS#39
+confusables, the curated invisible-character table — registers under a
+short name, a selection like ``("simchar", "uc", "invisible")`` builds the
+union, and the selection itself becomes part of every downstream
+fingerprint so a reference index built for one source set can never be
+served for another.
+
+Provenance flows with the pairs: each source contributes pairs tagged with
+its :class:`~.database.HomoglyphPair` source label, the union merges tags
+per pair, and detections report exactly which source(s) covered each
+substitution — through batch scans, online queries, and the serving layer
+alike.
+
+Fingerprinting rule: the **default** selection (``simchar,uc``) maps to an
+*empty* source-config string, which keeps every pre-existing cache key,
+reference-index digest, and artifact header byte-identical — an upgraded
+deployment keeps its warm caches.  Any other selection yields a canonical
+non-empty config (sorted names, invisible tagged with its table version),
+so changing the source set changes the fingerprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from .cache import cached_build, resolve_cache
+from .confusables import load_confusables
+from .database import HomoglyphDatabase
+from .invisible import InvisibleTable, default_invisible_table
+from .simchar import SimCharBuilder
+
+__all__ = [
+    "DEFAULT_SOURCES",
+    "BuildContext",
+    "SourceBuild",
+    "RegistryBuild",
+    "DatabaseRegistry",
+    "UnknownSourceError",
+    "default_registry",
+]
+
+#: The selection every finder uses unless told otherwise — the historical
+#: SimChar ∪ UC composition.
+DEFAULT_SOURCES: tuple[str, ...] = ("simchar", "uc")
+
+
+class UnknownSourceError(ValueError):
+    """A selection named a source the registry does not know."""
+
+    def __init__(self, name: str, known: Iterable[str]) -> None:
+        self.name = name
+        self.known = tuple(known)
+        super().__init__(
+            f"unknown database source {name!r} (known: {', '.join(self.known)})"
+        )
+
+
+@dataclass(frozen=True)
+class BuildContext:
+    """Knobs a source builder may consult (SimChar needs all of them)."""
+
+    font: object | None = None
+    simchar_builder: SimCharBuilder | None = None
+    cache_dir: object | None = None
+    force_rebuild: bool = False
+
+
+@dataclass(frozen=True)
+class SourceBuild:
+    """What one source contributes: a pair database, an invisible table, or both."""
+
+    name: str
+    database: HomoglyphDatabase | None = None
+    invisible: InvisibleTable | None = None
+    #: Token identifying this source inside a non-default source-config
+    #: string; defaults to the registered name.
+    config_token: str = ""
+
+
+@dataclass(frozen=True)
+class RegistryBuild:
+    """A resolved selection, built."""
+
+    #: canonical (sorted, deduplicated) selection
+    selection: tuple[str, ...]
+    #: union of every selected pair database
+    database: HomoglyphDatabase
+    #: the selected sources' individual pair databases (empty ones omitted)
+    per_source: dict[str, HomoglyphDatabase] = field(default_factory=dict)
+    #: merged invisible table, or ``None`` when no selected source has one
+    invisible: InvisibleTable | None = None
+    #: fingerprint component: ``""`` for the default selection, the
+    #: canonical token list otherwise (see module docstring)
+    source_config: str = ""
+
+
+class DatabaseRegistry:
+    """Named homoglyph-database sources and the selection → union builder."""
+
+    def __init__(self) -> None:
+        self._builders: dict[str, Callable[[BuildContext], SourceBuild]] = {}
+
+    def register(self, name: str, builder: Callable[[BuildContext], SourceBuild]) -> None:
+        """Register (or replace) a source under *name*."""
+        if not name or name != name.strip().lower():
+            raise ValueError(f"source names are non-empty lowercase tokens, got {name!r}")
+        self._builders[name] = builder
+
+    def names(self) -> tuple[str, ...]:
+        """Registered source names, sorted."""
+        return tuple(sorted(self._builders))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._builders
+
+    def resolve(self, selection: Iterable[str] | None) -> tuple[str, ...]:
+        """Canonicalise a selection: default, lowercase, dedupe, sort, check."""
+        if selection is None:
+            names = list(DEFAULT_SOURCES)
+        else:
+            names = [str(name).strip().lower() for name in selection if str(name).strip()]
+        if not names:
+            raise ValueError("at least one database source must be selected")
+        canonical = tuple(sorted(set(names)))
+        for name in canonical:
+            if name not in self._builders:
+                raise UnknownSourceError(name, self.names())
+        return canonical
+
+    def build(
+        self,
+        selection: Iterable[str] | None = None,
+        *,
+        context: BuildContext | None = None,
+    ) -> RegistryBuild:
+        """Build the union database (and merged invisible table) for a selection."""
+        canonical = self.resolve(selection)
+        context = context if context is not None else BuildContext()
+
+        per_source: dict[str, HomoglyphDatabase] = {}
+        invisible: InvisibleTable | None = None
+        tokens: list[str] = []
+        for name in canonical:
+            built = self._builders[name](context)
+            tokens.append(built.config_token or name)
+            if built.database is not None and len(built.database):
+                per_source[name] = built.database
+            if built.invisible is not None:
+                if invisible is not None:
+                    raise ValueError(
+                        "multiple selected sources contribute an invisible table"
+                    )
+                invisible = built.invisible
+
+        union = self._union(canonical, per_source)
+        is_default = canonical == tuple(sorted(DEFAULT_SOURCES))
+        source_config = "" if is_default else ",".join(tokens)
+        return RegistryBuild(
+            selection=canonical,
+            database=union,
+            per_source=per_source,
+            invisible=invisible,
+            source_config=source_config,
+        )
+
+    @staticmethod
+    def _union(
+        canonical: tuple[str, ...],
+        per_source: Mapping[str, HomoglyphDatabase],
+    ) -> HomoglyphDatabase:
+        """Union the per-source databases under the historical default name.
+
+        The default selection keeps the exact legacy name ("UC∪SimChar") so
+        database JSON artifacts round-trip unchanged; other selections name
+        the union after their members.
+        """
+        if canonical == tuple(sorted(DEFAULT_SOURCES)):
+            name = "UC∪SimChar"
+        else:
+            name = "∪".join(canonical)
+        union = HomoglyphDatabase(name=name)
+        for source in canonical:
+            database = per_source.get(source)
+            if database is None:
+                continue
+            for pair in database:
+                union.add(pair)
+        return union
+
+
+# -- the default sources ------------------------------------------------------
+
+
+def _build_simchar(context: BuildContext) -> SourceBuild:
+    builder = (context.simchar_builder if context.simchar_builder is not None
+               else SimCharBuilder(context.font))
+    cache = resolve_cache(context.cache_dir)
+    result, _hit = cached_build(builder, cache, force=context.force_rebuild)
+    return SourceBuild(name="simchar", database=result.database)
+
+
+def _build_uc(context: BuildContext) -> SourceBuild:
+    uc = load_confusables().to_database().restricted_to_idna(name="UC∩IDNA")
+    return SourceBuild(name="uc", database=uc)
+
+
+def _build_invisible(context: BuildContext) -> SourceBuild:
+    table = default_invisible_table()
+    return SourceBuild(
+        name="invisible",
+        invisible=table,
+        # The table version (and curated set) is the source's identity —
+        # fold it into the config token so a future table revision changes
+        # every fingerprint that includes this source.
+        config_token=f"invisible.v{table.version}",
+    )
+
+
+def default_registry() -> DatabaseRegistry:
+    """A registry with the three standard sources registered."""
+    registry = DatabaseRegistry()
+    registry.register("simchar", _build_simchar)
+    registry.register("uc", _build_uc)
+    registry.register("invisible", _build_invisible)
+    return registry

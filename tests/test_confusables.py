@@ -95,3 +95,72 @@ def test_table_len_and_contains():
     assert len(table) == 1
     assert "а" in table
     assert "a" not in table
+
+
+# -- skipped-entry accounting (PR 7 regression: silent entry loss) -----------
+
+
+def test_parse_counts_skipped_entries_by_reason():
+    table = parse_confusables([
+        "﻿0430 ; 0061 ; MA # BOM on the first line",   # kept (BOM stripped)
+        "FB01 ; 0066 0069 ; MA # LATIN SMALL LIGATURE FI -> fi",  # kept: multi-char TARGET
+        "0446 0443 ; 0063 ; MA # multi-char SOURCE",        # skipped: ligature source
+        "30ET ; 0000 ; MA",                                  # skipped: bad hex
+        "0431",                                              # skipped: missing fields
+        "0432 ; D800 ; MA",                                  # skipped: surrogate
+        "# comment only",
+        "",
+        "0435 ; 0065 ; MA\r",                                # kept (CRLF tolerated)
+    ])
+    assert len(table) == 3
+    assert table.prototype("ﬁ") == "fi"
+    assert table.skipped.malformed == 3
+    assert table.skipped.multi_char_source == 1
+    assert table.skipped.total == 4
+    assert table.skipped.entry_lines == 7
+    assert 0.0 < table.skipped.dropped_fraction < 1.0
+
+
+def test_parse_crlf_and_bom_lines_are_kept():
+    text = "﻿0430 ; 0061 ; MA\r\n0435 ; 0065 ; MA\r\n"
+    table = parse_confusables(text.splitlines())
+    assert len(table) == 2
+    assert table.skipped.total == 0
+
+
+def test_embedded_seed_reports_its_known_malformed_line():
+    table = load_confusables()
+    # The seed deliberately carries one malformed line ("30ET ; ...").
+    assert table.skipped.malformed >= 1
+    assert table.skipped.dropped_fraction < 0.10
+
+
+def test_load_warns_when_file_drops_too_many_entries(tmp_path):
+    import warnings
+
+    bad = tmp_path / "confusables.txt"
+    # 1 valid entry, 2 multi-char sources, 1 malformed: 75% dropped.
+    bad.write_text(
+        "0430 ; 0061 ; MA\n"
+        "0446 0443 ; 0063 ; MA\n"
+        "0446 0444 ; 0064 ; MA\n"
+        "ZZZZ ; 0061 ; MA\n",
+        encoding="utf-8",
+    )
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        table = load_confusables(bad)
+    assert len(table) == 1
+    assert any("dropped 3 of 4" in str(w.message) for w in caught)
+
+
+def test_load_does_not_warn_on_healthy_file(tmp_path):
+    import warnings
+
+    good = tmp_path / "confusables.txt"
+    good.write_text("0430 ; 0061 ; MA\n0435 ; 0065 ; MA\n", encoding="utf-8")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        table = load_confusables(good)
+    assert len(table) == 2
+    assert not caught

@@ -1,0 +1,119 @@
+"""Tests for the curated invisible-character table and the text sanitizer."""
+
+import pickle
+
+from repro.applications.sanitizer import TextSanitizer
+from repro.homoglyph.database import HomoglyphDatabase, HomoglyphPair
+from repro.homoglyph.invisible import (
+    INVISIBLE_TABLE_VERSION,
+    InvisibleFinding,
+    InvisibleTable,
+    default_invisible_table,
+)
+
+ZWSP, ZWNJ, ZWJ = "​", "‌", "‍"
+RLO = "‮"
+ACUTE, GRAVE = "́", "̀"
+
+
+def test_default_table_covers_the_curated_classes():
+    table = default_invisible_table()
+    assert table.category_of(ZWJ) == "zero-width"
+    assert table.category_of(ZWNJ) == "zero-width"
+    assert table.category_of(ZWSP) == "zero-width"
+    assert table.category_of("﻿") == "zero-width"
+    assert table.category_of(RLO) == "bidi-control"
+    assert table.category_of("⁦") == "bidi-control"
+    assert table.category_of("⁡") == "invisible-operator"
+    assert table.category_of("­") == "soft-hyphen"
+    assert table.category_of("️") == "variation-selector"
+    assert table.category_of("a") is None
+    assert ZWJ in table and "a" not in table
+    assert len(table) > 30
+    assert table.version == INVISIBLE_TABLE_VERSION
+
+
+def test_findings_report_positions_and_categories():
+    table = default_invisible_table()
+    findings = table.findings(f"goo{ZWJ}gle{RLO}")
+    assert [f.position for f in findings] == [3, 7]
+    assert findings[0].category == "zero-width"
+    assert findings[1].category == "bidi-control"
+    assert "U+200D" in findings[0].describe()
+
+
+def test_single_combining_mark_is_not_a_finding():
+    table = default_invisible_table()
+    assert table.findings(f"cafe{ACUTE}") == ()
+    assert table.strip(f"cafe{ACUTE}") == f"cafe{ACUTE}"
+
+
+def test_combining_stack_is_found_and_stripped_entirely():
+    table = default_invisible_table()
+    label = f"googl{ACUTE}{GRAVE}e"
+    findings = table.findings(label)
+    assert [f.position for f in findings] == [5, 6]
+    assert {f.category for f in findings} == {"combining-stack"}
+    assert table.strip(label) == "google"
+
+
+def test_strip_with_positions_maps_back_to_original_indices():
+    table = default_invisible_table()
+    label = f"g{ZWJ}oogle"
+    stripped, positions = table.strip_with_positions(label)
+    assert stripped == "google"
+    assert positions == [0, 2, 3, 4, 5, 6]
+    # the map recovers original positions for every stripped-form index
+    assert all(label[positions[i]] == stripped[i] for i in range(len(stripped)))
+
+
+def test_findings_roundtrip_and_digest_stability():
+    finding = InvisibleFinding(3, ZWJ, "zero-width")
+    assert InvisibleFinding.from_dict(finding.as_dict()) == finding
+
+    a, b = default_invisible_table(), default_invisible_table()
+    assert a.content_digest() == b.content_digest()
+    assert a.content_digest() != InvisibleTable({0x200B: "zero-width"}).content_digest()
+
+
+def test_table_is_picklable():
+    # The serving worker pool ships the finder (and its table) into worker
+    # processes via executor initargs.
+    table = default_invisible_table()
+    clone = pickle.loads(pickle.dumps(table))
+    assert len(clone) == len(table)
+    assert clone.category_of(ZWJ) == "zero-width"
+
+
+# -- the sanitizer entry point -----------------------------------------------
+
+
+def _database() -> HomoglyphDatabase:
+    return HomoglyphDatabase.from_pairs([
+        HomoglyphPair("о", "o", frozenset({"UC"})),       # Cyrillic о
+        HomoglyphPair("а", "a", frozenset({"SimChar"})),  # Cyrillic а
+    ])
+
+
+def test_sanitizer_strips_and_normalises():
+    sanitizer = TextSanitizer(_database())
+    result = sanitizer.sanitize(f"pа{ZWSP}ypаl")
+    assert result.stripped == "pаypаl"
+    assert result.normalised == "paypal"
+    assert not result.is_clean
+    assert [f.category for f in result.invisibles] == ["zero-width"]
+    assert {o.found for o in result.obfuscations} == {"а"}
+    assert result.as_dict()["is_clean"] is False
+
+
+def test_sanitizer_clean_text_passes_through():
+    sanitizer = TextSanitizer(_database())
+    result = sanitizer.sanitize("paypal")
+    assert result.is_clean
+    assert result.normalised == "paypal"
+    assert sanitizer.clean("paypal") == "paypal"
+
+
+def test_sanitizer_handles_combining_stacks():
+    sanitizer = TextSanitizer(_database())
+    assert sanitizer.clean(f"googl{ACUTE}{GRAVE}e") == "google"

@@ -192,3 +192,46 @@ def test_matcher_detects_database_substitution(label):
     result = matcher.match(mutated, label)
     assert result.is_homograph
     assert result.substitution_count == mutated.count("о")
+
+
+# --------------------------------------------------------------------------
+# Database digest invariants (registry fingerprints depend on these)
+# --------------------------------------------------------------------------
+
+_pair_codepoints = st.integers(min_value=0x21, max_value=0x24F)
+
+homoglyph_pairs = st.tuples(_pair_codepoints, _pair_codepoints).filter(
+    lambda cps: cps[0] != cps[1]
+).map(lambda cps: HomoglyphPair(
+    chr(cps[0]), chr(cps[1]),
+    frozenset({SOURCE_SIMCHAR if (cps[0] + cps[1]) % 2 else "UC"}),
+    delta=(cps[0] + cps[1]) % 7 or None,
+))
+
+pair_lists = st.lists(homoglyph_pairs, min_size=1, max_size=20)
+
+
+@settings(max_examples=150, deadline=None)
+@given(pair_lists, st.randoms(use_true_random=False))
+def test_content_digest_is_insertion_order_independent(pairs, rnd):
+    shuffled = list(pairs)
+    rnd.shuffle(shuffled)
+    a = HomoglyphDatabase.from_pairs(pairs)
+    b = HomoglyphDatabase.from_pairs(shuffled)
+    assert a.content_digest() == b.content_digest()
+    assert a.pairs() == b.pairs()
+
+
+@settings(max_examples=150, deadline=None)
+@given(pair_lists, pair_lists)
+def test_union_is_commutative_on_digest(left_pairs, right_pairs):
+    left = HomoglyphDatabase.from_pairs(left_pairs, name="L")
+    right = HomoglyphDatabase.from_pairs(right_pairs, name="R")
+    ab = left.union(right)
+    ba = right.union(left)
+    assert ab.content_digest() == ba.content_digest()
+    # merging is also lossless: every source tag from both sides survives
+    for pair in left_pairs + right_pairs:
+        merged = ab.get(pair.first, pair.second)
+        assert merged is not None
+        assert pair.sources <= merged.sources

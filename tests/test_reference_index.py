@@ -313,7 +313,7 @@ def _write_v1_artifact(store: ReferenceIndexStore, finder, reference):
     header = {
         "magic": INDEX_MAGIC,
         "version": 1,
-        "key": asdict(v1_key),
+        "key": v1_key.as_dict(),
         "label_count": len(labels),
         "bucket_count": len(buckets),
         "entry_count": sum(len(members) for members in buckets.values()),

@@ -1,0 +1,211 @@
+"""Tests for the pluggable database-source registry.
+
+Covers selection resolution, per-source provenance surviving the union all
+the way into detection verdicts, and the fingerprint rule: the default
+SimChar ∪ UC selection keeps the pre-registry artifact key byte-identical,
+any other selection changes it.
+"""
+
+import pytest
+
+from repro.detection.index import IndexKey, key_for
+from repro.detection.shamfinder import ShamFinder
+from repro.homoglyph.database import HomoglyphDatabase, HomoglyphPair
+from repro.homoglyph.invisible import default_invisible_table
+from repro.homoglyph.registry import (
+    DEFAULT_SOURCES,
+    BuildContext,
+    DatabaseRegistry,
+    RegistryBuild,
+    SourceBuild,
+    UnknownSourceError,
+    default_registry,
+)
+
+CYRILLIC_O = "о"
+CYRILLIC_A = "а"
+
+
+def _pairs_db(name: str, *pairs: HomoglyphPair) -> HomoglyphDatabase:
+    return HomoglyphDatabase.from_pairs(pairs, name=name)
+
+
+def _toy_registry() -> DatabaseRegistry:
+    """A registry whose ``simchar``/``uc`` sources are tiny in-memory
+    databases — same names as the real defaults, no font required."""
+    registry = DatabaseRegistry()
+    registry.register("uc", lambda ctx: SourceBuild(
+        name="uc",
+        database=_pairs_db("UC∩IDNA",
+                           HomoglyphPair(CYRILLIC_O, "o", frozenset({"UC"}), delta=7)),
+    ))
+    registry.register("simchar", lambda ctx: SourceBuild(
+        name="simchar",
+        database=_pairs_db("SimChar",
+                           HomoglyphPair(CYRILLIC_O, "o", frozenset({"SimChar"}), delta=2),
+                           HomoglyphPair(CYRILLIC_A, "a", frozenset({"SimChar"}), delta=3)),
+    ))
+    registry.register("invisible", lambda ctx: SourceBuild(
+        name="invisible",
+        invisible=default_invisible_table(),
+        config_token="invisible.v1",
+    ))
+    return registry
+
+
+# -- resolution ---------------------------------------------------------------
+
+
+def test_resolve_defaults_and_canonicalises():
+    registry = _toy_registry()
+    assert registry.resolve(None) == tuple(sorted(DEFAULT_SOURCES))
+    assert registry.resolve(["UC", " simchar ", "uc"]) == ("simchar", "uc")
+    assert registry.resolve(["invisible"]) == ("invisible",)
+
+
+def test_resolve_rejects_unknown_and_empty_selections():
+    registry = _toy_registry()
+    with pytest.raises(UnknownSourceError) as excinfo:
+        registry.resolve(["simchar", "tengwar"])
+    assert "tengwar" in str(excinfo.value)
+    assert "simchar" in str(excinfo.value)  # lists the known names
+    with pytest.raises(ValueError):
+        registry.resolve([])
+    with pytest.raises(ValueError):
+        registry.resolve(["  ", ""])
+
+
+def test_register_validates_names():
+    registry = DatabaseRegistry()
+    with pytest.raises(ValueError):
+        registry.register("SimChar", lambda ctx: SourceBuild(name="SimChar"))
+    with pytest.raises(ValueError):
+        registry.register("", lambda ctx: SourceBuild(name=""))
+
+
+def test_default_registry_registers_the_standard_sources():
+    assert default_registry().names() == ("invisible", "simchar", "uc")
+
+
+# -- union provenance (satellite: merged_with/union must not drop sources) ---
+
+
+def test_union_merges_sources_and_keeps_min_delta():
+    built = _toy_registry().build(["simchar", "uc"])
+    assert built.database.name == "UC∪SimChar"
+    assert built.source_config == ""
+    assert built.invisible is None
+
+    merged = built.database.get(CYRILLIC_O, "o")
+    assert merged is not None
+    assert merged.sources == frozenset({"UC", "SimChar"})
+    assert merged.delta == 2  # min of the two records' Δ
+
+    only_simchar = built.database.get(CYRILLIC_A, "a")
+    assert only_simchar is not None
+    assert only_simchar.sources == frozenset({"SimChar"})
+
+
+def test_union_provenance_reaches_detection_verdicts():
+    """The merged per-pair sources must survive into QueryVerdict-level
+    detection output — a pair known to both databases names both."""
+    built = _toy_registry().build(["simchar", "uc"])
+    finder = ShamFinder(
+        built.database,
+        uc_database=built.per_source.get("uc"),
+        simchar_database=built.per_source.get("simchar"),
+        source_config=built.source_config,
+    )
+    report = finder.detect(
+        ["xn--ggle-55da.com", "xn--pypal-4ve.com"],  # gооgle / pаypal
+        ["google.com", "paypal.com"],
+    )
+    by_reference = {d.reference: d for d in report}
+    assert by_reference["google.com"].sources == frozenset({"UC", "SimChar"})
+    assert by_reference["paypal.com"].sources == frozenset({"SimChar"})
+    # provenance survives serialisation too
+    assert by_reference["google.com"].as_dict()["sources"] == ["SimChar", "UC"]
+
+
+def test_single_source_selection_is_not_the_default():
+    built = _toy_registry().build(["uc"])
+    assert built.selection == ("uc",)
+    assert built.source_config == "uc"
+    assert built.database.name == "uc"
+    pair = built.database.get(CYRILLIC_O, "o")
+    assert pair is not None and pair.sources == frozenset({"UC"})
+
+
+def test_invisible_selection_carries_the_table_and_config_token():
+    built = _toy_registry().build(["simchar", "uc", "invisible"])
+    assert isinstance(built, RegistryBuild)
+    assert built.invisible is not None
+    assert built.source_config == "invisible.v1,simchar,uc"
+    # union still carries both pair sources
+    merged = built.database.get(CYRILLIC_O, "o")
+    assert merged is not None and merged.sources == frozenset({"UC", "SimChar"})
+
+
+def test_build_accepts_an_explicit_context():
+    # BuildContext is passed through to the builders verbatim.
+    seen = {}
+
+    def probe(ctx: BuildContext) -> SourceBuild:
+        seen["ctx"] = ctx
+        return SourceBuild(name="probe", database=_pairs_db(
+            "probe", HomoglyphPair(CYRILLIC_O, "o", frozenset({"UC"}))))
+
+    registry = DatabaseRegistry()
+    registry.register("probe", probe)
+    context = BuildContext(cache_dir="/tmp/nowhere", force_rebuild=True)
+    registry.build(["probe"], context=context)
+    assert seen["ctx"] is context
+
+
+# -- fingerprints -------------------------------------------------------------
+
+
+def _reference_list() -> list[str]:
+    return ["google.com", "paypal.com"]
+
+
+def test_default_selection_keeps_the_legacy_index_key():
+    """source_config == "" must reproduce the pre-registry IndexKey exactly:
+    same digest, and no ``sources`` field in the serialised header."""
+    built = _toy_registry().build(["simchar", "uc"])
+    finder = ShamFinder(built.database, source_config=built.source_config)
+    legacy = ShamFinder(built.database)  # how PR-6-era code built finders
+
+    new_key = key_for(finder, _reference_list())
+    legacy_key = key_for(legacy, _reference_list())
+    assert new_key == legacy_key
+    assert new_key.digest == legacy_key.digest
+    assert "sources" not in new_key.as_dict()
+
+
+def test_source_selection_changes_the_index_fingerprint():
+    registry = _toy_registry()
+    default = registry.build(["simchar", "uc"])
+    extended = registry.build(["simchar", "uc", "invisible"])
+    # the invisible source adds no pairs: the union digests are equal...
+    assert default.database.content_digest() == extended.database.content_digest()
+
+    default_finder = ShamFinder(default.database, source_config=default.source_config)
+    extended_finder = ShamFinder(
+        extended.database,
+        invisible_table=extended.invisible,
+        source_config=extended.source_config,
+    )
+    default_key = key_for(default_finder, _reference_list())
+    extended_key = key_for(extended_finder, _reference_list())
+    # ...so only the sources field separates the artifacts — it must.
+    assert default_key.digest != extended_key.digest
+    assert extended_key.as_dict()["sources"] == "invisible.v1,simchar,uc"
+
+
+def test_index_key_digest_is_stable_for_equal_keys():
+    a = IndexKey(database_digest="d" * 16, reference_hash="r" * 16, sources="uc")
+    b = IndexKey(database_digest="d" * 16, reference_hash="r" * 16, sources="uc")
+    c = IndexKey(database_digest="d" * 16, reference_hash="r" * 16)
+    assert a.digest == b.digest
+    assert a.digest != c.digest
