@@ -18,6 +18,7 @@ throughput including IDN extraction and sink writes.
 
 from __future__ import annotations
 
+import os
 import random
 import time
 
@@ -28,6 +29,7 @@ from repro.detection.shamfinder import ShamFinder
 from repro.detection.stream import StreamingScanner, read_sink
 from repro.homoglyph.database import SOURCE_SIMCHAR, SOURCE_UC, HomoglyphDatabase
 from repro.idn.idna_codec import to_ascii_label
+from repro.parallel.pool import pool_context, worker_pids
 
 CANDIDATE_COUNT = 100_000
 REFERENCE_COUNT = 200
@@ -165,3 +167,64 @@ def test_streaming_scan_throughput(tmp_path):
     assert stats.detection_count == len(report)
     assert stats.detection_count > 0
     assert stats.skipped_count == 0
+
+
+def test_streaming_scan_spawn_parallel(tmp_path):
+    """Spawn start method: real worker processes, byte-identical results.
+
+    Spawn platforms (macOS, Windows) used to silently fall back to a
+    serial scan; ``repro.parallel.pool`` re-creates worker state from
+    picklable initargs, so a forced-spawn scan must both (a) produce the
+    identical sink and (b) actually run on distinct worker processes.
+    """
+    db = _database()
+    finder = ShamFinder(db)
+    candidates, references = _corpus()
+    reference_domains = [f"{label}.com" for label in references]
+
+    input_path = tmp_path / "domains.txt"
+    with open(input_path, "w", encoding="utf-8") as handle:
+        for label in candidates:
+            try:
+                ascii_label = to_ascii_label(label)
+            except Exception:
+                continue
+            handle.write(f"{ascii_label}.com\n")
+
+    serial_path = tmp_path / "serial.jsonl"
+    serial = StreamingScanner(finder, reference_domains, chunk_size=10_000, jobs=1)
+    serial_stats = serial.scan_file(input_path, serial_path)
+
+    spawn_path = tmp_path / "spawn.jsonl"
+    spawn = StreamingScanner(
+        finder, reference_domains, chunk_size=10_000, jobs=2, start_method="spawn"
+    )
+    start = time.perf_counter()
+    spawn_stats = spawn.scan_file(input_path, spawn_path)
+    spawn_seconds = time.perf_counter() - start
+
+    assert read_sink(spawn_path) == read_sink(serial_path)
+    assert spawn_stats.detection_count == serial_stats.detection_count > 0
+
+    # The pool abstraction itself must hand out distinct worker processes
+    # under spawn — the old behaviour was a silent serial fallback.
+    with pool_context("spawn").Pool(2) as pool:
+        pids = worker_pids(pool, 4)
+    assert len(set(pids)) >= 2
+    assert os.getpid() not in pids
+
+    rate = spawn_stats.domains_seen / spawn_seconds if spawn_seconds else 0.0
+    print_table("Streaming scan, forced spawn start method (2 workers)", [
+        ("domains", f"{spawn_stats.domains_seen:,}"),
+        ("detections", f"{spawn_stats.detection_count:,}"),
+        ("throughput", f"{rate:,.0f} domains/s"),
+        ("distinct worker pids", f"{len(set(pids))}"),
+    ])
+    record_bench("scan_spawn", {
+        "domains": spawn_stats.domains_seen,
+        "detections": spawn_stats.detection_count,
+        "spawn_seconds": round(spawn_seconds, 4),
+        "spawn_domains_per_second": round(rate, 1),
+        "distinct_worker_pids": len(set(pids)),
+        "identical_to_serial": True,
+    })

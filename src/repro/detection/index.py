@@ -128,9 +128,20 @@ class IndexKey:
 
     @property
     def digest(self) -> str:
-        """Stable hex digest used as the artifact file name."""
-        canonical = json.dumps(self.as_dict(), sort_keys=True)
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
+        """Stable hex digest used as the artifact file name.
+
+        Memoized on the instance: the query hot path reads the index
+        fingerprint (= this digest) on every cache probe, and recomputing
+        the canonical JSON + SHA-256 per query used to cost nearly half
+        the per-query time.  The fields are frozen, so the memo can never
+        go stale.
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            canonical = json.dumps(self.as_dict(), sort_keys=True)
+            cached = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
+            object.__setattr__(self, "_digest", cached)
+        return cached
 
     def as_dict(self) -> dict:
         payload = asdict(self)
@@ -301,6 +312,10 @@ class MmapSkeletonIndex:
                 self._keys.record_bytes(i).decode("utf-8"),
                 self._values.record_bytes(i).decode("utf-8").split(PACK_SEPARATOR),
             )
+
+    def skeletons(self) -> list[str]:
+        """All bucket keys, decoded once, without touching any members."""
+        return list(self._keys.records())
 
     @property
     def bucket_count(self) -> int:

@@ -32,11 +32,16 @@ from ..homoglyph.simchar import SimCharBuilder
 from ..idn.domain import DomainName
 from ..idn.idna_codec import IDNAError
 from .algorithm import HomographMatcher, MatchResult, fold_label
+from .batchfold import kernel_for
 from .report import DetectionReport, HomographDetection
 from .revert import HomographReverter
 from .skeleton import PACK_SEPARATOR, SkeletonIndex
 
 __all__ = ["ShamFinder", "DetectionTiming", "PreparedReferences", "REFERENCE_SEPARATOR"]
+
+#: Below this many parsed candidates the kernel's fixed costs beat its
+#: savings; :meth:`ShamFinder.detect_prepared` stays scalar.
+_MIN_KERNEL_BATCH = 8
 
 #: Separator packing a label's reference domains into one string — the
 #: same C0 byte the skeleton buckets pack with, imported so the artifact
@@ -278,13 +283,22 @@ class ShamFinder:
         self,
         idns: Iterable[str | DomainName],
         prepared: PreparedReferences,
+        *,
+        batch_kernel: bool = True,
     ) -> tuple[list[HomographDetection], int, int]:
         """Detection core over pre-indexed references.
 
         Returns ``(detections, idn_count, skipped_count)`` — the unit of
         work one streaming-scan chunk performs (:mod:`.stream`).
+
+        By default the parsed labels run through the vectorized batch
+        kernel (:mod:`.batchfold`) first: labels whose folded skeleton
+        provably misses every bucket skip the scalar join entirely, and
+        only the rest run it — detections are byte-identical either way.
+        ``batch_kernel=False`` opts out.
         """
         detections: list[HomographDetection] = []
+        parsed: list[tuple[DomainName, str]] = []
         idn_count = 0
         skipped = 0
         for item in idns:
@@ -298,6 +312,19 @@ class ShamFinder:
                 label = idn.registrable_unicode
             except IDNAError:
                 skipped += 1
+                continue
+            parsed.append((idn, label))
+
+        miss = None
+        if batch_kernel and len(parsed) >= _MIN_KERNEL_BATCH:
+            kernel = kernel_for(self.matcher, prepared)
+            if kernel is not None:
+                miss = kernel.certain_miss_mask(
+                    [label for _, label in parsed],
+                    invisible_table=self.invisible_table,
+                )
+        for position, (idn, label) in enumerate(parsed):
+            if miss is not None and miss[position]:
                 continue
             for match in self.matcher.match_with_skeleton_index(label, prepared.index):
                 for ref in prepared.references_for(match.reference):

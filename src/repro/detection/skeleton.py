@@ -179,6 +179,15 @@ class SkeletonIndex:
         for skeleton in list(self._buckets):
             yield skeleton, list(self._bucket(skeleton))
 
+    def skeletons(self) -> list[str]:
+        """All bucket keys, without unpacking any members.
+
+        The batch kernel (:mod:`.batchfold`) sorts these into its probe
+        array; unlike :meth:`buckets` this leaves packed artifact buckets
+        packed.
+        """
+        return list(self._buckets)
+
     @property
     def bucket_count(self) -> int:
         """Number of distinct skeletons indexed."""

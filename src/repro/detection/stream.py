@@ -12,10 +12,10 @@ module streams it instead:
   how large the zone is;
 * **sharded matching** — chunks are fanned out over worker processes that
   share one :class:`~.shamfinder.PreparedReferences` (case-folded labels +
-  skeleton hash-join index).  Workers are used only where the platform's
-  multiprocessing start method is ``fork``/``forkserver``, the same
-  discipline as the SimChar build engine (library code must never spawn
-  implicitly);
+  skeleton hash-join index).  Pools come from :mod:`repro.parallel.pool`:
+  fork/forkserver children inherit the prepared state, spawn children
+  rebuild it from a picklable spec (an mmap-backed index re-attaches from
+  its artifact path), so every start method runs parallel;
 * **JSONL result sink** — each detection is appended as one JSON object
   per line (:meth:`HomographDetection.as_dict`), flushed chunk by chunk;
 * **checkpoint/resume** — after every chunk a small checkpoint file records
@@ -40,7 +40,7 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Iterator, Sequence
 
-from ..metrics.pixel import fork_pool_context
+from ..parallel.pool import pool_context
 from .report import DetectionReport, HomographDetection
 from .shamfinder import PreparedReferences, ShamFinder
 
@@ -257,14 +257,40 @@ def file_fingerprint(path: str | os.PathLike) -> str:
 # worker through the pool initializer, not once per chunk.
 _WORKER_STATE: dict = {}
 
+#: Spec tag marking a prepared-references value that must be re-attached
+#: from the artifact path instead of arriving ready-made: an mmap-backed
+#: index cannot be pickled into a spawned worker, but the file it maps can
+#: be re-opened there (one O(header) open against the shared page cache).
+_MMAP_SPEC = "__mmap_index__"
 
-def _scan_worker_init(finder: ShamFinder, prepared: PreparedReferences, idn_only: bool) -> None:
-    _WORKER_STATE["args"] = (finder, prepared, idn_only)
+
+def _attach_prepared(prepared):
+    """Resolve a worker's prepared-references value (spec or ready state)."""
+    if isinstance(prepared, tuple) and len(prepared) == 2 and prepared[0] == _MMAP_SPEC:
+        from .index import ReferenceIndexStore
+
+        path = Path(prepared[1])
+        finder = _WORKER_STATE["finder"]
+        index = ReferenceIndexStore(path.parent).load_path(path, finder)
+        if index is None:
+            raise RuntimeError(f"scan worker could not attach reference index {path}")
+        return index.prepared
+    return prepared
+
+
+def _scan_worker_init(
+    finder: ShamFinder,
+    prepared,
+    idn_only: bool,
+    batch_kernel: bool = True,
+) -> None:
+    _WORKER_STATE["finder"] = finder
+    _WORKER_STATE["args"] = (finder, _attach_prepared(prepared), idn_only, batch_kernel)
 
 
 def _scan_worker(chunk: list[str]) -> tuple[list[HomographDetection], int, int, int, int]:
-    finder, prepared, idn_only = _WORKER_STATE["args"]
-    return _process_chunk(finder, prepared, chunk, idn_only)
+    finder, prepared, idn_only, batch_kernel = _WORKER_STATE["args"]
+    return _process_chunk(finder, prepared, chunk, idn_only, batch_kernel)
 
 
 def is_idn_candidate(domain: str) -> bool:
@@ -289,6 +315,7 @@ def _process_chunk(
     prepared: PreparedReferences,
     lines: Sequence[str],
     idn_only: bool,
+    batch_kernel: bool = True,
 ) -> tuple[list[HomographDetection], int, int, int, int]:
     """Steps II + III over one chunk of raw input lines."""
     domains = []
@@ -301,7 +328,8 @@ def _process_chunk(
         candidates = [d for d in domains if is_idn_candidate(d)]
     else:
         candidates = domains
-    detections, idn_count, skipped = finder.detect_prepared(candidates, prepared)
+    detections, idn_count, skipped = finder.detect_prepared(
+        candidates, prepared, batch_kernel=batch_kernel)
     return detections, len(lines), len(domains), idn_count, skipped
 
 
@@ -321,9 +349,9 @@ class StreamingScanner:
 
     Built for zone-scale inputs that don't fit one in-memory report:
     domains are consumed in ``chunk_size`` slices, matched against the
-    prepared reference index (optionally across ``jobs`` fork-only worker
-    shards), and appended to a JSONL sink with an atomic per-chunk
-    checkpoint.  :meth:`scan` resumes an interrupted run byte-identically:
+    prepared reference index (optionally across ``jobs`` worker shards,
+    parallel under every start method including spawn), and appended to a
+    JSONL sink with an atomic per-chunk checkpoint.  :meth:`scan` resumes an interrupted run byte-identically:
     trailing damage past the checkpoint is truncated and reported, while
     damage inside the checkpointed prefix, a changed input file, or a lost
     checkpoint against a non-empty sink refuse with
@@ -345,6 +373,8 @@ class StreamingScanner:
         jobs: int = 1,
         idn_only: bool = True,
         prepared: PreparedReferences | None = None,
+        batch_kernel: bool = True,
+        start_method: str | None = None,
     ) -> None:
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
@@ -357,6 +387,11 @@ class StreamingScanner:
         self.chunk_size = chunk_size
         self.jobs = jobs
         self.idn_only = idn_only
+        self.batch_kernel = batch_kernel
+        #: Multiprocessing start method for the worker pool: ``None``
+        #: honours the host/platform choice (fork where available, spawn
+        #: elsewhere — both parallel); an explicit value forces one.
+        self.start_method = start_method
 
     # -- in-memory scan (used by the measurement study) ------------------------
 
@@ -525,21 +560,39 @@ class StreamingScanner:
         durable).
         """
         chunks = _chunked(lines, self.chunk_size)
-        context = fork_pool_context() if self.jobs > 1 else None
-        if context is None:
+        if self.jobs == 1:
             for chunk in chunks:
-                result = _process_chunk(self.finder, self.prepared, chunk, self.idn_only)
+                result = _process_chunk(self.finder, self.prepared, chunk,
+                                        self.idn_only, self.batch_kernel)
                 yield self._account(result, stats)
         else:
+            context = pool_context(self.start_method)
             with context.Pool(
                 processes=self.jobs,
                 initializer=_scan_worker_init,
-                initargs=(self.finder, self.prepared, self.idn_only),
+                initargs=(self.finder, self._worker_prepared(context.get_start_method()),
+                          self.idn_only, self.batch_kernel),
             ) as pool:
                 # imap keeps results in submission order, which checkpoint
                 # consistency depends on.
                 for result in pool.imap(_scan_worker, chunks):
                     yield self._account(result, stats)
+
+    def _worker_prepared(self, method: str):
+        """What the pool initializer ships as the prepared references.
+
+        Under fork/forkserver the initializer arguments are inherited, not
+        pickled, so the in-process object (mmap-backed or not) goes as-is.
+        Under spawn they are pickled: an mmap-backed index is replaced by a
+        re-attach spec (its artifact path) and each worker re-opens the
+        same inode; dict-backed state pickles directly.
+        """
+        if method in ("fork", "forkserver"):
+            return self.prepared
+        path = getattr(self.prepared, "path", None)
+        if path is not None:
+            return (_MMAP_SPEC, str(path))
+        return self.prepared
 
     @staticmethod
     def _account(

@@ -24,12 +24,16 @@ ink-sorted glyph order so it can be fanned out across worker processes
 
 from __future__ import annotations
 
-import multiprocessing
 from typing import Iterator, Sequence
 
 import numpy as np
 
 from ..fonts.glyph import Glyph
+
+# fork_pool_context historically lived here; it is now a deprecated shim in
+# repro.parallel.pool (pools run parallel under spawn too) and is
+# re-exported for compatibility.
+from ..parallel.pool import fork_pool_context, pool_context  # noqa: F401
 
 __all__ = [
     "delta",
@@ -235,34 +239,13 @@ def _shard_worker(bounds: tuple[int, int]) -> list[tuple[int, int, int]]:
     return scan_packed_shard(packed_sorted, ink_sorted, order, threshold, *bounds)
 
 
-def fork_pool_context():
-    """A fork pool context, or ``None`` where the start method is spawn.
-
-    Library code must not trigger spawn implicitly: an unguarded caller
-    (no ``if __name__ == "__main__"``) makes spawned workers re-import
-    ``__main__`` and crash during bootstrap, hanging the pool.  Forcing
-    fork where the platform chose spawn (macOS) is no better — forked
-    children can abort in threaded hosts.  So the pool runs only where
-    fork or forkserver is active (neither re-imports ``__main__``);
-    elsewhere the packed scan stays serial, which is still ~8x the legacy
-    per-pair cost.
-    """
-    method = multiprocessing.get_start_method(allow_none=True)
-    if method is None:
-        # Not yet fixed by the host application; peek at the platform
-        # default (first entry) without pinning the global context.
-        method = multiprocessing.get_all_start_methods()[0]
-    if method in ("fork", "forkserver"):
-        return multiprocessing.get_context(method)
-    return None
-
-
 def packed_candidate_pairs(
     glyphs: Sequence[Glyph],
     threshold: int,
     *,
     jobs: int = 1,
     min_parallel_size: int = 256,
+    start_method: str | None = None,
 ) -> list[tuple[int, int, int]]:
     """All ``(i, j, Δ)`` pairs with ``Δ <= threshold``, bit-packed scan.
 
@@ -270,6 +253,12 @@ def packed_candidate_pairs(
     but with uint64/popcount arithmetic in the inner loop, and optionally
     sharded across ``jobs`` worker processes.  The result is sorted by
     ``(i, j)`` so serial and parallel runs are byte-identical.
+
+    The shard state shipped to workers is plain numpy arrays (picklable),
+    so the pool runs parallel under every start method — fork inherits the
+    arrays, spawn pickles them (a few hundred KB for the default
+    repertoire).  *start_method* forces one; ``None`` honours the
+    host/platform choice.
     """
     if threshold < 0:
         raise ValueError("threshold must be non-negative")
@@ -284,10 +273,10 @@ def packed_candidate_pairs(
     ink_sorted = ink[order]
     packed_sorted = pack_bitmap_rows(flat[order])
 
-    context = fork_pool_context() if jobs > 1 else None
-    if context is None or n < min_parallel_size:
+    if jobs == 1 or n < min_parallel_size:
         pairs = scan_packed_shard(packed_sorted, ink_sorted, order, threshold, 0, n)
     else:
+        context = pool_context(start_method)
         # Contiguous shards, several per worker so uneven pruning windows
         # balance out.
         shard_count = min(n, jobs * 8)

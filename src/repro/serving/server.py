@@ -19,7 +19,8 @@ lets many clients share one warm reference index:
   "retry_after": ...}`` (HTTP: ``503`` + ``Retry-After``) instead of
   growing an unbounded buffer until the process dies;
 * **worker processes sharing one index** — with ``workers=N``, batches
-  are executed by a fork-only :class:`WorkerPool` whose processes attach
+  are executed by a :class:`WorkerPool` (parallel under any start method,
+  fork *and* spawn) whose processes attach
   to the packed index artifact via ``mmap``
   (:meth:`ReferenceIndexStore.load_path
   <repro.detection.index.ReferenceIndexStore.load_path>`): one page-cache
@@ -52,7 +53,7 @@ from typing import Callable, Sequence
 from ..detection.index import ReferenceIndex, ReferenceIndexStore
 from ..detection.service import OnlineDetector
 from ..detection.shamfinder import ShamFinder
-from ..metrics.pixel import fork_pool_context
+from ..parallel.pool import pool_context
 from .protocol import (
     MAX_HTTP_BODY_BYTES,
     MAX_LINE_BYTES,
@@ -199,15 +200,17 @@ def _pool_query(
 
 
 class WorkerPool:
-    """Fork-only process pool whose workers mmap-share one reference index.
+    """Process pool whose workers mmap-share one reference index.
 
     Each worker attaches to the packed ``refindex-*.idx`` artifact with
     :meth:`~repro.detection.index.ReferenceIndexStore.load_path` — an
     O(header) open against the shared page cache — instead of re-running
     the dict build, so adding workers adds query throughput, not index
-    copies.  Requires a ``fork``/``forkserver`` platform (the repo-wide
-    discipline: library code never spawns implicitly); construction raises
-    elsewhere and the server falls back to inline execution.
+    copies.  The initializer arguments were always a picklable re-attach
+    spec (artifact path + expected fingerprint), so the pool runs parallel
+    under every start method: fork inherits the finder, spawn pickles it
+    and each child re-opens the same inode.  *start_method* forces one;
+    ``None`` honours the host/platform choice.
 
     One live pool per process: worker state rides in module globals, the
     same idiom as the scan/build engines.
@@ -222,14 +225,11 @@ class WorkerPool:
         workers: int,
         include_revert: bool = False,
         cache_size: int = 4096,
+        start_method: str | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
-        context = fork_pool_context()
-        if context is None:
-            raise RuntimeError(
-                "worker processes require a fork/forkserver multiprocessing platform"
-            )
+        context = pool_context(start_method)
         self.workers = workers
         self.index_path = str(index_path)
         self.fingerprint = fingerprint

@@ -7,6 +7,9 @@ to mutate state build their own copies.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+
 import pytest
 
 from repro.detection.shamfinder import ShamFinder
@@ -28,6 +31,18 @@ FAST_BLOCKS = (
     "Armenian",
     "Combining Diacritical Marks",
 )
+
+
+def pytest_configure(config):
+    """Honour ``SHAMFINDER_TEST_START_METHOD`` for the whole session.
+
+    CI runs a dedicated job with this set to ``spawn`` so every pool the
+    suite creates (scan, serve, SimChar shards) bootstraps its workers the
+    way macOS/Windows would, instead of only ever exercising Linux fork.
+    """
+    method = os.environ.get("SHAMFINDER_TEST_START_METHOD")
+    if method:
+        multiprocessing.set_start_method(method, force=True)
 
 
 @pytest.fixture(scope="session")

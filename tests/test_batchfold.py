@@ -1,0 +1,317 @@
+"""Tests for the vectorized batch fold/skeleton kernel (detection/batchfold.py).
+
+The kernel's contract is *soundness*, not completeness: wherever it claims
+a certain miss, the scalar path must agree there is no match; everywhere
+else it must defer to the scalar path.  The property suite drives
+arbitrary labels — including the fold edge cases (U+0130, ß, Σ/σ/ς),
+invisible characters, combining marks, and out-of-table code points that
+force the scalar fallback — through both paths and checks agreement, and
+the domain-level fast-parse is pinned against its executable regex oracle
+:data:`~repro.detection.batchfold.FAST_DOMAIN_RE`.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.detection.algorithm import fold_label
+from repro.detection.batchfold import (
+    FAST_DOMAIN_RE,
+    MAX_FAST_DOMAIN,
+    BatchFoldKernel,
+    FoldTable,
+    fold_table_for,
+    kernel_for,
+)
+from repro.detection.service import OnlineDetector, QueryVerdict, _fast_miss_verdict
+from repro.detection.shamfinder import ShamFinder
+from repro.homoglyph.database import SOURCE_UC, HomoglyphDatabase
+from repro.homoglyph.invisible import default_invisible_table
+from repro.idn.idna_codec import to_ascii_label
+
+REFERENCES = ["google.com", "amazon.com", "paypal.com", "secure-login.com"]
+
+
+@pytest.fixture(scope="module")
+def small_finder():
+    db = HomoglyphDatabase(name="batchfold-test")
+    db.add_pair("o", "о", source=SOURCE_UC)
+    db.add_pair("a", "а", source=SOURCE_UC)
+    db.add_pair("e", "е", source=SOURCE_UC)
+    db.add_pair("i", "і", source=SOURCE_UC)
+    return ShamFinder(db)
+
+
+@pytest.fixture(scope="module")
+def invisible_finder():
+    db = HomoglyphDatabase(name="batchfold-invisible-test")
+    db.add_pair("o", "о", source=SOURCE_UC)
+    db.add_pair("a", "а", source=SOURCE_UC)
+    return ShamFinder(db, invisible_table=default_invisible_table(),
+                      source_config="uc,invisible.v1")
+
+
+@pytest.fixture(scope="module")
+def prepared(small_finder):
+    return small_finder.prepare_references(REFERENCES)
+
+
+@pytest.fixture(scope="module")
+def kernel(small_finder, prepared):
+    kernel = kernel_for(small_finder.matcher, prepared)
+    assert kernel is not None
+    return kernel
+
+
+# Alphabet biased towards the interesting cases: reference letters, their
+# Cyrillic twins, fold edge cases (İ lowers to i̇ — two code points — so the
+# table must keep it as-is; ß and Σ/σ/ς; U+0130 itself), invisibles, a
+# combining mark, and plain junk.
+_LABEL_ALPHABET = st.sampled_from(list(
+    "gogleamazonpy"           # reference letters
+    "оаеі"                    # their homoglyph twins
+    "İßΣσς"   # İ ß Σ σ ς
+    "​‍⁠"      # ZWSP ZWJ WJ (invisible table entries)
+    "́̈"            # combining marks
+    "-._~!xyz0189"
+))
+labels = st.text(alphabet=_LABEL_ALPHABET, min_size=0, max_size=24)
+
+
+@settings(max_examples=400, deadline=None)
+@given(st.lists(labels, min_size=0, max_size=12))
+@example(["gооgle", "google", "Σ", "", "İ", "goo​gle"])
+def test_batch_skeletons_equal_scalar_pipeline(kernel, small_finder, batch):
+    skeletons, decidable = kernel.skeletons(batch)
+    classes = small_finder.matcher.classes
+    for label, skeleton, ok in zip(batch, skeletons, decidable):
+        if ok:
+            assert skeleton == classes.skeletonize(fold_label(label))
+        else:
+            assert "Σ" in label or any(0xD800 <= ord(c) < 0xE000 for c in label)
+
+
+@settings(max_examples=400, deadline=None)
+@given(st.lists(labels, min_size=0, max_size=12))
+@example(["gооgle", "google", "amazon", "аmazon", "Σcorp"])
+@example(["goo​gle", "gógle", "benign"])
+def test_certain_miss_is_sound_against_skeleton_index(kernel, small_finder, prepared, batch):
+    """miss=True must imply the scalar skeleton join finds nothing."""
+    miss = kernel.certain_miss_mask(batch)
+    assert miss.shape == (len(batch),)
+    for label, certain in zip(batch, miss):
+        if certain:
+            assert list(small_finder.matcher.match_with_skeleton_index(
+                label, prepared.index)) == []
+
+
+def test_sigma_always_falls_back(kernel):
+    miss = kernel.certain_miss_mask(["Σ", "aΣb", "σok"])
+    # Σ is out-of-table (undecidable) → never a certain miss; σ folds fine.
+    assert not miss[0] and not miss[1]
+
+
+def test_lone_surrogate_falls_back(kernel):
+    label = "ab" + "\ud800" + "cd"
+    miss = kernel.certain_miss_mask([label, "zzzz"])
+    assert not miss[0]
+    assert miss[1]
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.lists(labels, min_size=0, max_size=10))
+@example(["goo​gle", "g‍l", "benign", "gógle"])
+def test_invisible_risk_suppresses_certain_miss(invisible_finder, batch):
+    prepared = invisible_finder.prepare_references(REFERENCES)
+    kernel = kernel_for(invisible_finder.matcher, prepared)
+    miss = kernel.certain_miss_mask(
+        batch, invisible_table=invisible_finder.invisible_table)
+    for label, certain in zip(batch, miss):
+        if certain:
+            folded = fold_label(label)
+            assert invisible_finder.invisible_table.findings(folded) == ()
+            assert list(invisible_finder.matcher.match_with_skeleton_index(
+                label, prepared.index)) == []
+
+
+# -- domain-level fast parse vs. the regex oracle -----------------------------
+
+_DOMAIN_ALPHABET = st.sampled_from(list("gole.amzn-_оа​ΣAZ%/\n09x"))
+domains = st.text(alphabet=_DOMAIN_ALPHABET, min_size=0, max_size=40)
+
+
+@settings(max_examples=500, deadline=None)
+@given(st.lists(domains, min_size=0, max_size=12))
+@example(["google.com", "gооgle.com", "xn--ggle-55da.com", "UPPER.com"])
+@example(["", ".", "..", "a.", ".a", "a..b", "-a.com", "a-.com", "ab--cd.com"])
+@example(["a\nb.com", "\n", "x" * 64 + ".com", ("a" * 49 + ".") * 5 + "com"])
+@example(["www.go_gle.com", "sub.dom.google.com", "a.b"])
+def test_domain_certain_miss_matches_oracle(kernel, batch):
+    """Eligibility == FAST_DOMAIN_RE fullmatch + length cap; eligible
+    domains get exactly the registrable label's certain-miss verdict."""
+    got = kernel.domain_certain_miss(batch)
+    for text, certain in zip(batch, got):
+        eligible = (len(text) <= MAX_FAST_DOMAIN
+                    and FAST_DOMAIN_RE.fullmatch(text) is not None)
+        if not eligible:
+            assert not certain
+        else:
+            registrable = text.rsplit(".", 2)[-2]
+            expected = kernel.certain_miss_mask([registrable])[0]
+            assert certain == expected
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.lists(domains, min_size=0, max_size=10))
+@example(["goo​gle.com", "google.com"])
+def test_domain_certain_miss_with_invisible_table(invisible_finder, batch):
+    prepared = invisible_finder.prepare_references(REFERENCES)
+    kernel = kernel_for(invisible_finder.matcher, prepared)
+    table = invisible_finder.invisible_table
+    got = kernel.domain_certain_miss(batch, invisible_table=table)
+    for text, certain in zip(batch, got):
+        eligible = (len(text) <= MAX_FAST_DOMAIN
+                    and FAST_DOMAIN_RE.fullmatch(text) is not None)
+        if eligible:
+            registrable = text.rsplit(".", 2)[-2]
+            expected = kernel.certain_miss_mask(
+                [registrable], invisible_table=table)[0]
+            assert certain == expected
+        else:
+            assert not certain
+
+
+# -- end-to-end equivalence ---------------------------------------------------
+
+def _mixed_corpus(count: int = 40) -> list[str]:
+    corpus = []
+    hits = ["gооgle", "аmazon", "pаypаl", "secure-logіn"]
+    for i in range(count):
+        if i % 10 == 0:
+            corpus.append(to_ascii_label(hits[(i // 10) % len(hits)]) + ".com")
+        elif i % 7 == 0:
+            corpus.append(f"UPPER{i}.com")          # scalar fallback (not LDH)
+        elif i % 5 == 0:
+            corpus.append(f"www.site{i}.co.uk")     # multi-label
+        else:
+            corpus.append(f"benign{i:02d}.com")
+    return corpus
+
+
+def test_detect_prepared_batch_equals_scalar(small_finder, prepared):
+    corpus = _mixed_corpus()
+    batch, batch_count, batch_skipped = small_finder.detect_prepared(
+        corpus, prepared, batch_kernel=True)
+    scalar, scalar_count, scalar_skipped = small_finder.detect_prepared(
+        corpus, prepared, batch_kernel=False)
+    assert (batch_count, batch_skipped) == (scalar_count, scalar_skipped)
+    assert [d.as_dict() for d in batch] == [d.as_dict() for d in scalar]
+    assert batch      # the corpus must actually contain detections
+
+
+def test_query_many_batch_equals_scalar_loop(small_finder):
+    detector = OnlineDetector.from_references(small_finder, REFERENCES)
+    corpus = _mixed_corpus()
+    batch = detector.query_many(corpus)
+    scalar = [detector.query(domain) for domain in corpus]
+    assert [v.as_dict() for v in batch] == [v.as_dict() for v in scalar]
+    assert any(v.detections for v in batch)
+    # The stats counter must advance once per query on both paths.
+    assert detector.stats()["queries"] == 2 * len(corpus)
+
+
+def test_query_many_small_batch_skips_kernel(small_finder):
+    detector = OnlineDetector.from_references(small_finder, REFERENCES)
+    few = ["benign.com", to_ascii_label("gооgle") + ".com"]
+    assert [v.as_dict() for v in detector.query_many(few)] == [
+        detector.query(d).as_dict() for d in few]
+
+
+# -- the trivial-verdict constructor ------------------------------------------
+
+def test_fast_miss_verdict_is_indistinguishable():
+    text = "benign.com"
+    fast = _fast_miss_verdict(text)
+    slow = QueryVerdict(domain=text, ascii=text, unicode=text)
+    assert fast == slow
+    assert hash(fast) == hash(slow)
+    assert fast.as_dict() == slow.as_dict()
+    assert fast.detections == () and fast.error is None and not fast.is_idn
+    assert pickle.loads(pickle.dumps(fast)) == slow
+    with pytest.raises(Exception):
+        fast.domain = "mutate"      # still frozen
+
+
+# -- fold table build + persistence -------------------------------------------
+
+def test_fold_table_roundtrip(tmp_path, small_finder):
+    classes = small_finder.matcher.classes
+    digest = small_finder.database.content_digest()
+    table = FoldTable.build(classes, database_digest=digest)
+    path = tmp_path / "fold.bin"
+    table.save(path)
+    loaded = FoldTable.load(path, database_digest=digest)
+    assert loaded is not None
+    for attribute in ("keys", "values", "fold_keys", "fold_values", "unsafe"):
+        assert np.array_equal(getattr(loaded, attribute), getattr(table, attribute))
+
+
+def test_fold_table_load_rejects_damage(tmp_path, small_finder):
+    classes = small_finder.matcher.classes
+    digest = small_finder.database.content_digest()
+    table = FoldTable.build(classes, database_digest=digest)
+    path = tmp_path / "fold.bin"
+    table.save(path)
+
+    assert FoldTable.load(path, database_digest="other") is None
+
+    raw = path.read_bytes()
+    truncated = tmp_path / "truncated.bin"
+    truncated.write_bytes(raw[:-8])
+    assert FoldTable.load(truncated, database_digest=digest) is None
+
+    flipped = tmp_path / "flipped.bin"
+    flipped.write_bytes(raw[:-1] + bytes([raw[-1] ^ 0xFF]))
+    assert FoldTable.load(flipped, database_digest=digest) is None
+
+    garbage = tmp_path / "garbage.bin"
+    garbage.write_bytes(b"not a fold table\n1234")
+    assert FoldTable.load(garbage, database_digest=digest) is None
+
+    assert FoldTable.load(tmp_path / "missing.bin", database_digest=digest) is None
+
+
+def test_fold_table_sidecar_used_by_fold_table_for(tmp_path, small_finder):
+    classes = small_finder.matcher.classes
+    digest = small_finder.database.content_digest()
+    # Clear the instance memo so the call actually consults the cache dir.
+    if hasattr(classes, "_fold_table"):
+        del classes._fold_table
+    first = fold_table_for(classes, database_digest=digest, cache_dir=tmp_path)
+    sidecars = list(tmp_path.glob("foldtable-*.bin"))
+    assert len(sidecars) == 1
+    # Drop the in-memory memo: the second call must come from the sidecar.
+    del classes._fold_table
+    second = fold_table_for(classes, database_digest=digest, cache_dir=tmp_path)
+    assert np.array_equal(first.keys, second.keys)
+    assert np.array_equal(first.values, second.values)
+
+
+def test_kernel_for_duck_typed_index_returns_none(small_finder):
+    class Odd:
+        index = object()
+    assert kernel_for(small_finder.matcher, Odd()) is None
+
+
+def test_kernel_matches_manual_construction(small_finder, prepared, kernel):
+    table = fold_table_for(
+        small_finder.matcher.classes,
+        database_digest=small_finder.database.content_digest())
+    manual = BatchFoldKernel(table, prepared.index.skeletons())
+    assert manual.bucket_count == kernel.bucket_count
+    assert np.array_equal(manual.key_hashes, kernel.key_hashes)

@@ -99,3 +99,24 @@ def test_golden_corpus_exercises_the_interesting_cases():
         d["idn"].startswith("xn--gogle-isf") and d["reference"] != "google.com"
         for d in detections
     )
+
+
+def test_golden_detections_identical_through_batch_kernel():
+    """Satellite of the vectorized kernel: the golden corpus (9 candidates,
+    above ``_MIN_KERNEL_BATCH``) must produce byte-identical detections with
+    the batch kernel on and off, both matching the pinned fixture."""
+    payload = json.loads(FIXTURE.read_text(encoding="utf-8"))
+    finder = _finder(payload)
+    prepared = finder.prepare_references(payload["references"])
+    batch, batch_count, batch_skipped = finder.detect_prepared(
+        payload["candidates"], prepared, batch_kernel=True)
+    scalar, scalar_count, scalar_skipped = finder.detect_prepared(
+        payload["candidates"], prepared, batch_kernel=False)
+    assert (batch_count, batch_skipped) == (scalar_count, scalar_skipped)
+    assert [d.as_dict() for d in batch] == [d.as_dict() for d in scalar]
+
+    expected = payload["expected"]["detections"]
+    actual = json.loads(json.dumps(
+        sorted((d.as_dict() for d in batch), key=_detection_key),
+        ensure_ascii=False, sort_keys=True))
+    assert actual == expected

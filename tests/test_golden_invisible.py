@@ -121,3 +121,24 @@ def test_invisible_detections_disappear_without_the_source():
     expected_classic = [d for d in payload["expected"]["detections"]
                         if "invisibles" not in d]
     assert sorted(dicts, key=_detection_key) == expected_classic
+
+
+def test_golden_invisible_identical_through_batch_kernel():
+    """The invisible corpus must survive the batch kernel unchanged: the
+    kernel's invisible-risk mask routes every risky label to the scalar
+    path, so detections match the fixture with the kernel on and off."""
+    payload = json.loads(FIXTURE.read_text(encoding="utf-8"))
+    finder = _finder(payload)
+    prepared = finder.prepare_references(payload["references"])
+    batch, batch_count, batch_skipped = finder.detect_prepared(
+        payload["candidates"], prepared, batch_kernel=True)
+    scalar, scalar_count, scalar_skipped = finder.detect_prepared(
+        payload["candidates"], prepared, batch_kernel=False)
+    assert (batch_count, batch_skipped) == (scalar_count, scalar_skipped)
+    assert [d.as_dict() for d in batch] == [d.as_dict() for d in scalar]
+
+    expected = payload["expected"]["detections"]
+    actual = json.loads(json.dumps(
+        sorted((d.as_dict() for d in batch), key=_detection_key),
+        ensure_ascii=False, sort_keys=True))
+    assert actual == expected

@@ -157,22 +157,20 @@ def test_packed_candidate_pairs_matches_legacy_scan():
         ) == legacy
 
 
-def test_packed_candidate_pairs_serial_on_spawn_platforms(monkeypatch):
-    # Where the start method is spawn, fork_pool_context returns None and the
-    # scan must stay serial (never spawn implicitly) with identical output.
-    from repro.metrics import pixel
-
+def test_packed_candidate_pairs_parallel_under_spawn():
+    # Spawn platforms used to silently degrade to a serial scan; the shard
+    # initargs are plain numpy arrays, so a forced spawn context must run a
+    # real pool and produce identical pairs.
     rng = np.random.default_rng(13)
     glyphs = [
         Glyph(i, (rng.random((16, 16)) < 0.2).astype(np.uint8))
         for i in range(30)
     ]
     want = packed_candidate_pairs(glyphs, 5, jobs=1)
-    monkeypatch.setattr(
-        pixel.multiprocessing, "get_start_method", lambda allow_none=False: "spawn"
+    got = packed_candidate_pairs(
+        glyphs, 5, jobs=2, min_parallel_size=1, start_method="spawn"
     )
-    assert pixel.fork_pool_context() is None
-    assert packed_candidate_pairs(glyphs, 5, jobs=4, min_parallel_size=1) == want
+    assert got == want
 
 
 def test_packed_candidate_pairs_validation_and_edges():

@@ -226,7 +226,8 @@ def test_fork_pool_context_does_not_pin_global_start_method():
     from repro.metrics.pixel import fork_pool_context
 
     before = multiprocessing.get_start_method(allow_none=True)
-    fork_pool_context()
+    with pytest.warns(DeprecationWarning):
+        fork_pool_context()
     assert multiprocessing.get_start_method(allow_none=True) == before
 
 
