@@ -117,11 +117,24 @@ def _fast_miss_verdict(text: str) -> QueryVerdict:
 
 @dataclass
 class _ServiceStats:
+    """Shared counters; every field below is guarded by :attr:`lock`.
+
+    The ``_GUARDED_BY`` map is the machine-readable form of that
+    sentence: ``repro-lint``'s lock-discipline rule flags any
+    ``<stats>.queries``-style access outside a ``with <stats>.lock:``
+    block (see ``docs/LINT.md#lock-discipline``).
+    """
+
     queries: int = 0
     cache_hits: int = 0
     errors: int = 0
     reloads: int = 0
     lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    _GUARDED_BY = {
+        "queries": "lock", "cache_hits": "lock",
+        "errors": "lock", "reloads": "lock",
+    }
 
 
 class OnlineDetector:
@@ -159,10 +172,13 @@ class OnlineDetector:
         #: (usually the reference-index store directory); ``None`` builds
         #: the table in memory.
         self.fold_table_dir = fold_table_dir
-        self._cache: OrderedDict[str, _LabelMatches] = OrderedDict()
+        # The `# guarded-by:` annotations are enforced by repro-lint's
+        # lock-discipline rule: accessing an annotated attribute outside a
+        # `with <lock>:` block is a lint error (docs/LINT.md#lock-discipline).
+        self._cache: OrderedDict[str, _LabelMatches] = OrderedDict()  # guarded-by: _cache_lock
         self._cache_lock = threading.Lock()
         self._stats = _ServiceStats()
-        self._inflight = 0
+        self._inflight = 0  # guarded-by: _idle
         self._idle = threading.Condition()
 
     # -- construction -------------------------------------------------------
@@ -413,6 +429,7 @@ class OnlineDetector:
             "reloads": reloads,
             "cached_labels": cached,
             "cache_size": self.cache_size,
+            # lint: allow-lock-discipline(racy int read for a stats gauge; torn values are impossible under the GIL)
             "inflight": self._inflight,
             "index_fingerprint": self.index.fingerprint,
             "index_from_cache": self.index.from_cache,

@@ -98,10 +98,9 @@ class LanguageIdentifier:
             return 0.0
         marker_evidence = sum(1 for ch in text if ch in profile.marker_chars)
         substring_evidence = sum(1 for token in profile.common_substrings if token in text)
-        score = profile.base_weight * (
+        return profile.base_weight * (
             script_evidence + 0.8 * marker_evidence + 0.15 * substring_evidence
         )
-        return score
 
     @staticmethod
     def _apply_cjk_refinement(scores: dict[str, float], scripts: Counter) -> None:

@@ -1,0 +1,8 @@
+"""``python -m repro.lint`` — same entry point as the ``repro-lint`` script."""
+
+from __future__ import annotations
+
+from repro.lint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,133 @@
+"""The committed baseline of grandfathered findings.
+
+``lint-baseline.json`` holds findings that predate a rule (or are
+accepted as-is) together with a one-line justification each, so a new
+rule can land strict without first rewriting every historical call site.
+A finding matching a baseline entry is reported but does not fail the
+run; entries that stop matching anything are flagged as stale so the
+baseline only ever shrinks.
+
+Matching is on ``(rule, path, message)`` — never the line number — so
+ordinary edits that move code around do not invalidate entries.
+
+Format::
+
+    {
+      "version": 1,
+      "entries": [
+        {"rule": ..., "path": ..., "message": ..., "justification": ...},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.lint.engine import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+class BaselineError(ValueError):
+    """Raised for a malformed baseline file (refuse, never overwrite)."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    message: str
+    justification: str
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.message)
+
+    def as_dict(self) -> dict[str, str]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "message": self.message,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Baseline:
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    def covers(self, key: tuple[str, str, str]) -> bool:
+        return key in self.keys
+
+    @property
+    def keys(self) -> set[tuple[str, str, str]]:
+        return {entry.key for entry in self.entries}
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+            raise BaselineError(
+                f"baseline {path} has unsupported version "
+                f"{payload.get('version') if isinstance(payload, dict) else payload!r}"
+            )
+        raw_entries = payload.get("entries")
+        if not isinstance(raw_entries, list):
+            raise BaselineError(f"baseline {path} lacks an 'entries' list")
+        entries: list[BaselineEntry] = []
+        for raw in raw_entries:
+            if not isinstance(raw, dict):
+                raise BaselineError(f"baseline {path} has a non-object entry: {raw!r}")
+            try:
+                entry = BaselineEntry(
+                    rule=str(raw["rule"]),
+                    path=str(raw["path"]),
+                    message=str(raw["message"]),
+                    justification=str(raw["justification"]),
+                )
+            except KeyError as exc:
+                raise BaselineError(
+                    f"baseline {path} entry missing field {exc}: {raw!r}"
+                ) from exc
+            if not entry.justification.strip():
+                raise BaselineError(
+                    f"baseline {path} entry for [{entry.rule}] {entry.path} "
+                    "has an empty justification"
+                )
+            entries.append(entry)
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(
+        cls, findings: list["Finding"], justification: str = "TODO: justify or fix"
+    ) -> "Baseline":
+        """A baseline grandfathering *findings* (``--write-baseline``)."""
+        seen: set[tuple[str, str, str]] = set()
+        entries: list[BaselineEntry] = []
+        for finding in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+            if finding.key in seen:
+                continue
+            seen.add(finding.key)
+            entries.append(BaselineEntry(
+                rule=finding.rule, path=finding.path, message=finding.message,
+                justification=justification,
+            ))
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [entry.as_dict() for entry in self.entries],
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")

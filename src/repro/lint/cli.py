@@ -1,0 +1,130 @@
+"""The ``repro-lint`` command line (also ``python -m repro.lint``).
+
+Exit codes: 0 clean (pragma-suppressed and baselined findings are
+clean), 1 new findings, 2 usage error.  ``--json`` writes the
+machine-readable report whose schema is pinned by a golden-fixture test;
+CI uploads it as the ``lint-report.json`` artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.baseline import (
+    DEFAULT_BASELINE_NAME,
+    Baseline,
+    BaselineError,
+)
+from repro.lint.engine import all_rules, render_human, render_json, run_lint
+
+USAGE_ERROR = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Repo-aware static analysis: machine-checks the fold-safety, "
+            "fingerprint, atomic-write, spawn-safety, lock-discipline and "
+            "broad-except invariants (docs/LINT.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help=f"baseline file (default: ./{DEFAULT_BASELINE_NAME} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file (report every finding as new)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current new findings to the baseline file and exit 0 "
+             "(justifications start as TODO and must be edited)",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the JSON report to FILE ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES", default=None,
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the human-readable report (exit code still set)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in sorted(all_rules().values(), key=lambda r: r.name):
+            print(f"{rule.name}: {rule.description}")
+        return 0
+
+    selected: list[str] | None = None
+    if args.select is not None:
+        selected = [token.strip() for token in args.select.split(",")
+                    if token.strip()]
+        if not selected:
+            print("repro-lint: --select given but names no rules",
+                  file=sys.stderr)
+            return USAGE_ERROR
+
+    paths = [Path(raw) for raw in args.paths]
+    missing = [str(path) for path in paths if not path.exists()]
+    if missing:
+        print(f"repro-lint: no such path(s): {', '.join(missing)}",
+              file=sys.stderr)
+        return USAGE_ERROR
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE_NAME)
+    baseline = Baseline()
+    if not args.no_baseline and not args.write_baseline and baseline_path.exists():
+        try:
+            baseline = Baseline.load(baseline_path)
+        except BaselineError as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return USAGE_ERROR
+
+    try:
+        result = run_lint(paths, rules=selected, baseline=baseline)
+    except ValueError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return USAGE_ERROR
+
+    if args.write_baseline:
+        Baseline.from_findings(result.new).save(baseline_path)
+        print(f"repro-lint: wrote {len(result.new)} finding(s) to "
+              f"{baseline_path} — fill in the justifications")
+        return 0
+
+    if args.json is not None:
+        payload = render_json(result)
+        if args.json == "-":
+            sys.stdout.write(payload)
+        else:
+            Path(args.json).write_text(payload, encoding="utf-8")
+
+    if not args.quiet:
+        print(render_human(result))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

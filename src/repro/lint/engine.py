@@ -1,0 +1,298 @@
+"""The repro-lint engine: rule registry, per-file analysis, reporting.
+
+One :class:`ModuleUnderLint` is built per Python file (source, AST,
+parent links, comment pragmas); every registered rule's :meth:`Rule.check`
+runs over it and yields :class:`Finding` objects.  The engine then
+applies the two suppression layers:
+
+* **pragmas** — ``# lint: allow-<rule>(<reason>)`` next to the code
+  (see :mod:`repro.lint.pragmas`); suppressed findings vanish from the
+  report but are counted;
+* **baseline** — the committed ``lint-baseline.json`` of grandfathered
+  findings (see :mod:`repro.lint.baseline`); baselined findings are
+  reported but do not fail the run.
+
+Only findings that survive both layers are *new* and make
+:func:`run_lint` report failure — so CI goes red exactly when a change
+introduces a violation that nobody wrote a justification for.
+
+JSON output follows a versioned schema (``SCHEMA_VERSION``) that
+``tests/test_lint_schema.py`` pins with a golden fixture, so downstream
+tooling (the CI artifact consumer, ``scripts/roll_bench_history.py``
+style roll-ups) can rely on it.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.lint.baseline import Baseline
+from repro.lint.pragmas import PragmaMap, parse_pragmas
+
+SCHEMA_VERSION = 1
+
+#: Rule name used for engine-level findings about malformed pragmas.
+PRAGMA_RULE = "pragma"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location.
+
+    ``(rule, path, message)`` is the stable identity used by the
+    baseline, deliberately excluding the line number so unrelated edits
+    that shift code do not invalidate grandfathered entries.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.message)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class ModuleUnderLint:
+    """Parsed view of one file, shared by every rule."""
+
+    def __init__(self, path: Path, rel_path: str, source: str) -> None:
+        self.path = path
+        self.rel_path = rel_path
+        self.source = source
+        self.tree = ast.parse(source, filename=rel_path)
+        self.pragmas: PragmaMap = parse_pragmas(source)
+        self._parents: dict[ast.AST, ast.AST] | None = None
+
+    @property
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        """child -> parent links over the whole AST (built lazily once)."""
+        if self._parents is None:
+            parents: dict[ast.AST, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+            self._parents = parents
+        return self._parents
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """*node*'s enclosing nodes, innermost first."""
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        return Finding(rule=rule, path=self.rel_path, line=line, col=col + 1,
+                       message=message)
+
+
+class Rule:
+    """Base class for lint rules; subclasses register via :func:`register`."""
+
+    name: str = ""
+    description: str = ""
+
+    def check(self, module: ModuleUnderLint) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule (by its ``name``) to the registry."""
+    rule = cls()
+    if not rule.name:
+        raise ValueError(f"rule class {cls.__name__} has no name")
+    if rule.name in _REGISTRY:
+        raise ValueError(f"duplicate rule name {rule.name!r}")
+    _REGISTRY[rule.name] = rule
+    return cls
+
+
+def all_rules() -> dict[str, Rule]:
+    """name -> rule instance for every registered rule (import-triggered)."""
+    # Importing the rules package runs every @register decorator exactly once.
+    import repro.lint.rules  # noqa: F401
+
+    return dict(_REGISTRY)
+
+
+@dataclass
+class LintResult:
+    """Outcome of one :func:`run_lint` invocation."""
+
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    pragma_suppressed: int = 0
+    stale_baseline: list[tuple[str, str, str]] = field(default_factory=list)
+    files_scanned: int = 0
+    rules: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+    def as_dict(self) -> dict[str, object]:
+        """The ``--json`` payload (schema pinned by a golden-fixture test)."""
+        findings: list[dict[str, object]] = []
+        for finding in sorted(self.new, key=lambda f: (f.path, f.line, f.rule)):
+            entry = finding.as_dict()
+            entry["baselined"] = False
+            findings.append(entry)
+        for finding in sorted(self.baselined, key=lambda f: (f.path, f.line, f.rule)):
+            entry = finding.as_dict()
+            entry["baselined"] = True
+            findings.append(entry)
+        return {
+            "tool": "repro-lint",
+            "schema_version": SCHEMA_VERSION,
+            "rules": [
+                {"name": rule_name, "description": description}
+                for rule_name, description in sorted(self.rules.items())
+            ],
+            "files_scanned": self.files_scanned,
+            "findings": findings,
+            "summary": {
+                "total": len(self.new) + len(self.baselined),
+                "new": len(self.new),
+                "baselined": len(self.baselined),
+                "pragma_suppressed": self.pragma_suppressed,
+                "stale_baseline": len(self.stale_baseline),
+            },
+        }
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Every ``.py`` file under *paths* (files or directories), sorted."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def relative_display_path(path: Path, root: Path | None = None) -> str:
+    """*path* relative to *root* (default cwd) when possible, POSIX-style."""
+    base = root if root is not None else Path.cwd()
+    try:
+        return path.resolve().relative_to(base.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def run_lint(
+    paths: Sequence[Path],
+    *,
+    rules: Sequence[str] | None = None,
+    baseline: Baseline | None = None,
+    root: Path | None = None,
+    on_file: Callable[[str], None] | None = None,
+) -> LintResult:
+    """Run the selected *rules* over every Python file under *paths*.
+
+    *baseline* entries demote matching findings from "new" to
+    "baselined"; *root* anchors the relative display paths (defaults to
+    the current directory, which is what both CI and the tests use).
+    """
+    registry = all_rules()
+    if rules is not None:
+        unknown = sorted(set(rules) - set(registry))
+        if unknown:
+            raise ValueError(f"unknown rule(s): {', '.join(unknown)}")
+        registry = {rule_name: registry[rule_name] for rule_name in rules}
+
+    result = LintResult(
+        rules={rule.name: rule.description for rule in registry.values()}
+    )
+    active_baseline = baseline if baseline is not None else Baseline()
+    matched_keys: set[tuple[str, str, str]] = set()
+
+    for file_path in iter_python_files(paths):
+        rel = relative_display_path(file_path, root)
+        if on_file is not None:
+            on_file(rel)
+        source = file_path.read_text(encoding="utf-8")
+        try:
+            module = ModuleUnderLint(file_path, rel, source)
+        except SyntaxError as exc:
+            result.new.append(Finding(
+                rule=PRAGMA_RULE, path=rel, line=exc.lineno or 0, col=0,
+                message=f"file does not parse: {exc.msg}",
+            ))
+            result.files_scanned += 1
+            continue
+        result.files_scanned += 1
+
+        raw: list[Finding] = []
+        for line, message in module.pragmas.malformed:
+            raw.append(Finding(rule=PRAGMA_RULE, path=rel, line=line, col=1,
+                               message=message))
+        for rule in registry.values():
+            raw.extend(rule.check(module))
+
+        for finding in raw:
+            if module.pragmas.allow_for(finding.rule, finding.line) is not None:
+                result.pragma_suppressed += 1
+                continue
+            if active_baseline.covers(finding.key):
+                matched_keys.add(finding.key)
+                result.baselined.append(finding)
+            else:
+                result.new.append(finding)
+
+    result.stale_baseline = sorted(active_baseline.keys - matched_keys)
+    return result
+
+
+def render_human(result: LintResult) -> str:
+    """The human-readable report printed by the CLI."""
+    lines: list[str] = []
+    for finding in sorted(result.new, key=lambda f: (f.path, f.line, f.rule)):
+        lines.append(finding.render())
+    for finding in sorted(result.baselined, key=lambda f: (f.path, f.line, f.rule)):
+        lines.append(f"{finding.render()} (baselined)")
+    for rule_name, path, message in result.stale_baseline:
+        lines.append(
+            f"stale baseline entry: [{rule_name}] {path}: {message} "
+            "(fixed? remove it from lint-baseline.json)"
+        )
+    lines.append(
+        f"repro-lint: {result.files_scanned} files, "
+        f"{len(result.new)} new finding(s), {len(result.baselined)} baselined, "
+        f"{result.pragma_suppressed} pragma-suppressed"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(result.as_dict(), indent=2, sort_keys=True) + "\n"

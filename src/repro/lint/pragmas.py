@@ -1,0 +1,156 @@
+"""Suppression pragmas and rule markers parsed from comments.
+
+Three comment namespaces, all documented in ``docs/LINT.md``:
+
+* ``# lint: allow-<rule>(<reason>)`` — suppresses findings of ``<rule>``
+  on the pragma's line or the line directly below (so a pragma can sit
+  on its own line above a statement that is too long to carry it).  The
+  reason is mandatory: a pragma without one is itself reported, because
+  the whole point is that the justification lives next to the code.
+* ``# lint: fingerprint(<ClassName>)`` — marks a function as the
+  fingerprint of dataclass ``<ClassName>`` (fingerprint-completeness
+  rule); ``# lint: fingerprint-exempt(<reason>)`` on a field line
+  excludes that field from the completeness check.
+* ``# guarded-by: <lock>`` / ``# guarded-by: <lock> [writes]`` — declares
+  the attribute assigned on that line lock-guarded (lock-discipline
+  rule).
+
+Comments are extracted with :mod:`tokenize` so pragma-shaped text inside
+string literals is never mistaken for a pragma.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_PRAGMA = re.compile(r"^#+\s*lint:\s*(?P<body>.*)$")
+_ALLOW = re.compile(r"allow-(?P<rule>[A-Za-z0-9-]+)\s*\(\s*(?P<reason>[^)]*?)\s*\)")
+_FINGERPRINT = re.compile(r"fingerprint\s*\(\s*(?P<cls>\w+)\s*\)")
+_FINGERPRINT_EXEMPT = re.compile(r"fingerprint-exempt\s*\(\s*(?P<reason>[^)]*?)\s*\)")
+_GUARDED_BY = re.compile(
+    r"^#+\s*guarded-by:\s*(?P<lock>[A-Za-z_][\w.]*)\s*(?P<writes>\[writes\])?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Allow:
+    """One ``allow-<rule>(<reason>)`` suppression."""
+
+    rule: str
+    reason: str
+    line: int
+
+
+@dataclass(frozen=True)
+class GuardDecl:
+    """One ``# guarded-by:`` declaration (consumed by lock-discipline)."""
+
+    lock: str
+    writes_only: bool
+    line: int
+
+
+@dataclass
+class PragmaMap:
+    """Everything comment-borne that the engine and rules consume."""
+
+    #: line -> raw comment text (every comment in the file).
+    comments: dict[int, str] = field(default_factory=dict)
+    #: line -> suppressions declared on that line.
+    allows: dict[int, list[Allow]] = field(default_factory=dict)
+    #: line -> class fingerprinted by the function defined at/under it.
+    fingerprints: dict[int, str] = field(default_factory=dict)
+    #: lines carrying a ``fingerprint-exempt`` marker.
+    fingerprint_exempt: dict[int, str] = field(default_factory=dict)
+    #: line -> guarded-by declaration on that line.
+    guards: dict[int, GuardDecl] = field(default_factory=dict)
+    #: (line, message) pairs for malformed ``# lint:`` comments.
+    malformed: list[tuple[int, str]] = field(default_factory=list)
+
+    def allow_for(self, rule: str, line: int) -> Allow | None:
+        """The suppression covering a finding of *rule* at *line*, if any.
+
+        A pragma covers its own line and the line directly below it.
+        """
+        for candidate in (line, line - 1):
+            for allow in self.allows.get(candidate, ()):
+                if allow.rule == rule:
+                    return allow
+        return None
+
+    def marker_for_def(self, def_line: int) -> str | None:
+        """Fingerprint marker attached to a ``def`` at *def_line*.
+
+        The marker may trail the ``def`` line or sit on the line above.
+        """
+        for candidate in (def_line, def_line - 1):
+            cls = self.fingerprints.get(candidate)
+            if cls is not None:
+                return cls
+        return None
+
+
+def extract_comments(source: str) -> dict[int, str]:
+    """line -> comment text for every comment token in *source*."""
+    comments: dict[int, str] = {}
+    reader = io.StringIO(source).readline
+    try:
+        for tok in tokenize.generate_tokens(reader):
+            if tok.type == tokenize.COMMENT:
+                comments[tok.start[0]] = tok.string
+    except tokenize.TokenError:
+        # A file that parses with ast but trips tokenize is pathological;
+        # treat it as comment-free rather than crashing the whole run.
+        return comments
+    return comments
+
+
+def parse_pragmas(source: str) -> PragmaMap:
+    """Parse every pragma/marker comment in *source* into a :class:`PragmaMap`."""
+    pragmas = PragmaMap(comments=extract_comments(source))
+    for line, text in pragmas.comments.items():
+        guard = _GUARDED_BY.search(text)
+        if guard is not None:
+            pragmas.guards[line] = GuardDecl(
+                lock=guard.group("lock"),
+                writes_only=guard.group("writes") is not None,
+                line=line,
+            )
+            continue
+        pragma = _PRAGMA.search(text)
+        if pragma is None:
+            continue
+        body = pragma.group("body")
+        matched = False
+        for allow in _ALLOW.finditer(body):
+            matched = True
+            reason = allow.group("reason")
+            if not reason:
+                pragmas.malformed.append(
+                    (line, f"allow-{allow.group('rule')} pragma requires a reason")
+                )
+                continue
+            pragmas.allows.setdefault(line, []).append(
+                Allow(rule=allow.group("rule"), reason=reason, line=line)
+            )
+        exempt = _FINGERPRINT_EXEMPT.search(body)
+        if exempt is not None:
+            matched = True
+            reason = exempt.group("reason")
+            if not reason:
+                pragmas.malformed.append((line, "fingerprint-exempt requires a reason"))
+            else:
+                pragmas.fingerprint_exempt[line] = reason
+        else:
+            fingerprint = _FINGERPRINT.search(body)
+            if fingerprint is not None:
+                matched = True
+                pragmas.fingerprints[line] = fingerprint.group("cls")
+        if not matched:
+            pragmas.malformed.append(
+                (line, f"unrecognised lint pragma: {body.strip()!r}")
+            )
+    return pragmas

@@ -1,0 +1,26 @@
+"""Rule modules; importing this package registers every rule.
+
+Each module holds one rule class decorated with
+:func:`repro.lint.engine.register`.  Adding a rule = adding a module
+here, importing it below, and documenting it in ``docs/LINT.md``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules import (  # noqa: F401  (import-for-registration)
+    atomic_write,
+    broad_except,
+    fingerprint,
+    fold_safety,
+    lock_discipline,
+    spawn_safety,
+)
+
+__all__ = [
+    "atomic_write",
+    "broad_except",
+    "fingerprint",
+    "fold_safety",
+    "lock_discipline",
+    "spawn_safety",
+]

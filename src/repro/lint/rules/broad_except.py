@@ -1,0 +1,88 @@
+"""broad-except: ``except Exception`` must re-raise, surface, or justify.
+
+The bug class: a silent ``except Exception: pass`` around a probe or a
+worker bootstrap converts every future bug in that path — including the
+invariant violations the other rules exist for — into "detection
+quietly returns nothing".  PR 1 already paid for one of these
+(uncounted ``IDNAError`` drops skewing ``DetectionTiming``).
+
+A broad handler (bare ``except:``, ``except Exception``, ``except
+BaseException``) passes the rule when its body
+
+* re-raises (any ``raise``), or
+* surfaces the failure: calls ``warnings.warn`` or a logger-ish method
+  (``.warning()``/``.error()``/``.exception()``/``.critical()``), or
+* returns/yields an error payload that *names the caught exception*
+  (``return {"error": f"... {exc}"}`` — the serving layer's
+  error-reply idiom counts as surfacing, swallowing does not).
+
+Anything else needs ``# lint: allow-broad-except(<reason>)`` on the
+``except`` line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.engine import Finding, ModuleUnderLint, Rule, register
+from repro.lint.rules.common import call_name
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+_SURFACE_METHODS = frozenset({"warn", "warning", "error", "exception", "critical"})
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    if isinstance(handler.type, ast.Name):
+        return handler.type.id in _BROAD_NAMES
+    if isinstance(handler.type, ast.Tuple):
+        return any(isinstance(element, ast.Name) and element.id in _BROAD_NAMES
+                   for element in handler.type.elts)
+    return False
+
+
+def _handles(handler: ast.ExceptHandler) -> bool:
+    """True when the body re-raises or surfaces the failure."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            callee = call_name(node)
+            if callee == "warnings.warn":
+                return True
+            if callee.rpartition(".")[2] in _SURFACE_METHODS and "." in callee:
+                return True
+        if isinstance(node, (ast.Return, ast.Yield)) and handler.name is not None:
+            value = node.value
+            if value is not None and any(
+                isinstance(inner, ast.Name) and inner.id == handler.name
+                for inner in ast.walk(value)
+            ):
+                return True
+    return False
+
+
+@register
+class BroadExceptRule(Rule):
+    name = "broad-except"
+    description = (
+        "except Exception/BaseException (or bare except) that neither "
+        "re-raises nor surfaces the failure"
+    )
+
+    def check(self, module: ModuleUnderLint) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node) or _handles(node):
+                continue
+            caught = ast.unparse(node.type) if node.type is not None else "everything"
+            yield module.finding(
+                self.name, node,
+                f"broad handler catches {caught} without re-raising or "
+                "surfacing it: future bugs in this path disappear silently; "
+                "narrow the type, re-raise, emit a warning, or justify with "
+                "# lint: allow-broad-except(<reason>)",
+            )

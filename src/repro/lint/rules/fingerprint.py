@@ -1,0 +1,111 @@
+"""fingerprint-completeness: cache keys must cover every config field.
+
+The bug class (PR 7 hand-threaded the fix): artifact caches are keyed by
+a fingerprint dataclass (:class:`CacheKey`, :class:`IndexKey`).  Add a
+behaviour-changing field to the builder config and forget to thread it
+into the fingerprint function, and two *different* configurations hash
+to the same artifact — a silent verdict-identity bug, the worst kind.
+
+A function is declared to be the fingerprint of a dataclass with a
+``# lint: fingerprint(ClassName)`` marker on (or directly above) its
+``def`` line.  The rule then requires every field of that dataclass to
+be *covered* by the function body, where covered means any of:
+
+* an attribute access with the field's name (``self.threshold``,
+  ``key.sources``);
+* a keyword argument of that name in a call to ``ClassName(...)``
+  (the ``key_for``-style constructor idiom);
+* a call to ``dataclasses.asdict`` anywhere in the body (covers all).
+
+Fields that are deliberately *not* inputs (e.g. a format-version
+constant bumped by hand) opt out with a trailing
+``# lint: fingerprint-exempt(<reason>)`` on their declaration line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.engine import Finding, ModuleUnderLint, Rule, register
+from repro.lint.rules.common import call_name, dataclass_fields, is_dataclass_def
+
+
+def _covered_names(body: list[ast.stmt], class_name: str) -> tuple[set[str], bool]:
+    """(attribute/keyword names referenced, saw-asdict) over *body*."""
+    covered: set[str] = set()
+    saw_asdict = False
+    for statement in body:
+        for node in ast.walk(statement):
+            if isinstance(node, ast.Attribute):
+                covered.add(node.attr)
+            elif isinstance(node, ast.Call):
+                callee = call_name(node)
+                if callee in ("asdict", "dataclasses.asdict"):
+                    saw_asdict = True
+                if callee.rpartition(".")[2] == class_name:
+                    for keyword in node.keywords:
+                        if keyword.arg is not None:
+                            covered.add(keyword.arg)
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                # `payload["sources"]` after an asdict() round-trip.
+                covered.add(node.value)
+    return covered, saw_asdict
+
+
+@register
+class FingerprintRule(Rule):
+    name = "fingerprint-completeness"
+    description = (
+        "functions marked '# lint: fingerprint(Class)' must cover every "
+        "field of that dataclass (missing field == cache-key collision)"
+    )
+
+    def check(self, module: ModuleUnderLint) -> Iterable[Finding]:
+        classes: dict[str, ast.ClassDef] = {
+            node.name: node
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            class_name = module.pragmas.marker_for_def(node.lineno)
+            if class_name is None:
+                continue
+            target = classes.get(class_name)
+            if target is None:
+                yield module.finding(
+                    self.name, node,
+                    f"fingerprint marker names unknown class {class_name!r} "
+                    "(the dataclass must live in the same module)",
+                )
+                continue
+            if not is_dataclass_def(target):
+                yield module.finding(
+                    self.name, node,
+                    f"fingerprint marker target {class_name!r} is not a "
+                    "dataclass",
+                )
+                continue
+            required: dict[str, int] = {}
+            for field_decl in dataclass_fields(target):
+                assert isinstance(field_decl.target, ast.Name)
+                # The exempt marker may trail the field line or sit above it.
+                if (field_decl.lineno in module.pragmas.fingerprint_exempt
+                        or field_decl.lineno - 1 in module.pragmas.fingerprint_exempt):
+                    continue
+                required[field_decl.target.id] = field_decl.lineno
+            covered, saw_asdict = _covered_names(node.body, class_name)
+            if saw_asdict:
+                continue
+            missing = sorted(set(required) - covered)
+            if missing:
+                yield module.finding(
+                    self.name, node,
+                    f"fingerprint function {node.name!r} does not cover "
+                    f"field(s) {', '.join(missing)} of {class_name}: two "
+                    "configs differing only there would collide on one "
+                    "cached artifact; thread the field through or mark it "
+                    "# lint: fingerprint-exempt(<reason>)",
+                )

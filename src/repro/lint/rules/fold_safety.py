@@ -1,0 +1,76 @@
+"""fold-safety: case folding on label-valued text must be length-preserving.
+
+The bug class (PRs 2/4/5): ``str.lower()`` can change a label's length —
+U+0130 "İ" lowers to "i" + U+0307, ß title-cases to "Ss" — so any code
+that lowers a domain label and then indexes positions against the
+original string (substitution positions, revert alignment) silently
+corrupts verdicts.  The repo-wide fix routes label folding through
+:func:`repro.idn.idna_codec.fold_label`, which folds only the
+length-preserving mappings.
+
+This rule flags ``.lower()`` / ``.casefold()`` / ``.title()`` calls whose
+receiver expression mentions a label/domain-flavoured identifier
+(``label``, ``domain``, ``host``, ``name``, ``ns``, ``tld``, ...).
+Sites that are genuinely plain hostname normalization — fold-then-
+compare, never position-indexed — carry
+``# lint: allow-fold-safety(<reason>)`` pragmas, turning the PR 5
+hand-audit's conclusions into machine-visible rationale next to the
+code.  :mod:`repro.idn.idna_codec` itself is allowlisted: it is the one
+module allowed to implement folding in terms of ``str.lower()``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.engine import Finding, ModuleUnderLint, Rule, register
+from repro.lint.rules.common import expression_words
+
+#: Methods whose result can differ in length from their input.
+FOLD_METHODS = frozenset({"lower", "casefold", "title"})
+
+#: Identifier words that mark an expression as label/domain-valued.
+LABEL_WORDS = frozenset({
+    "label", "labels", "domain", "domains", "host", "hostname", "hosts",
+    "name", "names", "ns", "nameserver", "nameservers", "tld", "tlds",
+    "idn", "idns", "ulabel", "alabel", "reference", "references",
+    "candidate", "candidates", "target", "targets",
+})
+
+#: Module paths (suffix-matched) allowed to implement folding directly.
+ALLOWED_MODULES = ("repro/idn/idna_codec.py",)
+
+
+@register
+class FoldSafetyRule(Rule):
+    name = "fold-safety"
+    description = (
+        "length-changing case folds (.lower/.casefold/.title) on "
+        "label-valued expressions; use repro.idn.idna_codec.fold_label"
+    )
+
+    def check(self, module: ModuleUnderLint) -> Iterable[Finding]:
+        if module.rel_path.endswith(ALLOWED_MODULES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in FOLD_METHODS:
+                continue
+            if node.args or node.keywords:
+                continue  # str fold methods take no arguments
+            words = expression_words(func.value)
+            hits = sorted(words & LABEL_WORDS)
+            if not hits:
+                continue
+            receiver = ast.unparse(func.value)
+            yield module.finding(
+                self.name, node,
+                f".{func.attr}() on label-valued expression {receiver!r} "
+                f"(identifier {', '.join(hits)}): str.{func.attr}() can change "
+                "the string's length (U+0130, ß), breaking position indexing; "
+                "use repro.idn.idna_codec.fold_label or justify with "
+                "# lint: allow-fold-safety(<reason>)",
+            )

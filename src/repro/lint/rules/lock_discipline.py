@@ -1,0 +1,175 @@
+"""lock-discipline: declared-guarded attributes are touched under their lock.
+
+The bug class: :class:`OnlineDetector` backs a thread pool, so its LRU
+cache, counters, and in-flight gauge are only correct because every
+access happens inside ``with self._cache_lock:`` / ``with
+self._stats.lock:`` blocks.  Nothing ties the lock to the data, though —
+a refactor that adds one unguarded ``self._cache[...]`` read compiles,
+passes single-threaded tests, and corrupts the OrderedDict under real
+concurrency.
+
+Two declaration forms make the association machine-checkable:
+
+* a trailing ``# guarded-by: <lock>`` comment on the attribute's
+  assignment (usually in ``__init__``); ``[writes]`` after the lock name
+  relaxes the rule to guarded *writes* only (for state that is safe to
+  read dirty — e.g. rebinding guarded by a reload lock while event-loop
+  readers tolerate either generation);
+* a ``_GUARDED_BY = {"attr": "lock", ...}`` class attribute on a class
+  whose *instances* are shared (e.g. a stats dataclass); accesses are
+  then checked through any ``self.<name> = ThatClass(...)`` alias in the
+  same module (``self._stats.queries`` must sit under ``with
+  self._stats.lock:``).
+
+Accesses inside the owning class's ``__init__`` are exempt (the object
+is not yet published).  Intentional dirty reads carry
+``# lint: allow-lock-discipline(<reason>)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.lint.engine import Finding, ModuleUnderLint, Rule, register
+from repro.lint.rules.common import call_name, enclosing_class, enclosing_function
+
+
+@dataclass(frozen=True)
+class _Guard:
+    base: str        #: receiver expression text, e.g. "self" or "self._stats"
+    attr: str
+    lock_expr: str   #: required with-expression, e.g. "self._cache_lock"
+    writes_only: bool
+    owner: str       #: class whose methods are in scope (its __init__ exempt)
+
+
+def _guarded_by_map(class_def: ast.ClassDef) -> dict[str, str]:
+    """The ``_GUARDED_BY`` dict literal of *class_def*, if present."""
+    for statement in class_def.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(statement, ast.Assign):
+            targets, value = statement.targets, statement.value
+        elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            targets, value = [statement.target], statement.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "_GUARDED_BY":
+                if isinstance(value, ast.Dict):
+                    mapping: dict[str, str] = {}
+                    for key, lock in zip(value.keys, value.values):
+                        if (isinstance(key, ast.Constant)
+                                and isinstance(key.value, str)
+                                and isinstance(lock, ast.Constant)
+                                and isinstance(lock.value, str)):
+                            mapping[key.value] = lock.value
+                    return mapping
+    return {}
+
+
+def _self_attr_assignments(
+    scope: ast.AST,
+) -> Iterable[tuple[ast.stmt, str, ast.expr | None]]:
+    """(statement, attr-name, value) for every ``self.X = ...`` under *scope*."""
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    yield node, target.attr, node.value
+        elif isinstance(node, ast.AnnAssign):
+            target = node.target
+            if (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                yield node, target.attr, node.value
+
+
+@register
+class LockDisciplineRule(Rule):
+    name = "lock-discipline"
+    description = (
+        "attributes declared '# guarded-by: <lock>' (or via _GUARDED_BY) "
+        "read/written outside a 'with <lock>:' block"
+    )
+
+    def check(self, module: ModuleUnderLint) -> Iterable[Finding]:
+        guards = self._collect_guards(module)
+        if not guards:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            base_text = ast.unparse(node.value)
+            for guard in guards:
+                if node.attr != guard.attr or base_text != guard.base:
+                    continue
+                owner_class = enclosing_class(node, module.parents)
+                if owner_class is None or owner_class.name != guard.owner:
+                    continue
+                function = enclosing_function(node, module.parents)
+                if function is not None and function.name == "__init__":
+                    continue
+                is_write = isinstance(node.ctx, (ast.Store, ast.Del))
+                if guard.writes_only and not is_write:
+                    continue
+                if self._lock_held(node, guard.lock_expr, module):
+                    continue
+                access = "write to" if is_write else "read of"
+                yield module.finding(
+                    self.name, node,
+                    f"{access} {guard.base}.{guard.attr} outside "
+                    f"'with {guard.lock_expr}:' — the attribute is declared "
+                    f"guarded-by {guard.lock_expr.rpartition('.')[2]}; hold "
+                    "the lock or justify with "
+                    "# lint: allow-lock-discipline(<reason>)",
+                )
+
+    @staticmethod
+    def _lock_held(node: ast.AST, lock_expr: str, module: ModuleUnderLint) -> bool:
+        for ancestor in module.ancestors(node):
+            if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+                for item in ancestor.items:
+                    if ast.unparse(item.context_expr) == lock_expr:
+                        return True
+        return False
+
+    @staticmethod
+    def _collect_guards(module: ModuleUnderLint) -> list[_Guard]:
+        guards: list[_Guard] = []
+        class_maps: dict[str, dict[str, str]] = {}
+        classes = [node for node in ast.walk(module.tree)
+                   if isinstance(node, ast.ClassDef)]
+        for class_def in classes:
+            mapping = _guarded_by_map(class_def)
+            if mapping:
+                class_maps[class_def.name] = mapping
+                # Direct accesses inside the declaring class itself.
+                for attr, lock in mapping.items():
+                    guards.append(_Guard(
+                        base="self", attr=attr, lock_expr=f"self.{lock}",
+                        writes_only=False, owner=class_def.name,
+                    ))
+        for class_def in classes:
+            for statement, attr, value in _self_attr_assignments(class_def):
+                # Comment-declared guard on this assignment line.
+                decl = module.pragmas.guards.get(statement.lineno)
+                if decl is not None:
+                    guards.append(_Guard(
+                        base="self", attr=attr, lock_expr=f"self.{decl.lock}",
+                        writes_only=decl.writes_only, owner=class_def.name,
+                    ))
+                # Alias to an instance of a _GUARDED_BY class.
+                if isinstance(value, ast.Call):
+                    callee = call_name(value).rpartition(".")[2]
+                    mapping = class_maps.get(callee)
+                    if mapping:
+                        for guarded_attr, lock in mapping.items():
+                            guards.append(_Guard(
+                                base=f"self.{attr}", attr=guarded_attr,
+                                lock_expr=f"self.{attr}.{lock}",
+                                writes_only=False, owner=class_def.name,
+                            ))
+        return guards

@@ -1,0 +1,147 @@
+"""spawn-safety: worker-pool callables must be module-level and picklable.
+
+The bug class (PR 8): under the ``spawn`` start method every pool
+initializer, its ``initargs``, and every task function is *pickled* into
+the child.  Lambdas, nested functions (closures), and bound methods
+either fail to pickle outright or drag an unpicklable captured object
+(an mmap-backed index, an open handle) with them — which is exactly why
+the repo's pools take module-level functions plus picklable re-attach
+specs (:mod:`repro.parallel.pool`).  A lambda initializer works fine on
+a fork platform and then breaks macOS/Windows CI, so the mistake
+survives local testing.
+
+Flags, anywhere in the tree:
+
+* ``initializer=`` / task-function arguments that are lambdas;
+* names bound to a nested ``def`` or a local ``lambda`` assignment in
+  the enclosing function;
+* bound-method references (``self.worker``) — picklable only when the
+  whole instance is, which pool call sites must not rely on.
+
+Task-function positions are the first argument of
+``map``/``imap``/``imap_unordered``/``starmap``/``apply_async``/
+``map_async``/``starmap_async`` on a receiver whose name mentions
+``pool`` (the repo idiom; thread executors use ``executor.submit`` and
+are exempt because threads never pickle).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.engine import Finding, ModuleUnderLint, Rule, register
+from repro.lint.rules.common import call_name, enclosing_function, identifier_words
+
+_POOL_METHODS = frozenset({
+    "map", "imap", "imap_unordered", "starmap", "apply_async",
+    "map_async", "starmap_async",
+})
+
+
+def _local_callables(
+    scope: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> set[str]:
+    """Names bound inside *scope* to defs or lambdas (i.e. closures)."""
+    names: set[str] = set()
+    for node in ast.walk(scope):
+        if node is scope:
+            continue
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _candidate_callables(node: ast.Call) -> Iterator[tuple[ast.expr, str]]:
+    """(expression, role) pairs shipped to workers by this call."""
+    for keyword in node.keywords:
+        if keyword.arg == "initializer":
+            yield keyword.value, "initializer"
+        elif keyword.arg == "initargs" and isinstance(keyword.value, ast.Tuple):
+            for element in keyword.value.elts:
+                yield element, "initargs element"
+    if isinstance(node.func, ast.Attribute) and node.func.attr in _POOL_METHODS:
+        receiver_words = identifier_words(ast.unparse(node.func.value))
+        if "pool" in receiver_words and node.args:
+            yield node.args[0], f"task function of .{node.func.attr}()"
+
+
+def _unwrap_partial(expr: ast.expr) -> ast.expr:
+    """``functools.partial(f, ...)`` ships ``f``; check that instead."""
+    if isinstance(expr, ast.Call) and call_name(expr).rpartition(".")[2] == "partial":
+        if expr.args:
+            return _unwrap_partial(expr.args[0])
+    return expr
+
+
+@register
+class SpawnSafetyRule(Rule):
+    name = "spawn-safety"
+    description = (
+        "lambdas, closures, or bound methods shipped into worker pools "
+        "(initializer=, initargs=, pool task functions) break under spawn"
+    )
+
+    def check(self, module: ModuleUnderLint) -> Iterable[Finding]:
+        module_level: set[str] = {
+            statement.name
+            for statement in module.tree.body
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                      ast.ClassDef))
+        }
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for expr, role in _candidate_callables(node):
+                problem = self._problem(expr, node, module, module_level,
+                                        callable_position="initargs" not in role)
+                if problem is not None:
+                    yield module.finding(
+                        self.name, expr,
+                        f"{problem} as {role}: under the spawn start method "
+                        "this is pickled into the child and fails (or drags "
+                        "unpicklable captured state); use a module-level "
+                        "function plus a picklable re-attach spec "
+                        "(see repro.parallel.pool), or justify with "
+                        "# lint: allow-spawn-safety(<reason>)",
+                    )
+
+    @staticmethod
+    def _problem(
+        expr: ast.expr,
+        call: ast.Call,
+        module: ModuleUnderLint,
+        module_level: set[str],
+        *,
+        callable_position: bool,
+    ) -> str | None:
+        """Why *expr* cannot be shipped to a spawned worker, or ``None``.
+
+        ``initargs`` elements are pickled *data* (picklable instance
+        attributes are the repo's re-attach-spec idiom), so only lambdas
+        and closures are flagged there; in callable positions
+        (``initializer=``, pool task functions) bound methods are
+        flagged too.
+        """
+        expr = _unwrap_partial(expr)
+        if isinstance(expr, ast.Lambda):
+            return "lambda"
+        if isinstance(expr, ast.Constant) and expr.value is None:
+            return None
+        if isinstance(expr, ast.Attribute):
+            base = ast.unparse(expr.value)
+            if callable_position and (base == "self" or base.startswith("self.")):
+                return f"bound method {ast.unparse(expr)!r}"
+            return None  # dotted module attribute: importable, picklable
+        if isinstance(expr, ast.Name):
+            if expr.id in module_level:
+                return None
+            scope = enclosing_function(call, module.parents)
+            if scope is not None and expr.id in _local_callables(scope):
+                return f"non-module-level callable {expr.id!r}"
+            return None  # parameter / import / unresolvable: give benefit of doubt
+        return None

@@ -151,6 +151,7 @@ def _pool_worker_init(
     )
     try:
         _pool_attach(index_path, fingerprint)
+    # lint: allow-broad-except(worker bootstrap must not kill the pool; the first batch re-attaches and surfaces the error)
     except Exception:
         # Leave the attach to the first batch; a worker that cannot warm up
         # must not kill the whole pool at fork time.
@@ -290,10 +291,16 @@ class HomographServer:
         self.pool = pool
         self.reloader = reloader
         self.address: tuple[str, int] | None = None
-        self._current: tuple[str, str] | None = (
+        # Server state lives on one event loop, so reads need no lock; the
+        # *writes* below happen in reload(), which off-loops the expensive
+        # rebuild, and are serialized by _reload_lock so two concurrent
+        # reloads cannot interleave their (fingerprint, path) swap with the
+        # index-holder update.  The `# guarded-by: ... [writes]` annotations
+        # make repro-lint enforce exactly that (docs/LINT.md#lock-discipline).
+        self._current: tuple[str, str] | None = (  # guarded-by: _reload_lock [writes]
             (pool.fingerprint, pool.index_path) if pool is not None else None
         )
-        self._held_index: ReferenceIndex | None = None   # keeps the mmap alive
+        self._held_index: ReferenceIndex | None = None   # guarded-by: _reload_lock [writes]
         self._server: asyncio.AbstractServer | None = None
         self._queue: asyncio.Queue | None = None
         self._batcher_task: asyncio.Task | None = None
@@ -516,6 +523,7 @@ class HomographServer:
                 stamp = index.fingerprint
                 for job, verdict in zip(batch, verdicts):
                     _resolve(job.future, verdict_reply(verdict.as_dict(), stamp, job.id))
+        # lint: allow-broad-except(failure is surfaced to every requester as a retriable error reply below)
         except Exception as exc:
             # A dead worker / broken pool fails the batch, not the server:
             # every requester gets a retriable error reply.

@@ -1,0 +1,23 @@
+"""Seeded regression for the fingerprint-completeness rule (PR 7's bug).
+
+``build_key`` forgets to thread ``threshold`` into the fingerprint, so
+two builders differing only in threshold collide on one cached artifact
+(the dataclass default hides the omission at runtime).
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ArtifactKey:
+    font_id: str
+    repertoire_hash: str
+    threshold: int = 32
+
+
+# lint: fingerprint(ArtifactKey)
+def build_key(font_id: str, repertoire_hash: str) -> ArtifactKey:
+    return ArtifactKey(
+        font_id=font_id,
+        repertoire_hash=repertoire_hash,
+    )

@@ -1,0 +1,13 @@
+"""Seeded regression for the fold-safety rule (PR 2's U+0130 bug).
+
+``str.lower`` is not length-preserving: ``"İ".lower()`` is two code
+points, so folding a label and then indexing by position desynchronises
+the fold from the original.  The repo's ``fold_label`` exists precisely
+so call sites never do this.
+"""
+
+
+def highlight_confusable(label: str, position: int) -> str:
+    folded = label.lower()
+    # Position-indexed use of a folded label: off by one after U+0130.
+    return folded[position]

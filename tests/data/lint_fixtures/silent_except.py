@@ -1,0 +1,14 @@
+"""Seeded regression for the broad-except rule.
+
+The bare ``except Exception: pass`` swallows every failure — including
+the ones the caller needed to see — without re-raising, logging, or
+replying with the error.
+"""
+
+
+def enrich(record: dict) -> dict:
+    try:
+        record["asn"] = int(record["asn_raw"])
+    except Exception:
+        pass
+    return record

@@ -1,0 +1,18 @@
+"""Seeded regression for the spawn-safety rule (PR 8's bug class).
+
+A lambda initializer pickles fine nowhere: it works under fork, then
+breaks macOS/Windows (spawn) where the pool must pickle it into each
+child.  Same for the locally-defined task function.
+"""
+
+from multiprocessing import Pool
+
+
+def scan(domains: list) -> list:
+    table = {"a": "а"}
+
+    def fold_one(domain: str) -> str:
+        return "".join(table.get(ch, ch) for ch in domain)
+
+    with Pool(2, initializer=lambda: None) as pool:
+        return pool.map(fold_one, domains)

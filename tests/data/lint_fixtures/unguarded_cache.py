@@ -1,0 +1,21 @@
+"""Seeded regression for the lock-discipline rule (OnlineDetector's bug).
+
+``lookup`` touches the LRU cache without holding the declared lock: it
+passes every single-threaded test and corrupts the dict under the real
+thread pool.
+"""
+
+import threading
+
+
+class VerdictCache:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._cache: dict = {}   # guarded-by: _lock
+
+    def store(self, domain: str, verdict: str) -> None:
+        with self._lock:
+            self._cache[domain] = verdict
+
+    def lookup(self, domain: str):
+        return self._cache.get(domain)

@@ -23,13 +23,12 @@ def _setup():
                        redirect_target="landing.com", malicious=True),
     ])
     blacklists = BlacklistAggregator([Blacklist("hpHosts", {"evil-redir.com"})])
-    classifier = WebsiteClassifier(
+    return WebsiteClassifier(
         web,
         blacklists=blacklists,
         reference_targets={"brandprot.com": "google.com", "evil-redir.com": "google.com",
                            "legit-redir.com": "google.com"},
     )
-    return classifier
 
 
 def test_parking_detected_by_ns_before_crawling():

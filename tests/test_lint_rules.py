@@ -1,0 +1,208 @@
+"""Each repro-lint rule fires on its seeded historical regression.
+
+Every fixture under ``tests/data/lint_fixtures/`` re-creates one bug this
+repo actually shipped (or nearly shipped) and later fixed by hand:
+
+* ``fold_position.py`` — position-indexing a ``.lower()``-folded label
+  (the U+0130 length-change bug ``fold_label`` exists to prevent);
+* ``fingerprint_missing.py`` — a cache-key field not threaded through
+  the fingerprint function (PR 7's source_config omission);
+* ``nonatomic_write.py`` — an artifact written in place instead of
+  temp + ``os.replace``;
+* ``spawn_lambda.py`` — a lambda initializer / closure task function
+  that breaks under the spawn start method (PR 8);
+* ``unguarded_cache.py`` — a declared-guarded cache read outside its
+  lock;
+* ``silent_except.py`` — ``except Exception: pass``.
+
+The companion guarantee — that the rules stay *silent* on the current
+tree — is ``test_src_tree_is_clean`` in ``test_lint_engine.py``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import run_lint
+
+FIXTURES = Path(__file__).parent / "data" / "lint_fixtures"
+
+# fixture file -> (rule expected to fire, fragment of the message)
+SEEDED = {
+    "fold_position.py": ("fold-safety", "position indexing"),
+    "fingerprint_missing.py": ("fingerprint-completeness", "threshold"),
+    "nonatomic_write.py": ("atomic-write", "os.replace"),
+    "spawn_lambda.py": ("spawn-safety", "spawn start method"),
+    "unguarded_cache.py": ("lock-discipline", "self._cache"),
+    "silent_except.py": ("broad-except", "silently"),
+}
+
+
+@pytest.mark.parametrize("fixture,expected", sorted(SEEDED.items()))
+def test_rule_fires_on_seeded_regression(fixture, expected):
+    rule_name, fragment = expected
+    result = run_lint([FIXTURES / fixture], rules=[rule_name])
+    assert not result.ok, f"{rule_name} stayed silent on {fixture}"
+    assert all(f.rule == rule_name for f in result.new)
+    assert any(fragment in f.message for f in result.new), (
+        f"no {rule_name} message mentioning {fragment!r}: "
+        f"{[f.message for f in result.new]}"
+    )
+
+
+def test_no_rule_cross_fires_on_other_fixtures():
+    """Each fixture trips exactly its own rule — no false positives from
+    the other five on intentionally-bad-but-unrelated code."""
+    for fixture, (rule_name, _) in SEEDED.items():
+        result = run_lint([FIXTURES / fixture])
+        fired = {f.rule for f in result.new}
+        assert fired == {rule_name}, (
+            f"{fixture}: expected only {rule_name}, got {sorted(fired)}"
+        )
+
+
+def test_every_registered_rule_has_a_seeded_fixture():
+    from repro.lint.engine import all_rules
+
+    covered = {rule for rule, _ in SEEDED.values()}
+    assert covered == set(all_rules()), (
+        "rules without a seeded-regression fixture: add one to "
+        "tests/data/lint_fixtures/ (and to SEEDED above)"
+    )
+
+
+@pytest.mark.parametrize("fixture", sorted(SEEDED))
+def test_allow_pragma_silences_each_rule(fixture, tmp_path):
+    """The documented escape hatch works for every rule: the same seeded
+    regression plus an allow-pragma above the flagged line is clean."""
+    rule_name, _ = SEEDED[fixture]
+    baseline_result = run_lint([FIXTURES / fixture], rules=[rule_name])
+    source = (FIXTURES / fixture).read_text(encoding="utf-8")
+    lines = source.splitlines(keepends=True)
+    # Append a trailing pragma to every flagged line (covers its own line).
+    for finding in baseline_result.new:
+        index = finding.line - 1
+        lines[index] = (lines[index].rstrip("\n")
+                        + f"  # lint: allow-{rule_name}(fixture test)\n")
+    patched = tmp_path / fixture
+    patched.write_text("".join(lines), encoding="utf-8")
+
+    result = run_lint([patched], rules=[rule_name])
+    assert result.ok, [f.render() for f in result.new]
+    assert result.pragma_suppressed == len(baseline_result.new)
+
+
+def test_fingerprint_exempt_field_is_not_required(tmp_path):
+    source = (FIXTURES / "fingerprint_missing.py").read_text(encoding="utf-8")
+    source = source.replace(
+        "    threshold: int = 32",
+        "    # lint: fingerprint-exempt(fixture: constant, not a builder input)\n"
+        "    threshold: int = 32",
+    )
+    patched = tmp_path / "fingerprint_exempt.py"
+    patched.write_text(source, encoding="utf-8")
+    result = run_lint([patched], rules=["fingerprint-completeness"])
+    assert result.ok, [f.render() for f in result.new]
+
+
+def test_lock_discipline_accepts_guarded_access(tmp_path):
+    source = (FIXTURES / "unguarded_cache.py").read_text(encoding="utf-8")
+    source = source.replace(
+        "    def lookup(self, domain: str):\n        return self._cache.get(domain)",
+        "    def lookup(self, domain: str):\n"
+        "        with self._lock:\n"
+        "            return self._cache.get(domain)",
+    )
+    patched = tmp_path / "guarded_cache.py"
+    patched.write_text(source, encoding="utf-8")
+    result = run_lint([patched], rules=["lock-discipline"])
+    assert result.ok, [f.render() for f in result.new]
+
+
+def test_atomic_write_accepts_temp_and_replace(tmp_path):
+    patched = tmp_path / "atomic_write_ok.py"
+    patched.write_text(
+        '"""Fixed form of nonatomic_write.py: temp name + os.replace."""\n'
+        "import json\n"
+        "import os\n"
+        "\n"
+        "\n"
+        "def save_index(idx_path: str, payload: dict) -> None:\n"
+        '    temp_path = idx_path + ".tmp"\n'
+        '    with open(temp_path, "w", encoding="utf-8") as handle:\n'
+        "        json.dump(payload, handle)\n"
+        "    os.replace(temp_path, idx_path)\n",
+        encoding="utf-8",
+    )
+    result = run_lint([patched], rules=["atomic-write"])
+    assert result.ok, [f.render() for f in result.new]
+
+
+def test_spawn_safety_accepts_module_level_functions(tmp_path):
+    patched = tmp_path / "spawn_ok.py"
+    patched.write_text(
+        '"""Fixed form of spawn_lambda.py: module-level worker functions."""\n'
+        "from multiprocessing import Pool\n"
+        "\n"
+        "\n"
+        "def _init_worker() -> None:\n"
+        "    pass\n"
+        "\n"
+        "\n"
+        "def fold_one(domain: str) -> str:\n"
+        "    return domain\n"
+        "\n"
+        "\n"
+        "def scan(domains: list) -> list:\n"
+        "    with Pool(2, initializer=_init_worker) as pool:\n"
+        "        return pool.map(fold_one, domains)\n",
+        encoding="utf-8",
+    )
+    result = run_lint([patched], rules=["spawn-safety"])
+    assert result.ok, [f.render() for f in result.new]
+
+
+def test_broad_except_accepts_reraise_and_warn(tmp_path):
+    patched = tmp_path / "except_ok.py"
+    patched.write_text(
+        '"""Fixed forms of silent_except.py: re-raise or surface."""\n'
+        "import warnings\n"
+        "\n"
+        "\n"
+        "def enrich_reraise(record: dict) -> dict:\n"
+        "    try:\n"
+        '        record["asn"] = int(record["asn_raw"])\n'
+        "    except Exception as exc:\n"
+        '        raise ValueError("bad asn") from exc\n'
+        "    return record\n"
+        "\n"
+        "\n"
+        "def enrich_warn(record: dict) -> dict:\n"
+        "    try:\n"
+        '        record["asn"] = int(record["asn_raw"])\n'
+        "    except Exception as exc:\n"
+        '        warnings.warn(f"bad asn: {exc}", stacklevel=2)\n'
+        "    return record\n",
+        encoding="utf-8",
+    )
+    result = run_lint([patched], rules=["broad-except"])
+    assert result.ok, [f.render() for f in result.new]
+
+
+def test_fold_safety_accepts_fold_label_and_non_label_receivers(tmp_path):
+    patched = tmp_path / "fold_ok.py"
+    patched.write_text(
+        '"""Fold-safety-clean code: fold_label, or receivers that are not labels."""\n'
+        "from repro.idn.idna_codec import fold_label\n"
+        "\n"
+        "\n"
+        "def highlight_confusable(label: str, position: int) -> str:\n"
+        "    return fold_label(label)[position]\n"
+        "\n"
+        "\n"
+        "def normalise_flag(flag: str) -> str:\n"
+        "    return flag.lower()\n",
+        encoding="utf-8",
+    )
+    result = run_lint([patched], rules=["fold-safety"])
+    assert result.ok, [f.render() for f in result.new]

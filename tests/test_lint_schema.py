@@ -1,0 +1,90 @@
+"""The ``repro-lint --json`` report schema is stable and machine-parseable.
+
+CI uploads ``lint-report.json`` as an artifact and downstream tooling
+(the same consumers that read ``scripts/roll_bench_history.py``'s
+roll-ups) parses it, so the payload is a versioned contract:
+``schema_version`` gates breaking changes, and this golden fixture pins
+the exact shape over the seeded-regression fixtures — keys, ordering,
+types, and summary arithmetic.
+
+To regenerate after an *intentional* schema or rule-message change::
+
+    GOLDEN_REGEN=1 PYTHONPATH=src python -m pytest tests/test_lint_schema.py
+
+then review the fixture diff like any other code change.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.lint import run_lint
+from repro.lint.engine import SCHEMA_VERSION, render_json
+
+REPO_ROOT = Path(__file__).parent.parent
+FIXTURES_DIR = Path("tests/data/lint_fixtures")
+GOLDEN = Path(__file__).parent / "data" / "lint_report_golden.json"
+
+
+def _actual_report() -> dict:
+    result = run_lint([REPO_ROOT / FIXTURES_DIR], root=REPO_ROOT)
+    return result.as_dict()
+
+
+def test_json_report_matches_golden():
+    actual = _actual_report()
+
+    if os.environ.get("GOLDEN_REGEN"):
+        GOLDEN.write_text(
+            json.dumps(actual, ensure_ascii=False, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    expected = json.loads(GOLDEN.read_text(encoding="utf-8"))
+    assert actual == expected
+
+
+def test_json_report_schema_invariants():
+    """Structural guarantees consumers may rely on, independent of the
+    exact findings: stable top-level keys, typed fields, sorted order,
+    and a summary whose arithmetic matches the findings list."""
+    report = _actual_report()
+    assert set(report) == {
+        "tool", "schema_version", "rules", "files_scanned", "findings", "summary",
+    }
+    assert report["tool"] == "repro-lint"
+    assert report["schema_version"] == SCHEMA_VERSION
+    assert isinstance(report["files_scanned"], int)
+
+    assert report["rules"] == sorted(report["rules"], key=lambda r: r["name"])
+    for rule in report["rules"]:
+        assert set(rule) == {"name", "description"}
+
+    for finding in report["findings"]:
+        assert set(finding) == {"rule", "path", "line", "col", "message",
+                                "baselined"}
+        assert isinstance(finding["line"], int) and finding["line"] >= 1
+        assert isinstance(finding["col"], int) and finding["col"] >= 1
+        assert isinstance(finding["baselined"], bool)
+        assert finding["rule"] in {r["name"] for r in report["rules"]}
+
+    new = [f for f in report["findings"] if not f["baselined"]]
+    baselined = [f for f in report["findings"] if f["baselined"]]
+    summary = report["summary"]
+    assert set(summary) == {"total", "new", "baselined", "pragma_suppressed",
+                            "stale_baseline"}
+    assert summary["new"] == len(new)
+    assert summary["baselined"] == len(baselined)
+    assert summary["total"] == len(report["findings"])
+    # New findings come first, each block sorted by (path, line, rule).
+    ordering = [(f["path"], f["line"], f["rule"]) for f in new]
+    assert ordering == sorted(ordering)
+
+
+def test_render_json_is_parseable_and_stable():
+    result = run_lint([REPO_ROOT / FIXTURES_DIR], root=REPO_ROOT)
+    first = render_json(result)
+    second = render_json(result)
+    assert first == second
+    assert json.loads(first) == result.as_dict()
+    assert first.endswith("\n")
