@@ -148,5 +148,4 @@ class WarningGenerator:
 
 def _char_name(char: str) -> str:
     name = unicodedata.name(char, "")
-    # lint: allow-fold-safety(display-casing a unicodedata character name, not a label)
     return name.title() if name else f"U+{ord(char):04X}"

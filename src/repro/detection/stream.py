@@ -303,10 +303,8 @@ def is_idn_candidate(domain: str) -> bool:
     """
     # Cheap substring reject for the ~99% non-IDN zone bulk, sparing them
     # the rstrip/split label dissection below.
-    # lint: allow-fold-safety(cheap xn-- membership probe; the folded copy is discarded)
     if "xn--" not in domain.lower():
         return False
-    # lint: allow-fold-safety(label split for candidate filtering; positions never mapped back to the original)
     labels = domain.lower().rstrip(".").split(".")
     registrable = labels[-2] if len(labels) >= 2 else labels[0]
     return registrable.startswith("xn--")

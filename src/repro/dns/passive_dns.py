@@ -38,7 +38,6 @@ class PassiveDNSCollector:
     def observe(self, name: str, rtype: RRType, response: DNSResponse) -> None:
         """Observer hook compatible with :class:`StubResolver`."""
         if rtype in (RRType.A, RRType.AAAA):
-            # lint: allow-fold-safety(DNS owner-name normalization; folded value only stored/compared, never position-indexed)
             self._counts[name.lower().rstrip(".")] += 1
 
     def attach_to(self, resolver: StubResolver) -> None:
@@ -49,7 +48,6 @@ class PassiveDNSCollector:
         """Directly account *count* lookups for a domain (bulk feeding)."""
         if count < 0:
             raise ValueError("count must be non-negative")
-        # lint: allow-fold-safety(DNS owner-name normalization; folded value only stored/compared, never position-indexed)
         self._counts[domain.lower().rstrip(".")] += count
 
     def bulk_load(self, counts: Mapping[str, int]) -> None:
@@ -61,7 +59,6 @@ class PassiveDNSCollector:
 
     def resolution_count(self, domain: str) -> int:
         """Cumulative (sampled) resolutions observed for a domain."""
-        # lint: allow-fold-safety(DNS owner-name normalization; folded value only stored/compared, never position-indexed)
         observed = self._counts.get(domain.lower().rstrip("."), 0)
         return int(observed * self.sampling_rate) if self.sampling_rate != 1.0 else observed
 

@@ -48,7 +48,6 @@ class ResourceRecord:
     ttl: int = DEFAULT_TTL
 
     def __post_init__(self) -> None:
-        # lint: allow-fold-safety(DNS owner-name normalization; folded value only stored/compared, never position-indexed)
         object.__setattr__(self, "name", self.name.lower().rstrip("."))
         object.__setattr__(self, "rdata", self.rdata.rstrip(".") if self.rtype in (
             RRType.NS, RRType.CNAME, RRType.MX) else self.rdata)
@@ -108,7 +107,6 @@ class RecordSet:
         O(record types of that name) thanks to the owner-name index, so
         expiring many domains from a large set stays linear overall.
         """
-        # lint: allow-fold-safety(DNS owner-name normalization; folded value only stored/compared, never position-indexed)
         name = name.lower().rstrip(".")
         removed = 0
         for rtype in self._types_by_name.pop(name, ()):
@@ -119,7 +117,6 @@ class RecordSet:
 
     def lookup(self, name: str, rtype: RRType) -> list[ResourceRecord]:
         """All records of a type for a name (empty list when none)."""
-        # lint: allow-fold-safety(DNS owner-name normalization; folded value only stored/compared, never position-indexed)
         return list(self._by_key.get((name.lower().rstrip("."), rtype), ()))
 
     def names(self) -> set[str]:

@@ -77,7 +77,6 @@ class AuthoritativeStore:
 
     def remove_name(self, name: str) -> None:
         """Delete every record of a name (domain expiration)."""
-        # lint: allow-fold-safety(DNS owner-name normalization; folded value only stored/compared, never position-indexed)
         name = name.lower().rstrip(".")
         if name not in self._names:
             return
@@ -87,7 +86,6 @@ class AuthoritativeStore:
 
     def exists(self, name: str) -> bool:
         """True when any record exists for the name."""
-        # lint: allow-fold-safety(DNS owner-name normalization; folded value only stored/compared, never position-indexed)
         return name.lower().rstrip(".") in self._names
 
     def lookup(self, name: str, rtype: RRType) -> list[ResourceRecord]:
@@ -135,7 +133,6 @@ class StubResolver:
         if generation != self._cache_generation:
             self._cache.clear()
             self._cache_generation = generation
-        # lint: allow-fold-safety(DNS owner-name normalization; folded value only stored/compared, never position-indexed)
         key = (name.lower().rstrip("."), rtype)
         if use_cache and key in self._cache:
             self.cache_hits += 1

@@ -44,13 +44,11 @@ class ZoneFile:
         and deduplicated, so case-variant NS targets cannot create duplicate
         records or make :meth:`nameservers_of` return inconsistent data.
         """
-        # lint: allow-fold-safety(DNS owner-name normalization; folded value only stored/compared, never position-indexed)
         domain = domain.lower().rstrip(".")
         if not domain.endswith("." + self.tld):
             raise ValueError(f"{domain!r} does not belong to the .{self.tld} zone")
         seen: set[str] = set()
         for ns in nameservers:
-            # lint: allow-fold-safety(DNS owner-name normalization; folded value only stored/compared, never position-indexed)
             ns = ns.lower().rstrip(".")
             if not ns or ns in seen:
                 continue
@@ -113,11 +111,9 @@ class ZoneFile:
         """
         self._refresh_views()
         for domain in self._domains_view:
-            # lint: allow-fold-safety(DNS owner-name normalization; folded value only stored/compared, never position-indexed)
             yield domain, tuple(sorted({ns.lower() for ns in self.nameservers_of(domain)}))
 
     def __contains__(self, domain: str) -> bool:
-        # lint: allow-fold-safety(DNS owner-name normalization; folded value only stored/compared, never position-indexed)
         return bool(self.records.lookup(domain.lower().rstrip("."), RRType.NS))
 
     def __len__(self) -> int:
@@ -142,7 +138,6 @@ class ZoneFile:
     @classmethod
     def from_lines(cls, tld: str, lines: Iterable[str]) -> "ZoneFile":
         """Parse presentation-format lines into a zone."""
-        # lint: allow-fold-safety(TLD normalization; zone TLDs are ASCII registry keys)
         zone = cls(tld=tld.lower().lstrip("."))
         for raw in lines:
             line = raw.split(";", 1)[0].strip()

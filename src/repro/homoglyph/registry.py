@@ -107,7 +107,6 @@ class DatabaseRegistry:
 
     def register(self, name: str, builder: Callable[[BuildContext], SourceBuild]) -> None:
         """Register (or replace) a source under *name*."""
-        # lint: allow-fold-safety(database source names are ASCII identifiers, not labels)
         if not name or name != name.strip().lower():
             raise ValueError(f"source names are non-empty lowercase tokens, got {name!r}")
         self._builders[name] = builder
@@ -124,7 +123,6 @@ class DatabaseRegistry:
         if selection is None:
             names = list(DEFAULT_SOURCES)
         else:
-            # lint: allow-fold-safety(database source names are ASCII identifiers, not labels)
             names = [str(name).strip().lower() for name in selection if str(name).strip()]
         if not names:
             raise ValueError("at least one database source must be selected")

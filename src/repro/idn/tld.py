@@ -123,7 +123,6 @@ REGISTRY_POLICIES: dict[str, IDNTable] = {
 def policy_for(tld: str) -> IDNTable:
     """Return the registration policy of a TLD (KeyError when unknown)."""
     try:
-        # lint: allow-fold-safety(registry-policy lookup key; TLDs in the table are ASCII)
         return REGISTRY_POLICIES[tld.lower().lstrip(".")]
     except KeyError:
         raise KeyError(f"no IDN table registered for TLD {tld!r}") from None
@@ -131,5 +130,4 @@ def policy_for(tld: str) -> IDNTable:
 
 def register_policy(table: IDNTable) -> None:
     """Register (or replace) the policy of a TLD at runtime."""
-    # lint: allow-fold-safety(registry-policy table key; TLDs in the table are ASCII)
     REGISTRY_POLICIES[table.tld.lower().lstrip(".")] = table

@@ -124,6 +124,26 @@ class Baseline:
             ))
         return cls(entries=entries)
 
+    def merged_with(self, previous: "Baseline") -> "Baseline":
+        """This baseline, but keeping *previous* justifications.
+
+        ``--write-baseline`` re-runs never revert a hand-written
+        justification to the TODO placeholder: for every ``(rule, path,
+        message)`` key that already existed, the previous entry's
+        justification wins; keys new in this baseline keep theirs.
+        """
+        justifications = {
+            entry.key: entry.justification for entry in previous.entries
+        }
+        return Baseline(entries=[
+            BaselineEntry(
+                rule=entry.rule, path=entry.path, message=entry.message,
+                justification=justifications.get(entry.key,
+                                                 entry.justification),
+            )
+            for entry in self.entries
+        ])
+
     def save(self, path: Path) -> None:
         payload = {
             "version": BASELINE_VERSION,

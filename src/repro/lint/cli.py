@@ -4,6 +4,11 @@ Exit codes: 0 clean (pragma-suppressed and baselined findings are
 clean), 1 new findings, 2 usage error.  ``--json`` writes the
 machine-readable report whose schema is pinned by a golden-fixture test;
 CI uploads it as the ``lint-report.json`` artifact.
+
+The incremental cache (``.lint-cache.json``) is on by default: per-file
+analysis is keyed on content sha256 + engine version, so a warm run
+re-analyses only changed files.  ``--no-cache`` forces a full run;
+``--cache FILE`` relocates the cache (CI persists it across runs).
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from repro.lint.baseline import (
     BaselineError,
 )
 from repro.lint.engine import all_rules, render_human, render_json, run_lint
+from repro.lint.project import DEFAULT_CACHE_NAME
 
 USAGE_ERROR = 2
 
@@ -28,8 +34,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-lint",
         description=(
             "Repo-aware static analysis: machine-checks the fold-safety, "
-            "fingerprint, atomic-write, spawn-safety, lock-discipline and "
-            "broad-except invariants (docs/LINT.md)."
+            "fingerprint, atomic-write, spawn-safety, lock-discipline, "
+            "broad-except, import-layering, exception-contract and "
+            "dead-export invariants (docs/LINT.md)."
         ),
     )
     parser.add_argument(
@@ -47,7 +54,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--write-baseline", action="store_true",
         help="write the current new findings to the baseline file and exit 0 "
-             "(justifications start as TODO and must be edited)",
+             "(merges with an existing baseline: hand-written justifications "
+             "for unchanged findings are preserved, new entries start as TODO)",
     )
     parser.add_argument(
         "--json", metavar="FILE", default=None,
@@ -56,6 +64,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--select", metavar="RULES", default=None,
         help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--exclude", metavar="PATH", action="append", default=[],
+        help="skip files under PATH (repeatable; e.g. --exclude tests/data "
+             "keeps intentionally-bad fixtures out of a tests/ lint)",
+    )
+    parser.add_argument(
+        "--cache", metavar="FILE", default=DEFAULT_CACHE_NAME,
+        help=f"incremental cache file (default: ./{DEFAULT_CACHE_NAME})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the incremental cache (re-analyse every file)",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -102,16 +123,33 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"repro-lint: {exc}", file=sys.stderr)
             return USAGE_ERROR
 
+    cache_path = None if args.no_cache else Path(args.cache)
+    exclude = [Path(raw) for raw in args.exclude]
+
     try:
-        result = run_lint(paths, rules=selected, baseline=baseline)
+        result = run_lint(paths, rules=selected, baseline=baseline,
+                          cache_path=cache_path, exclude=exclude)
     except ValueError as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return USAGE_ERROR
 
     if args.write_baseline:
-        Baseline.from_findings(result.new).save(baseline_path)
-        print(f"repro-lint: wrote {len(result.new)} finding(s) to "
-              f"{baseline_path} — fill in the justifications")
+        new_baseline = Baseline.from_findings(result.new)
+        if baseline_path.exists():
+            try:
+                previous = Baseline.load(baseline_path)
+            except BaselineError as exc:
+                print(f"repro-lint: refusing to overwrite: {exc}",
+                      file=sys.stderr)
+                return USAGE_ERROR
+            preserved = len(new_baseline.keys & previous.keys)
+            new_baseline = new_baseline.merged_with(previous)
+        else:
+            preserved = 0
+        new_baseline.save(baseline_path)
+        print(f"repro-lint: wrote {len(new_baseline.entries)} finding(s) to "
+              f"{baseline_path} ({preserved} justification(s) preserved) — "
+              "fill in any TODOs")
         return 0
 
     if args.json is not None:

@@ -1,0 +1,517 @@
+"""Intraprocedural forward taint dataflow over a three-point lattice.
+
+The fold-safety rule's v1 heuristic matched identifier *names* at the
+sink (``candidate_label.lower()``), so a rename (``s = candidate_label;
+s.lower()``) escaped it and genuinely-safe hostname normalization had to
+be pragma-suppressed.  This module replaces the heuristic with a small
+abstract interpreter: values are classified on the lattice
+
+    CLEAN  ⊑  UNKNOWN  ⊑  TAINTED
+
+where TAINTED means "label-valued" — the class of strings that
+substitution positions, revert alignment, and skeleton joins index into,
+for which a length-changing fold (U+0130, ß) silently corrupts verdicts.
+``join`` is the pointwise maximum, so the analysis is a classic
+monotone framework: transfer functions only ever move facts up the
+lattice and every loop reaches a fixpoint (``tests/test_lint_dataflow.py``
+pins commutativity, idempotence, monotonicity, and termination on
+randomly generated control-flow graphs via hypothesis).
+
+Taint is seeded from
+
+* parameters (and free variables) whose identifier words name a label
+  (``label``, ``ulabel``, ``alabel``, ``idn``, ...);
+* calls to the label producers (``fold_label``, ``to_unicode_label``)
+  and the domain-split helpers that yield labels;
+* attribute reads spelled like label containers (``.labels``,
+  ``.label``);
+
+and propagated through assignments, tuple unpacks, augmented
+assignments, conditionals, loops (to a fixpoint), ``with``/``try``
+blocks, string-method chains, concatenation, f-strings, subscripts of
+tainted containers, and comprehensions.  The interpreter is purely
+intraprocedural: each function body (and the module body, and each class
+body) is one scope, analysed independently, with no call-graph
+propagation — cross-function taint enters through the parameter seeds.
+
+Every ``.lower()``/``.casefold()``/``.title()`` call observed during
+interpretation is recorded with the taint of its receiver *value*; the
+fold-safety rule decides which observations become findings (and proves
+compare-only sinks safe).  The module is deliberately independent of the
+engine so it can be property-tested in isolation.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+_SNAKE_SPLIT = re.compile(r"[^A-Za-z0-9]+")
+
+
+class Taint(enum.IntEnum):
+    """The three-point taint lattice, ordered CLEAN ⊑ UNKNOWN ⊑ TAINTED."""
+
+    CLEAN = 0
+    UNKNOWN = 1
+    TAINTED = 2
+
+
+def join(first: Taint, second: Taint) -> Taint:
+    """Least upper bound of two lattice points (the maximum)."""
+    return first if first >= second else second
+
+
+def join_all(values: Iterable[Taint]) -> Taint:
+    """Least upper bound of any number of points (CLEAN for none)."""
+    result = Taint.CLEAN
+    for value in values:
+        result = join(result, value)
+    return result
+
+
+#: One abstract store: variable name -> lattice point.  Missing names are
+#: implicitly CLEAN (bottom), which makes ``join_states`` a true
+#: pointwise join.
+State = dict[str, Taint]
+
+
+def join_states(first: Mapping[str, Taint], second: Mapping[str, Taint]) -> State:
+    """Pointwise join of two abstract stores."""
+    result: State = dict(first)
+    for name, taint in second.items():
+        result[name] = join(result.get(name, Taint.CLEAN), taint)
+    return result
+
+
+def states_equal(first: Mapping[str, Taint], second: Mapping[str, Taint]) -> bool:
+    """Equality modulo implicit-CLEAN entries."""
+    names = set(first) | set(second)
+    return all(
+        first.get(name, Taint.CLEAN) == second.get(name, Taint.CLEAN)
+        for name in names
+    )
+
+
+def worklist_fixpoint(
+    successors: Mapping[int, Sequence[int]],
+    transfer: Mapping[int, Callable[[State], State]],
+    entry: int,
+    entry_state: Mapping[str, Taint],
+) -> dict[int, State]:
+    """Kildall's worklist algorithm over an explicit control-flow graph.
+
+    ``successors`` maps each node to its successor nodes; ``transfer``
+    maps each node to a *monotone* transfer function from in-state to
+    out-state.  Returns the least-fixpoint out-state of every node.
+    Termination holds because the lattice is finite and states only move
+    up: the hypothesis suite drives this with randomly generated graphs
+    (cycles included) and randomly composed monotone transfers.
+    """
+    in_states: dict[int, State] = {node: {} for node in successors}
+    in_states[entry] = dict(entry_state)
+    out_states: dict[int, State] = {node: {} for node in successors}
+    pending: list[int] = sorted(successors)
+    while pending:
+        node = pending.pop()
+        new_out = transfer[node](dict(in_states[node]))
+        if states_equal(new_out, out_states[node]):
+            continue
+        out_states[node] = new_out
+        for successor in successors[node]:
+            merged = join_states(in_states.get(successor, {}), new_out)
+            if not states_equal(merged, in_states.get(successor, {})):
+                in_states[successor] = merged
+                if successor not in pending:
+                    pending.append(successor)
+    return out_states
+
+
+# ---------------------------------------------------------------------------
+# seeds and observations
+
+
+def identifier_words(name: str) -> set[str]:
+    """Lower-cased word fragments of an identifier (camelCase split too)."""
+    spaced = re.sub(r"(?<=[a-z0-9])(?=[A-Z])", " ", name)
+    return {part.lower() for part in _SNAKE_SPLIT.split(spaced) if part}
+
+
+@dataclass(frozen=True)
+class TaintSettings:
+    """What seeds taint and what counts as a fold sink."""
+
+    #: identifier words that mark a parameter/free variable/attribute as
+    #: label-valued.  Deliberately narrower than fold-safety v1's word
+    #: list: hostname/owner-name normalization is *not* label handling.
+    seed_words: frozenset[str] = frozenset({
+        "label", "labels", "ulabel", "alabel", "idn", "idns",
+    })
+    #: callees (matched on the last dotted component) whose result is a
+    #: label: the canonical fold, the IDNA decoder, and the domain-split
+    #: helpers that hand out per-label views.
+    seed_callees: frozenset[str] = frozenset({
+        "fold_label", "to_unicode_label", "to_ascii_label", "split_labels",
+    })
+    #: ``.lower()``-family methods whose result can change length.
+    sink_methods: frozenset[str] = frozenset({"lower", "casefold", "title"})
+    #: string methods that preserve "this is (derived from) a label".
+    propagating_methods: frozenset[str] = frozenset({
+        "strip", "lstrip", "rstrip", "removeprefix", "removesuffix",
+        "replace", "upper", "lower", "casefold", "title", "split", "rsplit",
+        "partition", "rpartition", "splitlines", "encode", "decode",
+    })
+    #: builtins that pass their argument elements through.
+    passthrough_callees: frozenset[str] = frozenset({
+        "sorted", "list", "tuple", "set", "frozenset", "reversed", "iter",
+        "next", "min", "max", "str",
+    })
+
+    def is_seed_name(self, name: str) -> bool:
+        return bool(identifier_words(name) & self.seed_words)
+
+
+DEFAULT_SETTINGS = TaintSettings()
+
+
+@dataclass
+class SinkObservation:
+    """One fold-method call with the joined taint of its receiver value."""
+
+    node: ast.Call
+    taint: Taint
+
+
+@dataclass
+class ModuleTaint:
+    """All sink observations of one module, keyed by call node."""
+
+    sinks: dict[ast.Call, SinkObservation] = field(default_factory=dict)
+
+    def observe(self, node: ast.Call, taint: Taint) -> None:
+        existing = self.sinks.get(node)
+        if existing is None:
+            self.sinks[node] = SinkObservation(node=node, taint=taint)
+        else:
+            existing.taint = join(existing.taint, taint)
+
+
+# ---------------------------------------------------------------------------
+# the abstract interpreter
+
+
+class _Interpreter:
+    """Structural abstract interpretation of one scope at a time."""
+
+    def __init__(self, settings: TaintSettings, result: ModuleTaint) -> None:
+        self.settings = settings
+        self.result = result
+
+    # -- scope driving ------------------------------------------------------
+
+    def run_module(self, tree: ast.Module) -> None:
+        self._exec_block(tree.body, {})
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._exec_block(node.body, self._entry_state(node))
+            elif isinstance(node, ast.ClassDef):
+                body = [
+                    statement for statement in node.body
+                    if not isinstance(statement, (ast.FunctionDef,
+                                                  ast.AsyncFunctionDef,
+                                                  ast.ClassDef))
+                ]
+                self._exec_block(body, {})
+
+    def _entry_state(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> State:
+        state: State = {}
+        arguments = node.args
+        parameters = list(arguments.posonlyargs) + list(arguments.args) \
+            + list(arguments.kwonlyargs)
+        for extra in (arguments.vararg, arguments.kwarg):
+            if extra is not None:
+                parameters.append(extra)
+        for parameter in parameters:
+            annotation = ""
+            if parameter.annotation is not None:
+                annotation = ast.unparse(parameter.annotation)
+            if self.settings.is_seed_name(parameter.arg) or "Label" in annotation:
+                state[parameter.arg] = Taint.TAINTED
+            else:
+                state[parameter.arg] = Taint.UNKNOWN
+        return state
+
+    # -- statements ---------------------------------------------------------
+
+    def _exec_block(self, statements: Sequence[ast.stmt], state: State) -> State:
+        for statement in statements:
+            state = self._exec(statement, state)
+        return state
+
+    def _exec(self, statement: ast.stmt, state: State) -> State:
+        if isinstance(statement, ast.Assign):
+            taint = self._eval(statement.value, state)
+            for target in statement.targets:
+                self._bind(target, taint, statement.value, state)
+            return state
+        if isinstance(statement, ast.AnnAssign):
+            if statement.value is not None:
+                taint = self._eval(statement.value, state)
+                self._bind(statement.target, taint, statement.value, state)
+            return state
+        if isinstance(statement, ast.AugAssign):
+            taint = self._eval(statement.value, state)
+            if isinstance(statement.target, ast.Name):
+                name = statement.target.id
+                state[name] = join(state.get(name, Taint.UNKNOWN), taint)
+            return state
+        if isinstance(statement, ast.If):
+            self._eval(statement.test, state)
+            branch_true = self._exec_block(statement.body, dict(state))
+            branch_false = self._exec_block(statement.orelse, dict(state))
+            return join_states(branch_true, branch_false)
+        if isinstance(statement, (ast.For, ast.AsyncFor)):
+            element = self._eval(statement.iter, state)
+            return self._loop(
+                statement.body, statement.orelse, state,
+                bind=lambda s: self._bind(statement.target, element, None, s),
+            )
+        if isinstance(statement, ast.While):
+            self._eval(statement.test, state)
+            return self._loop(statement.body, statement.orelse, state, bind=None)
+        if isinstance(statement, ast.Try):
+            after_body = self._exec_block(statement.body, dict(state))
+            merged = join_states(state, after_body)
+            for handler in statement.handlers:
+                handler_state = dict(merged)
+                if handler.name is not None:
+                    handler_state[handler.name] = Taint.UNKNOWN
+                merged = join_states(
+                    merged, self._exec_block(handler.body, handler_state)
+                )
+            merged = self._exec_block(statement.orelse, merged)
+            return self._exec_block(statement.finalbody, merged)
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            for item in statement.items:
+                taint = self._eval(item.context_expr, state)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, taint, None, state)
+            return self._exec_block(statement.body, state)
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+            for decorator in statement.decorator_list:
+                self._eval(decorator, state)
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for default in (list(statement.args.defaults)
+                                + [d for d in statement.args.kw_defaults
+                                   if d is not None]):
+                    self._eval(default, state)
+            state[statement.name] = Taint.CLEAN
+            return state
+        if isinstance(statement, (ast.Import, ast.ImportFrom)):
+            for alias in statement.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                state[bound] = Taint.CLEAN
+            return state
+        if isinstance(statement, ast.Match):
+            self._eval(statement.subject, state)
+            merged = dict(state)
+            for case in statement.cases:
+                merged = join_states(
+                    merged, self._exec_block(case.body, dict(state))
+                )
+            return merged
+        # Return / Expr / Raise / Assert / Delete / Global / Nonlocal / Pass
+        # and anything future: evaluate embedded expressions for sinks.
+        for child in ast.iter_child_nodes(statement):
+            if isinstance(child, ast.expr):
+                self._eval(child, state)
+        return state
+
+    def _loop(
+        self,
+        body: Sequence[ast.stmt],
+        orelse: Sequence[ast.stmt],
+        state: State,
+        bind: Callable[[State], None] | None,
+    ) -> State:
+        """Iterate a loop body to a fixpoint (monotone, so it terminates)."""
+        current = dict(state)
+        while True:
+            iteration = dict(current)
+            if bind is not None:
+                bind(iteration)
+            after = self._exec_block(body, iteration)
+            merged = join_states(current, after)
+            if states_equal(merged, current):
+                break
+            current = merged
+        return self._exec_block(orelse, current)
+
+    def _bind(
+        self,
+        target: ast.expr,
+        taint: Taint,
+        value: ast.expr | None,
+        state: State,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            state[target.id] = taint
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, taint, None, state)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elements: Sequence[ast.expr | None]
+            if (isinstance(value, (ast.Tuple, ast.List))
+                    and len(value.elts) == len(target.elts)):
+                elements = value.elts
+            else:
+                elements = [None] * len(target.elts)
+            for element_target, element_value in zip(target.elts, elements):
+                element_taint = taint
+                if element_value is not None:
+                    element_taint = self._eval(element_value, state)
+                self._bind(element_target, element_taint, element_value, state)
+        # attribute / subscript stores: no local binding to track.
+
+    # -- expressions --------------------------------------------------------
+
+    def _eval(self, expression: ast.expr, state: State) -> Taint:
+        if isinstance(expression, ast.Constant):
+            return Taint.CLEAN
+        if isinstance(expression, ast.Name):
+            if expression.id in state:
+                return state[expression.id]
+            if self.settings.is_seed_name(expression.id):
+                return Taint.TAINTED
+            return Taint.UNKNOWN
+        if isinstance(expression, ast.Attribute):
+            self._eval(expression.value, state)
+            if self.settings.is_seed_name(expression.attr):
+                return Taint.TAINTED
+            return Taint.UNKNOWN
+        if isinstance(expression, ast.Call):
+            return self._eval_call(expression, state)
+        if isinstance(expression, ast.Subscript):
+            container = self._eval(expression.value, state)
+            self._eval(expression.slice, state)
+            return container
+        if isinstance(expression, ast.BinOp):
+            return join(self._eval(expression.left, state),
+                        self._eval(expression.right, state))
+        if isinstance(expression, ast.BoolOp):
+            return join_all(self._eval(value, state) for value in expression.values)
+        if isinstance(expression, ast.Compare):
+            self._eval(expression.left, state)
+            for comparator in expression.comparators:
+                self._eval(comparator, state)
+            return Taint.CLEAN
+        if isinstance(expression, ast.UnaryOp):
+            self._eval(expression.operand, state)
+            return Taint.CLEAN
+        if isinstance(expression, ast.IfExp):
+            self._eval(expression.test, state)
+            return join(self._eval(expression.body, state),
+                        self._eval(expression.orelse, state))
+        if isinstance(expression, (ast.Tuple, ast.List, ast.Set)):
+            return join_all(self._eval(element, state)
+                            for element in expression.elts)
+        if isinstance(expression, ast.Dict):
+            taints = [self._eval(key, state)
+                      for key in expression.keys if key is not None]
+            taints.extend(self._eval(value, state) for value in expression.values)
+            return join_all(taints)
+        if isinstance(expression, ast.JoinedStr):
+            return join_all(self._eval(value, state)
+                            for value in expression.values)
+        if isinstance(expression, ast.FormattedValue):
+            return self._eval(expression.value, state)
+        if isinstance(expression, (ast.ListComp, ast.SetComp,
+                                   ast.GeneratorExp, ast.DictComp)):
+            return self._eval_comprehension(expression, state)
+        if isinstance(expression, ast.NamedExpr):
+            taint = self._eval(expression.value, state)
+            state[expression.target.id] = taint
+            return taint
+        if isinstance(expression, ast.Starred):
+            return self._eval(expression.value, state)
+        if isinstance(expression, ast.Await):
+            return self._eval(expression.value, state)
+        if isinstance(expression, (ast.Yield, ast.YieldFrom)):
+            if expression.value is not None:
+                self._eval(expression.value, state)
+            return Taint.UNKNOWN
+        if isinstance(expression, ast.Lambda):
+            return Taint.CLEAN
+        if isinstance(expression, ast.Slice):
+            for part in (expression.lower, expression.upper, expression.step):
+                if part is not None:
+                    self._eval(part, state)
+            return Taint.CLEAN
+        # Unhandled expression kinds: evaluate children so nested sinks
+        # are still observed, return UNKNOWN.
+        for child in ast.iter_child_nodes(expression):
+            if isinstance(child, ast.expr):
+                self._eval(child, state)
+        return Taint.UNKNOWN
+
+    def _eval_call(self, call: ast.Call, state: State) -> Taint:
+        argument_taints = [self._eval(argument, state) for argument in call.args]
+        argument_taints.extend(
+            self._eval(keyword.value, state) for keyword in call.keywords
+        )
+        callee = call.func
+        if isinstance(callee, ast.Attribute):
+            receiver = self._eval(callee.value, state)
+            method = callee.attr
+            if (method in self.settings.sink_methods
+                    and not call.args and not call.keywords):
+                self.result.observe(call, receiver)
+                return receiver
+            if method in self.settings.seed_callees:
+                return Taint.TAINTED
+            if method == "join":
+                return join(receiver, join_all(argument_taints))
+            if method in self.settings.propagating_methods:
+                return receiver
+            if self.settings.is_seed_name(method):
+                return Taint.TAINTED
+            return Taint.UNKNOWN
+        self._eval(callee, state)
+        if isinstance(callee, ast.Name):
+            if callee.id in self.settings.seed_callees:
+                return Taint.TAINTED
+            if callee.id in self.settings.passthrough_callees:
+                return join_all(argument_taints)
+        return Taint.UNKNOWN
+
+    def _eval_comprehension(
+        self,
+        expression: ast.ListComp | ast.SetComp | ast.GeneratorExp | ast.DictComp,
+        state: State,
+    ) -> Taint:
+        local = dict(state)
+        for generator in expression.generators:
+            element = self._eval(generator.iter, local)
+            self._bind(generator.target, element, None, local)
+            for condition in generator.ifs:
+                self._eval(condition, local)
+        if isinstance(expression, ast.DictComp):
+            return join(self._eval(expression.key, local),
+                        self._eval(expression.value, local))
+        return self._eval(expression.elt, local)
+
+
+def analyse_module(
+    tree: ast.Module, settings: TaintSettings = DEFAULT_SETTINGS
+) -> ModuleTaint:
+    """Run the taint interpreter over every scope of *tree*.
+
+    Returns the joined sink observations; the caller (fold-safety)
+    decides which observations are findings.
+    """
+    result = ModuleTaint()
+    _Interpreter(settings, result).run_module(tree)
+    return result

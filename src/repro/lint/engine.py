@@ -1,9 +1,17 @@
-"""The repro-lint engine: rule registry, per-file analysis, reporting.
+"""The repro-lint engine: rule registry, analysis driver, reporting.
 
 One :class:`ModuleUnderLint` is built per Python file (source, AST,
-parent links, comment pragmas); every registered rule's :meth:`Rule.check`
-runs over it and yields :class:`Finding` objects.  The engine then
-applies the two suppression layers:
+parent links, comment pragmas); every registered per-file rule's
+:meth:`Rule.check` runs over it and yields :class:`Finding` objects.
+Since v2 the engine also builds a whole-program view — a
+:class:`~repro.lint.project.ProjectUnderLint` with the module graph and
+symbol table — and runs :class:`ProjectRule` subclasses over it, so
+cross-module invariants (import layering, the CLI exception contract,
+dead exports) are checkable.  Per-file results are cached in
+``.lint-cache.json`` keyed on file sha256 + engine version, so a warm
+run re-analyses only changed files (see :mod:`repro.lint.project`).
+
+Findings pass two suppression layers:
 
 * **pragmas** — ``# lint: allow-<rule>(<reason>)`` next to the code
   (see :mod:`repro.lint.pragmas`); suppressed findings vanish from the
@@ -19,7 +27,8 @@ introduces a violation that nobody wrote a justification for.
 JSON output follows a versioned schema (``SCHEMA_VERSION``) that
 ``tests/test_lint_schema.py`` pins with a golden fixture, so downstream
 tooling (the CI artifact consumer, ``scripts/roll_bench_history.py``
-style roll-ups) can rely on it.
+style roll-ups) can rely on it.  Line and column numbers are 1-based
+everywhere, including engine-level findings.
 """
 
 from __future__ import annotations
@@ -28,14 +37,18 @@ import ast
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 from repro.lint.baseline import Baseline
 from repro.lint.pragmas import PragmaMap, parse_pragmas
 
-SCHEMA_VERSION = 1
+if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
+    from repro.lint.project import ProjectUnderLint
 
-#: Rule name used for engine-level findings about malformed pragmas.
+SCHEMA_VERSION = 2
+
+#: Rule name used for engine-level findings (malformed pragmas, files
+#: that do not parse).
 PRAGMA_RULE = "pragma"
 
 
@@ -45,7 +58,8 @@ class Finding:
 
     ``(rule, path, message)`` is the stable identity used by the
     baseline, deliberately excluding the line number so unrelated edits
-    that shift code do not invalidate grandfathered entries.
+    that shift code do not invalidate grandfathered entries.  ``line``
+    and ``col`` are both 1-based.
     """
 
     rule: str
@@ -101,19 +115,44 @@ class ModuleUnderLint:
             current = self.parents.get(current)
 
     def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
-        line = getattr(node, "lineno", 0)
+        line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0)
-        return Finding(rule=rule, path=self.rel_path, line=line, col=col + 1,
-                       message=message)
+        return Finding(rule=rule, path=self.rel_path, line=max(line, 1),
+                       col=col + 1, message=message)
 
 
 class Rule:
-    """Base class for lint rules; subclasses register via :func:`register`."""
+    """Base class for per-file rules; subclasses register via :func:`register`."""
 
     name: str = ""
     description: str = ""
 
     def check(self, module: ModuleUnderLint) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules.
+
+    A project rule sees the :class:`~repro.lint.project.ProjectUnderLint`
+    — every linted file's summary, the resolved module graph, the global
+    referenced-name set — instead of one file at a time.  Its findings
+    still target individual files, and pragma/baseline suppression works
+    exactly as for per-file rules.  Project rules are re-evaluated on
+    every run (their inputs span files, so a cache hit on one file
+    cannot prove a cross-module finding unchanged); only the per-file
+    summaries they read are cached.
+    """
+
+    #: Set true when the rule consumes referenced names from the
+    #: reference roots (tests/benchmarks/...) — only ``dead-export``
+    #: needs that harvest, so other runs skip it.
+    uses_reference_roots: bool = False
+
+    def check(self, module: ModuleUnderLint) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: "ProjectUnderLint") -> Iterable[Finding]:
         raise NotImplementedError
 
 
@@ -149,6 +188,11 @@ class LintResult:
     stale_baseline: list[tuple[str, str, str]] = field(default_factory=list)
     files_scanned: int = 0
     rules: dict[str, str] = field(default_factory=dict)
+    cache_enabled: bool = False
+    files_parsed: int = 0
+    files_reused: int = 0
+    reference_files_parsed: int = 0
+    reference_files_reused: int = 0
 
     @property
     def ok(self) -> bool:
@@ -181,11 +225,27 @@ class LintResult:
                 "pragma_suppressed": self.pragma_suppressed,
                 "stale_baseline": len(self.stale_baseline),
             },
+            "cache": {
+                "enabled": self.cache_enabled,
+                "files_parsed": self.files_parsed,
+                "files_reused": self.files_reused,
+                "reference_files_parsed": self.reference_files_parsed,
+                "reference_files_reused": self.reference_files_reused,
+            },
         }
 
 
-def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
-    """Every ``.py`` file under *paths* (files or directories), sorted."""
+def iter_python_files(
+    paths: Sequence[Path],
+    exclude: Sequence[Path] = (),
+) -> Iterator[Path]:
+    """Every ``.py`` file under *paths* (files or directories), sorted.
+
+    *exclude* prunes files equal to or under any of the given paths
+    (the CLI's ``--exclude``, used to skip intentionally-bad fixture
+    trees when linting ``tests/``).
+    """
+    excluded = [path.resolve() for path in exclude]
     seen: set[Path] = set()
     for path in paths:
         if path.is_dir():
@@ -196,6 +256,9 @@ def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
             if "__pycache__" in candidate.parts:
                 continue
             resolved = candidate.resolve()
+            if any(resolved == ex or resolved.is_relative_to(ex)
+                   for ex in excluded):
+                continue
             if resolved not in seen:
                 seen.add(resolved)
                 yield candidate
@@ -217,53 +280,142 @@ def run_lint(
     baseline: Baseline | None = None,
     root: Path | None = None,
     on_file: Callable[[str], None] | None = None,
+    cache_path: Path | None = None,
+    reference_roots: Sequence[Path] | None = None,
+    exclude: Sequence[Path] = (),
 ) -> LintResult:
     """Run the selected *rules* over every Python file under *paths*.
 
     *baseline* entries demote matching findings from "new" to
     "baselined"; *root* anchors the relative display paths (defaults to
     the current directory, which is what both CI and the tests use).
+    *cache_path* enables the incremental cache (``None`` — the library
+    default — disables it; the CLI enables it by default).
+    *reference_roots* are extra trees harvested for referenced names by
+    ``dead-export`` (``None`` auto-discovers ``tests``/``benchmarks``/
+    ``examples``/``scripts`` under *root*; pass ``()`` for none).
+    *exclude* prunes files under the given paths from both linting and
+    harvesting.
     """
+    from repro.lint import project as project_model
+
     registry = all_rules()
     if rules is not None:
         unknown = sorted(set(rules) - set(registry))
         if unknown:
             raise ValueError(f"unknown rule(s): {', '.join(unknown)}")
         registry = {rule_name: registry[rule_name] for rule_name in rules}
+    file_rules = [rule for rule in registry.values()
+                  if not isinstance(rule, ProjectRule)]
+    project_rules = [rule for rule in registry.values()
+                     if isinstance(rule, ProjectRule)]
 
     result = LintResult(
         rules={rule.name: rule.description for rule in registry.values()}
     )
+    root_path = root if root is not None else Path.cwd()
     active_baseline = baseline if baseline is not None else Baseline()
     matched_keys: set[tuple[str, str, str]] = set()
 
-    for file_path in iter_python_files(paths):
+    cache = (project_model.LintCache.load(cache_path, sorted(registry))
+             if cache_path is not None else project_model.LintCache.disabled())
+    result.cache_enabled = cache.enabled
+
+    records: list[project_model.FileRecord] = []
+    for file_path in iter_python_files(paths, exclude=exclude):
         rel = relative_display_path(file_path, root)
         if on_file is not None:
             on_file(rel)
-        source = file_path.read_text(encoding="utf-8")
+        data = file_path.read_bytes()
+        sha256 = project_model.file_sha256(data)
+        result.files_scanned += 1
+
+        entry = cache.lookup(rel, sha256)
+        if entry is not None:
+            records.append(project_model.record_from_cache(
+                file_path, rel, sha256, entry))
+            result.files_reused += 1
+            continue
+        result.files_parsed += 1
+
+        source = data.decode("utf-8")
         try:
             module = ModuleUnderLint(file_path, rel, source)
         except SyntaxError as exc:
-            result.new.append(Finding(
-                rule=PRAGMA_RULE, path=rel, line=exc.lineno or 0, col=0,
-                message=f"file does not parse: {exc.msg}",
-            ))
-            result.files_scanned += 1
+            record = project_model.FileRecord(
+                path=file_path, rel_path=rel, sha256=sha256,
+                summary=project_model.ModuleSummary(module=None,
+                                                    is_package=False),
+                suppressions=project_model.SuppressionIndex(),
+                findings=[Finding(
+                    rule=PRAGMA_RULE, path=rel, line=max(exc.lineno or 1, 1),
+                    col=1, message=f"file does not parse: {exc.msg}",
+                )],
+            )
+            cache.store(rel, project_model.cache_entry_for(record))
+            records.append(record)
             continue
-        result.files_scanned += 1
 
         raw: list[Finding] = []
         for line, message in module.pragmas.malformed:
             raw.append(Finding(rule=PRAGMA_RULE, path=rel, line=line, col=1,
                                message=message))
-        for rule in registry.values():
+        for rule in file_rules:
             raw.extend(rule.check(module))
 
+        kept: list[Finding] = []
+        suppressed = 0
         for finding in raw:
             if module.pragmas.allow_for(finding.rule, finding.line) is not None:
-                result.pragma_suppressed += 1
-                continue
+                suppressed += 1
+            else:
+                kept.append(finding)
+
+        record = project_model.FileRecord(
+            path=file_path, rel_path=rel, sha256=sha256,
+            summary=project_model.summarise(
+                module.tree, project_model.module_name_for(file_path),
+                is_package=file_path.name == "__init__.py"),
+            suppressions=project_model.SuppressionIndex.from_pragmas(
+                module.pragmas),
+            module_under_lint=module,
+            findings=kept, pragma_suppressed=suppressed,
+        )
+        cache.store(rel, project_model.cache_entry_for(record))
+        records.append(record)
+
+    result.pragma_suppressed = sum(r.pragma_suppressed for r in records)
+
+    # -- whole-program pass -------------------------------------------------
+    project_findings: list[Finding] = []
+    has_modules = any(record.summary.module is not None for record in records)
+    if project_rules and has_modules:
+        extra_referenced: frozenset[str] = frozenset()
+        if any(rule.uses_reference_roots for rule in project_rules):
+            extra_referenced = project_model.collect_reference_names(
+                cache=cache, root_path=root_path, paths=paths,
+                reference_roots=reference_roots, exclude=exclude,
+                records=records, result=result, root=root)
+        project = project_model.ProjectUnderLint(
+            root_path, records, extra_referenced)
+        for project_rule in project_rules:
+            project_findings.extend(project_rule.check_project(project))
+
+    by_rel = {record.rel_path: record for record in records}
+    for finding in project_findings:
+        record = by_rel.get(finding.path)
+        if record is not None and record.suppressions.covers(
+                finding.rule, finding.line):
+            result.pragma_suppressed += 1
+            continue
+        if active_baseline.covers(finding.key):
+            matched_keys.add(finding.key)
+            result.baselined.append(finding)
+        else:
+            result.new.append(finding)
+
+    for record in records:
+        for finding in record.findings:
             if active_baseline.covers(finding.key):
                 matched_keys.add(finding.key)
                 result.baselined.append(finding)
@@ -271,6 +423,7 @@ def run_lint(
                 result.new.append(finding)
 
     result.stale_baseline = sorted(active_baseline.keys - matched_keys)
+    cache.save()
     return result
 
 
@@ -291,6 +444,11 @@ def render_human(result: LintResult) -> str:
         f"{len(result.new)} new finding(s), {len(result.baselined)} baselined, "
         f"{result.pragma_suppressed} pragma-suppressed"
     )
+    if result.cache_enabled:
+        lines.append(
+            f"repro-lint: cache: {result.files_parsed} analysed, "
+            f"{result.files_reused} reused"
+        )
     return "\n".join(lines)
 
 

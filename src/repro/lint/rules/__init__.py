@@ -3,6 +3,9 @@
 Each module holds one rule class decorated with
 :func:`repro.lint.engine.register`.  Adding a rule = adding a module
 here, importing it below, and documenting it in ``docs/LINT.md``.
+Per-file rules subclass :class:`~repro.lint.engine.Rule`; whole-program
+rules (import-layering, exception-contract, dead-export) subclass
+:class:`~repro.lint.engine.ProjectRule` and see the module graph.
 """
 
 from __future__ import annotations
@@ -10,8 +13,11 @@ from __future__ import annotations
 from repro.lint.rules import (  # noqa: F401  (import-for-registration)
     atomic_write,
     broad_except,
+    dead_export,
+    exception_contract,
     fingerprint,
     fold_safety,
+    import_layering,
     lock_discipline,
     spawn_safety,
 )
@@ -19,8 +25,11 @@ from repro.lint.rules import (  # noqa: F401  (import-for-registration)
 __all__ = [
     "atomic_write",
     "broad_except",
+    "dead_export",
+    "exception_contract",
     "fingerprint",
     "fold_safety",
+    "import_layering",
     "lock_discipline",
     "spawn_safety",
 ]

@@ -1,0 +1,63 @@
+"""dead-export: public symbols someone actually uses.
+
+A public top-level symbol that nothing in ``src``, ``tests``, or
+``benchmarks`` references is either dead code (delete it), an internal
+helper wearing a public name (prefix it with ``_``), or a deliberate
+extension surface (baseline it with a justification — the finding key
+is ``(rule, path, message)``, so the baseline entry survives reshuffles).
+Dead publics are how reproduction repos rot: the symbol keeps compiling,
+keeps appearing in ``dir()``, and silently stops matching the paper's
+pipeline.
+
+The reference universe is the whole :class:`~repro.lint.project.
+ProjectUnderLint` plus the harvested reference roots (``tests``,
+``benchmarks``, ``examples``, ``scripts`` by default): every
+Load-context name, attribute name, imported name, and identifier-valued
+string constant (which covers ``__all__`` lists, ``getattr`` strings,
+and registry keys).  Exempt:
+
+* underscore-prefixed names (already private);
+* decorated defs/classes — decoration is the registration idiom
+  (``@register`` rule classes, hook tables): the symbol is consumed via
+  the registry, not by name;
+* re-exports — the importing ``__init__`` necessarily references the
+  name it re-exports, so they are covered through their import site.
+
+Only in-package modules (``repro.*``) are checked; fixtures and scripts
+outside the package have no public-API contract.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.engine import Finding, ProjectRule, register
+from repro.lint.project import ProjectUnderLint
+
+
+@register
+class DeadExportRule(ProjectRule):
+    name = "dead-export"
+    description = (
+        "public top-level symbols never referenced from src, tests, or "
+        "benchmarks"
+    )
+
+    uses_reference_roots = True
+
+    def check_project(self, project: ProjectUnderLint) -> Iterable[Finding]:
+        referenced = project.referenced_names
+        for module in sorted(project.modules):
+            record = project.modules[module]
+            for export in record.summary.exports:
+                if export.decorated or export.kind == "re-export":
+                    continue
+                if export.name in referenced:
+                    continue
+                yield project.finding(
+                    self.name, record, export.line, export.col,
+                    f"public {export.kind} '{export.name}' is never "
+                    "referenced from src, tests, or benchmarks; delete "
+                    "it, rename it with a leading underscore, or "
+                    "baseline it with a justification",
+                )

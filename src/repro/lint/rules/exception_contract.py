@@ -1,0 +1,80 @@
+"""exception-contract: only the CLI layer talks to the terminal.
+
+Library modules signal failure by raising library exceptions; the CLI
+layer catches them, prints, and chooses the process exit code.  Three
+historical leak patterns break that contract and each has bitten a
+Python project shaped like this one:
+
+* a library module raising ``CLIError`` couples deep internals to the
+  command-line surface (and makes the error unrenderable when the same
+  code runs under the asyncio serving layer);
+* a library ``sys.exit()`` (or ``raise SystemExit`` / ``os._exit``)
+  kills the embedding process — the server, a worker pool child, a
+  pytest run — instead of reporting;
+* a library ``print()`` to stdout corrupts machine-readable output
+  (the JSON report, piped scan results) with stray prose.
+
+This project rule consumes the contract sites collected per-module by
+:func:`repro.lint.project.summarise` (which already skips anything
+under ``if __name__ == "__main__":``) and flags them in every module
+that is not CLI-shaped.  CLI-shaped means: the top-level ``cli``
+module, any module whose last component is ``cli`` or ``__main__``
+(each subsystem may own a CLI face, e.g. ``repro.lint.cli``), or a
+module carrying stderr-only output.  ``print(file=sys.stderr)`` is
+always fine — diagnostics belong on stderr.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.engine import Finding, ProjectRule, register
+from repro.lint.project import ProjectUnderLint
+
+#: Module name components that mark a module as CLI-shaped.
+_CLI_COMPONENTS = frozenset({"cli", "__main__"})
+
+_MESSAGES = {
+    "cli-error": (
+        "library module raises {detail}: CLIError belongs to the cli "
+        "layer; raise a library exception and let the CLI map it"
+    ),
+    "sys-exit": (
+        "library module calls {detail}: exiting the process is the cli "
+        "layer's decision; raise instead (this code also runs under the "
+        "serving layer and worker pools)"
+    ),
+    "print-stdout": (
+        "library module writes to stdout via {detail}: stdout belongs "
+        "to the cli layer's machine-readable output; use logging or "
+        "print(..., file=sys.stderr)"
+    ),
+}
+
+
+def is_cli_module(module: str) -> bool:
+    """True for modules allowed to print, exit, and raise CLIError."""
+    return module.split(".")[-1] in _CLI_COMPONENTS
+
+
+@register
+class ExceptionContractRule(ProjectRule):
+    name = "exception-contract"
+    description = (
+        "CLIError raises, sys.exit calls, and stdout prints outside "
+        "the cli layer"
+    )
+
+    def check_project(self, project: ProjectUnderLint) -> Iterable[Finding]:
+        for module in sorted(project.modules):
+            if is_cli_module(module):
+                continue
+            record = project.modules[module]
+            for site in record.summary.contracts:
+                template = _MESSAGES.get(site.kind)
+                if template is None:
+                    continue
+                yield project.finding(
+                    self.name, record, site.line, site.col,
+                    template.format(detail=site.detail),
+                )

@@ -8,15 +8,28 @@ corrupts verdicts.  The repo-wide fix routes label folding through
 :func:`repro.idn.idna_codec.fold_label`, which folds only the
 length-preserving mappings.
 
-This rule flags ``.lower()`` / ``.casefold()`` / ``.title()`` calls whose
-receiver expression mentions a label/domain-flavoured identifier
-(``label``, ``domain``, ``host``, ``name``, ``ns``, ``tld``, ...).
-Sites that are genuinely plain hostname normalization — fold-then-
-compare, never position-indexed — carry
-``# lint: allow-fold-safety(<reason>)`` pragmas, turning the PR 5
-hand-audit's conclusions into machine-visible rationale next to the
-code.  :mod:`repro.idn.idna_codec` itself is allowlisted: it is the one
-module allowed to implement folding in terms of ``str.lower()``.
+v2 of this rule is built on the taint dataflow
+(:mod:`repro.lint.dataflow`): a ``.lower()`` / ``.casefold()`` /
+``.title()`` call is flagged when its receiver *value* is label-tainted
+— seeded from label-named parameters, ``fold_label``-family producers,
+and ``.labels``-style attributes, then propagated through assignments,
+tuple unpacks, loops, and comprehensions to a fixpoint.  Two
+consequences over the v1 identifier heuristic:
+
+* renames no longer escape (``s = candidate_label; s.lower()`` is
+  flagged: the *value* is tainted, whatever the variable is called);
+* plain hostname/owner-name normalization no longer fires (hostnames
+  are compared, not position-indexed), so the hand-written
+  ``allow-fold-safety`` pragmas that PR 5's audit accumulated are
+  deleted rather than suppressed.
+
+Sinks whose folded result provably flows only into comparisons —
+comparison operands, dict-lookup keys, ``startswith``/``endswith``
+receivers, ``.get()`` arguments, or a name used exclusively in those
+positions — are proven safe and not flagged even when tainted: a
+compare-only fold cannot desynchronise position indexing.
+:mod:`repro.idn.idna_codec` itself is allowlisted: it is the one module
+allowed to implement folding in terms of ``str.lower()``.
 """
 
 from __future__ import annotations
@@ -24,22 +37,18 @@ from __future__ import annotations
 import ast
 from typing import Iterable
 
+from repro.lint.dataflow import DEFAULT_SETTINGS, Taint, analyse_module
 from repro.lint.engine import Finding, ModuleUnderLint, Rule, register
-from repro.lint.rules.common import expression_words
-
-#: Methods whose result can differ in length from their input.
-FOLD_METHODS = frozenset({"lower", "casefold", "title"})
-
-#: Identifier words that mark an expression as label/domain-valued.
-LABEL_WORDS = frozenset({
-    "label", "labels", "domain", "domains", "host", "hostname", "hosts",
-    "name", "names", "ns", "nameserver", "nameservers", "tld", "tlds",
-    "idn", "idns", "ulabel", "alabel", "reference", "references",
-    "candidate", "candidates", "target", "targets",
-})
+from repro.lint.rules.common import enclosing_function
 
 #: Module paths (suffix-matched) allowed to implement folding directly.
 ALLOWED_MODULES = ("repro/idn/idna_codec.py",)
+
+#: Methods whose receiver being a folded value proves compare-only use.
+_COMPARE_RECEIVER_METHODS = frozenset({"startswith", "endswith"})
+
+#: Callees whose *argument* being a folded value proves lookup-only use.
+_LOOKUP_ARGUMENT_METHODS = frozenset({"get"})
 
 
 @register
@@ -47,30 +56,76 @@ class FoldSafetyRule(Rule):
     name = "fold-safety"
     description = (
         "length-changing case folds (.lower/.casefold/.title) on "
-        "label-valued expressions; use repro.idn.idna_codec.fold_label"
+        "label-tainted values; use repro.idn.idna_codec.fold_label"
     )
 
     def check(self, module: ModuleUnderLint) -> Iterable[Finding]:
         if module.rel_path.endswith(ALLOWED_MODULES):
             return
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.Call):
+        taint = analyse_module(module.tree, DEFAULT_SETTINGS)
+        for call, observation in taint.sinks.items():
+            if observation.taint is not Taint.TAINTED:
                 continue
-            func = node.func
-            if not isinstance(func, ast.Attribute) or func.attr not in FOLD_METHODS:
+            if self._compare_only(module, call):
                 continue
-            if node.args or node.keywords:
-                continue  # str fold methods take no arguments
-            words = expression_words(func.value)
-            hits = sorted(words & LABEL_WORDS)
-            if not hits:
-                continue
+            func = call.func
+            assert isinstance(func, ast.Attribute)  # sinks are method calls
             receiver = ast.unparse(func.value)
             yield module.finding(
-                self.name, node,
-                f".{func.attr}() on label-valued expression {receiver!r} "
-                f"(identifier {', '.join(hits)}): str.{func.attr}() can change "
-                "the string's length (U+0130, ß), breaking position indexing; "
-                "use repro.idn.idna_codec.fold_label or justify with "
+                self.name, call,
+                f".{func.attr}() on label-tainted value {receiver!r}: "
+                f"str.{func.attr}() can change the string's length "
+                "(U+0130, ß), breaking position indexing; fold with "
+                "repro.idn.idna_codec.fold_label or justify with "
                 "# lint: allow-fold-safety(<reason>)",
             )
+
+    # -- compare-only proof -------------------------------------------------
+
+    def _compare_only(self, module: ModuleUnderLint, call: ast.Call) -> bool:
+        """True when the folded value provably never feeds back into
+        position-indexed use: every consumer is a comparison-shaped
+        context, directly or through one single-name assignment."""
+        parent = module.parents.get(call)
+        if self._is_compare_context(parent, call):
+            return True
+        if (isinstance(parent, ast.Assign)
+                and len(parent.targets) == 1
+                and isinstance(parent.targets[0], ast.Name)
+                and parent.value is call):
+            return self._name_used_compare_only(
+                module, parent, parent.targets[0].id)
+        return False
+
+    def _is_compare_context(self, parent: ast.AST | None,
+                            node: ast.AST) -> bool:
+        if isinstance(parent, ast.Compare):
+            return True
+        if isinstance(parent, ast.Subscript) and parent.slice is node:
+            # d[x.lower()] — a dict/set lookup key, not an indexed label.
+            return True
+        if (isinstance(parent, ast.Attribute)
+                and parent.attr in _COMPARE_RECEIVER_METHODS):
+            return True
+        if isinstance(parent, ast.Call) and node in parent.args:
+            func = parent.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in _LOOKUP_ARGUMENT_METHODS):
+                return True
+        return False
+
+    def _name_used_compare_only(self, module: ModuleUnderLint,
+                                assignment: ast.Assign, name: str) -> bool:
+        """Flow-insensitive scan: every Load of *name* in the enclosing
+        scope sits in a compare-shaped context."""
+        scope: ast.AST | None = enclosing_function(assignment, module.parents)
+        if scope is None:
+            scope = module.tree
+        used = False
+        for node in ast.walk(scope):
+            if (isinstance(node, ast.Name) and node.id == name
+                    and isinstance(node.ctx, ast.Load)):
+                used = True
+                if not self._is_compare_context(module.parents.get(node), node):
+                    return False
+        return used

@@ -77,7 +77,6 @@ class ReferenceList:
         seen: set[str] = set()
         entries: list[ReferenceDomain] = []
         for domain in domains:
-            # lint: allow-fold-safety(hostname normalization for lookup/comparison; never position-indexed)
             domain = domain.lower().rstrip(".")
             if domain in seen:
                 continue
@@ -112,7 +111,6 @@ class ReferenceList:
         return iter(self._entries)
 
     def __contains__(self, domain: str) -> bool:
-        # lint: allow-fold-safety(hostname normalization for lookup/comparison; never position-indexed)
         return domain.lower().rstrip(".") in self._by_domain
 
     def domains(self) -> list[str]:
@@ -125,7 +123,6 @@ class ReferenceList:
 
     def rank_of(self, domain: str) -> int | None:
         """Rank of a domain (``None`` when absent)."""
-        # lint: allow-fold-safety(hostname normalization for lookup/comparison; never position-indexed)
         entry = self._by_domain.get(domain.lower().rstrip("."))
         return entry.rank if entry is not None else None
 

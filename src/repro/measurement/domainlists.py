@@ -533,7 +533,6 @@ def _assign_background_profiles(plain_idns: Sequence[str], ascii_domains: Sequen
             has_mx=True,
             lookups=int(popularity[domain] * 3_000_000) + 1_000,
             nameservers=(f"ns1.{domain}", f"ns2.{domain}"),
-            # lint: allow-fold-safety(synthetic page-title display casing, not a label)
             page_title=domain.split(".")[0].title(),
         ))
     for domain in plain_idns:

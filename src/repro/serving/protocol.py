@@ -175,7 +175,6 @@ def parse_http_headers(lines: list[bytes]) -> dict[str, str]:
     for raw in lines:
         name, separator, value = raw.decode("latin-1").partition(":")
         if separator:
-            # lint: allow-fold-safety(HTTP header-name normalization; header names are ASCII)
             headers[name.strip().lower()] = value.strip()
     return headers
 

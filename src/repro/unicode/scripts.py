@@ -15,7 +15,6 @@ the paper reasons about "scripts") with a few sub-block refinements
 from __future__ import annotations
 
 import bisect
-from typing import Iterable
 
 __all__ = [
     "script_of",
@@ -263,12 +262,3 @@ def dominant_script(text: str) -> str:
     if not counts:
         return "Common"
     return sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[0][0]
-
-
-def count_by_script(chars: Iterable[str]) -> dict[str, int]:
-    """Histogram of scripts over an iterable of single characters."""
-    counts: dict[str, int] = {}
-    for ch in chars:
-        script = script_of(ch)
-        counts[script] = counts.get(script, 0) + 1
-    return counts

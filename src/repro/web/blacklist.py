@@ -35,7 +35,6 @@ class Blacklist:
 
     def add(self, domain: str) -> None:
         """Add a domain to the feed."""
-        # lint: allow-fold-safety(hostname normalization for lookup/comparison; never position-indexed)
         self.entries.add(domain.lower().rstrip("."))
 
     def add_many(self, domains: Iterable[str]) -> None:
@@ -44,7 +43,6 @@ class Blacklist:
             self.add(domain)
 
     def __contains__(self, domain: str) -> bool:
-        # lint: allow-fold-safety(hostname normalization for lookup/comparison; never position-indexed)
         return domain.lower().rstrip(".") in self.entries
 
     def __len__(self) -> int:

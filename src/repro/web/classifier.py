@@ -96,7 +96,6 @@ class WebsiteClassifier:
 
     def classify(self, domain: str) -> ClassifiedSite:
         """Classify one (active) domain."""
-        # lint: allow-fold-safety(hostname normalization for lookup/comparison; never position-indexed)
         domain = domain.lower().rstrip(".")
         profile = self.web.get(domain)
         nameservers = profile.nameservers if profile is not None else ()

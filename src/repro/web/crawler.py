@@ -75,7 +75,6 @@ class CrawlResult:
         if final is None:
             return False
         host = final.split("/")[2] if "//" in final else final
-        # lint: allow-fold-safety(hostname normalization for lookup/comparison; never position-indexed)
         return host.lower().rstrip(".") != self.domain
 
     @property
@@ -101,7 +100,6 @@ class Crawler:
     def fetch(self, domain: str, *, scheme: str = "http", user_agent: str | None = None) -> CrawlResult:
         """Fetch a domain, following redirects within the synthetic web."""
         agent = user_agent if user_agent is not None else self.user_agent
-        # lint: allow-fold-safety(hostname normalization for lookup/comparison; never position-indexed)
         result = CrawlResult(domain=domain.lower().rstrip("."), scheme=scheme)
         current = result.domain
         for _hop in range(self.max_redirects + 1):
@@ -123,7 +121,6 @@ class Crawler:
             if not response.is_redirect:
                 return result
             target = response.location or ""
-            # lint: allow-fold-safety(hostname normalization for lookup/comparison; never position-indexed)
             current = target.split("//")[-1].split("/")[0].lower().rstrip(".")
         result.error = "too many redirects"
         return result

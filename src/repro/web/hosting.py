@@ -70,10 +70,8 @@ class WebsiteProfile:
     target_of: str | None = None  # the legitimate domain a homograph imitates
 
     def __post_init__(self) -> None:
-        # lint: allow-fold-safety(hostname normalization for lookup/comparison; never position-indexed)
         self.domain = self.domain.lower().rstrip(".")
         if self.redirect_target is not None:
-            # lint: allow-fold-safety(hostname normalization for lookup/comparison; never position-indexed)
             self.redirect_target = self.redirect_target.lower().rstrip(".")
         if not self.registered:
             self.has_ns = False
@@ -110,11 +108,9 @@ class SyntheticWeb:
 
     def get(self, domain: str) -> WebsiteProfile | None:
         """Profile of a domain, or ``None`` for never-seen domains."""
-        # lint: allow-fold-safety(hostname normalization for lookup/comparison; never position-indexed)
         return self._profiles.get(domain.lower().rstrip("."))
 
     def __contains__(self, domain: str) -> bool:
-        # lint: allow-fold-safety(hostname normalization for lookup/comparison; never position-indexed)
         return domain.lower().rstrip(".") in self._profiles
 
     def __len__(self) -> int:

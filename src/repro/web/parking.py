@@ -37,7 +37,6 @@ PARKING_NS_SUFFIXES: tuple[str, ...] = (
 
 def is_parking_nameserver(nameserver: str) -> bool:
     """True when a name server belongs to a known parking provider."""
-    # lint: allow-fold-safety(hostname normalization for suffix comparison; never position-indexed)
     host = nameserver.lower().rstrip(".")
     return any(host == suffix or host.endswith("." + suffix) for suffix in PARKING_NS_SUFFIXES)
 
@@ -45,7 +44,6 @@ def is_parking_nameserver(nameserver: str) -> bool:
 def parking_provider_of(nameservers: Iterable[str]) -> str | None:
     """Return the parking provider suffix matched by any NS, or ``None``."""
     for nameserver in nameservers:
-        # lint: allow-fold-safety(hostname normalization for suffix comparison; never position-indexed)
         host = nameserver.lower().rstrip(".")
         for suffix in PARKING_NS_SUFFIXES:
             if host == suffix or host.endswith("." + suffix):

@@ -50,7 +50,6 @@ class VirusTotalClient:
 
     def scan(self, domain: str) -> VirusTotalReport:
         """Scan a domain and return the aggregated engine verdicts."""
-        # lint: allow-fold-safety(hostname normalization for lookup/comparison; never position-indexed)
         domain = domain.lower().rstrip(".")
         profile = self.web.get(domain)
         flagged: list[str] = []

@@ -1,0 +1,12 @@
+"""Renamed-variable fold escape: the v1 name heuristic missed this.
+
+The label flows through a bland rename before being folded, so no
+label-flavoured identifier appears at the sink — only the taint
+dataflow sees that the *value* is label-tainted.
+"""
+
+
+def substitution_positions(candidate_label: str, reference: str) -> list:
+    s = candidate_label  # rename that escaped the v1 identifier heuristic
+    folded = s.lower()
+    return [i for i, (a, b) in enumerate(zip(folded, reference)) if a != b]

@@ -1,0 +1,1 @@
+"""Mini repro tree exercised by the project-rule fixture tests."""

@@ -1,0 +1,14 @@
+"""The demo CLI: the one layer allowed to print and exit."""
+
+import sys
+
+__all__ = ["render_banner", "main"]
+
+
+def render_banner(text: str) -> str:
+    return f"== {text} =="
+
+
+def main() -> int:
+    print(render_banner("demo"))
+    sys.exit(0)

@@ -1,0 +1,1 @@
+"""Demo detection package (layer 4)."""

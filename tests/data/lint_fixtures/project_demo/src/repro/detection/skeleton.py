@@ -1,0 +1,7 @@
+"""Clean detection-layer module, imported (illegally) from idn."""
+
+__all__ = ["join_skeletons"]
+
+
+def join_skeletons(parts: list) -> str:
+    return "".join(parts)

@@ -1,0 +1,1 @@
+"""Demo homoglyph package (layer 3)."""

@@ -1,0 +1,5 @@
+"""Dead-export regression: a public symbol nothing references."""
+
+
+def orphan_export(table: dict) -> list:
+    return sorted(table)

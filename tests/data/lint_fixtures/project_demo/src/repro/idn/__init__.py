@@ -1,0 +1,1 @@
+"""Demo idn package (layer 1)."""

@@ -1,0 +1,26 @@
+"""Exception-contract regression: a library module owning the terminal.
+
+Library modules raise library exceptions; printing to stdout, calling
+sys.exit, and raising CLIError are all the cli layer's business.
+"""
+
+import sys
+
+__all__ = ["load_tld_table", "require_tld"]
+
+
+class CLIError(RuntimeError):
+    """Stand-in for the real CLI error type."""
+
+
+def load_tld_table(path: str) -> dict:
+    print(f"loading {path}")
+    if not path:
+        sys.exit(2)
+    return {}
+
+
+def require_tld(tld: str) -> str:
+    if not tld:
+        raise CLIError("missing tld")
+    return tld

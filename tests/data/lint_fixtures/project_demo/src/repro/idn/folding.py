@@ -1,0 +1,13 @@
+"""Upward-import regression: a layer-1 module importing detection.
+
+Dependencies must point down the layer DAG; idn (layer 1) reaching into
+detection (layer 4) inverts it.
+"""
+
+from repro.detection.skeleton import join_skeletons
+
+__all__ = ["fold_and_join"]
+
+
+def fold_and_join(parts: list) -> str:
+    return join_skeletons(parts)

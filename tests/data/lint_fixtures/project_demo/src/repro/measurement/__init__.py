@@ -1,0 +1,1 @@
+"""Demo measurement package (layer 6)."""

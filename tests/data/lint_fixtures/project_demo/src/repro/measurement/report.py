@@ -1,0 +1,9 @@
+"""Imports-of-cli regression: nothing imports the CLI, ever."""
+
+from repro.cli import render_banner
+
+__all__ = ["summarise_run"]
+
+
+def summarise_run(count: int) -> str:
+    return render_banner(f"{count} domains scanned")

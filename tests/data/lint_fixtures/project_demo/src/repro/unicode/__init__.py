@@ -1,0 +1,1 @@
+"""Demo unicode package (layer 0)."""

@@ -1,0 +1,7 @@
+"""Clean lowest-layer module: legitimately imported by everyone."""
+
+__all__ = ["block_tag"]
+
+
+def block_tag(codepoint: int) -> str:
+    return f"U+{codepoint:04X}"

@@ -1,0 +1,304 @@
+"""Properties of the fold-safety taint lattice and its fixpoint engine.
+
+The dataflow module's correctness argument is the classic monotone
+framework one: a finite lattice (CLEAN ⊑ UNKNOWN ⊑ TAINTED), a join
+that is a least upper bound, and transfer functions that only move
+facts up — together those guarantee Kildall's worklist terminates at
+the least fixpoint.  Rather than trusting the argument, this suite
+drives each leg of it with hypothesis:
+
+* join is commutative, associative, idempotent, and monotone (so the
+  pointwise ``join_states`` is too);
+* ``worklist_fixpoint`` terminates on *randomly generated* control-flow
+  graphs — cycles, unreachable nodes, self-loops included — under
+  randomly composed monotone transfer functions, and the result really
+  is a fixpoint of the dataflow equations;
+* the AST interpreter (``analyse_module``) classifies the concrete
+  shapes the fold-safety rule depends on: renames, loops, tuple
+  unpacks, f-strings, comprehensions, and the seed sources.
+"""
+
+import ast
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lint.dataflow import (
+    DEFAULT_SETTINGS,
+    Taint,
+    analyse_module,
+    identifier_words,
+    join,
+    join_all,
+    join_states,
+    states_equal,
+    worklist_fixpoint,
+)
+
+# -- strategies -------------------------------------------------------------
+
+VARIABLES = ("a", "b", "c")
+
+taints = st.sampled_from(list(Taint))
+states = st.dictionaries(st.sampled_from(VARIABLES), taints,
+                         max_size=len(VARIABLES))
+
+#: A tiny monotone "program" per CFG node: seed a variable up to a
+#: lattice point, or fold one variable into another.  Both operations
+#: are joins, hence monotone by construction.
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("seed"), st.sampled_from(VARIABLES), taints),
+        st.tuples(st.just("copy"), st.sampled_from(VARIABLES),
+                  st.sampled_from(VARIABLES)),
+    ),
+    max_size=4,
+)
+
+
+def apply_operations(program, state):
+    result = dict(state)
+    for operation in program:
+        if operation[0] == "seed":
+            _, variable, taint = operation
+            result[variable] = join(result.get(variable, Taint.CLEAN), taint)
+        else:
+            _, source, target = operation
+            result[target] = join(result.get(target, Taint.CLEAN),
+                                  result.get(source, Taint.CLEAN))
+    return result
+
+
+@st.composite
+def control_flow_graphs(draw):
+    """Random successor maps (cycles and self-loops allowed) plus one
+    random monotone program per node."""
+    size = draw(st.integers(min_value=1, max_value=6))
+    successors = {
+        node: draw(st.lists(st.integers(0, size - 1), max_size=3,
+                            unique=True))
+        for node in range(size)
+    }
+    programs = {node: draw(operations) for node in range(size)}
+    return successors, programs
+
+
+def states_leq(lower, upper):
+    """lower ⊑ upper in the pointwise order."""
+    return states_equal(join_states(lower, upper), upper)
+
+
+# -- the lattice ------------------------------------------------------------
+
+@given(taints, taints)
+def test_join_is_commutative(x, y):
+    assert join(x, y) == join(y, x)
+
+
+@given(taints, taints, taints)
+def test_join_is_associative(x, y, z):
+    assert join(join(x, y), z) == join(x, join(y, z))
+
+
+@given(taints)
+def test_join_is_idempotent(x):
+    assert join(x, x) == x
+
+
+@given(taints)
+def test_clean_is_bottom_and_tainted_is_top(x):
+    assert join(x, Taint.CLEAN) == x
+    assert join(x, Taint.TAINTED) == Taint.TAINTED
+
+
+@given(st.lists(taints))
+def test_join_all_is_an_upper_bound(values):
+    bound = join_all(values)
+    assert all(value <= bound for value in values)
+    assert bound in list(values) + [Taint.CLEAN]
+
+
+@given(states, states)
+def test_join_states_is_a_least_upper_bound(first, second):
+    joined = join_states(first, second)
+    assert states_leq(first, joined)
+    assert states_leq(second, joined)
+    # Least: no strictly smaller upper bound exists pointwise.
+    for name in joined:
+        assert joined[name] == join(first.get(name, Taint.CLEAN),
+                                    second.get(name, Taint.CLEAN))
+
+
+@given(states, states)
+def test_join_states_is_commutative_modulo_clean(first, second):
+    assert states_equal(join_states(first, second),
+                        join_states(second, first))
+
+
+@given(states)
+def test_states_equal_ignores_explicit_clean_entries(state):
+    padded = dict(state)
+    padded["z"] = Taint.CLEAN
+    assert states_equal(state, padded)
+
+
+@given(operations, states, states)
+def test_transfer_functions_are_monotone(program, state, extra):
+    """s ⊑ t implies f(s) ⊑ f(t) for every generated program — the
+    property the worklist's termination argument leans on."""
+    bigger = join_states(state, extra)
+    assert states_leq(apply_operations(program, state),
+                      apply_operations(program, bigger))
+
+
+# -- the worklist -----------------------------------------------------------
+
+@settings(deadline=None, max_examples=200)
+@given(control_flow_graphs(), states)
+def test_worklist_terminates_and_reaches_a_fixpoint(graph, entry_state):
+    """On arbitrary graphs (cycles included) the worklist halts, and the
+    out-states satisfy the dataflow equations: every node's out-state is
+    its transfer applied to the join of its predecessors' out-states."""
+    successors, programs = graph
+    transfer = {
+        node: (lambda state, program=programs[node]:
+               apply_operations(program, state))
+        for node in successors
+    }
+    out_states = worklist_fixpoint(successors, transfer, entry=0,
+                                   entry_state=entry_state)
+    assert set(out_states) == set(successors)
+    for node in successors:
+        incoming = dict(entry_state) if node == 0 else {}
+        for predecessor, targets in successors.items():
+            if node in targets:
+                incoming = join_states(incoming, out_states[predecessor])
+        assert states_equal(out_states[node],
+                            apply_operations(programs[node], incoming))
+
+
+def test_worklist_propagates_around_a_cycle():
+    """A fact seeded at the entry of a 3-node loop reaches every node."""
+    successors = {0: [1], 1: [2], 2: [1]}
+    transfer = {
+        0: lambda s: join_states(s, {"x": Taint.TAINTED}),
+        1: lambda s: dict(s),
+        2: lambda s: dict(s),
+    }
+    out = worklist_fixpoint(successors, transfer, entry=0, entry_state={})
+    assert out[0]["x"] == Taint.TAINTED
+    assert out[1]["x"] == Taint.TAINTED
+    assert out[2]["x"] == Taint.TAINTED
+
+
+# -- the AST interpreter ----------------------------------------------------
+
+def sink_taints(source):
+    """Receiver taint of every ``.lower()``-family call in *source*."""
+    module = analyse_module(ast.parse(source))
+    return sorted(observation.taint for observation in module.sinks.values())
+
+
+def test_rename_does_not_launder_taint():
+    # The exact escape fold-safety v1 missed: assign the label to an
+    # innocuously named local first.
+    assert sink_taints(
+        "def f(candidate_label):\n"
+        "    s = candidate_label\n"
+        "    return s.lower()\n"
+    ) == [Taint.TAINTED]
+
+
+def test_non_label_parameter_stays_unknown():
+    assert sink_taints(
+        "def f(flag):\n"
+        "    return flag.lower()\n"
+    ) == [Taint.UNKNOWN]
+
+
+def test_constant_receiver_is_clean():
+    assert sink_taints('x = "ASCII".lower()\n') == [Taint.CLEAN]
+
+
+def test_seed_callee_result_is_tainted():
+    assert sink_taints(
+        "def f(raw):\n"
+        "    piece = to_unicode_label(raw)\n"
+        "    return piece.lower()\n"
+    ) == [Taint.TAINTED]
+
+
+def test_label_annotation_seeds_taint():
+    assert sink_taints(
+        "def f(value: Label):\n"
+        "    return value.lower()\n"
+    ) == [Taint.TAINTED]
+
+
+def test_loop_accumulation_reaches_fixpoint():
+    # acc is CLEAN before the loop and only becomes tainted through the
+    # loop-carried assignment: requires iterating the body to a fixpoint.
+    assert sink_taints(
+        "def f(parts, label):\n"
+        "    acc = ''\n"
+        "    for _ in parts:\n"
+        "        acc = acc + label\n"
+        "    return acc.lower()\n"
+    ) == [Taint.TAINTED]
+
+
+def test_tuple_unpack_tracks_elements_separately():
+    assert sink_taints(
+        "def f(label):\n"
+        "    tainted, clean = label, 'x'\n"
+        "    a = tainted.lower()\n"
+        "    b = clean.lower()\n"
+        "    return a, b\n"
+    ) == [Taint.CLEAN, Taint.TAINTED]
+
+
+def test_fstring_joins_its_parts():
+    assert sink_taints(
+        "def f(label):\n"
+        "    banner = f'<{label}>'\n"
+        "    return banner.lower()\n"
+    ) == [Taint.TAINTED]
+
+
+def test_comprehension_element_carries_container_taint():
+    assert sink_taints(
+        "def f(labels):\n"
+        "    return [item.lower() for item in labels]\n"
+    ) == [Taint.TAINTED]
+
+
+def test_propagating_string_methods_preserve_taint():
+    assert sink_taints(
+        "def f(label):\n"
+        "    return label.strip().lower()\n"
+    ) == [Taint.TAINTED]
+
+
+def test_branches_join_to_the_worst_case():
+    assert sink_taints(
+        "def f(label, fallback, want):\n"
+        "    if want:\n"
+        "        value = label\n"
+        "    else:\n"
+        "        value = 'default'\n"
+        "    return value.lower()\n"
+    ) == [Taint.TAINTED]
+
+
+def test_identifier_words_split_snake_and_camel_case():
+    assert identifier_words("candidate_label") == {"candidate", "label"}
+    assert identifier_words("uLabelView") == {"u", "label", "view"}
+
+
+def test_default_seed_words_are_narrow():
+    # Hostname/owner normalization must not be seeded: that breadth is
+    # exactly what forced fold-safety v1's 41 pragmas.
+    assert not DEFAULT_SETTINGS.is_seed_name("hostname")
+    assert not DEFAULT_SETTINGS.is_seed_name("owner_name")
+    assert DEFAULT_SETTINGS.is_seed_name("ulabel")
+    assert DEFAULT_SETTINGS.is_seed_name("candidate_label")

@@ -211,6 +211,46 @@ def test_cli_write_baseline_then_clean(tmp_path, capsys, monkeypatch):
     capsys.readouterr()
 
 
+def test_cli_write_baseline_merge_preserves_justifications(
+        tmp_path, capsys, monkeypatch):
+    """Re-running --write-baseline never reverts a hand-written
+    justification to the TODO placeholder for unchanged findings."""
+    monkeypatch.chdir(tmp_path)
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        '"""Fixture."""\n'
+        "def f(label):\n"
+        "    return label.lower()[0]\n"
+    )
+    baseline_path = tmp_path / "baseline.json"
+    assert lint_main([str(bad), "--baseline", str(baseline_path),
+                      "--write-baseline"]) == 0
+
+    payload = json.loads(baseline_path.read_text(encoding="utf-8"))
+    payload["entries"][0]["justification"] = "stored for reporting only"
+    baseline_path.write_text(json.dumps(payload), encoding="utf-8")
+
+    assert lint_main([str(bad), "--baseline", str(baseline_path),
+                      "--write-baseline"]) == 0
+    assert "1 justification(s) preserved" in capsys.readouterr().out
+    merged = Baseline.load(baseline_path)
+    assert [entry.justification for entry in merged.entries] \
+        == ["stored for reporting only"]
+
+
+def test_cli_refuses_to_merge_over_a_corrupt_baseline(
+        tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    bad = tmp_path / "bad.py"
+    bad.write_text('"""Fixture."""\nVALUE = 1\n')
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text("not json {", encoding="utf-8")
+    assert lint_main([str(bad), "--baseline", str(baseline_path),
+                      "--write-baseline"]) == 2
+    assert "refusing to overwrite" in capsys.readouterr().err
+    assert baseline_path.read_text(encoding="utf-8") == "not json {"
+
+
 # -- the tree itself --------------------------------------------------------
 
 def test_src_tree_is_clean(monkeypatch, capsys):
@@ -221,6 +261,42 @@ def test_src_tree_is_clean(monkeypatch, capsys):
     code = lint_main(["src"])
     out = capsys.readouterr().out
     assert code == 0, f"repro-lint went red on src/:\n{out}"
+
+
+def test_tests_and_benchmarks_are_clean_under_the_layer_subset(
+        monkeypatch, capsys):
+    """The CI invariant for the non-src trees: the layer-aware rule
+    subset (rules whose invariants apply to test/benchmark code) is
+    clean over tests/ and benchmarks/, with the intentionally-bad
+    fixture trees excluded via --exclude."""
+    monkeypatch.chdir(REPO_ROOT)
+    code = lint_main([
+        "tests", "benchmarks",
+        "--select", "fold-safety,import-layering,exception-contract,spawn-safety",
+        "--exclude", "tests/data",
+        "--no-baseline", "--no-cache",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0, f"repro-lint went red on tests/benchmarks:\n{out}"
+
+
+def test_no_fold_safety_pragmas_remain_in_src():
+    """The dataflow rewrite made every one of v1's 41 allow-fold-safety
+    pragmas redundant and they were deleted; this count only ever
+    shrinks (it is pinned at zero — a new pragma needs a new argument)."""
+    count = 0
+    carriers = []
+    for path in sorted((REPO_ROOT / "src").rglob("*.py")):
+        pragmas = parse_pragmas(path.read_text(encoding="utf-8"))
+        for line, allows in pragmas.allows.items():
+            for allow in allows:
+                if allow.rule == "fold-safety":
+                    count += 1
+                    carriers.append(f"{path}:{line}")
+    assert count == 0, (
+        "allow-fold-safety pragmas reappeared in src/ — the taint "
+        f"dataflow should prove these sites safe instead: {carriers}"
+    )
 
 
 def test_committed_baseline_is_small_and_justified():

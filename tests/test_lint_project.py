@@ -1,0 +1,401 @@
+"""The whole-program layer: module graph, layer map, incremental cache.
+
+Three contracts under test:
+
+* **module graph** — ``module_name_for`` + ``summarise`` resolve the
+  imports that actually execute at import time (absolute, relative,
+  package-``__init__`` re-exports) and exclude the ones that do not
+  (function-local lazy imports, ``if TYPE_CHECKING:`` blocks), so the
+  cycle detector reports only cycles Python would too;
+* **layer map** — the ```` ```layers ```` block in ``docs/LINT.md`` is
+  the single source of truth and the compiled-in fallback is pinned
+  byte-equivalent to it, so the doc cannot drift from the enforcement;
+* **cache** — a warm run re-analyses only changed files, any engine-key
+  mismatch or corruption degrades to a full re-analysis (never to stale
+  results), and cached runs report identical findings.
+"""
+
+import ast
+import json
+import shutil
+from pathlib import Path
+
+from repro.lint import run_lint
+from repro.lint.baseline import Baseline
+from repro.lint.project import (
+    DEFAULT_CACHE_NAME,
+    FileRecord,
+    ModuleSummary,
+    ProjectUnderLint,
+    SuppressionIndex,
+    module_name_for,
+    summarise,
+)
+from repro.lint.rules.import_layering import (
+    DEFAULT_ISOLATED,
+    DEFAULT_LAYERS,
+    load_layer_map,
+    parse_layer_map,
+)
+
+REPO_ROOT = Path(__file__).parent.parent
+DEMO = Path(__file__).parent / "data" / "lint_fixtures" / "project_demo"
+
+
+# -- module naming ----------------------------------------------------------
+
+def test_module_name_for_real_and_fixture_layouts():
+    assert module_name_for(Path("src/repro/idn/folding.py")) == "repro.idn.folding"
+    assert module_name_for(Path("src/repro/idn/__init__.py")) == "repro.idn"
+    assert module_name_for(Path("src/repro/cli.py")) == "repro.cli"
+    assert module_name_for(
+        Path("tests/data/lint_fixtures/project_demo/src/repro/unicode/blocks.py")
+    ) == "repro.unicode.blocks"
+    assert module_name_for(Path("tests/test_lint_project.py")) is None
+    assert module_name_for(Path("benchmarks/bench_scan.py")) is None
+
+
+# -- summary extraction -----------------------------------------------------
+
+def _summary(source, module="repro.pkg.mod", is_package=False):
+    return summarise(ast.parse(source), module, is_package)
+
+
+def test_summarise_collects_absolute_and_relative_imports():
+    summary = _summary(
+        "from repro.unicode.blocks import block_tag\n"
+        "from . import sibling\n"
+        "from ..dns import resolver\n",
+        module="repro.idn.folding",
+    )
+    assert [site.module for site in summary.imports] == [
+        "repro.unicode.blocks", "repro.idn", "repro.dns",
+    ]
+
+
+def test_summarise_relative_import_inside_package_init():
+    summary = _summary("from . import punycode\n",
+                       module="repro.idn", is_package=True)
+    assert [site.module for site in summary.imports] == ["repro.idn"]
+    assert summary.imports[0].names == ("punycode",)
+
+
+def test_function_local_imports_are_not_graph_edges():
+    # The lazy-import idiom breaks cycles at runtime; treating it as an
+    # edge would report cycles Python never executes.
+    summary = _summary(
+        "def build():\n"
+        "    from repro.detection.stream import scan\n"
+        "    return scan\n"
+    )
+    assert summary.imports == []
+    assert "scan" in summary.referenced
+
+
+def test_type_checking_imports_are_references_not_edges():
+    summary = _summary(
+        "from typing import TYPE_CHECKING\n"
+        "if TYPE_CHECKING:\n"
+        "    from repro.measurement.results import ScanResult\n"
+    )
+    assert summary.imports == []
+    assert "ScanResult" in summary.referenced
+
+
+def test_exports_cover_defs_classes_constants_and_reexports():
+    summary = _summary(
+        "from .folding import fold_label\n"
+        "LIMIT = 3\n"
+        "def public(): ...\n"
+        "def _private(): ...\n"
+        "@decorated\n"
+        "def registered(): ...\n"
+        "class Thing: ...\n",
+        module="repro.idn", is_package=True,
+    )
+    by_name = {site.name: site for site in summary.exports}
+    assert by_name["fold_label"].kind == "re-export"
+    assert by_name["LIMIT"].kind == "constant"
+    assert by_name["public"].kind == "function"
+    assert by_name["Thing"].kind == "class"
+    assert by_name["registered"].decorated
+    assert "_private" not in by_name
+
+
+def test_signature_defaults_and_annotations_count_as_references():
+    summary = _summary(
+        "def scan(limit: int = DEFAULT_LIMIT) -> ScanResult: ...\n"
+    )
+    assert "DEFAULT_LIMIT" in summary.referenced
+    assert "ScanResult" in summary.referenced
+
+
+def test_identifier_strings_count_as_references():
+    # __all__ lists, getattr() strings, registry keys.
+    summary = _summary('__all__ = ["fold_label"]\nx = "not an identifier!"\n')
+    assert "fold_label" in summary.referenced
+    assert "not an identifier!" not in summary.referenced
+
+
+def test_contract_facts_skip_the_main_guard():
+    summary = _summary(
+        "import sys\n"
+        "def run():\n"
+        "    print('status')\n"
+        "    sys.exit(1)\n"
+        "if __name__ == '__main__':\n"
+        "    print('fine here')\n"
+        "    sys.exit(run())\n"
+    )
+    assert sorted(site.kind for site in summary.contracts) == [
+        "print-stdout", "sys-exit",
+    ]
+
+
+def test_print_to_stderr_is_not_a_contract_fact():
+    summary = _summary(
+        "import sys\n"
+        "def warn():\n"
+        "    print('careful', file=sys.stderr)\n"
+    )
+    assert summary.contracts == []
+
+
+# -- the module graph -------------------------------------------------------
+
+def _record(rel_path, source, module, is_package=False):
+    return FileRecord(
+        path=Path(rel_path), rel_path=rel_path, sha256="0",
+        summary=summarise(ast.parse(source), module, is_package),
+        suppressions=SuppressionIndex(),
+    )
+
+
+def test_import_cycles_finds_a_mutual_import():
+    project = ProjectUnderLint(Path("."), [
+        _record("src/repro/a.py", "from repro import b\n", "repro.a"),
+        _record("src/repro/b.py", "from repro import a\n", "repro.b"),
+        _record("src/repro/c.py", "from repro import a\n", "repro.c"),
+    ])
+    assert project.import_cycles() == [["repro.a", "repro.b"]]
+
+
+def test_reexport_pattern_is_not_a_cycle():
+    # The standard idiom: __init__ re-exports from .folding, a sibling
+    # does ``from repro.idn import fold_label``.  Python executes this
+    # happily; the resolver must not invent an __init__ edge for the
+    # ``from pkg import submodule`` form.
+    project = ProjectUnderLint(Path("."), [
+        _record("src/repro/idn/__init__.py",
+                "from .folding import fold_label\n", "repro.idn",
+                is_package=True),
+        _record("src/repro/idn/folding.py",
+                "from repro.idn import punycode\n", "repro.idn.folding"),
+        _record("src/repro/idn/punycode.py", "X = 1\n", "repro.idn.punycode"),
+    ])
+    assert project.import_cycles() == []
+    # But importing a plain *symbol* from the package does execute
+    # __init__, so that edge exists.
+    edges = project.resolved_imports()
+    assert [target for target, _ in edges["repro.idn.folding"]] \
+        == ["repro.idn.punycode"]
+
+
+def test_referenced_names_is_the_global_union():
+    project = ProjectUnderLint(
+        Path("."),
+        [_record("src/repro/a.py", "x = helper()\n", "repro.a")],
+        extra_referenced=frozenset({"from_tests"}),
+    )
+    assert "helper" in project.referenced_names
+    assert "from_tests" in project.referenced_names
+
+
+# -- the layer map ----------------------------------------------------------
+
+def test_parse_layer_map_round_trip():
+    text = (
+        "prose before\n"
+        "```layers\n"
+        "# comment line\n"
+        "0: base other\n"
+        "1: top\n"
+        "isolated: island\n"
+        "```\n"
+        "prose after\n"
+    )
+    parsed = parse_layer_map(text)
+    assert parsed == ({"base": 0, "other": 0, "top": 1},
+                      frozenset({"island"}))
+    assert parse_layer_map("no block here") is None
+
+
+def test_docs_layer_block_matches_the_compiled_in_fallback():
+    """docs/LINT.md is the single source of truth; the fallback compiled
+    into import_layering.py must stay byte-equivalent, or the doc and
+    the enforcement silently diverge."""
+    text = (REPO_ROOT / "docs" / "LINT.md").read_text(encoding="utf-8")
+    parsed = parse_layer_map(text)
+    assert parsed is not None, "docs/LINT.md lost its ```layers block"
+    assert parsed == (DEFAULT_LAYERS, DEFAULT_ISOLATED)
+    assert load_layer_map(REPO_ROOT) == (DEFAULT_LAYERS, DEFAULT_ISOLATED)
+
+
+def test_load_layer_map_falls_back_without_docs(tmp_path):
+    assert load_layer_map(tmp_path) == (DEFAULT_LAYERS, DEFAULT_ISOLATED)
+
+
+def test_every_src_package_is_in_the_layer_map():
+    packages = sorted(
+        entry.name for entry in (REPO_ROOT / "src" / "repro").iterdir()
+        if entry.is_dir() and (entry / "__init__.py").exists()
+    )
+    mapped = set(DEFAULT_LAYERS) | set(DEFAULT_ISOLATED)
+    assert set(packages) <= mapped, (
+        f"packages missing from the docs/LINT.md layer map: "
+        f"{sorted(set(packages) - mapped)}"
+    )
+
+
+# -- the incremental cache --------------------------------------------------
+
+def _demo_copy(tmp_path):
+    root = tmp_path / "demo"
+    shutil.copytree(DEMO, root)
+    return root
+
+
+def _run(root, **kwargs):
+    kwargs.setdefault("reference_roots", ())
+    return run_lint([root], root=root, **kwargs)
+
+
+def test_warm_cache_reuses_every_unchanged_file(tmp_path):
+    root = _demo_copy(tmp_path)
+    cache_path = root / DEFAULT_CACHE_NAME
+
+    cold = _run(root, cache_path=cache_path)
+    assert cold.cache_enabled
+    assert cold.files_parsed == cold.files_scanned
+    assert cold.files_reused == 0
+    assert cache_path.exists()
+
+    warm = _run(root, cache_path=cache_path)
+    assert warm.files_parsed == 0
+    assert warm.files_reused == warm.files_scanned
+    # Cached runs report identical findings — including the project-rule
+    # findings recomputed from cached summaries.
+    assert [f.render() for f in warm.new] == [f.render() for f in cold.new]
+
+
+def test_touching_one_file_reanalyses_only_that_file(tmp_path):
+    root = _demo_copy(tmp_path)
+    cache_path = root / DEFAULT_CACHE_NAME
+    cold = _run(root, cache_path=cache_path)
+
+    target = root / "src" / "repro" / "unicode" / "blocks.py"
+    target.write_text(target.read_text(encoding="utf-8") + "\n# touched\n",
+                      encoding="utf-8")
+
+    warm = _run(root, cache_path=cache_path)
+    assert warm.files_parsed == 1
+    assert warm.files_reused == cold.files_scanned - 1
+    assert [f.render() for f in warm.new] == [f.render() for f in cold.new]
+
+
+def test_engine_key_mismatch_invalidates_the_whole_cache(tmp_path):
+    root = _demo_copy(tmp_path)
+    cache_path = root / DEFAULT_CACHE_NAME
+    cold = _run(root, cache_path=cache_path)
+
+    payload = json.loads(cache_path.read_text(encoding="utf-8"))
+    payload["key"]["analysis"] = -1
+    cache_path.write_text(json.dumps(payload), encoding="utf-8")
+
+    rerun = _run(root, cache_path=cache_path)
+    assert rerun.files_parsed == cold.files_scanned
+    assert rerun.files_reused == 0
+
+
+def test_selected_rules_are_part_of_the_cache_key(tmp_path):
+    root = _demo_copy(tmp_path)
+    cache_path = root / DEFAULT_CACHE_NAME
+    _run(root, cache_path=cache_path)
+    narrowed = _run(root, cache_path=cache_path, rules=["import-layering"])
+    assert narrowed.files_reused == 0, (
+        "a cache built under one rule selection must not satisfy another"
+    )
+
+
+def test_corrupt_cache_degrades_to_a_full_run(tmp_path):
+    root = _demo_copy(tmp_path)
+    cache_path = root / DEFAULT_CACHE_NAME
+    cache_path.write_text("not json {", encoding="utf-8")
+    result = _run(root, cache_path=cache_path)
+    assert result.files_parsed == result.files_scanned
+    # And the run repaired the file on the way out.
+    assert json.loads(cache_path.read_text(encoding="utf-8"))["files"]
+
+
+def test_cache_is_off_by_default_in_the_library(tmp_path):
+    root = _demo_copy(tmp_path)
+    first = _run(root)
+    second = _run(root)
+    assert not first.cache_enabled and not second.cache_enabled
+    assert second.files_parsed == second.files_scanned
+    assert not (root / DEFAULT_CACHE_NAME).exists()
+
+
+def test_syntax_error_finding_is_one_based(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n", encoding="utf-8")
+    result = run_lint([broken], root=tmp_path)
+    assert len(result.new) == 1
+    finding = result.new[0]
+    assert finding.rule == "pragma"
+    assert finding.line >= 1 and finding.col == 1
+    assert "does not parse" in finding.message
+
+
+# -- summary round-trip through the cache -----------------------------------
+
+def test_module_summary_survives_json_round_trip():
+    summary = _summary(
+        "from repro.unicode.blocks import block_tag\n"
+        "LIMIT = 3\n"
+        "def public(x: int = LIMIT): ...\n",
+        module="repro.idn.folding",
+    )
+    restored = ModuleSummary.from_dict(
+        json.loads(json.dumps(summary.as_dict()))
+    )
+    assert restored.module == summary.module
+    assert restored.imports == summary.imports
+    assert restored.exports == summary.exports
+    assert restored.referenced == summary.referenced
+    assert restored.contracts == summary.contracts
+    assert restored.calls == summary.calls
+
+
+# -- baseline merge ---------------------------------------------------------
+
+def test_merged_with_preserves_previous_justifications():
+    from repro.lint.baseline import BaselineEntry
+
+    previous = Baseline(entries=[
+        BaselineEntry(rule="r", path="p", message="m",
+                      justification="hand-written reason"),
+        BaselineEntry(rule="r", path="gone", message="m",
+                      justification="obsolete"),
+    ])
+    current = Baseline(entries=[
+        BaselineEntry(rule="r", path="p", message="m",
+                      justification="TODO: justify or fix"),
+        BaselineEntry(rule="r", path="new", message="m",
+                      justification="TODO: justify or fix"),
+    ])
+    merged = current.merged_with(previous)
+    by_path = {entry.path: entry for entry in merged.entries}
+    assert by_path["p"].justification == "hand-written reason"
+    assert by_path["new"].justification == "TODO: justify or fix"
+    assert "gone" not in by_path  # dropped entries stay dropped

@@ -13,12 +13,20 @@ repo actually shipped (or nearly shipped) and later fixed by hand:
   that breaks under the spawn start method (PR 8);
 * ``unguarded_cache.py`` — a declared-guarded cache read outside its
   lock;
-* ``silent_except.py`` — ``except Exception: pass``.
+* ``silent_except.py`` — ``except Exception: pass``;
+* ``fold_rename.py`` — the rename that escaped fold-safety v1's
+  name-matching (``s = candidate_label; s.lower()``), caught by the
+  taint dataflow;
+* ``project_demo/`` — a miniature ``src/repro`` tree seeding one
+  violation per *project* rule: an upward import, an import of ``cli``,
+  library-layer ``print``/``sys.exit``/``CLIError``, and a public
+  function nothing references.
 
 The companion guarantee — that the rules stay *silent* on the current
 tree — is ``test_src_tree_is_clean`` in ``test_lint_engine.py``.
 """
 
+import shutil
 from pathlib import Path
 
 import pytest
@@ -26,16 +34,39 @@ import pytest
 from repro.lint import run_lint
 
 FIXTURES = Path(__file__).parent / "data" / "lint_fixtures"
+DEMO = FIXTURES / "project_demo"
 
 # fixture file -> (rule expected to fire, fragment of the message)
 SEEDED = {
     "fold_position.py": ("fold-safety", "position indexing"),
+    "fold_rename.py": ("fold-safety", "label-tainted"),
     "fingerprint_missing.py": ("fingerprint-completeness", "threshold"),
     "nonatomic_write.py": ("atomic-write", "os.replace"),
     "spawn_lambda.py": ("spawn-safety", "spawn start method"),
     "unguarded_cache.py": ("lock-discipline", "self._cache"),
     "silent_except.py": ("broad-except", "silently"),
 }
+
+# project rule -> [(path fragment, message fragment), ...] expected from
+# linting the project_demo tree with that rule alone.
+SEEDED_PROJECT = {
+    "import-layering": [
+        ("idn/folding.py", "upward import"),
+        ("measurement/report.py", "nothing imports the cli layer"),
+    ],
+    "exception-contract": [
+        ("idn/exiting.py", "print()"),
+        ("idn/exiting.py", "sys.exit"),
+        ("idn/exiting.py", "CLIError"),
+    ],
+    "dead-export": [
+        ("homoglyph/orphan.py", "never referenced"),
+    ],
+}
+
+
+def _run_demo(root, rules=None):
+    return run_lint([root], rules=rules, root=root, reference_roots=())
 
 
 @pytest.mark.parametrize("fixture,expected", sorted(SEEDED.items()))
@@ -61,13 +92,43 @@ def test_no_rule_cross_fires_on_other_fixtures():
         )
 
 
+@pytest.mark.parametrize("rule_name", sorted(SEEDED_PROJECT))
+def test_project_rule_fires_on_demo_tree(rule_name):
+    result = _run_demo(DEMO, rules=[rule_name])
+    assert not result.ok, f"{rule_name} stayed silent on project_demo/"
+    assert all(f.rule == rule_name for f in result.new)
+    for path_fragment, message_fragment in SEEDED_PROJECT[rule_name]:
+        assert any(
+            path_fragment in f.path and message_fragment in f.message
+            for f in result.new
+        ), (
+            f"no {rule_name} finding at *{path_fragment} mentioning "
+            f"{message_fragment!r}: {[f.render() for f in result.new]}"
+        )
+
+
+def test_project_demo_fires_exactly_the_seeded_findings():
+    """The demo tree trips each project rule exactly where intended and
+    nothing else — the project rules' no-false-positives guarantee."""
+    result = _run_demo(DEMO)
+    fired = sorted((f.rule, f.path.rpartition("/")[2]) for f in result.new)
+    assert fired == [
+        ("dead-export", "orphan.py"),
+        ("exception-contract", "exiting.py"),
+        ("exception-contract", "exiting.py"),
+        ("exception-contract", "exiting.py"),
+        ("import-layering", "folding.py"),
+        ("import-layering", "report.py"),
+    ], [f.render() for f in result.new]
+
+
 def test_every_registered_rule_has_a_seeded_fixture():
     from repro.lint.engine import all_rules
 
-    covered = {rule for rule, _ in SEEDED.values()}
+    covered = {rule for rule, _ in SEEDED.values()} | set(SEEDED_PROJECT)
     assert covered == set(all_rules()), (
         "rules without a seeded-regression fixture: add one to "
-        "tests/data/lint_fixtures/ (and to SEEDED above)"
+        "tests/data/lint_fixtures/ (and to SEEDED or SEEDED_PROJECT above)"
     )
 
 
@@ -187,6 +248,109 @@ def test_broad_except_accepts_reraise_and_warn(tmp_path):
     )
     result = run_lint([patched], rules=["broad-except"])
     assert result.ok, [f.render() for f in result.new]
+
+
+def test_fold_safety_accepts_compare_only_folds(tmp_path):
+    """Case-insensitive *comparison* never position-indexes, so the
+    dataflow-backed rule proves it safe — the class of call sites that
+    needed 41 allow-pragmas under the name-matching v1."""
+    patched = tmp_path / "fold_compare.py"
+    patched.write_text(
+        '"""Compare-only folds of label-tainted values are safe."""\n'
+        "\n"
+        "\n"
+        "def same_label(label: str, other: str) -> bool:\n"
+        "    return label.lower() == other.lower()\n"
+        "\n"
+        "\n"
+        "def lookup(table: dict, label: str):\n"
+        "    key = label.casefold()\n"
+        "    return table.get(key)\n"
+        "\n"
+        "\n"
+        "def is_punycode(label: str) -> bool:\n"
+        "    return label.lower().startswith('xn--')\n",
+        encoding="utf-8",
+    )
+    result = run_lint([patched], rules=["fold-safety"])
+    assert result.ok, [f.render() for f in result.new]
+
+
+# -- project rules: fixed forms and the pragma escape hatch -----------------
+
+def _demo_copy(tmp_path):
+    root = tmp_path / "demo"
+    shutil.copytree(DEMO, root)
+    return root
+
+
+def test_import_layering_accepts_downward_imports(tmp_path):
+    root = _demo_copy(tmp_path)
+    (root / "src" / "repro" / "idn" / "folding.py").write_text(
+        '"""Fixed form: idn (layer 1) imports unicode (layer 0) only."""\n'
+        "from repro.unicode.blocks import block_tag\n"
+        "\n"
+        "\n"
+        "def fold_label(label: str) -> str:\n"
+        "    return block_tag(label) + label\n",
+        encoding="utf-8",
+    )
+    (root / "src" / "repro" / "measurement" / "report.py").write_text(
+        '"""Fixed form: measurement renders its own banner."""\n'
+        "\n"
+        "\n"
+        "def render_report(rows: list) -> str:\n"
+        "    return '\\n'.join(str(row) for row in rows)\n",
+        encoding="utf-8",
+    )
+    result = _run_demo(root, rules=["import-layering"])
+    assert result.ok, [f.render() for f in result.new]
+
+
+def test_exception_contract_accepts_stderr_and_raised_values(tmp_path):
+    root = _demo_copy(tmp_path)
+    exiting = root / "src" / "repro" / "idn" / "exiting.py"
+    source = exiting.read_text(encoding="utf-8")
+    source = source.replace("print(f\"loading {path}\")",
+                            "print(f\"loading {path}\", file=sys.stderr)")
+    source = source.replace("sys.exit(2)",
+                            "raise FileNotFoundError(path)")
+    source = source.replace("raise CLIError(\"missing tld\")",
+                            "raise ValueError(\"missing tld\")")
+    exiting.write_text(source, encoding="utf-8")
+    result = _run_demo(root, rules=["exception-contract"])
+    assert result.ok, [f.render() for f in result.new]
+
+
+def test_dead_export_accepts_a_referenced_symbol(tmp_path):
+    root = _demo_copy(tmp_path)
+    orphan = root / "src" / "repro" / "homoglyph" / "orphan.py"
+    # An identifier-valued string (the __all__ idiom) is a reference.
+    orphan.write_text(orphan.read_text(encoding="utf-8")
+                      + '\n__all__ = ["orphan_export"]\n',
+                      encoding="utf-8")
+    result = _run_demo(root, rules=["dead-export"])
+    assert result.ok, [f.render() for f in result.new]
+
+
+@pytest.mark.parametrize("rule_name", sorted(SEEDED_PROJECT))
+def test_allow_pragma_silences_each_project_rule(rule_name, tmp_path):
+    """The pragma escape hatch works for cross-module findings too: the
+    suppression is looked up in the *flagged* file's pragma map."""
+    root = _demo_copy(tmp_path)
+    baseline_result = _run_demo(root, rules=[rule_name])
+    assert baseline_result.new
+    for finding in baseline_result.new:
+        flagged = root / finding.path
+        lines = flagged.read_text(encoding="utf-8").splitlines(keepends=True)
+        index = finding.line - 1
+        lines[index] = (lines[index].rstrip("\n")
+                        + f"  # lint: allow-{rule_name}(fixture test)\n")
+        flagged.write_text("".join(lines), encoding="utf-8")
+
+    result = _run_demo(root, rules=[rule_name])
+    assert result.ok, [f.render() for f in result.new]
+    assert result.pragma_suppressed == len(baseline_result.new)
 
 
 def test_fold_safety_accepts_fold_label_and_non_label_receivers(tmp_path):

@@ -27,7 +27,12 @@ GOLDEN = Path(__file__).parent / "data" / "lint_report_golden.json"
 
 
 def _actual_report() -> dict:
-    result = run_lint([REPO_ROOT / FIXTURES_DIR], root=REPO_ROOT)
+    # reference_roots=() keeps the report hermetic: with the default
+    # auto-discovery, dead-export verdicts over the project_demo fixture
+    # tree would flip whenever a test file happens to mention a fixture
+    # symbol name.
+    result = run_lint([REPO_ROOT / FIXTURES_DIR], root=REPO_ROOT,
+                      reference_roots=())
     return result.as_dict()
 
 
@@ -50,7 +55,8 @@ def test_json_report_schema_invariants():
     and a summary whose arithmetic matches the findings list."""
     report = _actual_report()
     assert set(report) == {
-        "tool", "schema_version", "rules", "files_scanned", "findings", "summary",
+        "tool", "schema_version", "rules", "files_scanned", "findings",
+        "summary", "cache",
     }
     assert report["tool"] == "repro-lint"
     assert report["schema_version"] == SCHEMA_VERSION
@@ -60,13 +66,24 @@ def test_json_report_schema_invariants():
     for rule in report["rules"]:
         assert set(rule) == {"name", "description"}
 
+    # "pragma" is the engine-level pseudo-rule (malformed pragmas,
+    # unparseable files); everything else must be a registered rule.
+    rule_names = {r["name"] for r in report["rules"]} | {"pragma"}
     for finding in report["findings"]:
         assert set(finding) == {"rule", "path", "line", "col", "message",
                                 "baselined"}
         assert isinstance(finding["line"], int) and finding["line"] >= 1
         assert isinstance(finding["col"], int) and finding["col"] >= 1
         assert isinstance(finding["baselined"], bool)
-        assert finding["rule"] in {r["name"] for r in report["rules"]}
+        assert finding["rule"] in rule_names
+
+    cache = report["cache"]
+    assert set(cache) == {"enabled", "files_parsed", "files_reused",
+                          "reference_files_parsed", "reference_files_reused"}
+    assert cache["enabled"] is False  # the library default
+    for key in ("files_parsed", "files_reused",
+                "reference_files_parsed", "reference_files_reused"):
+        assert isinstance(cache[key], int) and cache[key] >= 0
 
     new = [f for f in report["findings"] if not f["baselined"]]
     baselined = [f for f in report["findings"] if f["baselined"]]
@@ -82,7 +99,8 @@ def test_json_report_schema_invariants():
 
 
 def test_render_json_is_parseable_and_stable():
-    result = run_lint([REPO_ROOT / FIXTURES_DIR], root=REPO_ROOT)
+    result = run_lint([REPO_ROOT / FIXTURES_DIR], root=REPO_ROOT,
+                      reference_roots=())
     first = render_json(result)
     second = render_json(result)
     assert first == second
